@@ -1,0 +1,163 @@
+// Shared setup for the paper-reproduction benchmarks: standard Conviva-like
+// and TPC-H-lite BlinkDB instances with multi-dimensional, single-dimensional
+// (§6.3 baseline 2), or uniform-only (§6.3 baseline 3) sample sets.
+#ifndef BLINKDB_BENCH_BENCH_COMMON_H_
+#define BLINKDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/blinkdb.h"
+#include "src/workload/conviva.h"
+#include "src/workload/tpch.h"
+
+namespace blink::bench {
+
+// Which sampling strategy a database instance uses (the three §6.3 sets).
+enum class SampleMode { kMultiDimensional, kSingleDimensional, kUniformOnly };
+
+inline const char* SampleModeName(SampleMode mode) {
+  switch (mode) {
+    case SampleMode::kMultiDimensional:
+      return "Multi-Column";
+    case SampleMode::kSingleDimensional:
+      return "Single Column";
+    case SampleMode::kUniformOnly:
+      return "Random Samples";
+  }
+  return "?";
+}
+
+struct ConvivaBench {
+  ConvivaConfig config;
+  Table table;  // generator copy kept for query instantiation / ground truth
+  std::unique_ptr<BlinkDB> db;
+  double scale_factor = 1.0;
+};
+
+// Builds a Conviva-like instance whose stand-in represents
+// `logical_bytes` of data, with samples built under `budget_fraction` using
+// the given strategy. Cardinalities are scaled to the row count so that
+// stratification caps bind the way they do at paper scale.
+inline ConvivaBench MakeConvivaBench(uint64_t rows, double logical_bytes,
+                                     double budget_fraction, SampleMode mode,
+                                     uint64_t cap_k = 1'000) {
+  ConvivaBench bench;
+  bench.config.num_rows = rows;
+  bench.config.num_cities = 300;
+  bench.config.num_countries = 60;
+  bench.config.num_customers = 400;
+  bench.config.num_asns = 200;
+  bench.config.num_urls = 500;
+  bench.config.num_isps = 30;
+  bench.table = GenerateConvivaTable(bench.config);
+  const double bytes =
+      static_cast<double>(bench.table.num_rows()) * bench.table.EstimatedBytesPerRow();
+  bench.scale_factor = logical_bytes / bytes;
+
+  bench.db = std::make_unique<BlinkDB>();
+  Status s = bench.db->RegisterTable("sessions", GenerateConvivaTable(bench.config),
+                                     bench.scale_factor);
+  if (!s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  PlannerConfig planner;
+  planner.budget_fraction = budget_fraction;
+  planner.cap_k = cap_k;
+  planner.max_resolutions = 8;
+  switch (mode) {
+    case SampleMode::kMultiDimensional:
+      planner.max_columns_per_set = 3;
+      planner.uniform_fraction = 0.05;
+      break;
+    case SampleMode::kSingleDimensional:
+      planner.max_columns_per_set = 1;
+      planner.uniform_fraction = 0.05;
+      break;
+    case SampleMode::kUniformOnly:
+      planner.max_columns_per_set = 1;
+      // The whole budget goes to one uniform family (§6.3: "a sample
+      // containing 50% of the entire data, chosen uniformly at random").
+      planner.uniform_fraction = budget_fraction;
+      break;
+  }
+  const std::vector<WorkloadTemplate> workload =
+      mode == SampleMode::kUniformOnly ? std::vector<WorkloadTemplate>{}
+                                       : ConvivaTemplates();
+  auto plan = bench.db->BuildSamples("sessions", workload, planner);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "sampling failed: %s\n", plan.status().ToString().c_str());
+    std::abort();
+  }
+  return bench;
+}
+
+struct TpchBench {
+  TpchConfig config;
+  Table lineitem;
+  std::unique_ptr<BlinkDB> db;
+  double scale_factor = 1.0;
+};
+
+inline TpchBench MakeTpchBench(uint64_t rows, double logical_bytes,
+                               double budget_fraction, SampleMode mode,
+                               uint64_t cap_k = 1'000) {
+  TpchBench bench;
+  bench.config.lineitem_rows = rows;
+  bench.lineitem = GenerateLineitem(bench.config);
+  const double bytes = static_cast<double>(bench.lineitem.num_rows()) *
+                       bench.lineitem.EstimatedBytesPerRow();
+  bench.scale_factor = logical_bytes / bytes;
+
+  bench.db = std::make_unique<BlinkDB>();
+  Status s = bench.db->RegisterTable("lineitem", GenerateLineitem(bench.config),
+                                     bench.scale_factor);
+  if (!s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  s = bench.db->RegisterDimensionTable("orders", GenerateOrders(bench.config));
+  if (!s.ok()) {
+    std::fprintf(stderr, "register orders failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  PlannerConfig planner;
+  planner.budget_fraction = budget_fraction;
+  planner.cap_k = cap_k;
+  planner.max_resolutions = 8;
+  switch (mode) {
+    case SampleMode::kMultiDimensional:
+      planner.max_columns_per_set = 3;
+      planner.uniform_fraction = 0.05;
+      break;
+    case SampleMode::kSingleDimensional:
+      planner.max_columns_per_set = 1;
+      planner.uniform_fraction = 0.05;
+      break;
+    case SampleMode::kUniformOnly:
+      planner.max_columns_per_set = 1;
+      planner.uniform_fraction = budget_fraction;
+      break;
+  }
+  const std::vector<WorkloadTemplate> workload =
+      mode == SampleMode::kUniformOnly ? std::vector<WorkloadTemplate>{}
+                                       : TpchTemplates();
+  auto plan = bench.db->BuildSamples("lineitem", workload, planner);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "sampling failed: %s\n", plan.status().ToString().c_str());
+    std::abort();
+  }
+  return bench;
+}
+
+// Section banner matching the paper's figure/table numbering.
+inline void Banner(const char* id, const char* caption) {
+  std::printf("\n==== %s: %s ====\n", id, caption);
+}
+
+}  // namespace blink::bench
+
+#endif  // BLINKDB_BENCH_BENCH_COMMON_H_

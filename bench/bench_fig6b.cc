@@ -1,0 +1,54 @@
+// Figure 6(b): stratified sample families selected for the TPC-H workload at
+// storage budgets of 50%, 100%, and 200%, with cumulative storage costs.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/string_util.h"
+
+using namespace blink;
+using namespace blink::bench;
+
+int main() {
+  Banner("Figure 6(b)", "sample families vs. storage budget (TPC-H)");
+
+  TpchConfig config;
+  config.lineitem_rows = 300'000;
+  const Table lineitem = GenerateLineitem(config);
+  const double table_bytes =
+      static_cast<double>(lineitem.num_rows()) * lineitem.EstimatedBytesPerRow();
+
+  std::printf("%-10s %-32s %14s %14s\n", "budget", "family", "size (%table)",
+              "cumulative");
+  for (double budget : {0.5, 1.0, 2.0}) {
+    PlannerConfig planner;
+    planner.budget_fraction = budget;
+    planner.cap_k = 1'000;
+    planner.max_columns_per_set = 3;
+    planner.uniform_fraction = 0.0;
+    auto plan = PlanSamples(lineitem, TpchTemplates(), planner);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "planning failed: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    double cumulative = 0.0;
+    for (const auto& family : plan->families) {
+      cumulative += family.storage_bytes;
+      const std::string name =
+          family.columns.empty() ? "uniform" : "[" + Join(family.columns, " ") + "]";
+      std::printf("%-10.0f%% %-31s %13.1f%% %13.1f%%\n", budget * 100.0, name.c_str(),
+                  100.0 * family.storage_bytes / table_bytes,
+                  100.0 * cumulative / table_bytes);
+    }
+    std::printf("%-10.0f%% %-31s %13s %13.1f%%  (MILP=%s, objective=%.3g)\n",
+                budget * 100.0, "= actual storage cost", "",
+                100.0 * plan->total_bytes / table_bytes,
+                plan->used_milp ? "yes" : "greedy", plan->objective);
+  }
+  std::printf(
+      "\nPaper shape check: the (commitdt, receiptdt) pair and other\n"
+      "skewed sets are admitted as the budget grows, echoing Fig 6(b).\n"
+      "Substitution note: [orderkey suppkey] strata are near-singletons at\n"
+      "stand-in scale, so the optimizer covers that template through its\n"
+      "subsets instead (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7(b): average statistical error per TPC-H template with a fixed
+// 10-second budget across the three sample sets (multi-column stratified,
+// single-column stratified, uniform).
+#include <cstdio>
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace blink;
+using namespace blink::bench;
+
+int main() {
+  Banner("Figure 7(b)", "per-template error @ 10 s budget (TPC-H)");
+  constexpr double kLogicalBytes = 1e12;
+  constexpr uint64_t kRows = 300'000;
+  constexpr int kQueriesPerTemplate = 8;
+
+  std::vector<std::pair<SampleMode, TpchBench>> systems;
+  systems.emplace_back(SampleMode::kMultiDimensional,
+                       MakeTpchBench(kRows, kLogicalBytes, 0.5,
+                                     SampleMode::kMultiDimensional, 500));
+  systems.emplace_back(SampleMode::kSingleDimensional,
+                       MakeTpchBench(kRows, kLogicalBytes, 0.5,
+                                     SampleMode::kSingleDimensional, 500));
+  systems.emplace_back(SampleMode::kUniformOnly,
+                       MakeTpchBench(kRows, kLogicalBytes, 0.5, SampleMode::kUniformOnly));
+
+  const auto templates = TpchTemplates();
+  // Trace shares annotated in Fig 7(b).
+  const double shares[] = {0.18, 0.27, 0.14, 0.32, 0.045, 0.045};
+
+  std::printf("%-28s", "template (trace share)");
+  for (const auto& [mode, bench] : systems) {
+    std::printf(" %16s", SampleModeName(mode));
+  }
+  std::printf("\n");
+
+  for (size_t t = 0; t < templates.size(); ++t) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "T%zu (%.1f%%)", t + 1, 100.0 * shares[t]);
+    std::printf("%-28s", label);
+    for (auto& [mode, bench] : systems) {
+      Rng rng(2000 + static_cast<uint64_t>(t));
+      double total_error = 0.0;
+      int counted = 0;
+      for (int q = 0; q < kQueriesPerTemplate; ++q) {
+        const std::string sql =
+            InstantiateTpchQuery(bench.lineitem, templates[t], "WITHIN 10 SECONDS", rng);
+        auto answer = bench.db->Query(sql);
+        if (!answer.ok()) {
+          continue;
+        }
+        const double err = answer->report.achieved_error;
+        if (std::isfinite(err)) {
+          total_error += err;
+          ++counted;
+        }
+      }
+      std::printf(" %15.2f%%", counted > 0 ? 100.0 * total_error / counted : -1.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape check: stratified sets dominate on templates whose\n"
+      "column sets have skewed joint distributions; near-uniform TPC-H\n"
+      "templates show smaller gaps, as in Fig 7(b).\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Figure 7(c): error-convergence — the (simulated) time required to reach a
+// target statistical error at 95% confidence, for uniform sampling, 1-D
+// stratified sampling, and BlinkDB's multi-dimensional samples.
+//
+// Methodology mirrors §6.3: three sample sets of (approximately) equal total
+// storage are constructed directly — stratified on (city, isp), stratified
+// on city alone, and uniform — and the same drill-down query ("average
+// session time for a particular ISP's customers in a city", §6.3.2) is run
+// against each with decreasing error bounds. The slice is a minority ISP
+// inside a populous city: the 2-D sample keeps its stratum whole, the 1-D
+// sample dilutes it inside the city stratum, and uniform sampling barely
+// sees it.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/api/blinkdb.h"
+#include "src/workload/conviva.h"
+
+using namespace blink;
+
+namespace {
+
+// Builds a stratified family on `columns` whose storage is as close to
+// `target_rows` as possible by tuning the cap.
+SampleFamily BuildTunedFamily(const Table& table, const std::vector<std::string>& columns,
+                              uint64_t target_rows) {
+  uint64_t best_cap = 1;
+  uint64_t best_diff = ~0ull;
+  for (uint64_t cap = 16; cap <= 65536; cap *= 2) {
+    SampleFamilyOptions options;
+    options.largest_cap = cap;
+    options.max_resolutions = 1;
+    Rng rng(1);
+    auto probe = SampleFamily::BuildStratified(table, columns, options, rng);
+    const uint64_t rows = probe->storage_rows();
+    const uint64_t diff = rows > target_rows ? rows - target_rows : target_rows - rows;
+    if (diff < best_diff) {
+      best_diff = diff;
+      best_cap = cap;
+    }
+    if (rows > target_rows) {
+      break;
+    }
+  }
+  SampleFamilyOptions options;
+  options.largest_cap = best_cap;
+  options.max_resolutions = 8;
+  Rng rng(1);
+  return std::move(SampleFamily::BuildStratified(table, columns, options, rng).value());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n==== Figure 7(c): latency to reach a target error (Conviva) ====\n");
+  ConvivaConfig config;
+  config.num_rows = 1'000'000;
+  config.num_cities = 40;
+  config.num_isps = 8;
+  config.num_urls = 2'000;
+  const Table table = GenerateConvivaTable(config);
+  const double bytes =
+      static_cast<double>(table.num_rows()) * table.EstimatedBytesPerRow();
+  const double scale = 17e12 / bytes;
+
+  // The three §6.3 sample sets at ~50% storage each.
+  const uint64_t target_rows = config.num_rows / 2;
+  struct System {
+    const char* name;
+    std::unique_ptr<BlinkDB> db;
+  };
+  std::vector<System> systems;
+  for (const char* name : {"BlinkDB (multi-dim)", "1-D Sampling", "Random Sampling"}) {
+    System system{name, std::make_unique<BlinkDB>()};
+    if (!system.db->RegisterTable("sessions", GenerateConvivaTable(config), scale).ok()) {
+      return 1;
+    }
+    systems.push_back(std::move(system));
+  }
+  systems[0].db->samples().AddFamily(
+      "sessions", BuildTunedFamily(table, {"city", "isp"}, target_rows));
+  systems[1].db->samples().AddFamily("sessions",
+                                     BuildTunedFamily(table, {"city"}, target_rows));
+  {
+    SampleFamilyOptions options;
+    options.uniform_fraction = 0.5;
+    options.max_resolutions = 8;
+    Rng rng(2);
+    systems[2].db->samples().AddFamily(
+        "sessions", std::move(SampleFamily::BuildUniform(table, options, rng).value()));
+  }
+
+  // Pick the slice: a minority ISP (2-8% share) inside a top-5 city.
+  const size_t city_col = table.schema().FindColumn("city").value();
+  const size_t isp_col = table.schema().FindColumn("isp").value();
+  std::map<std::string, std::map<std::string, int>> counts;
+  std::map<std::string, int> city_totals;
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    const std::string city = table.GetString(city_col, r);
+    ++counts[city][table.GetString(isp_col, r)];
+    ++city_totals[city];
+  }
+  std::string slice_city = "city_1";
+  std::string slice_isp;
+  for (const auto& [city, total] : city_totals) {
+    if (total < 15'000 || total > 45'000) {
+      continue;  // want a mid-size city: capped in 1-D, rare overall
+    }
+    for (const auto& [isp, n] : counts[city]) {
+      const double share = static_cast<double>(n) / total;
+      if (share > 0.02 && share < 0.06 && n > 400 && n < 1'500) {
+        slice_city = city;
+        slice_isp = isp;
+        break;
+      }
+    }
+    if (!slice_isp.empty()) {
+      break;
+    }
+  }
+  if (slice_isp.empty()) {
+    slice_city = "city_1";
+    slice_isp = "isp_5";
+  }
+  std::printf("drill-down slice: %s x %s (%d of %d city rows)\n", slice_city.c_str(),
+              slice_isp.c_str(), counts[slice_city][slice_isp], city_totals[slice_city]);
+  const std::string query = "SELECT AVG(sessiontimems) FROM sessions WHERE isp = '" +
+                            slice_isp + "' AND city = '" + slice_city + "'";
+
+  std::printf("%-14s %26s %26s %26s\n", "target error", systems[0].name, systems[1].name,
+              systems[2].name);
+  for (int target : {32, 16, 8, 4, 2}) {
+    std::printf("%13d%%", target);
+    for (auto& system : systems) {
+      const std::string sql =
+          query + " ERROR WITHIN " + std::to_string(target) + "% AT CONFIDENCE 95%";
+      auto answer = system.db->Query(sql);
+      if (!answer.ok()) {
+        std::printf(" %26s", "failed");
+        continue;
+      }
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.1fs (ach %.1f%%)",
+                    answer->report.total_latency, 100.0 * answer->report.achieved_error);
+      std::printf(" %26s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape check (log-scale y-axis in Fig 7(c)): the\n"
+      "multi-dimensional sample keeps the (city, isp) stratum whole and\n"
+      "converges to tight errors in seconds; the 1-D sample dilutes the\n"
+      "minority ISP inside the city stratum and stalls at a higher error\n"
+      "floor; uniform sampling needs orders of magnitude more time (or\n"
+      "never converges) on this rare slice.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 8(b): requested vs. actual relative error. The same query set run
+// with error bounds from 2% to 32%; "actual" is the true deviation from the
+// exact answer computed on the full data, min/avg/max across queries.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace blink;
+using namespace blink::bench;
+
+namespace {
+
+// True relative deviation of the approximate answer from the exact one,
+// maximized over groups and aggregates (the paper's per-GROUP-BY-key error).
+double TrueRelativeError(const QueryResult& approx, const QueryResult& exact) {
+  double worst = 0.0;
+  size_t matched = 0;
+  for (const auto& row : exact.rows) {
+    // Find the matching group in the approximate result.
+    for (const auto& arow : approx.rows) {
+      if (arow.group_values == row.group_values) {
+        for (size_t a = 0; a < row.aggregates.size() && a < arow.aggregates.size(); ++a) {
+          const double truth = row.aggregates[a].value;
+          if (truth != 0.0) {
+            worst = std::max(worst,
+                             std::fabs(arow.aggregates[a].value - truth) / std::fabs(truth));
+          }
+        }
+        ++matched;
+        break;
+      }
+    }
+  }
+  return matched > 0 ? worst : std::nan("");
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 8(b)", "requested vs. actual relative error");
+  constexpr double kLogicalBytes = 2e12;
+  constexpr uint64_t kRows = 300'000;
+  constexpr int kQueries = 20;
+
+  ConvivaBench bench =
+      MakeConvivaBench(kRows, kLogicalBytes, 0.5, SampleMode::kMultiDimensional);
+
+  // The paper's query set filters on single categorical predicates (country,
+  // city, day) and aggregates session metrics; such slices are populous
+  // enough at stand-in scale for the normal-theory intervals to be valid.
+  std::vector<std::string> bases;
+  {
+    Rng pick(31);
+    const size_t country_col = bench.table.schema().FindColumn("country").value();
+    const size_t city_col = bench.table.schema().FindColumn("city").value();
+    for (int q = 0; q < kQueries; ++q) {
+      const uint64_t row = pick.NextBounded(bench.table.num_rows());
+      std::string predicate;
+      switch (q % 3) {
+        case 0:
+          predicate = "country = '" + bench.table.GetString(country_col, row) + "'";
+          break;
+        case 1:
+          predicate = "city = '" + bench.table.GetString(city_col, row) + "'";
+          break;
+        default:
+          predicate = "dt = " + std::to_string(pick.NextBounded(30));
+          break;
+      }
+      bases.push_back("SELECT AVG(sessiontimems) FROM sessions WHERE " + predicate);
+    }
+  }
+
+  std::printf("%-16s %12s %12s %12s %14s\n", "requested (%)", "min (%)", "avg (%)",
+              "max (%)", "within bound");
+  for (int requested : {2, 4, 8, 16, 32}) {
+    double min_error = 1e30;
+    double max_error = 0.0;
+    double total = 0.0;
+    int runs = 0;
+    int within = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      const std::string bound = " ERROR WITHIN " + std::to_string(requested) +
+                                "% AT CONFIDENCE 95%";
+      const std::string sql = bases[q] + bound;
+      auto answer = bench.db->Query(sql);
+      if (!answer.ok()) {
+        continue;
+      }
+      // Ground truth on the full table.
+      const size_t bound_pos = sql.rfind(" ERROR WITHIN");
+      auto exact = bench.db->QueryExact(sql.substr(0, bound_pos));
+      if (!exact.ok()) {
+        continue;
+      }
+      const double err = TrueRelativeError(answer->result, exact->result);
+      if (!std::isfinite(err)) {
+        continue;
+      }
+      min_error = std::min(min_error, err);
+      max_error = std::max(max_error, err);
+      total += err;
+      ++runs;
+      if (err <= requested / 100.0) {
+        ++within;
+      }
+    }
+    std::printf("%-16d %12.2f %12.2f %12.2f %13.0f%%\n", requested, 100.0 * min_error,
+                100.0 * total / std::max(1, runs), 100.0 * max_error,
+                100.0 * within / std::max(1, runs));
+  }
+  std::printf(
+      "\nPaper shape check: measured error stays at or below the requested\n"
+      "bound for most queries, and creeps toward the bound as the bound\n"
+      "loosens (small samples, wide intervals) — the Fig 8(b) pattern.\n");
+  return 0;
+}

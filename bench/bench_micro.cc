@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark): throughput of the engine's hot paths —
+// columnar scan+aggregate, predicate evaluation, stratified family
+// construction, Zipf generation, and MILP solving at Fig-6 instance sizes.
+#include <benchmark/benchmark.h>
+
+#include "src/exec/executor.h"
+#include "src/optimizer/sample_planner.h"
+#include "src/sample/sample_family.h"
+#include "src/sql/parser.h"
+#include "src/stats/distributions.h"
+#include "src/util/rng.h"
+#include "src/workload/conviva.h"
+
+namespace blink {
+namespace {
+
+Table MakeTable(uint64_t rows) {
+  Rng rng(1);
+  ZipfGenerator zipf(1.3, 2'000);
+  Table t(Schema({{"k", DataType::kInt64},
+                  {"c", DataType::kString},
+                  {"v", DataType::kDouble}}));
+  t.Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.AppendInt(0, static_cast<int64_t>(zipf.Next(rng)));
+    t.AppendString(1, "c" + std::to_string(rng.NextBounded(64)));
+    t.AppendDouble(2, rng.NextDouble());
+    t.CommitRow();
+  }
+  return t;
+}
+
+void BM_ScanAggregate(benchmark::State& state) {
+  const Table t = MakeTable(static_cast<uint64_t>(state.range(0)));
+  const auto stmt = ParseSelect("SELECT c, AVG(v), COUNT(*) FROM t GROUP BY c");
+  for (auto _ : state) {
+    auto result = ExecuteQuery(*stmt, Dataset::Exact(t));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanAggregate)->Arg(100'000)->Arg(400'000);
+
+void BM_FilteredCount(benchmark::State& state) {
+  const Table t = MakeTable(static_cast<uint64_t>(state.range(0)));
+  const auto stmt =
+      ParseSelect("SELECT COUNT(*) FROM t WHERE k <= 10 AND v > 0.25 AND c != 'c1'");
+  for (auto _ : state) {
+    auto result = ExecuteQuery(*stmt, Dataset::Exact(t));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilteredCount)->Arg(400'000);
+
+void BM_BuildStratifiedFamily(benchmark::State& state) {
+  const Table t = MakeTable(static_cast<uint64_t>(state.range(0)));
+  SampleFamilyOptions options;
+  options.largest_cap = 200;
+  options.max_resolutions = 6;
+  for (auto _ : state) {
+    Rng rng(3);
+    auto family = SampleFamily::BuildStratified(t, {"k"}, options, rng);
+    benchmark::DoNotOptimize(family);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildStratifiedFamily)->Arg(100'000)->Arg(400'000);
+
+void BM_ZipfGeneration(benchmark::State& state) {
+  ZipfGenerator zipf(1.5, static_cast<uint64_t>(state.range(0)));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfGeneration)->Arg(1'000)->Arg(10'000'000);
+
+void BM_SampleSelectionMilp(benchmark::State& state) {
+  // Fig-6-sized instance: Conviva templates over a 100k-row table.
+  ConvivaConfig config;
+  config.num_rows = 100'000;
+  config.num_cities = 300;
+  config.num_urls = 2'000;
+  const Table table = GenerateConvivaTable(config);
+  PlannerConfig planner;
+  planner.budget_fraction = 0.5;
+  planner.cap_k = 500;
+  planner.max_columns_per_set = 3;
+  for (auto _ : state) {
+    auto plan = PlanSamples(table, ConvivaTemplates(), planner);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_SampleSelectionMilp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace blink
+
+BENCHMARK_MAIN();

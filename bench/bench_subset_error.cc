@@ -1,0 +1,89 @@
+// §3.1 / §6.3 subset error: uniform samples miss rare groups entirely
+// (missing rows in GROUP BY outputs), while stratified samples keep every
+// group. Counts missing groups at equal storage for both sample kinds.
+#include <cstdio>
+
+#include "src/exec/executor.h"
+#include "src/sample/sample_family.h"
+#include "src/sql/parser.h"
+#include "src/stats/distributions.h"
+#include "src/util/rng.h"
+
+using namespace blink;
+
+int main() {
+  std::printf("\n==== §3.1/§6.3: subset error (missing groups) ====\n");
+  constexpr uint64_t kRows = 400'000;
+  Rng rng(17);
+  // Heavy-tailed group column: thousands of rare groups.
+  ZipfGenerator zipf(1.4, 20'000);
+  Table t(Schema({{"g", DataType::kInt64}, {"v", DataType::kDouble}}));
+  t.Reserve(kRows);
+  for (uint64_t i = 0; i < kRows; ++i) {
+    t.AppendInt(0, static_cast<int64_t>(zipf.Next(rng)));
+    t.AppendDouble(1, rng.NextDouble() * 10.0);
+    t.CommitRow();
+  }
+
+  auto stmt = ParseSelect("SELECT g, SUM(v) FROM t GROUP BY g");
+  auto exact = ExecuteQuery(*stmt, Dataset::Exact(t));
+  if (!exact.ok()) {
+    return 1;
+  }
+  const size_t true_groups = exact->rows.size();
+
+  std::printf("%-34s %12s %14s %14s\n", "sample", "rows kept", "groups found",
+              "missing (%)");
+  std::printf("%-34s %12llu %14zu %13.1f%%\n", "full table",
+              static_cast<unsigned long long>(kRows), true_groups, 0.0);
+
+  // Stratified sample with cap K.
+  for (uint64_t cap : {8, 32}) {
+    SampleFamilyOptions options;
+    options.largest_cap = cap;
+    options.max_resolutions = 1;
+    Rng build_rng(1);
+    auto family = SampleFamily::BuildStratified(t, {"g"}, options, build_rng);
+    if (!family.ok()) {
+      return 1;
+    }
+    auto result = ExecuteQuery(*stmt, family->LogicalSample(0));
+    if (!result.ok()) {
+      return 1;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "stratified on g (K=%llu)",
+                  static_cast<unsigned long long>(cap));
+    std::printf("%-34s %12llu %14zu %13.1f%%\n", label,
+                static_cast<unsigned long long>(family->storage_rows()),
+                result->rows.size(),
+                100.0 * (1.0 - static_cast<double>(result->rows.size()) / true_groups));
+
+    // Uniform sample of the SAME size.
+    const double fraction =
+        static_cast<double>(family->storage_rows()) / static_cast<double>(kRows);
+    SampleFamilyOptions uniform_options;
+    uniform_options.uniform_fraction = fraction;
+    uniform_options.max_resolutions = 1;
+    Rng uniform_rng(2);
+    auto uniform = SampleFamily::BuildUniform(t, uniform_options, uniform_rng);
+    if (!uniform.ok()) {
+      return 1;
+    }
+    auto uniform_result = ExecuteQuery(*stmt, uniform->LogicalSample(0));
+    if (!uniform_result.ok()) {
+      return 1;
+    }
+    std::snprintf(label, sizeof(label), "uniform, same size (%.1f%%)", 100.0 * fraction);
+    std::printf("%-34s %12llu %14zu %13.1f%%\n", label,
+                static_cast<unsigned long long>(uniform->storage_rows()),
+                uniform_result->rows.size(),
+                100.0 * (1.0 -
+                         static_cast<double>(uniform_result->rows.size()) / true_groups));
+  }
+  std::printf(
+      "\nPaper shape check: the stratified sample reports EVERY group (0%%\n"
+      "subset error) while an equal-size uniform sample misses a large share\n"
+      "of the rare groups — the §3.1 motivation for stratification.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Table 2: closed-form error estimation for AVG / COUNT / SUM / QUANTILE.
+// Monte-Carlo validation: the closed-form variance should match the
+// empirical variance of each estimator across repeated samples, and the 95%
+// confidence intervals should cover the truth ~95% of the time.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/stats/distributions.h"
+#include "src/stats/estimators.h"
+#include "src/util/rng.h"
+
+using namespace blink;
+
+int main() {
+  std::printf("\n==== Table 2: closed-form estimator calibration ====\n");
+  constexpr int kPopulation = 40'000;
+  constexpr int kSample = 1'000;
+  constexpr int kTrials = 3'000;
+
+  // Skewed population with a 30%-selectivity predicate.
+  Rng rng(42);
+  std::vector<double> values(kPopulation);
+  std::vector<int> matches(kPopulation);
+  double true_sum = 0.0;
+  double true_count = 0.0;
+  RunningMoments matched_truth;
+  std::vector<double> matched_values;
+  for (int i = 0; i < kPopulation; ++i) {
+    values[i] = NextExponential(rng, 0.01);  // mean 100, CV 1
+    matches[i] = rng.NextBernoulli(0.3) ? 1 : 0;
+    if (matches[i]) {
+      true_sum += values[i];
+      true_count += 1.0;
+      matched_truth.Add(values[i]);
+      matched_values.push_back(values[i]);
+    }
+  }
+  std::sort(matched_values.begin(), matched_values.end());
+  const double true_avg = matched_truth.mean();
+  const double true_median = SampleQuantile(matched_values, 0.5);
+
+  struct Row {
+    const char* op;
+    RunningMoments estimates;
+    double predicted_var = 0.0;
+    int covered = 0;
+    double truth = 0.0;
+  };
+  Row rows[4] = {{"Avg", {}, 0, 0, true_avg},
+                 {"Count", {}, 0, 0, true_count},
+                 {"Sum", {}, 0, 0, true_sum},
+                 {"Quantile(0.5)", {}, 0, 0, true_median}};
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto idx = rng.SampleWithoutReplacement(kPopulation, kSample);
+    RunningMoments matched;
+    double msum = 0.0;
+    double msum_sq = 0.0;
+    double mcount = 0.0;
+    std::vector<double> mvalues;
+    for (uint64_t i : idx) {
+      if (matches[i]) {
+        matched.Add(values[i]);
+        msum += values[i];
+        msum_sq += values[i] * values[i];
+        mcount += 1.0;
+        mvalues.push_back(values[i]);
+      }
+    }
+    std::sort(mvalues.begin(), mvalues.end());
+    const Estimate estimates[4] = {
+        AvgClosedForm(matched),
+        CountClosedForm(kPopulation, kSample, mcount),
+        SumClosedForm(kPopulation, kSample, msum, msum_sq),
+        QuantileClosedForm(mvalues, 0.5),
+    };
+    for (int e = 0; e < 4; ++e) {
+      rows[e].estimates.Add(estimates[e].value);
+      rows[e].predicted_var += estimates[e].variance;
+      const auto interval = estimates[e].IntervalAt(0.95);
+      if (rows[e].truth >= interval.lo && rows[e].truth <= interval.hi) {
+        ++rows[e].covered;
+      }
+    }
+  }
+
+  std::printf("%-16s %14s %14s %18s %18s %12s\n", "operator", "truth", "mean est.",
+              "empirical var", "closed-form var", "95% coverage");
+  for (const auto& row : rows) {
+    std::printf("%-16s %14.4g %14.4g %18.5g %18.5g %11.1f%%\n", row.op, row.truth,
+                row.estimates.mean(), row.estimates.variance_sample(),
+                row.predicted_var / kTrials, 100.0 * row.covered / kTrials);
+  }
+  std::printf(
+      "\nPaper shape check: estimators are unbiased, the closed-form variance\n"
+      "matches the empirical variance (within the without-replacement FPC\n"
+      "slack), and 95%% intervals cover the truth at ~95%%.\n");
+  return 0;
+}

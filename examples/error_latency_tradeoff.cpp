@@ -1,0 +1,82 @@
+// Interactive exploration of the error/latency trade-off (§2: "she can
+// progressively tweak the query bounds until the desired accuracy is
+// achieved"). Sweeps a query across error bounds 1%..32% and time budgets
+// 1..10 s and prints the resulting frontier, including which sample
+// resolution the ELP chose at every point.
+//
+// Build & run:  ./build/examples/error_latency_tradeoff
+#include <cstdio>
+#include <string>
+
+#include "src/api/blinkdb.h"
+#include "src/workload/conviva.h"
+
+using namespace blink;
+
+int main() {
+  ConvivaConfig config;
+  config.num_rows = 300'000;
+  const Table table = GenerateConvivaTable(config);
+
+  BlinkDB db;
+  // The 300k-row stand-in plays a 500 GB table.
+  const double bytes = static_cast<double>(table.num_rows()) * table.EstimatedBytesPerRow();
+  if (Status s = db.RegisterTable("sessions", GenerateConvivaTable(config), 5e11 / bytes);
+      !s.ok()) {
+    std::printf("register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  PlannerConfig planner;
+  planner.budget_fraction = 0.5;
+  planner.cap_k = 2'000;
+  planner.uniform_fraction = 0.2;
+  planner.max_resolutions = 8;
+  if (auto plan = db.BuildSamples("sessions", ConvivaTemplates(), planner); !plan.ok()) {
+    std::printf("sampling failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string base = "SELECT AVG(jointimems) FROM sessions WHERE dt = 5";
+
+  std::printf("Error-bound sweep: %s ERROR WITHIN e%% AT CONFIDENCE 95%%\n", base.c_str());
+  std::printf("%8s %14s %12s %10s %12s\n", "e (%)", "latency", "rows read", "res", "achieved");
+  for (int e : {4, 8, 16, 32}) {
+    auto answer = db.Query(base + " ERROR WITHIN " + std::to_string(e) +
+                           "% AT CONFIDENCE 95%");
+    if (!answer.ok()) {
+      std::printf("query failed: %s\n", answer.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8d %13.2fs %12llu %10zu %11.2f%%\n", e, answer->report.total_latency,
+                static_cast<unsigned long long>(answer->report.rows_read),
+                answer->report.resolution, 100.0 * answer->report.achieved_error);
+  }
+
+  std::printf("\nTime-budget sweep: %s WITHIN t SECONDS\n", base.c_str());
+  std::printf("%8s %14s %12s %10s %12s\n", "t (s)", "latency", "rows read", "res", "error");
+  for (int t : {1, 2, 3, 5, 8, 10}) {
+    auto answer = db.Query(base + " WITHIN " + std::to_string(t) + " SECONDS");
+    if (!answer.ok()) {
+      std::printf("query failed: %s\n", answer.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8d %13.2fs %12llu %10zu %11.2f%%\n", t, answer->report.total_latency,
+                static_cast<unsigned long long>(answer->report.rows_read),
+                answer->report.resolution, 100.0 * answer->report.achieved_error);
+  }
+
+  // Show one full Error-Latency Profile, the §4.2 artifact.
+  auto answer = db.Query(base + " ERROR WITHIN 5% AT CONFIDENCE 95%");
+  if (!answer.ok()) {
+    std::printf("query failed: %s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nELP for the 5%% run (family %s):\n", answer->report.family.c_str());
+  std::printf("%12s %12s %16s %16s\n", "resolution", "rows", "proj. error", "proj. latency");
+  for (const auto& point : answer->report.elp) {
+    std::printf("%12zu %12llu %15.2f%% %15.2fs\n", point.resolution,
+                static_cast<unsigned long long>(point.rows),
+                100.0 * point.projected_error, point.projected_latency);
+  }
+  return 0;
+}

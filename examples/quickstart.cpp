@@ -1,0 +1,105 @@
+// Quickstart: the BlinkDB workflow in ~80 lines.
+//
+//   1. Register a fact table.
+//   2. Build samples for your workload under a storage budget (offline, §3).
+//   3. Ask SQL queries with error or time bounds (online, §4).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/api/blinkdb.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+using namespace blink;
+
+int main() {
+  // --- 1. A media-sessions table (the paper's running example, Fig 2). ----
+  Table sessions(Schema({{"session", DataType::kInt64},
+                         {"genre", DataType::kString},
+                         {"os", DataType::kString},
+                         {"city", DataType::kString},
+                         {"url", DataType::kString},
+                         {"sessiontime", DataType::kDouble}}));
+  Rng rng(7);
+  const char* genres[] = {"western", "comedy", "drama", "news"};
+  const char* oses[] = {"Win7", "OSX", "iOS", "Android"};
+  sessions.Reserve(200'000);
+  for (int64_t i = 0; i < 200'000; ++i) {
+    sessions.AppendInt(0, i);
+    sessions.AppendString(1, genres[rng.NextBounded(4)]);
+    sessions.AppendString(2, oses[rng.NextBounded(4)]);
+    // Zipf-ish city popularity via nested bounded draws.
+    sessions.AppendString(3, "city_" + std::to_string(rng.NextBounded(rng.NextBounded(499) + 1)));
+    sessions.AppendString(4, "url_" + std::to_string(rng.NextBounded(2'000)));
+    sessions.AppendDouble(5, 30.0 + rng.NextDouble() * 600.0);
+    sessions.CommitRow();
+  }
+
+  BlinkDB db;
+  // Pretend the 200k-row stand-in is a 200 GB production table. (The
+  // stand-in's distinct-values-to-rows ratio is far higher than a real
+  // trillion-byte table's, so its smallest stratified samples are a larger
+  // fraction of the data; a modest scale keeps the simulation honest.)
+  const double bytes = 200'000 * sessions.EstimatedBytesPerRow();
+  if (Status s = db.RegisterTable("sessions", std::move(sessions), 2e11 / bytes); !s.ok()) {
+    std::printf("register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // --- 2. Offline sample creation for the expected workload. --------------
+  std::vector<WorkloadTemplate> workload = {
+      {{"city"}, 0.4}, {{"genre", "city"}, 0.3}, {{"os"}, 0.2}, {{"url"}, 0.1}};
+  PlannerConfig planner;
+  planner.budget_fraction = 0.5;  // samples may use 50% of the table's size
+  planner.cap_k = 150;
+  planner.uniform_fraction = 0.1;
+  planner.max_resolutions = 8;
+  auto plan = db.BuildSamples("sessions", workload, planner);
+  if (!plan.ok()) {
+    std::printf("sampling failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Built %zu sample families (total %s, budget %s):\n", plan->families.size(),
+              HumanBytes(plan->total_bytes).c_str(), HumanBytes(plan->budget_bytes).c_str());
+  for (const auto& family : plan->families) {
+    const std::string name =
+        family.columns.empty() ? "uniform" : "{" + Join(family.columns, ",") + "}";
+    std::printf("  - %-24s (%s)\n", name.c_str(), HumanBytes(family.storage_bytes).c_str());
+  }
+
+  // --- 3. Bounded queries. -------------------------------------------------
+  const char* error_bounded =
+      "SELECT os, COUNT(*) FROM sessions WHERE genre = 'western' "
+      "GROUP BY os ERROR WITHIN 10% AT CONFIDENCE 95%";
+  auto answer = db.Query(error_bounded);
+  if (!answer.ok()) {
+    std::printf("query failed: %s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nQ1 (error-bounded): %s\n%s", error_bounded,
+              answer->result.ToString().c_str());
+  std::printf("  answered from %s sample, resolution %zu, %llu rows, "
+              "simulated latency %s (vs %s exact)\n",
+              answer->report.family.c_str(), answer->report.resolution,
+              static_cast<unsigned long long>(answer->report.rows_read),
+              HumanSeconds(answer->report.total_latency).c_str(),
+              HumanSeconds(db.QueryExact("SELECT COUNT(*) FROM sessions")
+                               ->report.total_latency)
+                  .c_str());
+
+  const char* time_bounded =
+      "SELECT COUNT(*), RELATIVE ERROR AT 95% CONFIDENCE FROM sessions "
+      "WHERE city = 'city_3' WITHIN 3 SECONDS";
+  auto timed = db.Query(time_bounded);
+  if (!timed.ok()) {
+    std::printf("query failed: %s\n", timed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nQ2 (time-bounded): %s\n%s", time_bounded, timed->result.ToString().c_str());
+  std::printf("  budget 3.0s, simulated latency %s (%s); relative error %.2f%%\n",
+              HumanSeconds(timed->report.total_latency).c_str(),
+              timed->report.total_latency <= 3.0 ? "met" : "best effort",
+              100.0 * timed->report.achieved_error);
+  return 0;
+}

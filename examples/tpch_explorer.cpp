@@ -1,0 +1,91 @@
+// TPC-H exploration with bounded queries, including a fact-to-dimension join
+// (§2.1: joins are allowed when the dimension table is exact and in memory).
+//
+// Build & run:  ./build/examples/tpch_explorer
+#include <cstdio>
+
+#include "src/api/blinkdb.h"
+#include "src/util/string_util.h"
+#include "src/workload/tpch.h"
+
+using namespace blink;
+
+int main() {
+  TpchConfig config;
+  config.lineitem_rows = 300'000;
+  const Table lineitem = GenerateLineitem(config);
+
+  BlinkDB db;
+  // Stand-in for the paper's 1 TB (scale factor 1000) TPC-H database.
+  const double bytes =
+      static_cast<double>(lineitem.num_rows()) * lineitem.EstimatedBytesPerRow();
+  if (Status s = db.RegisterTable("lineitem", GenerateLineitem(config), 1e12 / bytes);
+      !s.ok()) {
+    std::printf("register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = db.RegisterDimensionTable("orders", GenerateOrders(config)); !s.ok()) {
+    std::printf("register orders failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  PlannerConfig planner;
+  planner.budget_fraction = 0.5;
+  planner.cap_k = 2'000;
+  planner.uniform_fraction = 0.1;
+  planner.max_resolutions = 8;
+  auto plan = db.BuildSamples("lineitem", TpchTemplates(), planner);
+  if (!plan.ok()) {
+    std::printf("sampling failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("TPC-H sample families (50%% budget):\n");
+  for (const auto& family : plan->families) {
+    const std::string name =
+        family.columns.empty() ? "uniform" : "{" + Join(family.columns, ",") + "}";
+    std::printf("  - %-28s %s\n", name.c_str(), HumanBytes(family.storage_bytes).c_str());
+  }
+
+  // Pricing-summary style aggregation (Q1 flavor) with an error bound.
+  auto q1 = db.Query(
+      "SELECT returnflag, linestatus, SUM(extendedprice), AVG(discount), COUNT(*) "
+      "FROM lineitem WHERE shipdate <= 2400 GROUP BY returnflag, linestatus "
+      "ERROR WITHIN 5% AT CONFIDENCE 95%");
+  if (!q1.ok()) {
+    std::printf("q1 failed: %s\n", q1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nQ1-style pricing summary (5%% error bound):\n%s",
+              q1->result.ToString().c_str());
+  std::printf("  [sample=%s latency=%s]\n", q1->report.family.c_str(),
+              HumanSeconds(q1->report.total_latency).c_str());
+
+  // Shipping-mode analysis with a time budget.
+  auto q2 = db.Query(
+      "SELECT shipmode, AVG(extendedprice) FROM lineitem "
+      "WHERE quantity >= 30 GROUP BY shipmode WITHIN 3 SECONDS");
+  if (!q2.ok()) {
+    std::printf("q2 failed: %s\n", q2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nShip-mode price profile (3 s budget):\n%s",
+              q2->result.ToString().c_str());
+  std::printf("  [sample=%s latency=%s error<=%.2f%%]\n", q2->report.family.c_str(),
+              HumanSeconds(q2->report.total_latency).c_str(),
+              100.0 * q2->report.achieved_error);
+
+  // Join against the orders dimension: per-priority revenue.
+  auto q3 = db.Query(
+      "SELECT orderpriority, SUM(extendedprice) FROM lineitem "
+      "JOIN orders ON orderkey = orderkey GROUP BY orderpriority "
+      "ERROR WITHIN 10% AT CONFIDENCE 95%");
+  if (!q3.ok()) {
+    std::printf("q3 failed: %s\n", q3.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nRevenue by order priority (join with orders):\n%s",
+              q3->result.ToString().c_str());
+  std::printf("  [sample=%s latency=%s]\n", q3->report.family.c_str(),
+              HumanSeconds(q3->report.total_latency).c_str());
+  return 0;
+}

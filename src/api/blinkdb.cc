@@ -1,0 +1,158 @@
+#include "src/api/blinkdb.h"
+
+#include <vector>
+
+#include "src/sample/maintenance.h"
+#include "src/sql/parser.h"
+#include "src/util/logging.h"
+
+namespace blink {
+
+BlinkDB::BlinkDB(const BlinkDbOptions& options)
+    : cluster_(options.cluster, EngineModel::For(options.engine)),
+      runtime_(&samples_, &cluster_, options.runtime) {}
+
+Status BlinkDB::RegisterTable(std::string name, Table table, double scale_factor) {
+  return catalog_.AddTable(std::move(name), std::move(table), scale_factor,
+                           /*is_dimension=*/false);
+}
+
+Status BlinkDB::RegisterDimensionTable(std::string name, Table table) {
+  return catalog_.AddTable(std::move(name), std::move(table), /*scale_factor=*/1.0,
+                           /*is_dimension=*/true);
+}
+
+Result<SamplePlan> BlinkDB::BuildSamples(const std::string& table_name,
+                                         const std::vector<WorkloadTemplate>& workload,
+                                         const PlannerConfig& config) {
+  const TableEntry* entry = catalog_.Find(table_name);
+  if (entry == nullptr) {
+    return Status::NotFound("table '" + table_name + "' not registered");
+  }
+  if (entry->is_dimension) {
+    return Status::FailedPrecondition("dimension tables are not sampled (§2.1)");
+  }
+  auto plan = PlanAndBuildSamples(entry->table, table_name, workload, config, samples_);
+  if (plan.ok()) {
+    last_planner_config_ = config;
+    last_workload_ = workload;
+    last_planned_table_ = table_name;
+  }
+  return plan;
+}
+
+Result<BlinkDB::ResolvedTables> BlinkDB::Resolve(const SelectStatement& stmt) const {
+  ResolvedTables tables;
+  tables.fact = catalog_.Find(stmt.table);
+  if (tables.fact == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' not registered");
+  }
+  if (stmt.join.has_value()) {
+    tables.dim = catalog_.Find(stmt.join->table);
+    if (tables.dim == nullptr) {
+      return Status::NotFound("joined table '" + stmt.join->table + "' not registered");
+    }
+  }
+  return tables;
+}
+
+Result<ApproxAnswer> BlinkDB::Query(std::string_view sql) const {
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) {
+    return stmt.status();
+  }
+  auto tables = Resolve(*stmt);
+  if (!tables.ok()) {
+    return tables.status();
+  }
+  return runtime_.Execute(*stmt, tables->fact->name, tables->fact->table,
+                          tables->fact->scale_factor,
+                          tables->dim != nullptr ? &tables->dim->table : nullptr);
+}
+
+Result<ApproxAnswer> BlinkDB::QueryExact(std::string_view sql) const {
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) {
+    return stmt.status();
+  }
+  auto tables = Resolve(*stmt);
+  if (!tables.ok()) {
+    return tables.status();
+  }
+  auto result = ExecuteQuery(
+      *stmt, Dataset::Exact(tables->fact->table),
+      tables->dim != nullptr ? &tables->dim->table : nullptr);
+  if (!result.ok()) {
+    return result.status();
+  }
+  ApproxAnswer answer{std::move(result.value()), {}};
+  answer.report.family = "exact";
+  answer.report.rows_read = tables->fact->table.num_rows();
+  QueryWorkload workload;
+  workload.input_bytes = tables->fact->logical_bytes();
+  workload.want_cached = true;
+  answer.report.execution_latency = cluster_.EstimateLatency(workload);
+  answer.report.total_latency = answer.report.execution_latency;
+  return answer;
+}
+
+Result<int> BlinkDB::AppendAndMaintain(const std::string& table_name,
+                                       const Table& new_rows, double drift_threshold) {
+  const TableEntry* entry = catalog_.Find(table_name);
+  if (entry == nullptr) {
+    return Status::NotFound("table '" + table_name + "' not registered");
+  }
+  // Append the new rows.
+  Table merged(entry->table.schema());
+  merged.Reserve(entry->table.num_rows() + new_rows.num_rows());
+  for (const Table* src : {&entry->table, &new_rows}) {
+    for (uint64_t r = 0; r < src->num_rows(); ++r) {
+      std::vector<Value> row;
+      row.reserve(src->num_columns());
+      for (size_t c = 0; c < src->num_columns(); ++c) {
+        row.push_back(src->GetValue(c, r));
+      }
+      BLINK_RETURN_IF_ERROR(merged.AppendRow(row));
+    }
+  }
+  BLINK_RETURN_IF_ERROR(catalog_.ReplaceTable(table_name, std::move(merged)));
+  const TableEntry* updated = catalog_.Find(table_name);
+
+  // Check each family for drift; rebuild the drifted ones (§4.5).
+  int rebuilt = 0;
+  Rng rng(0xb11dbULL);
+  SampleFamilyOptions options;
+  options.largest_cap = last_planner_config_.cap_k;
+  options.resolution_factor = last_planner_config_.resolution_factor;
+  options.max_resolutions = last_planner_config_.max_resolutions;
+  options.uniform_fraction = last_planner_config_.uniform_fraction > 0.0
+                                 ? last_planner_config_.uniform_fraction
+                                 : 0.5;
+  std::vector<const SampleFamily*> families = samples_.FamiliesFor(table_name);
+  for (const SampleFamily* family : families) {
+    auto drift = CheckDrift(*family, updated->table, drift_threshold);
+    if (!drift.ok()) {
+      return drift.status();
+    }
+    if (!drift->needs_refresh) {
+      continue;
+    }
+    auto fresh = RebuildFamily(*family, updated->table, options, rng);
+    if (!fresh.ok()) {
+      return fresh.status();
+    }
+    const bool is_uniform = family->kind() == SampleFamily::Kind::kUniform;
+    if (is_uniform) {
+      samples_.RemoveUniform(table_name);
+    } else {
+      samples_.RemoveFamily(table_name, family->columns());
+    }
+    samples_.AddFamily(table_name, std::move(fresh.value()));
+    ++rebuilt;
+    BLINK_LOG(kInfo) << "rebuilt " << (is_uniform ? "uniform" : "stratified")
+                     << " family for '" << table_name << "'";
+  }
+  return rebuilt;
+}
+
+}  // namespace blink

@@ -1,0 +1,92 @@
+// BlinkDB public API — the facade a downstream application uses.
+//
+//   BlinkDB db;                                    // default 100-node cluster
+//   db.RegisterTable("sessions", std::move(t));
+//   db.BuildSamples("sessions", workload, config); // offline sampling (§3)
+//   auto answer = db.Query(
+//       "SELECT COUNT(*) FROM sessions WHERE genre = 'western' "
+//       "GROUP BY os ERROR WITHIN 10% AT CONFIDENCE 95%");
+//   // answer->result: estimates with error bars; answer->report: the
+//   // sample/resolution chosen, the ELP, and simulated latencies.
+#ifndef BLINKDB_API_BLINKDB_H_
+#define BLINKDB_API_BLINKDB_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/cluster/cluster_model.h"
+#include "src/optimizer/sample_planner.h"
+#include "src/runtime/query_runtime.h"
+#include "src/sample/sample_store.h"
+
+namespace blink {
+
+struct BlinkDbOptions {
+  ClusterConfig cluster;
+  EngineKind engine = EngineKind::kBlinkDb;
+  RuntimeConfig runtime;
+};
+
+class BlinkDB {
+ public:
+  BlinkDB() : BlinkDB(BlinkDbOptions{}) {}
+  explicit BlinkDB(const BlinkDbOptions& options);
+
+  // The runtime holds pointers to sibling members; pin the object.
+  BlinkDB(const BlinkDB&) = delete;
+  BlinkDB& operator=(const BlinkDB&) = delete;
+  BlinkDB(BlinkDB&&) = delete;
+  BlinkDB& operator=(BlinkDB&&) = delete;
+
+  // Registers a fact table. `scale_factor` maps the in-memory stand-in to
+  // paper-scale bytes for the latency model (1.0 = data is its real size).
+  Status RegisterTable(std::string name, Table table, double scale_factor = 1.0);
+
+  // Registers a dimension table (exact, never sampled; join target per §2.1).
+  Status RegisterDimensionTable(std::string name, Table table);
+
+  // Runs the offline sample-creation pipeline (§3): optimizes the choice of
+  // stratified families for the workload under the budget and builds them.
+  Result<SamplePlan> BuildSamples(const std::string& table_name,
+                                  const std::vector<WorkloadTemplate>& workload,
+                                  const PlannerConfig& config);
+
+  // Answers a SQL query with optional ERROR/TIME bounds from the best sample.
+  Result<ApproxAnswer> Query(std::string_view sql) const;
+
+  // Ground truth: executes on the full table (no sampling). Latency is
+  // reported for the configured engine on the full data.
+  Result<ApproxAnswer> QueryExact(std::string_view sql) const;
+
+  // Ingests new data for a table and refreshes its samples when their
+  // distribution drifted (§4.5 maintenance loop). Returns the number of
+  // families rebuilt.
+  Result<int> AppendAndMaintain(const std::string& table_name, const Table& new_rows,
+                                double drift_threshold = 0.1);
+
+  const Catalog& catalog() const { return catalog_; }
+  const SampleStore& samples() const { return samples_; }
+  SampleStore& samples() { return samples_; }
+  const ClusterModel& cluster() const { return cluster_; }
+
+ private:
+  struct ResolvedTables {
+    const TableEntry* fact = nullptr;
+    const TableEntry* dim = nullptr;
+  };
+  Result<ResolvedTables> Resolve(const SelectStatement& stmt) const;
+
+  Catalog catalog_;
+  SampleStore samples_;
+  ClusterModel cluster_;
+  QueryRuntime runtime_;
+  PlannerConfig last_planner_config_;
+  std::vector<WorkloadTemplate> last_workload_;
+  std::string last_planned_table_;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_API_BLINKDB_H_

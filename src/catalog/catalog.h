@@ -1,0 +1,61 @@
+// Table catalog: named tables plus their logical-scale descriptors.
+//
+// The paper's datasets are 1-17 TB; this reproduction keeps row-scaled
+// stand-ins in memory and records a `scale_factor` so the cluster latency
+// model and storage accounting operate at paper scale (DESIGN.md §3).
+#ifndef BLINKDB_CATALOG_CATALOG_H_
+#define BLINKDB_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/table.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+struct TableEntry {
+  std::string name;
+  Table table;
+  // Multiplier mapping in-memory bytes to simulated (paper-scale) bytes.
+  double scale_factor = 1.0;
+  // Dimension tables are exact and never sampled (§2.1: they fit in memory).
+  bool is_dimension = false;
+
+  double logical_bytes() const {
+    return static_cast<double>(table.num_rows()) * table.EstimatedBytesPerRow() *
+           scale_factor;
+  }
+  double logical_rows() const {
+    return static_cast<double>(table.num_rows()) * scale_factor;
+  }
+};
+
+class Catalog {
+ public:
+  // Registers a table. Fails if the name is taken.
+  Status AddTable(std::string name, Table table, double scale_factor = 1.0,
+                  bool is_dimension = false);
+
+  // Looks a table up by (case-insensitive) name; nullptr if absent.
+  const TableEntry* Find(const std::string& name) const;
+
+  // Replaces the contents of an existing table (data arrival / §4.5
+  // maintenance flows); keeps scale factor and flags.
+  Status ReplaceTable(const std::string& name, Table table);
+
+  // Drops a table; returns whether it existed.
+  bool DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  // Keyed by lower-cased name; entries keep original casing.
+  std::unordered_map<std::string, std::unique_ptr<TableEntry>> tables_;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_CATALOG_CATALOG_H_

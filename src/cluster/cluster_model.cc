@@ -1,0 +1,129 @@
+#include "src/cluster/cluster_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blink {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kHiveOnHadoop:
+      return "Hive on Hadoop";
+    case EngineKind::kSharkNoCache:
+      return "Hive on Spark (without caching)";
+    case EngineKind::kSharkCached:
+      return "Hive on Spark (with caching)";
+    case EngineKind::kBlinkDb:
+      return "BlinkDB";
+  }
+  return "?";
+}
+
+EngineModel EngineModel::For(EngineKind kind) {
+  EngineModel model;
+  switch (kind) {
+    case EngineKind::kHiveOnHadoop:
+      // MapReduce: heavy per-job and per-wave costs, disk-only, CPU overhead
+      // from (de)serialization and materialization between stages.
+      model.job_startup_s = 15.0;
+      model.per_wave_overhead_s = 12.0;
+      model.task_split_bytes = 256e6;
+      model.cpu_inefficiency = 2.5;
+      model.can_cache = false;
+      break;
+    case EngineKind::kSharkNoCache:
+      model.job_startup_s = 1.5;
+      model.per_wave_overhead_s = 0.3;
+      model.task_split_bytes = 128e6;
+      model.cpu_inefficiency = 1.2;
+      model.can_cache = false;
+      break;
+    case EngineKind::kSharkCached:
+      model.job_startup_s = 1.5;
+      model.per_wave_overhead_s = 0.3;
+      model.task_split_bytes = 128e6;
+      model.cpu_inefficiency = 1.2;
+      model.can_cache = true;
+      break;
+    case EngineKind::kBlinkDb:
+      // BlinkDB runs on Shark; samples are small and usually cached.
+      model.job_startup_s = 0.6;
+      model.per_wave_overhead_s = 0.2;
+      model.task_split_bytes = 128e6;
+      model.cpu_inefficiency = 1.2;
+      model.can_cache = true;
+      break;
+  }
+  return model;
+}
+
+double ClusterModel::EffectiveScanBandwidth(double bytes, bool want_cached) const {
+  const bool cached = want_cached && engine_.can_cache;
+  if (!cached) {
+    return config_.disk_bandwidth_per_node;
+  }
+  const double capacity = config_.total_memory_capacity();
+  if (bytes <= capacity) {
+    return config_.memory_bandwidth_per_node;
+  }
+  // Partial spill: the cached fraction reads at memory speed, the rest at
+  // disk speed. Effective bandwidth is the harmonic blend.
+  const double frac = capacity / bytes;
+  const double t_mem = frac / config_.memory_bandwidth_per_node;
+  const double t_disk = (1.0 - frac) / config_.disk_bandwidth_per_node;
+  return 1.0 / (t_mem + t_disk);
+}
+
+double ClusterModel::EstimateLatency(const QueryWorkload& workload) const {
+  const double nodes = static_cast<double>(config_.num_nodes);
+  const double bw = EffectiveScanBandwidth(workload.input_bytes, workload.want_cached);
+  const double scan_s =
+      workload.input_bytes / (nodes * bw) * engine_.cpu_inefficiency;
+
+  const double tasks = std::ceil(workload.input_bytes / engine_.task_split_bytes);
+  const double slots = nodes * config_.slots_per_node;
+  const double waves = std::max(1.0, std::ceil(tasks / slots));
+  const double overhead_s = engine_.job_startup_s + waves * engine_.per_wave_overhead_s;
+
+  // All-to-all shuffle with a mild coordination penalty that grows with
+  // cluster size (the paper's "bulk" workloads pay higher communication
+  // costs on larger clusters, Fig 8c).
+  const double shuffle_s =
+      workload.shuffle_bytes / (nodes * config_.network_bandwidth_per_node) *
+      (1.0 + 0.15 * std::log2(std::max(2.0, nodes)));
+
+  return scan_s + overhead_s + shuffle_s;
+}
+
+double ClusterModel::SampleLatency(const QueryWorkload& workload, Rng& rng) const {
+  const double base = EstimateLatency(workload);
+  // Stragglers skew latency upward: multiplicative noise exp(N(0, 0.08))
+  // plus an occasional slow wave.
+  double noise = std::exp(rng.NextGaussian() * 0.08);
+  if (rng.NextBernoulli(0.05)) {
+    noise *= 1.0 + rng.NextDouble() * 0.3;  // straggler wave
+  }
+  return base * noise;
+}
+
+double ClusterModel::SampleCreationTime(double table_bytes, double sample_bytes,
+                                        bool stratified) const {
+  const double nodes = static_cast<double>(config_.num_nodes);
+  // Creation is pure sequential I/O (binomial row selection), so it runs at
+  // the raw aggregate disk bandwidth rather than the query-processing rate.
+  const double io_bw = config_.raw_io_bandwidth_per_node;
+  const double scan_s = table_bytes / (nodes * io_bw);
+  // Writing the sample back (HDFS replication factor ~2 effective cost).
+  const double write_s = 2.0 * sample_bytes / (nodes * io_bw);
+  double total = engine_.job_startup_s + scan_s + write_s;
+  if (stratified) {
+    // Stratification shuffles the kept rows to reducers keyed by phi
+    // (§5: "5-30 minutes depending on the number of unique values").
+    const double shuffle_s =
+        sample_bytes / (nodes * config_.network_bandwidth_per_node) * 2.0;
+    total += shuffle_s + 60.0;  // reducer sort/merge floor
+  }
+  return total;
+}
+
+}  // namespace blink

@@ -1,0 +1,92 @@
+// Deterministic cluster latency model.
+//
+// This module substitutes the paper's 100-node EC2 cluster (§6.1): it charges
+// simulated time for scanning bytes from disk or memory across parallel
+// nodes, per-wave task scheduling overhead, job startup, and shuffle. Engine
+// presets model the paper's baselines: Hive-on-Hadoop, Shark without/with
+// caching, and BlinkDB itself (Shark + samples). Constants are calibrated so
+// the absolute numbers reported in §6.2 (e.g. ~110 s for Shark-cached on
+// 2.5 TB; thousands of seconds for Hive; seconds for BlinkDB) are reproduced
+// by the defaults.
+#ifndef BLINKDB_CLUSTER_CLUSTER_MODEL_H_
+#define BLINKDB_CLUSTER_CLUSTER_MODEL_H_
+
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace blink {
+
+struct ClusterConfig {
+  int num_nodes = 100;
+  int slots_per_node = 8;                     // task slots (8 cores/node, §6.1)
+  double disk_bandwidth_per_node = 60e6;      // B/s effective scan w/ processing
+  double memory_bandwidth_per_node = 250e6;   // B/s in-memory processing rate
+  double memory_capacity_per_node = 60e9;     // cache per node (6 TB / 100)
+  double network_bandwidth_per_node = 120e6;  // B/s shuffle
+  // Raw sequential I/O across the node's disk array, used by bulk sample
+  // creation (no query processing on the critical path; §5 reports uniform
+  // sample creation in "a few hundred seconds" for TB-scale tables).
+  double raw_io_bandwidth_per_node = 240e6;
+
+  double total_memory_capacity() const {
+    return memory_capacity_per_node * num_nodes;
+  }
+};
+
+// The query-processing frameworks compared in Fig 6(c).
+enum class EngineKind { kHiveOnHadoop, kSharkNoCache, kSharkCached, kBlinkDb };
+
+const char* EngineKindName(EngineKind kind);
+
+struct EngineModel {
+  double job_startup_s = 1.0;       // submission / driver latency
+  double per_wave_overhead_s = 0.3; // scheduling + JVM costs per task wave
+  double task_split_bytes = 128e6;  // input split size
+  double cpu_inefficiency = 1.2;    // multiplier on raw scan bandwidth time
+  bool can_cache = false;           // may serve input from cluster RAM
+
+  // Paper-calibrated presets.
+  static EngineModel For(EngineKind kind);
+};
+
+// What a query costs, at paper scale.
+struct QueryWorkload {
+  double input_bytes = 0.0;    // bytes scanned
+  double shuffle_bytes = 0.0;  // bytes exchanged for aggregation
+  bool want_cached = true;     // input is requested from cache if the engine can
+};
+
+class ClusterModel {
+ public:
+  ClusterModel() : ClusterModel(ClusterConfig{}, EngineModel::For(EngineKind::kBlinkDb)) {}
+  ClusterModel(ClusterConfig config, EngineModel engine)
+      : config_(config), engine_(engine) {}
+
+  const ClusterConfig& config() const { return config_; }
+  const EngineModel& engine() const { return engine_; }
+
+  // Deterministic latency estimate in seconds.
+  double EstimateLatency(const QueryWorkload& workload) const;
+
+  // Latency with multiplicative straggler noise (log-normal-ish, mean ~1):
+  // used to produce the min/avg/max bars of Fig 8(a).
+  double SampleLatency(const QueryWorkload& workload, Rng& rng) const;
+
+  // Effective per-node scan bandwidth for an input of `bytes`, honoring the
+  // cache capacity (inputs larger than cluster RAM partially spill, §6.2).
+  double EffectiveScanBandwidth(double bytes, bool want_cached) const;
+
+  // Time to create a sample of `sample_bytes` from a table of `table_bytes`
+  // (§5): uniform sampling is a parallel scan; stratified sampling adds a
+  // full shuffle keyed by the stratification columns.
+  double SampleCreationTime(double table_bytes, double sample_bytes, bool stratified) const;
+
+ private:
+  ClusterConfig config_;
+  EngineModel engine_;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_CLUSTER_CLUSTER_MODEL_H_

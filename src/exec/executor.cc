@@ -1,0 +1,389 @@
+#include "src/exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "src/exec/predicate.h"
+#include "src/sql/analyzer.h"
+#include "src/util/string_util.h"
+
+namespace blink {
+namespace {
+
+// Per-(group, aggregate, stratum) running sums.
+struct StratumCell {
+  double matched = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+};
+
+// Per-(group, aggregate) accumulator.
+struct AggAccum {
+  // For COUNT/SUM/AVG: per-stratum cells.
+  std::unordered_map<uint32_t, StratumCell> cells;
+  // For QUANTILE: (value, weight) reservoir (unbounded at our scales).
+  std::vector<std::pair<double, double>> values;
+};
+
+struct GroupState {
+  std::vector<Value> group_values;
+  std::vector<AggAccum> aggs;
+};
+
+// Resolved aggregate argument.
+struct BoundAgg {
+  AggExpr agg;
+  ColumnRef arg;  // unused when count_star
+};
+
+// Evaluates a HAVING predicate over a finished result row. Columns resolve to
+// group values (by name) or aggregate estimates (by display name or alias).
+bool EvalHaving(const Predicate& pred, const ResultRow& row,
+                const std::vector<std::string>& group_names,
+                const std::vector<std::string>& agg_names) {
+  switch (pred.kind) {
+    case Predicate::Kind::kAnd:
+      for (const auto& child : pred.children) {
+        if (!EvalHaving(child, row, group_names, agg_names)) {
+          return false;
+        }
+      }
+      return true;
+    case Predicate::Kind::kOr:
+      for (const auto& child : pred.children) {
+        if (EvalHaving(child, row, group_names, agg_names)) {
+          return true;
+        }
+      }
+      return false;
+    case Predicate::Kind::kCompare:
+      break;
+  }
+  // Locate the referenced value.
+  Value cell;
+  bool found = false;
+  for (size_t i = 0; i < group_names.size(); ++i) {
+    if (EqualsIgnoreCase(group_names[i], pred.column)) {
+      cell = row.group_values[i];
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    for (size_t i = 0; i < agg_names.size(); ++i) {
+      if (EqualsIgnoreCase(agg_names[i], pred.column)) {
+        cell = Value(row.aggregates[i].value);
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
+    return false;
+  }
+  if (cell.is_string() != pred.literal.is_string()) {
+    return false;
+  }
+  if (cell.is_string()) {
+    const bool eq = cell.AsString() == pred.literal.AsString();
+    return pred.op == CompareOp::kEq ? eq : pred.op == CompareOp::kNe && !eq;
+  }
+  const double lhs = cell.AsNumeric();
+  const double rhs = pred.literal.AsNumeric();
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+// Deterministic output order: lexicographic on group values.
+bool GroupValueLess(const std::vector<Value>& a, const std::vector<Value>& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] == b[i]) {
+      continue;
+    }
+    if (a[i].is_string() && b[i].is_string()) {
+      return a[i].AsString() < b[i].AsString();
+    }
+    return a[i].AsNumeric() < b[i].AsNumeric();
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+double QueryResult::MaxRelativeError(double conf) const {
+  double worst = 0.0;
+  for (const auto& row : rows) {
+    for (const auto& est : row.aggregates) {
+      if (est.variance <= 0.0) {
+        continue;
+      }
+      worst = std::max(worst, est.RelativeErrorAt(conf));
+    }
+  }
+  return worst;
+}
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (const auto& name : group_names) {
+    out += name + "\t";
+  }
+  for (const auto& name : aggregate_names) {
+    out += name + "\t";
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (const auto& v : row.group_values) {
+      out += v.is_string() ? v.AsString() : v.ToString();
+      out += "\t";
+    }
+    for (const auto& est : row.aggregates) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.4g +/- %.3g", est.value, est.ErrorAt(confidence));
+      out += buf;
+      out += "\t";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<QueryResult> ExecuteQuery(const SelectStatement& stmt, const Dataset& fact,
+                                 const Table* dim) {
+  if (fact.table == nullptr) {
+    return Status::InvalidArgument("dataset has no table");
+  }
+  const Table& table = *fact.table;
+  const Schema* dim_schema = dim != nullptr ? &dim->schema() : nullptr;
+  BLINK_RETURN_IF_ERROR(ValidateQuery(stmt, table.schema(), dim_schema));
+
+  // Resolve group-by columns and aggregates.
+  std::vector<ColumnRef> group_cols;
+  std::vector<std::string> group_names;
+  for (const auto& g : stmt.group_by) {
+    auto ref = ResolveColumn(g, table.schema(), dim_schema);
+    if (!ref.ok()) {
+      return ref.status();
+    }
+    group_cols.push_back(*ref);
+    group_names.push_back(g);
+  }
+  std::vector<BoundAgg> aggs;
+  std::vector<std::string> agg_names;
+  for (const auto& item : stmt.items) {
+    if (!item.is_aggregate) {
+      continue;
+    }
+    BoundAgg bound;
+    bound.agg = item.agg;
+    if (!item.agg.count_star) {
+      auto ref = ResolveColumn(item.agg.column, table.schema(), dim_schema);
+      if (!ref.ok()) {
+        return ref.status();
+      }
+      bound.arg = *ref;
+    }
+    aggs.push_back(bound);
+    agg_names.push_back(SelectItemName(item));
+  }
+
+  // Compile the WHERE predicate.
+  std::optional<CompiledPredicate> where;
+  if (stmt.where.has_value()) {
+    auto compiled = CompiledPredicate::Compile(*stmt.where, table, dim);
+    if (!compiled.ok()) {
+      return compiled.status();
+    }
+    where = std::move(compiled.value());
+  }
+
+  // Build the join hash table (dim key -> first dim row). Per §2.1 the
+  // dimension side is an exact in-memory table (typically a foreign key
+  // target, so keys are unique).
+  std::unordered_map<int64_t, uint64_t> join_index;
+  std::optional<size_t> join_fact_col;
+  std::optional<size_t> join_dim_col;
+  if (stmt.join.has_value()) {
+    if (dim == nullptr) {
+      return Status::InvalidArgument("join requested but no dimension table provided");
+    }
+    join_fact_col = table.schema().FindColumn(stmt.join->left_column);
+    join_dim_col = dim->schema().FindColumn(stmt.join->right_column);
+    join_index.reserve(dim->num_rows());
+    const bool string_key =
+        table.schema().column(*join_fact_col).type == DataType::kString;
+    for (uint64_t r = 0; r < dim->num_rows(); ++r) {
+      if (string_key) {
+        // Dictionary codes differ between tables; key the index by the FACT
+        // table's code for the dim row's string (absent => unjoinable).
+        const int32_t fact_code =
+            table.column(*join_fact_col).dict->Find(dim->GetString(*join_dim_col, r));
+        if (fact_code >= 0) {
+          join_index.emplace(fact_code, r);
+        }
+      } else {
+        join_index.emplace(dim->CellKey(*join_dim_col, r), r);
+      }
+    }
+  }
+
+  // Scan.
+  std::unordered_map<std::vector<int64_t>, GroupState, KeyHash> groups;
+  std::vector<int64_t> key;
+  const uint64_t n = fact.NumRows();
+  ScanStats stats;
+  stats.rows_scanned = n;
+  stats.bytes_scanned = static_cast<double>(n) * table.EstimatedBytesPerRow();
+  for (uint64_t row = 0; row < n; ++row) {
+    uint64_t dim_row = 0;
+    if (join_fact_col.has_value()) {
+      const auto it = join_index.find(table.CellKey(*join_fact_col, row));
+      if (it == join_index.end()) {
+        continue;  // inner join: drop unmatched fact rows
+      }
+      dim_row = it->second;
+    }
+    if (where.has_value() && !where->Matches(row, dim_row)) {
+      continue;
+    }
+    ++stats.rows_matched;
+
+    key.clear();
+    for (const auto& ref : group_cols) {
+      key.push_back(ref.side == TableSide::kFact ? table.CellKey(ref.index, row)
+                                                 : dim->CellKey(ref.index, dim_row));
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    GroupState& group = it->second;
+    if (inserted) {
+      group.aggs.resize(aggs.size());
+      group.group_values.reserve(group_cols.size());
+      for (const auto& ref : group_cols) {
+        group.group_values.push_back(ref.side == TableSide::kFact
+                                         ? table.GetValue(ref.index, row)
+                                         : dim->GetValue(ref.index, dim_row));
+      }
+    }
+
+    const double weight = fact.RowWeight(row);
+    const uint32_t stratum = fact.RowStratum(row);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const BoundAgg& bound = aggs[a];
+      double x = 1.0;
+      if (bound.agg.func != AggFunc::kCount) {
+        const Table& t = bound.arg.side == TableSide::kFact ? table : *dim;
+        const uint64_t r = bound.arg.side == TableSide::kFact ? row : dim_row;
+        x = t.GetNumeric(bound.arg.index, r);
+      }
+      AggAccum& accum = group.aggs[a];
+      if (bound.agg.func == AggFunc::kQuantile) {
+        accum.values.emplace_back(x, weight);
+      } else {
+        StratumCell& cell = accum.cells[stratum];
+        cell.matched += 1.0;
+        const double v = bound.agg.func == AggFunc::kCount ? 1.0 : x;
+        cell.sum += v;
+        cell.sum_sq += v * v;
+      }
+    }
+  }
+
+  // Finalize.
+  QueryResult result;
+  result.group_names = std::move(group_names);
+  result.aggregate_names = agg_names;
+  result.stats = stats;
+  if (stmt.bounds.kind == QueryBounds::Kind::kError ||
+      stmt.report_error_columns) {
+    result.confidence = stmt.bounds.confidence;
+  }
+
+  // SQL semantics: a global aggregate (no GROUP BY) always yields one row,
+  // even when nothing matched.
+  if (groups.empty() && group_cols.empty()) {
+    GroupState empty_group;
+    empty_group.aggs.resize(aggs.size());
+    groups.emplace(std::vector<int64_t>{}, std::move(empty_group));
+  }
+
+  result.rows.reserve(groups.size());
+  for (auto& [group_key, group] : groups) {
+    (void)group_key;
+    ResultRow row;
+    row.group_values = std::move(group.group_values);
+    row.aggregates.reserve(aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const BoundAgg& bound = aggs[a];
+      AggAccum& accum = group.aggs[a];
+      if (bound.agg.func == AggFunc::kQuantile) {
+        Estimate q = WeightedQuantile(std::move(accum.values), bound.agg.quantile_p);
+        if (fact.is_exact()) {
+          q.variance = 0.0;  // computed over the entire population
+        }
+        row.aggregates.push_back(q);
+        continue;
+      }
+      std::vector<StratumSummary> strata;
+      strata.reserve(accum.cells.size());
+      for (const auto& [stratum_id, cell] : accum.cells) {
+        const StratumCounts counts = fact.CountsFor(stratum_id);
+        StratumSummary s;
+        s.total_rows = counts.total_rows;
+        s.sampled_rows = counts.sampled_rows;
+        s.matched = cell.matched;
+        s.sum = cell.sum;
+        s.sum_sq = cell.sum_sq;
+        strata.push_back(s);
+      }
+      switch (bound.agg.func) {
+        case AggFunc::kCount:
+          row.aggregates.push_back(StratifiedCount(strata));
+          break;
+        case AggFunc::kSum:
+          row.aggregates.push_back(StratifiedSum(strata));
+          break;
+        case AggFunc::kAvg:
+          row.aggregates.push_back(StratifiedAvg(strata));
+          break;
+        case AggFunc::kQuantile:
+          break;  // handled above
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+
+  // HAVING filter on finished rows.
+  if (stmt.having.has_value()) {
+    std::vector<ResultRow> kept;
+    kept.reserve(result.rows.size());
+    for (auto& row : result.rows) {
+      if (EvalHaving(*stmt.having, row, result.group_names, result.aggregate_names)) {
+        kept.push_back(std::move(row));
+      }
+    }
+    result.rows = std::move(kept);
+  }
+
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const ResultRow& a, const ResultRow& b) {
+              return GroupValueLess(a.group_values, b.group_values);
+            });
+  return result;
+}
+
+}  // namespace blink

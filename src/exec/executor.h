@@ -1,0 +1,57 @@
+// The aggregation executor: scans a Dataset (exact table or sample), applies
+// the WHERE predicate and optional equi-join, groups rows, and produces
+// unbiased estimates with closed-form error bounds for every aggregate
+// (§4.3 of the paper; Table 2 estimators).
+#ifndef BLINKDB_EXEC_EXECUTOR_H_
+#define BLINKDB_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/dataset.h"
+#include "src/sql/ast.h"
+#include "src/stats/estimators.h"
+#include "src/storage/table.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+// One output row: the group key values plus one estimate per aggregate item.
+struct ResultRow {
+  std::vector<Value> group_values;
+  std::vector<Estimate> aggregates;
+};
+
+// Scan-volume accounting, consumed by the cluster latency model.
+struct ScanStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  double bytes_scanned = 0.0;
+};
+
+// A complete query answer.
+struct QueryResult {
+  std::vector<std::string> group_names;
+  std::vector<std::string> aggregate_names;
+  std::vector<ResultRow> rows;
+  ScanStats stats;
+  double confidence = 0.95;  // confidence used when rendering error columns
+
+  // Worst-case relative error at `confidence` across all rows/aggregates
+  // (the metric Figures 7-8 of the paper plot). Infinite if any aggregate
+  // has value 0 with nonzero variance; 0 for exact answers.
+  double MaxRelativeError(double conf) const;
+  // Pretty-printed table with +/- error annotations.
+  std::string ToString() const;
+};
+
+// Executes `stmt` against `fact` (optionally joining `dim`, which must be an
+// exact in-memory table per §2.1). The statement must not contain
+// disjunctive-only constructs the runtime was supposed to rewrite; both
+// conjunctive and disjunctive WHERE clauses are supported here.
+Result<QueryResult> ExecuteQuery(const SelectStatement& stmt, const Dataset& fact,
+                                 const Table* dim = nullptr);
+
+}  // namespace blink
+
+#endif  // BLINKDB_EXEC_EXECUTOR_H_

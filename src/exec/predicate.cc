@@ -1,0 +1,118 @@
+#include "src/exec/predicate.h"
+
+namespace blink {
+
+Result<CompiledPredicate> CompiledPredicate::Compile(const Predicate& pred,
+                                                     const Table& fact, const Table* dim) {
+  CompiledPredicate compiled;
+  compiled.fact_ = &fact;
+  compiled.dim_ = dim;
+  auto root = compiled.CompileNode(pred, fact, dim);
+  if (!root.ok()) {
+    return root.status();
+  }
+  return compiled;
+}
+
+Result<size_t> CompiledPredicate::CompileNode(const Predicate& pred, const Table& fact,
+                                              const Table* dim) {
+  // Reserve this node's slot first so the root lands at index 0.
+  const size_t my_index = nodes_.size();
+  nodes_.emplace_back();
+
+  if (pred.kind != Predicate::Kind::kCompare) {
+    nodes_[my_index].kind =
+        pred.kind == Predicate::Kind::kAnd ? NodeKind::kAnd : NodeKind::kOr;
+    std::vector<size_t> children;
+    children.reserve(pred.children.size());
+    for (const auto& child : pred.children) {
+      auto idx = CompileNode(child, fact, dim);
+      if (!idx.ok()) {
+        return idx.status();
+      }
+      children.push_back(idx.value());
+    }
+    nodes_[my_index].children = std::move(children);
+    return my_index;
+  }
+
+  auto ref = ResolveColumn(pred.column, fact.schema(), dim ? &dim->schema() : nullptr);
+  if (!ref.ok()) {
+    return ref.status();
+  }
+  Node& node = nodes_[my_index];
+  node.side = ref->side;
+  node.column = ref->index;
+  node.op = pred.op;
+  if (ref->type == DataType::kString) {
+    if (!pred.literal.is_string()) {
+      return Status::InvalidArgument("string column '" + pred.column +
+                                     "' compared with non-string literal");
+    }
+    if (pred.op != CompareOp::kEq && pred.op != CompareOp::kNe) {
+      return Status::InvalidArgument("string column '" + pred.column +
+                                     "' only supports = and !=");
+    }
+    node.kind = NodeKind::kStringCompare;
+    const Table& t = ref->side == TableSide::kFact ? fact : *dim;
+    node.code_literal = t.column(ref->index).dict->Find(pred.literal.AsString());
+  } else {
+    if (pred.literal.is_string()) {
+      return Status::InvalidArgument("numeric column '" + pred.column +
+                                     "' compared with string literal");
+    }
+    node.kind = NodeKind::kNumericCompare;
+    node.numeric_literal = pred.literal.AsNumeric();
+  }
+  return my_index;
+}
+
+bool CompiledPredicate::EvalNode(size_t node_idx, uint64_t fact_row, uint64_t dim_row) const {
+  const Node& node = nodes_[node_idx];
+  switch (node.kind) {
+    case NodeKind::kAnd:
+      for (size_t child : node.children) {
+        if (!EvalNode(child, fact_row, dim_row)) {
+          return false;
+        }
+      }
+      return true;
+    case NodeKind::kOr:
+      for (size_t child : node.children) {
+        if (EvalNode(child, fact_row, dim_row)) {
+          return true;
+        }
+      }
+      return false;
+    case NodeKind::kNumericCompare: {
+      const Table& t = node.side == TableSide::kFact ? *fact_ : *dim_;
+      const uint64_t row = node.side == TableSide::kFact ? fact_row : dim_row;
+      const double v = t.GetNumeric(node.column, row);
+      switch (node.op) {
+        case CompareOp::kEq:
+          return v == node.numeric_literal;
+        case CompareOp::kNe:
+          return v != node.numeric_literal;
+        case CompareOp::kLt:
+          return v < node.numeric_literal;
+        case CompareOp::kLe:
+          return v <= node.numeric_literal;
+        case CompareOp::kGt:
+          return v > node.numeric_literal;
+        case CompareOp::kGe:
+          return v >= node.numeric_literal;
+      }
+      return false;
+    }
+    case NodeKind::kStringCompare: {
+      const Table& t = node.side == TableSide::kFact ? *fact_ : *dim_;
+      const uint64_t row = node.side == TableSide::kFact ? fact_row : dim_row;
+      const int32_t code = t.GetStringCode(node.column, row);
+      return node.op == CompareOp::kEq ? code == node.code_literal
+                                       : code != node.code_literal;
+    }
+  }
+  return false;
+}
+
+}  // namespace blink

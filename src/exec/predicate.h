@@ -1,0 +1,55 @@
+// Compiled predicate evaluation against (fact, dim) row pairs.
+//
+// Compilation resolves column names to (side, index), binds string literals
+// to dictionary codes once, and flattens the tree into a compact node vector,
+// so per-row evaluation does no string work.
+#ifndef BLINKDB_EXEC_PREDICATE_H_
+#define BLINKDB_EXEC_PREDICATE_H_
+
+#include <vector>
+
+#include "src/sql/analyzer.h"
+#include "src/sql/ast.h"
+#include "src/storage/table.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+class CompiledPredicate {
+ public:
+  // Compiles `pred` against the fact table and optional dimension table.
+  static Result<CompiledPredicate> Compile(const Predicate& pred, const Table& fact,
+                                           const Table* dim);
+
+  // Evaluates for the given fact row (and dim row when the query joins;
+  // pass any value otherwise).
+  bool Matches(uint64_t fact_row, uint64_t dim_row) const {
+    return EvalNode(0, fact_row, dim_row);
+  }
+
+ private:
+  enum class NodeKind { kAnd, kOr, kNumericCompare, kStringCompare };
+  struct Node {
+    NodeKind kind;
+    // kAnd/kOr: children indices.
+    std::vector<size_t> children;
+    // leaf payload
+    TableSide side = TableSide::kFact;
+    size_t column = 0;
+    CompareOp op = CompareOp::kEq;
+    double numeric_literal = 0.0;
+    int32_t code_literal = -1;  // dictionary code; -1 = literal absent from dict
+  };
+
+  bool EvalNode(size_t node, uint64_t fact_row, uint64_t dim_row) const;
+
+  Result<size_t> CompileNode(const Predicate& pred, const Table& fact, const Table* dim);
+
+  const Table* fact_ = nullptr;
+  const Table* dim_ = nullptr;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_EXEC_PREDICATE_H_

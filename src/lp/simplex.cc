@@ -1,0 +1,288 @@
+#include "src/lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace blink {
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr size_t kMaxIterations = 200'000;
+
+// Dense tableau:
+//   rows 0..m-1: constraints (coefficients | rhs)
+//   row  m     : objective row (reduced costs | -objective_value)
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  void Pivot(size_t pivot_row, size_t pivot_col) {
+    const double p = At(pivot_row, pivot_col);
+    assert(std::fabs(p) > kEps);
+    const double inv = 1.0 / p;
+    for (size_t c = 0; c < cols_; ++c) {
+      At(pivot_row, c) *= inv;
+    }
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) {
+        continue;
+      }
+      const double factor = At(r, pivot_col);
+      if (std::fabs(factor) < kEps) {
+        continue;
+      }
+      for (size_t c = 0; c < cols_; ++c) {
+        At(r, c) -= factor * At(pivot_row, c);
+      }
+    }
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// Runs simplex iterations on `t` (maximization: choose entering column with
+// most negative reduced cost in the objective row `obj_row`). Constraint rows
+// are [0, m); columns in [0, num_cols_usable) are eligible. Returns kOptimal /
+// kUnbounded / kIterationLimit and updates `basis` (basis[r] = basic column).
+LpStatus RunSimplexPhase(Tableau& t, std::vector<size_t>& basis, size_t obj_row, size_t m,
+                         size_t num_cols_usable) {
+  const size_t rhs_col = t.cols() - 1;
+  size_t iterations = 0;
+  bool bland = false;
+  for (;;) {
+    if (++iterations > kMaxIterations) {
+      return LpStatus::kIterationLimit;
+    }
+    if (iterations > 10'000) {
+      bland = true;  // anti-cycling
+    }
+    // Entering column.
+    size_t pivot_col = num_cols_usable;
+    double best = -kEps;
+    for (size_t c = 0; c < num_cols_usable; ++c) {
+      const double rc = t.At(obj_row, c);
+      if (bland) {
+        if (rc < -kEps) {
+          pivot_col = c;
+          break;
+        }
+      } else if (rc < best) {
+        best = rc;
+        pivot_col = c;
+      }
+    }
+    if (pivot_col == num_cols_usable) {
+      return LpStatus::kOptimal;
+    }
+    // Leaving row: minimum ratio test.
+    size_t pivot_row = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < m; ++r) {
+      const double a = t.At(r, pivot_col);
+      if (a > kEps) {
+        const double ratio = t.At(r, rhs_col) / a;
+        if (ratio < best_ratio - kEps ||
+            (bland && ratio < best_ratio + kEps && r < pivot_row)) {
+          best_ratio = ratio;
+          pivot_row = r;
+        }
+      }
+    }
+    if (pivot_row == m) {
+      return LpStatus::kUnbounded;
+    }
+    t.Pivot(pivot_row, pivot_col);
+    basis[pivot_row] = pivot_col;
+  }
+}
+
+}  // namespace
+
+size_t LpProblem::AddVariable(double objective_coeff, double upper_bound) {
+  objective.push_back(objective_coeff);
+  upper_bounds.push_back(upper_bound);
+  return num_vars++;
+}
+
+LpSolution SolveLp(const LpProblem& problem) {
+  assert(problem.objective.size() == problem.num_vars);
+  assert(problem.upper_bounds.size() == problem.num_vars);
+
+  // Materialize upper bounds as explicit <= constraints.
+  std::vector<LinearConstraint> cons = problem.constraints;
+  for (size_t v = 0; v < problem.num_vars; ++v) {
+    const double ub = problem.upper_bounds[v];
+    if (std::isfinite(ub)) {
+      LinearConstraint c;
+      c.terms = {{v, 1.0}};
+      c.relation = Relation::kLe;
+      c.rhs = ub;
+      cons.push_back(std::move(c));
+    }
+  }
+
+  const size_t m = cons.size();
+  const size_t n = problem.num_vars;
+
+  // Column layout: [structural n][slack/surplus s][artificial a][rhs].
+  size_t num_slack = 0;
+  for (const auto& c : cons) {
+    if (c.relation != Relation::kEq) {
+      ++num_slack;
+    }
+  }
+  // Count artificials: rows that need them (>= with positive rhs, =, or <=
+  // with negative rhs after normalization). We normalize rhs >= 0 first.
+  struct Row {
+    std::vector<std::pair<size_t, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(m);
+  for (const auto& c : cons) {
+    Row r{c.terms, c.relation, c.rhs};
+    if (r.rhs < 0.0) {
+      for (auto& [v, coeff] : r.terms) {
+        (void)v;
+        coeff = -coeff;
+      }
+      r.rhs = -r.rhs;
+      if (r.rel == Relation::kLe) {
+        r.rel = Relation::kGe;
+      } else if (r.rel == Relation::kGe) {
+        r.rel = Relation::kLe;
+      }
+    }
+    rows.push_back(std::move(r));
+  }
+  size_t num_artificial = 0;
+  for (const auto& r : rows) {
+    if (r.rel != Relation::kLe) {
+      ++num_artificial;
+    }
+  }
+
+  const size_t slack_base = n;
+  const size_t art_base = n + num_slack;
+  const size_t total_cols = n + num_slack + num_artificial + 1;  // + rhs
+  const size_t rhs_col = total_cols - 1;
+  const size_t obj_row = m;       // phase-2 objective
+  const size_t phase1_row = m + 1;
+
+  Tableau t(m + 2, total_cols);
+  std::vector<size_t> basis(m);
+
+  size_t slack_idx = 0;
+  size_t art_idx = 0;
+  for (size_t r = 0; r < m; ++r) {
+    for (const auto& [v, coeff] : rows[r].terms) {
+      t.At(r, v) += coeff;
+    }
+    t.At(r, rhs_col) = rows[r].rhs;
+    switch (rows[r].rel) {
+      case Relation::kLe: {
+        const size_t sc = slack_base + slack_idx++;
+        t.At(r, sc) = 1.0;
+        basis[r] = sc;
+        break;
+      }
+      case Relation::kGe: {
+        const size_t sc = slack_base + slack_idx++;
+        t.At(r, sc) = -1.0;  // surplus
+        const size_t ac = art_base + art_idx++;
+        t.At(r, ac) = 1.0;
+        basis[r] = ac;
+        break;
+      }
+      case Relation::kEq: {
+        const size_t ac = art_base + art_idx++;
+        t.At(r, ac) = 1.0;
+        basis[r] = ac;
+        break;
+      }
+    }
+  }
+
+  // Phase-2 objective row: minimize -(c^T x)  =>  row holds -c.
+  for (size_t v = 0; v < n; ++v) {
+    t.At(obj_row, v) = -problem.objective[v];
+  }
+
+  LpSolution solution;
+
+  if (num_artificial > 0) {
+    // Phase-1 objective: minimize sum of artificials. Row = sum of artificial
+    // columns negated, then eliminate basic artificials.
+    for (size_t a = 0; a < num_artificial; ++a) {
+      t.At(phase1_row, art_base + a) = 1.0;
+    }
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= art_base) {
+        for (size_t c = 0; c < total_cols; ++c) {
+          t.At(phase1_row, c) -= t.At(r, c);
+        }
+      }
+    }
+    const LpStatus st = RunSimplexPhase(t, basis, phase1_row, m,
+                                        /*num_cols_usable=*/total_cols - 1);
+    if (st == LpStatus::kIterationLimit) {
+      solution.status = st;
+      return solution;
+    }
+    const double infeasibility = -t.At(phase1_row, rhs_col);
+    if (infeasibility > 1e-6) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive any remaining artificials out of the basis (degenerate rows).
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= art_base) {
+        size_t enter = total_cols;
+        for (size_t c = 0; c < art_base; ++c) {
+          if (std::fabs(t.At(r, c)) > kEps) {
+            enter = c;
+            break;
+          }
+        }
+        if (enter < total_cols) {
+          t.Pivot(r, enter);
+          basis[r] = enter;
+        }
+        // else: the row is all-zero over structural columns; redundant.
+      }
+    }
+  }
+
+  // Phase 2: run on the real objective, excluding artificial columns.
+  const LpStatus st2 = RunSimplexPhase(t, basis, obj_row, m,
+                                       /*num_cols_usable=*/art_base);
+  if (st2 != LpStatus::kOptimal) {
+    solution.status = st2;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.values.assign(problem.num_vars, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) {
+      solution.values[basis[r]] = t.At(r, rhs_col);
+    }
+  }
+  solution.objective = 0.0;
+  for (size_t v = 0; v < n; ++v) {
+    solution.objective += problem.objective[v] * solution.values[v];
+  }
+  return solution;
+}
+
+}  // namespace blink

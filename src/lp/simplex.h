@@ -1,0 +1,55 @@
+// Dense two-phase primal simplex for small/medium linear programs.
+//
+// This module substitutes the GNU Linear Programming Kit used by the paper
+// (§3.2.2, reference [4]) for solving the sample-selection MILP. Problems are
+// expressed as: maximize c^T x subject to linear constraints and variable
+// bounds 0 <= x <= ub.
+#ifndef BLINKDB_LP_SIMPLEX_H_
+#define BLINKDB_LP_SIMPLEX_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace blink {
+
+// Constraint sense.
+enum class Relation { kLe, kGe, kEq };
+
+// A sparse linear constraint: sum(coeff * x[var]) REL rhs.
+struct LinearConstraint {
+  std::vector<std::pair<size_t, double>> terms;
+  Relation relation = Relation::kLe;
+  double rhs = 0.0;
+};
+
+// maximize objective . x  s.t. constraints, 0 <= x <= upper_bounds.
+struct LpProblem {
+  size_t num_vars = 0;
+  std::vector<double> objective;          // size num_vars
+  std::vector<double> upper_bounds;       // size num_vars; +inf = unbounded
+  std::vector<LinearConstraint> constraints;
+
+  // Adds a variable with the given objective coefficient and upper bound;
+  // returns its index.
+  size_t AddVariable(double objective_coeff,
+                     double upper_bound = std::numeric_limits<double>::infinity());
+  void AddConstraint(LinearConstraint c) { constraints.push_back(std::move(c)); }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  // size num_vars when kOptimal
+};
+
+// Solves the LP with two-phase dense tableau simplex. Deterministic; Bland's
+// rule engages automatically to escape degenerate cycling.
+LpSolution SolveLp(const LpProblem& problem);
+
+}  // namespace blink
+
+#endif  // BLINKDB_LP_SIMPLEX_H_

@@ -1,0 +1,90 @@
+#include "src/optimizer/column_stats.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "src/util/string_util.h"
+
+namespace blink {
+
+Result<ColumnSetStats> ComputeColumnSetStats(const Table& table,
+                                             const std::vector<std::string>& columns,
+                                             uint64_t cap_k) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("column set must be non-empty");
+  }
+  std::vector<size_t> indices;
+  ColumnSetStats stats;
+  for (const auto& name : columns) {
+    auto idx = table.schema().FindColumn(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("column '" + name + "' not found");
+    }
+    indices.push_back(*idx);
+    stats.columns.push_back(AsciiToLower(name));
+  }
+  std::sort(stats.columns.begin(), stats.columns.end());
+
+  KeyEncoder encoder(table, indices);
+  std::unordered_map<std::vector<int64_t>, uint64_t, KeyHash> freq;
+  std::vector<int64_t> key;
+  for (uint64_t row = 0; row < table.num_rows(); ++row) {
+    encoder.Encode(row, key);
+    ++freq[key];
+  }
+  stats.distinct_values = freq.size();
+  for (const auto& [k, f] : freq) {
+    (void)k;
+    if (f < cap_k) {
+      ++stats.tail_count;
+    }
+    stats.sample_rows += static_cast<double>(std::min(f, cap_k));
+  }
+  stats.sample_bytes = stats.sample_rows * table.EstimatedBytesPerRow();
+  return stats;
+}
+
+std::vector<std::vector<std::string>> GenerateCandidateColumnSets(
+    const std::vector<std::vector<std::string>>& template_columns, size_t max_columns) {
+  std::set<std::vector<std::string>> unique;
+  for (const auto& raw : template_columns) {
+    std::vector<std::string> cols;
+    cols.reserve(raw.size());
+    for (const auto& c : raw) {
+      cols.push_back(AsciiToLower(c));
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    const size_t n = cols.size();
+    if (n == 0) {
+      continue;
+    }
+    // Enumerate combinations of size 1..max_columns directly (avoids the
+    // 2^n blow-up the paper's §3.2.2 pruning exists to prevent).
+    const size_t max_size = std::min(max_columns, n);
+    std::vector<size_t> pick;
+    auto recurse = [&](auto&& self, size_t start) -> void {
+      if (!pick.empty()) {
+        std::vector<std::string> subset;
+        subset.reserve(pick.size());
+        for (size_t i : pick) {
+          subset.push_back(cols[i]);
+        }
+        unique.insert(std::move(subset));
+      }
+      if (pick.size() == max_size) {
+        return;
+      }
+      for (size_t i = start; i < n; ++i) {
+        pick.push_back(i);
+        self(self, i + 1);
+        pick.pop_back();
+      }
+    };
+    recurse(recurse, 0);
+  }
+  return {unique.begin(), unique.end()};
+}
+
+}  // namespace blink

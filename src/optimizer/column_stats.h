@@ -1,0 +1,39 @@
+// Per-column-set statistics feeding the sample-selection optimizer (§3.2.1):
+// the number of distinct values |D(phi)|, the non-uniformity metric
+// Delta(phi) (tail count below the cap K), and the storage cost Store(phi)
+// of a stratified sample family on phi.
+#ifndef BLINKDB_OPTIMIZER_COLUMN_STATS_H_
+#define BLINKDB_OPTIMIZER_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/table.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+struct ColumnSetStats {
+  std::vector<std::string> columns;  // sorted, lower-cased
+  uint64_t distinct_values = 0;      // |D(phi)|
+  uint64_t tail_count = 0;           // Delta(phi): values with frequency < K
+  double sample_rows = 0.0;          // sum over values of min(F, K)
+  double sample_bytes = 0.0;         // Store(phi): sample_rows * bytes/row
+};
+
+// Scans `table` once and computes the stats for `columns` under cap `cap_k`.
+Result<ColumnSetStats> ComputeColumnSetStats(const Table& table,
+                                             const std::vector<std::string>& columns,
+                                             uint64_t cap_k);
+
+// Generates the candidate column sets of §3.2.2: all non-empty subsets of
+// each template's column set with at most `max_columns` columns,
+// deduplicated across templates. Input column lists are lower-cased/sorted
+// internally.
+std::vector<std::vector<std::string>> GenerateCandidateColumnSets(
+    const std::vector<std::vector<std::string>>& template_columns, size_t max_columns);
+
+}  // namespace blink
+
+#endif  // BLINKDB_OPTIMIZER_COLUMN_STATS_H_

@@ -1,0 +1,195 @@
+#include "src/optimizer/sample_planner.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace blink {
+namespace {
+
+struct PlanningInputs {
+  std::vector<TemplateInfo> templates;
+  std::vector<ColumnSetStats> candidates;
+  SelectionResult selection;
+  double table_bytes = 0.0;
+  double budget_bytes = 0.0;
+  double stratified_budget = 0.0;
+  double uniform_bytes = 0.0;
+};
+
+Result<PlanningInputs> RunSelection(const Table& table,
+                                    const std::vector<WorkloadTemplate>& workload,
+                                    const PlannerConfig& config,
+                                    const SampleStore* store,
+                                    const std::string& table_name) {
+  PlanningInputs inputs;
+  inputs.table_bytes =
+      static_cast<double>(table.num_rows()) * table.EstimatedBytesPerRow();
+  inputs.budget_bytes = config.budget_fraction * inputs.table_bytes;
+  inputs.uniform_bytes = config.uniform_fraction * inputs.table_bytes;
+  inputs.stratified_budget = std::max(0.0, inputs.budget_bytes - inputs.uniform_bytes);
+
+  // Template stats.
+  std::vector<std::vector<std::string>> template_columns;
+  for (const auto& tmpl : workload) {
+    if (tmpl.columns.empty()) {
+      continue;  // templates with no filter/group columns need no stratification
+    }
+    template_columns.push_back(tmpl.columns);
+    auto stats = ComputeColumnSetStats(table, tmpl.columns, config.cap_k);
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    TemplateInfo info;
+    info.columns = stats->columns;
+    info.weight = tmpl.weight;
+    info.distinct_values = stats->distinct_values;
+    info.tail_count = stats->tail_count;
+    inputs.templates.push_back(std::move(info));
+  }
+
+  // Candidate stats.
+  const auto candidate_sets =
+      GenerateCandidateColumnSets(template_columns, config.max_columns_per_set);
+  inputs.candidates.reserve(candidate_sets.size());
+  for (const auto& cols : candidate_sets) {
+    auto stats = ComputeColumnSetStats(table, cols, config.cap_k);
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    inputs.candidates.push_back(std::move(stats.value()));
+  }
+
+  // Existing-family flags for churn. Families built by earlier plans whose
+  // column sets do not appear among the new templates' candidates must STILL
+  // participate (constraint (5) charges churn for dropping them), so append
+  // them as zero-coverage candidates.
+  std::vector<bool> existing(inputs.candidates.size(), false);
+  bool any_existing = false;
+  if (store != nullptr) {
+    for (const SampleFamily* family : store->FamiliesFor(table_name)) {
+      if (family->kind() != SampleFamily::Kind::kStratified) {
+        continue;
+      }
+      bool found = false;
+      for (size_t j = 0; j < inputs.candidates.size(); ++j) {
+        if (inputs.candidates[j].columns == family->columns()) {
+          existing[j] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ColumnSetStats stats;
+        stats.columns = family->columns();
+        stats.distinct_values = family->num_strata();
+        stats.sample_rows = static_cast<double>(family->storage_rows());
+        stats.sample_bytes = family->storage_bytes();
+        inputs.candidates.push_back(std::move(stats));
+        existing.push_back(true);
+      }
+      any_existing = true;
+    }
+  }
+
+  SelectionConfig sel;
+  sel.storage_budget_bytes = inputs.stratified_budget;
+  sel.churn_r = config.churn_r;
+  sel.use_milp = config.use_milp;
+  inputs.selection = SelectSampleColumnSets(inputs.templates, inputs.candidates, sel,
+                                            any_existing ? &existing : nullptr);
+  return inputs;
+}
+
+SamplePlan MakePlan(const PlanningInputs& inputs, const PlannerConfig& config) {
+  SamplePlan plan;
+  plan.budget_bytes = inputs.budget_bytes;
+  plan.objective = inputs.selection.objective;
+  plan.used_milp = inputs.selection.used_milp;
+  plan.milp_nodes = inputs.selection.milp_nodes;
+  if (config.uniform_fraction > 0.0) {
+    PlannedFamily uniform;
+    uniform.storage_bytes = inputs.uniform_bytes;
+    plan.families.push_back(std::move(uniform));
+    plan.total_bytes += inputs.uniform_bytes;
+  }
+  for (size_t j : inputs.selection.chosen) {
+    PlannedFamily family;
+    family.columns = inputs.candidates[j].columns;
+    family.storage_bytes = inputs.candidates[j].sample_bytes;
+    family.storage_rows = static_cast<uint64_t>(inputs.candidates[j].sample_rows);
+    plan.total_bytes += family.storage_bytes;
+    plan.families.push_back(std::move(family));
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<SamplePlan> PlanSamples(const Table& table,
+                               const std::vector<WorkloadTemplate>& workload,
+                               const PlannerConfig& config) {
+  auto inputs = RunSelection(table, workload, config, nullptr, "");
+  if (!inputs.ok()) {
+    return inputs.status();
+  }
+  return MakePlan(*inputs, config);
+}
+
+Result<SamplePlan> PlanAndBuildSamples(const Table& table, const std::string& table_name,
+                                       const std::vector<WorkloadTemplate>& workload,
+                                       const PlannerConfig& config, SampleStore& store) {
+  auto inputs = RunSelection(table, workload, config, &store, table_name);
+  if (!inputs.ok()) {
+    return inputs.status();
+  }
+  SamplePlan plan = MakePlan(*inputs, config);
+
+  Rng rng(config.rng_seed);
+  SampleFamilyOptions family_options;
+  family_options.largest_cap = config.cap_k;
+  family_options.resolution_factor = config.resolution_factor;
+  family_options.max_resolutions = config.max_resolutions;
+  family_options.uniform_fraction = config.uniform_fraction;
+
+  // Drop stratified families that are no longer selected.
+  std::vector<std::vector<std::string>> keep;
+  for (size_t j : inputs->selection.chosen) {
+    keep.push_back(inputs->candidates[j].columns);
+  }
+  for (const SampleFamily* family : store.FamiliesFor(table_name)) {
+    if (family->kind() != SampleFamily::Kind::kStratified) {
+      continue;
+    }
+    if (std::find(keep.begin(), keep.end(), family->columns()) == keep.end()) {
+      store.RemoveFamily(table_name, family->columns());
+    }
+  }
+
+  // Build the uniform family if requested and absent.
+  if (config.uniform_fraction > 0.0 && store.UniformFamily(table_name) == nullptr) {
+    auto uniform = SampleFamily::BuildUniform(table, family_options, rng);
+    if (!uniform.ok()) {
+      return uniform.status();
+    }
+    store.AddFamily(table_name, std::move(uniform.value()));
+  }
+
+  // Build newly selected stratified families.
+  for (size_t j : inputs->selection.chosen) {
+    const auto& cols = inputs->candidates[j].columns;
+    if (store.FindStratified(table_name, cols) != nullptr) {
+      continue;  // kept across re-solve
+    }
+    auto family = SampleFamily::BuildStratified(table, cols, family_options, rng);
+    if (!family.ok()) {
+      return family.status();
+    }
+    store.AddFamily(table_name, std::move(family.value()));
+    BLINK_LOG(kInfo) << "built stratified family on {" << Join(cols, ",") << "}";
+  }
+  return plan;
+}
+
+}  // namespace blink

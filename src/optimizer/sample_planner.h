@@ -1,0 +1,76 @@
+// End-to-end sample planning: given a fact table, a weighted template
+// workload, and a storage budget, compute candidate statistics, solve the
+// selection problem (§3.2), and build the chosen sample families (§3.1).
+// This is the "Offline Sample Creation" module of Fig 1/Fig 5.
+#ifndef BLINKDB_OPTIMIZER_SAMPLE_PLANNER_H_
+#define BLINKDB_OPTIMIZER_SAMPLE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/optimizer/sample_selection.h"
+#include "src/sample/sample_family.h"
+#include "src/sample/sample_store.h"
+#include "src/util/rng.h"
+
+namespace blink {
+
+// A workload query template: columns of WHERE/GROUP BY clauses + weight.
+struct WorkloadTemplate {
+  std::vector<std::string> columns;
+  double weight = 1.0;
+};
+
+struct PlannerConfig {
+  // Total storage budget as a fraction of the fact table's size (the paper's
+  // 50% / 100% / 200% settings).
+  double budget_fraction = 0.5;
+  // Stratification cap K (paper evaluation: 100,000; scaled down for small
+  // tables by callers).
+  uint64_t cap_k = 100'000;
+  // Maximum columns per stratified set (§3.2.2 / §6.3: 3).
+  size_t max_columns_per_set = 3;
+  // Multi-resolution settings forwarded to family construction.
+  double resolution_factor = 2.0;
+  size_t max_resolutions = 6;
+  // Also build a uniform family sized to this fraction of the table, charged
+  // against the same budget (0 disables).
+  double uniform_fraction = 0.0;
+  // Churn limit for re-planning over an existing store (§3.2.3).
+  double churn_r = 1.0;
+  bool use_milp = true;
+  uint64_t rng_seed = 42;
+};
+
+// One planned/built family.
+struct PlannedFamily {
+  std::vector<std::string> columns;  // empty = uniform
+  double storage_bytes = 0.0;
+  uint64_t storage_rows = 0;
+};
+
+struct SamplePlan {
+  std::vector<PlannedFamily> families;
+  double total_bytes = 0.0;
+  double budget_bytes = 0.0;
+  double objective = 0.0;
+  bool used_milp = false;
+  uint64_t milp_nodes = 0;
+};
+
+// Plans and builds sample families for `table`, registering them in `store`
+// under `table_name`. Pre-existing stratified families participate in the
+// churn constraint when churn_r < 1; families no longer selected are removed.
+Result<SamplePlan> PlanAndBuildSamples(const Table& table, const std::string& table_name,
+                                       const std::vector<WorkloadTemplate>& workload,
+                                       const PlannerConfig& config, SampleStore& store);
+
+// Planning only (no construction): returns the plan with per-family costs,
+// used by benchmarks that sweep budgets (Fig 6a/6b).
+Result<SamplePlan> PlanSamples(const Table& table,
+                               const std::vector<WorkloadTemplate>& workload,
+                               const PlannerConfig& config);
+
+}  // namespace blink
+
+#endif  // BLINKDB_OPTIMIZER_SAMPLE_PLANNER_H_

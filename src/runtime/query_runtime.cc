@@ -1,0 +1,532 @@
+#include "src/runtime/query_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "src/util/string_util.h"
+
+namespace blink {
+namespace {
+
+// Renders a family for reports: "uniform" or "{a,b}".
+std::string FamilyName(const SampleFamily& family) {
+  if (family.kind() == SampleFamily::Kind::kUniform) {
+    return "uniform";
+  }
+  return "{" + Join(family.columns(), ",") + "}";
+}
+
+// The error metric the bounds constrain: relative (default) or absolute.
+double ResultError(const QueryResult& result, const QueryBounds& bounds,
+                   double confidence) {
+  if (bounds.kind == QueryBounds::Kind::kError && !bounds.relative) {
+    double worst = 0.0;
+    for (const auto& row : result.rows) {
+      for (const auto& est : row.aggregates) {
+        worst = std::max(worst, est.ErrorAt(confidence));
+      }
+    }
+    return worst;
+  }
+  const double rel = result.MaxRelativeError(confidence);
+  return std::isfinite(rel) ? rel : 0.0;
+}
+
+}  // namespace
+
+std::optional<std::vector<Predicate>> ToDnf(const Predicate& pred, size_t max_disjuncts) {
+  switch (pred.kind) {
+    case Predicate::Kind::kCompare:
+      return std::vector<Predicate>{pred};
+    case Predicate::Kind::kOr: {
+      std::vector<Predicate> out;
+      for (const auto& child : pred.children) {
+        auto sub = ToDnf(child, max_disjuncts);
+        if (!sub.has_value()) {
+          return std::nullopt;
+        }
+        for (auto& p : *sub) {
+          out.push_back(std::move(p));
+          if (out.size() > max_disjuncts) {
+            return std::nullopt;
+          }
+        }
+      }
+      return out;
+    }
+    case Predicate::Kind::kAnd: {
+      // Cross product of children DNFs.
+      std::vector<Predicate> acc = {Predicate::And({})};
+      for (const auto& child : pred.children) {
+        auto sub = ToDnf(child, max_disjuncts);
+        if (!sub.has_value()) {
+          return std::nullopt;
+        }
+        std::vector<Predicate> next;
+        for (const auto& partial : acc) {
+          for (const auto& term : *sub) {
+            Predicate merged = partial;  // kAnd node
+            if (term.kind == Predicate::Kind::kAnd) {
+              for (const auto& t : term.children) {
+                merged.children.push_back(t);
+              }
+            } else {
+              merged.children.push_back(term);
+            }
+            next.push_back(std::move(merged));
+            if (next.size() > max_disjuncts) {
+              return std::nullopt;
+            }
+          }
+        }
+        acc = std::move(next);
+      }
+      // Unwrap single-leaf ANDs for cleanliness.
+      for (auto& p : acc) {
+        if (p.children.size() == 1) {
+          p = p.children[0];
+        }
+      }
+      return acc;
+    }
+  }
+  return std::nullopt;
+}
+
+double QueryRuntime::LatencyForDataset(const Dataset& ds, double scale_factor) const {
+  QueryWorkload workload;
+  workload.input_bytes = static_cast<double>(ds.NumRows()) *
+                         ds.table->EstimatedBytesPerRow() * scale_factor;
+  // Aggregation shuffles a tiny digest per group; negligible next to scans.
+  workload.shuffle_bytes = 0.0;
+  workload.want_cached = true;
+  return cluster_->EstimateLatency(workload);
+}
+
+Result<ApproxAnswer> QueryRuntime::RunExact(const SelectStatement& stmt, const Table& fact,
+                                            double scale_factor, const Table* dim) const {
+  auto result = ExecuteQuery(stmt, Dataset::Exact(fact), dim);
+  if (!result.ok()) {
+    return result.status();
+  }
+  ApproxAnswer answer{std::move(result.value()), {}};
+  answer.report.family = "exact";
+  answer.report.rows_read = fact.num_rows();
+  answer.report.execution_latency = LatencyForDataset(Dataset::Exact(fact), scale_factor);
+  answer.report.total_latency = answer.report.execution_latency;
+  answer.report.achieved_error = 0.0;
+  return answer;
+}
+
+Result<QueryRuntime::FamilyChoice> QueryRuntime::ChooseFamily(
+    const SelectStatement& stmt, const std::string& table_name, const Table& fact,
+    double scale_factor, const Table* dim) const {
+  (void)fact;
+  FamilyChoice choice;
+  const std::vector<std::string> phi = stmt.TemplateColumns();
+
+  // §4.1.1 case 1: a stratified family on a superset of phi; fewest columns.
+  if (!phi.empty()) {
+    const auto covering = store_->CoveringFamilies(table_name, phi);
+    if (!covering.empty()) {
+      choice.family = covering.front();
+      return choice;
+    }
+  }
+
+  // §4.1.1 case 2: probe the smallest sample of every family in parallel and
+  // keep the one with the highest (rows selected / rows read) ratio.
+  const auto families = store_->FamiliesFor(table_name);
+  if (families.empty()) {
+    return choice;  // exact fallback
+  }
+  if (phi.empty()) {
+    // No filtering/grouping columns: the uniform family is the right answer
+    // (every stratified sample is biased for no benefit).
+    const SampleFamily* uniform = store_->UniformFamily(table_name);
+    choice.family = uniform != nullptr ? uniform : families.front();
+    return choice;
+  }
+
+  double best_ratio = -1.0;
+  double best_projected_error = std::numeric_limits<double>::infinity();
+  double max_probe_latency = 0.0;
+  for (const SampleFamily* family : families) {
+    // Probe the smallest resolution, escalating while the match count is too
+    // small to estimate selectivity (rare slices would otherwise produce
+    // pure-noise ratios). Levels are prefixes, so the chain costs one scan
+    // of the largest level reached.
+    size_t idx = family->smallest_resolution();
+    Result<QueryResult> result = ExecuteQuery(stmt, family->LogicalSample(idx), dim);
+    if (!result.ok()) {
+      return result.status();
+    }
+    while (result->stats.rows_matched < config_.min_probe_matches && idx > 0) {
+      --idx;
+      result = ExecuteQuery(stmt, family->LogicalSample(idx), dim);
+      if (!result.ok()) {
+        return result.status();
+      }
+    }
+    const Dataset probe = family->LogicalSample(idx);
+    max_probe_latency = std::max(max_probe_latency, LatencyForDataset(probe, scale_factor));
+    const double ratio =
+        result->stats.rows_scanned == 0
+            ? 0.0
+            : static_cast<double>(result->stats.rows_matched) /
+                  static_cast<double>(result->stats.rows_scanned);
+    // Error this family could reach at its largest resolution, projected from
+    // the probe with the 1/sqrt(n) law. Captures both selectivity and the
+    // weight dispersion a mismatched stratification induces. A probe that
+    // matched nothing gives no information: treat as unboundedly bad.
+    const double probe_error = ResultError(*result, stmt.bounds, config_.default_confidence);
+    const double projected =
+        result->stats.rows_matched == 0
+            ? std::numeric_limits<double>::infinity()
+            : probe_error * std::sqrt(static_cast<double>(probe.NumRows()) /
+                                      static_cast<double>(family->resolution(0).rows));
+    // Highest selected/read ratio wins (§4.1.1). Escalated probes make the
+    // ratio reliable, but families whose ratios land within ~30% of each
+    // other are effectively tied; among ties, pick the family whose largest
+    // resolution projects the tightest error (this also captures the weight
+    // dispersion a mismatched stratification induces, which the ratio alone
+    // cannot see).
+    const bool in_band = choice.family != nullptr && ratio > best_ratio * 0.7;
+    const bool clearly_better = ratio > best_ratio * 1.3;
+    bool tied_but_better = false;
+    if (in_band && !clearly_better) {
+      const bool candidate_uniform = family->kind() == SampleFamily::Kind::kUniform;
+      const bool current_uniform =
+          choice.family->kind() == SampleFamily::Kind::kUniform;
+      if (candidate_uniform != current_uniform) {
+        // A mismatched stratification only adds weight dispersion; at equal
+        // selectivity the uniform family dominates.
+        tied_but_better = candidate_uniform;
+      } else {
+        tied_but_better = projected < best_projected_error;
+      }
+    }
+    if (choice.family == nullptr || clearly_better || tied_but_better) {
+      best_ratio = std::max(ratio, best_ratio);
+      best_projected_error = projected;
+      choice.family = family;
+    }
+  }
+  // Probes run in parallel across families (§4.1.1), so charge the max.
+  choice.selection_probe_latency = max_probe_latency;
+  return choice;
+}
+
+Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
+                                               const SampleFamily& family,
+                                               double selection_latency,
+                                               double scale_factor,
+                                               const Table* dim) const {
+  const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
+                                ? stmt.bounds.confidence
+                                : config_.default_confidence;
+  ExecutionReport report;
+  report.family = FamilyName(family);
+  report.probe_latency = selection_latency;
+
+  // --- Probe: smallest resolution, escalating while too few rows match -----
+  // Logical samples are prefixes of one another (§4.4), so an escalation
+  // chain costs one scan of the largest level reached, not the sum of levels.
+  size_t probe_idx = family.smallest_resolution();
+  QueryResult probe_result;
+  for (;;) {
+    const Dataset probe = family.LogicalSample(probe_idx);
+    auto result = ExecuteQuery(stmt, probe, dim);
+    if (!result.ok()) {
+      return result.status();
+    }
+    probe_result = std::move(result.value());
+    if (probe_result.stats.rows_matched >= config_.min_probe_matches || probe_idx == 0) {
+      report.probe_latency += LatencyForDataset(probe, scale_factor);
+      break;
+    }
+    --probe_idx;  // escalate to the next larger resolution
+  }
+  const uint64_t probe_rows = family.resolution(probe_idx).rows;
+  const double probe_matched =
+      std::max<double>(1.0, static_cast<double>(probe_result.stats.rows_matched));
+  const double probe_error = ResultError(probe_result, stmt.bounds, confidence);
+
+  // --- ELP: project error and latency per resolution (§4.2) ----------------
+  // Error ~ 1/sqrt(matched rows); matched rows scale with sample rows at
+  // fixed selectivity. Latency scales linearly with bytes (the model).
+  for (size_t i = 0; i < family.num_resolutions(); ++i) {
+    ElpPoint point;
+    point.resolution = i;
+    point.rows = family.resolution(i).rows;
+    point.projected_matched =
+        probe_matched * static_cast<double>(point.rows) / static_cast<double>(probe_rows);
+    point.projected_error =
+        probe_error * std::sqrt(probe_matched / std::max(1.0, point.projected_matched));
+    point.projected_latency = LatencyForDataset(family.LogicalSample(i), scale_factor);
+    report.elp.push_back(point);
+  }
+
+  // --- Resolution choice ----------------------------------------------------
+  size_t chosen = 0;  // default: largest (most accurate)
+  switch (stmt.bounds.kind) {
+    case QueryBounds::Kind::kError: {
+      // Smallest sample whose projected error meets the target AND whose
+      // expected selected-row count is large enough for the normal-theory
+      // intervals to be meaningful (tiny samples under-cover).
+      chosen = 0;
+      for (size_t i = family.num_resolutions(); i-- > 0;) {
+        if (report.elp[i].projected_error <= stmt.bounds.error &&
+            report.elp[i].projected_matched >= 2.0 * config_.min_probe_matches) {
+          chosen = i;
+          break;
+        }
+      }
+      break;
+    }
+    case QueryBounds::Kind::kTime: {
+      // Largest sample fitting in the remaining time budget. The paper fits a
+      // linear latency model from the probe runs; our cost model is already
+      // linear in bytes, so the projections coincide.
+      const double remaining = stmt.bounds.time_seconds - report.probe_latency;
+      chosen = family.smallest_resolution();
+      for (size_t i = 0; i < family.num_resolutions(); ++i) {
+        double cost = report.elp[i].projected_latency;
+        if (config_.reuse_intermediate && i <= probe_idx) {
+          // §4.4: blocks scanned during probing are not re-read.
+          cost = std::max(0.0, cost - report.elp[probe_idx].projected_latency);
+        }
+        if (cost <= remaining) {
+          chosen = i;
+          break;  // resolutions are ordered largest-first
+        }
+      }
+      break;
+    }
+    case QueryBounds::Kind::kNone:
+      chosen = 0;
+      break;
+  }
+  report.resolution = chosen;
+  report.cap = family.resolution(chosen).cap;
+  report.rows_read = family.resolution(chosen).rows;
+  report.projected_error = report.elp[chosen].projected_error;
+
+  // --- Final execution -------------------------------------------------------
+  QueryResult final_result;
+  if (chosen == probe_idx) {
+    final_result = std::move(probe_result);  // §4.4: probe answer is the answer
+    report.execution_latency = 0.0;
+  } else {
+    auto result = ExecuteQuery(stmt, family.LogicalSample(chosen), dim);
+    if (!result.ok()) {
+      return result.status();
+    }
+    final_result = std::move(result.value());
+    double cost = report.elp[chosen].projected_latency;
+    if (config_.reuse_intermediate && chosen < probe_idx) {
+      cost = std::max(0.0, cost - report.elp[probe_idx].projected_latency);
+    }
+    report.execution_latency = cost;
+  }
+  report.total_latency = report.probe_latency + report.execution_latency;
+  final_result.confidence = confidence;
+  report.achieved_error = ResultError(final_result, stmt.bounds, confidence);
+  return ApproxAnswer{std::move(final_result), std::move(report)};
+}
+
+Result<ApproxAnswer> QueryRuntime::RunDisjunctive(const SelectStatement& stmt,
+                                                  const std::string& table_name,
+                                                  const Table& fact, double scale_factor,
+                                                  const Table* dim,
+                                                  std::vector<Predicate> disjuncts) const {
+  // Run each conjunctive subquery independently (paper: in parallel), then
+  // combine per-group: COUNT/SUM add across disjuncts; AVG recombines via
+  // value*count. Assumes disjuncts select (nearly) disjoint rows, as the
+  // paper's rewrite does.
+  const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
+                                ? stmt.bounds.confidence
+                                : config_.default_confidence;
+  // Locate (or plan to append) a COUNT aggregate for AVG recombination.
+  int count_pos = -1;
+  size_t num_orig_aggs = 0;
+  for (const auto& item : stmt.items) {
+    if (item.is_aggregate) {
+      if (item.agg.func == AggFunc::kCount && count_pos < 0) {
+        count_pos = static_cast<int>(num_orig_aggs);
+      }
+      ++num_orig_aggs;
+    }
+  }
+  const bool append_count = count_pos < 0;
+  const size_t count_idx = append_count ? num_orig_aggs : static_cast<size_t>(count_pos);
+
+  std::vector<ApproxAnswer> partials;
+  partials.reserve(disjuncts.size());
+  for (auto& disjunct : disjuncts) {
+    SelectStatement sub = stmt;
+    sub.where = std::move(disjunct);
+    if (append_count) {
+      SelectItem count_item;
+      count_item.is_aggregate = true;
+      count_item.agg.count_star = true;
+      count_item.agg.func = AggFunc::kCount;
+      count_item.alias = "__blink_count";
+      sub.items.push_back(count_item);
+    }
+    auto choice = ChooseFamily(sub, table_name, fact, scale_factor, dim);
+    if (!choice.ok()) {
+      return choice.status();
+    }
+    Result<ApproxAnswer> partial =
+        choice->family == nullptr
+            ? RunExact(sub, fact, scale_factor, dim)
+            : RunOnFamily(sub, *choice->family, choice->selection_probe_latency,
+                          scale_factor, dim);
+    if (!partial.ok()) {
+      return partial.status();
+    }
+    partials.push_back(std::move(partial.value()));
+  }
+
+  // Merge groups across partial results.
+  struct Combined {
+    std::vector<Value> group_values;
+    std::vector<Estimate> sums;        // per original aggregate: accumulated
+    std::vector<double> weighted_num;  // for AVG: sum of value*count
+    std::vector<double> total_count;   // for AVG: sum of counts
+  };
+  std::map<std::string, Combined> merged;
+  auto group_key_of = [](const ResultRow& row) {
+    std::string key;
+    for (const auto& v : row.group_values) {
+      key += v.ToString();
+      key += '\x1f';
+    }
+    return key;
+  };
+
+  // The original aggregates (excluding any appended count).
+  std::vector<AggFunc> agg_funcs;
+  for (const auto& item : stmt.items) {
+    if (item.is_aggregate) {
+      agg_funcs.push_back(item.agg.func);
+    }
+  }
+
+  ExecutionReport report;
+  report.num_subqueries = partials.size();
+  report.family = "union";
+  for (const auto& partial : partials) {
+    report.probe_latency += partial.report.probe_latency;
+    // Subqueries run in parallel: total latency is the max.
+    report.total_latency = std::max(report.total_latency, partial.report.total_latency);
+    report.rows_read += partial.report.rows_read;
+    for (const auto& row : partial.result.rows) {
+      Combined& c = merged[group_key_of(row)];
+      if (c.sums.empty()) {
+        c.group_values = row.group_values;
+        c.sums.resize(agg_funcs.size());
+        c.weighted_num.assign(agg_funcs.size(), 0.0);
+        c.total_count.assign(agg_funcs.size(), 0.0);
+      }
+      const double count_value =
+          count_idx < row.aggregates.size() ? row.aggregates[count_idx].value : 0.0;
+      for (size_t a = 0; a < agg_funcs.size(); ++a) {
+        const Estimate& est = row.aggregates[a];
+        switch (agg_funcs[a]) {
+          case AggFunc::kCount:
+          case AggFunc::kSum:
+            c.sums[a].value += est.value;
+            c.sums[a].variance += est.variance;
+            break;
+          case AggFunc::kAvg:
+            c.weighted_num[a] += est.value * count_value;
+            c.total_count[a] += count_value;
+            // Approximate numerator variance: count^2 * var(avg).
+            c.sums[a].variance += count_value * count_value * est.variance;
+            break;
+          case AggFunc::kQuantile:
+            // Handled by the caller (quantile queries are not split).
+            break;
+        }
+      }
+    }
+  }
+
+  QueryResult combined;
+  combined.group_names = partials.front().result.group_names;
+  combined.aggregate_names.assign(partials.front().result.aggregate_names.begin(),
+                                  partials.front().result.aggregate_names.begin() +
+                                      static_cast<long>(agg_funcs.size()));
+  combined.confidence = confidence;
+  for (auto& [key, c] : merged) {
+    (void)key;
+    ResultRow row;
+    row.group_values = std::move(c.group_values);
+    for (size_t a = 0; a < agg_funcs.size(); ++a) {
+      Estimate est = c.sums[a];
+      if (agg_funcs[a] == AggFunc::kAvg) {
+        const double total = std::max(1e-300, c.total_count[a]);
+        est.value = c.weighted_num[a] / total;
+        est.variance = c.sums[a].variance / (total * total);
+      }
+      row.aggregates.push_back(est);
+    }
+    combined.rows.push_back(std::move(row));
+  }
+  std::sort(combined.rows.begin(), combined.rows.end(),
+            [](const ResultRow& a, const ResultRow& b) {
+              for (size_t i = 0; i < a.group_values.size() && i < b.group_values.size();
+                   ++i) {
+                const std::string sa = a.group_values[i].ToString();
+                const std::string sb = b.group_values[i].ToString();
+                if (sa != sb) {
+                  return sa < sb;
+                }
+              }
+              return false;
+            });
+  report.achieved_error = ResultError(combined, stmt.bounds, confidence);
+  return ApproxAnswer{std::move(combined), std::move(report)};
+}
+
+Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
+                                           const std::string& table_name,
+                                           const Table& fact, double scale_factor,
+                                           const Table* dim) const {
+  // Disjunctive WHERE with no single covering family: rewrite as a union of
+  // conjunctive subqueries (§4.1.2). Quantiles cannot be recombined across
+  // disjuncts, so they always take the single-family path.
+  if (stmt.where.has_value() && !stmt.where->IsConjunctive()) {
+    const std::vector<std::string> phi = stmt.TemplateColumns();
+    const bool has_covering = !store_->CoveringFamilies(table_name, phi).empty();
+    bool has_quantile = false;
+    for (const auto& item : stmt.items) {
+      if (item.is_aggregate && item.agg.func == AggFunc::kQuantile) {
+        has_quantile = true;
+      }
+    }
+    if (!has_covering && !has_quantile) {
+      auto disjuncts = ToDnf(*stmt.where, config_.max_disjuncts);
+      if (disjuncts.has_value() && disjuncts->size() > 1) {
+        return RunDisjunctive(stmt, table_name, fact, scale_factor, dim,
+                              std::move(*disjuncts));
+      }
+    }
+  }
+
+  auto choice = ChooseFamily(stmt, table_name, fact, scale_factor, dim);
+  if (!choice.ok()) {
+    return choice.status();
+  }
+  if (choice->family == nullptr) {
+    return RunExact(stmt, fact, scale_factor, dim);
+  }
+  return RunOnFamily(stmt, *choice->family, choice->selection_probe_latency, scale_factor,
+                     dim);
+}
+
+}  // namespace blink

@@ -1,0 +1,119 @@
+// BlinkDB runtime (paper §4): given a parsed query with error or time bounds,
+// select a sample family (§4.1), build an Error-Latency Profile by probing
+// the family's smallest resolutions (§4.2), pick the resolution that meets
+// the bounds, and execute — reusing the probe's scanned blocks (§4.4).
+// Disjunctive WHERE clauses are rewritten into unions of conjunctive
+// subqueries whose results are combined (§4.1.2).
+#ifndef BLINKDB_RUNTIME_QUERY_RUNTIME_H_
+#define BLINKDB_RUNTIME_QUERY_RUNTIME_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_model.h"
+#include "src/exec/executor.h"
+#include "src/sample/sample_store.h"
+#include "src/sql/ast.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+struct RuntimeConfig {
+  double default_confidence = 0.95;
+  // Minimum matched rows a probe must see before its selectivity estimate is
+  // trusted; smaller probes escalate to the next resolution ("runs a few
+  // smaller samples", §4.2).
+  uint64_t min_probe_matches = 30;
+  // Reuse the probe's scanned blocks when running the final resolution of the
+  // same family (§4.4): the final scan is charged only for the delta bytes.
+  bool reuse_intermediate = true;
+  // Cap on disjuncts produced by the DNF rewrite before falling back to
+  // single-family execution of the whole disjunctive predicate.
+  size_t max_disjuncts = 16;
+};
+
+// One point of the Error-Latency Profile.
+struct ElpPoint {
+  size_t resolution = 0;          // family resolution index (0 = largest)
+  uint64_t rows = 0;              // logical sample rows
+  double projected_error = 0.0;   // relative (or absolute) error projection
+  double projected_latency = 0.0; // modeled seconds
+  double projected_matched = 0.0; // rows the query is expected to select
+};
+
+// Diagnostics describing how the runtime answered a query.
+struct ExecutionReport {
+  std::string family;             // "exact", "uniform", or "{c1,c2}"
+  size_t resolution = 0;
+  uint64_t cap = 0;
+  uint64_t rows_read = 0;
+  double probe_latency = 0.0;     // simulated seconds spent building the ELP
+  double execution_latency = 0.0; // simulated seconds of the final run
+  double total_latency = 0.0;
+  double projected_error = 0.0;
+  double achieved_error = 0.0;    // self-reported relative error of the answer
+  std::vector<ElpPoint> elp;
+  size_t num_subqueries = 1;      // >1 when the disjunction rewrite fired
+};
+
+struct ApproxAnswer {
+  QueryResult result;
+  ExecutionReport report;
+};
+
+class QueryRuntime {
+ public:
+  QueryRuntime(const SampleStore* store, const ClusterModel* cluster,
+               RuntimeConfig config = {})
+      : store_(store), cluster_(cluster), config_(config) {}
+
+  // Answers `stmt` over table `table_name` whose exact contents are `fact`.
+  // `scale_factor` maps in-memory bytes to paper-scale bytes for the latency
+  // model (a 5M-row stand-in for a 5.5B-row table has scale 1100). `dim` is
+  // the joined dimension table, exact and unsampled (§2.1).
+  Result<ApproxAnswer> Execute(const SelectStatement& stmt, const std::string& table_name,
+                               const Table& fact, double scale_factor,
+                               const Table* dim = nullptr) const;
+
+ private:
+  struct FamilyChoice {
+    const SampleFamily* family = nullptr;  // null = exact execution
+    double selection_probe_latency = 0.0;  // parallel probes of other families
+  };
+
+  // §4.1.1: pick a family for a conjunctive column set.
+  Result<FamilyChoice> ChooseFamily(const SelectStatement& stmt,
+                                    const std::string& table_name, const Table& fact,
+                                    double scale_factor, const Table* dim) const;
+
+  // §4.2: probe + ELP + resolution choice + final run on one family.
+  Result<ApproxAnswer> RunOnFamily(const SelectStatement& stmt, const SampleFamily& family,
+                                   double selection_latency, double scale_factor,
+                                   const Table* dim) const;
+
+  // Exact fallback when no samples exist.
+  Result<ApproxAnswer> RunExact(const SelectStatement& stmt, const Table& fact,
+                                double scale_factor, const Table* dim) const;
+
+  // §4.1.2: union-of-conjunctive-subqueries path.
+  Result<ApproxAnswer> RunDisjunctive(const SelectStatement& stmt,
+                                      const std::string& table_name, const Table& fact,
+                                      double scale_factor, const Table* dim,
+                                      std::vector<Predicate> disjuncts) const;
+
+  double LatencyForDataset(const Dataset& ds, double scale_factor) const;
+
+  const SampleStore* store_;
+  const ClusterModel* cluster_;
+  RuntimeConfig config_;
+};
+
+// Converts a predicate to disjunctive normal form: a list of conjunctive
+// predicates whose OR is equivalent. Returns nullopt if the expansion would
+// exceed `max_disjuncts`. Exposed for tests.
+std::optional<std::vector<Predicate>> ToDnf(const Predicate& pred, size_t max_disjuncts);
+
+}  // namespace blink
+
+#endif  // BLINKDB_RUNTIME_QUERY_RUNTIME_H_

@@ -1,0 +1,99 @@
+#include "src/sample/maintenance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace blink {
+namespace {
+
+// Sorted descending normalized frequency vector of the given column set.
+Result<std::vector<double>> FrequencyProfile(const Table& table,
+                                             const std::vector<std::string>& columns) {
+  std::vector<size_t> indices;
+  for (const auto& name : columns) {
+    auto idx = table.schema().FindColumn(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("column '" + name + "' missing from table");
+    }
+    indices.push_back(*idx);
+  }
+  KeyEncoder encoder(table, indices);
+  std::unordered_map<std::vector<int64_t>, uint64_t, KeyHash> freq;
+  std::vector<int64_t> key;
+  for (uint64_t row = 0; row < table.num_rows(); ++row) {
+    encoder.Encode(row, key);
+    ++freq[key];
+  }
+  std::vector<double> profile;
+  profile.reserve(freq.size());
+  const double n = static_cast<double>(table.num_rows());
+  for (const auto& [k, count] : freq) {
+    (void)k;
+    profile.push_back(static_cast<double>(count) / n);
+  }
+  std::sort(profile.begin(), profile.end(), std::greater<>());
+  return profile;
+}
+
+double TotalVariation(const std::vector<double>& a, const std::vector<double>& b) {
+  double tv = 0.0;
+  const size_t n = std::max(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double pa = i < a.size() ? a[i] : 0.0;
+    const double pb = i < b.size() ? b[i] : 0.0;
+    tv += std::fabs(pa - pb);
+  }
+  return 0.5 * tv;
+}
+
+}  // namespace
+
+Result<DriftReport> CheckDrift(const SampleFamily& family, const Table& current,
+                               double threshold) {
+  DriftReport report;
+  if (family.kind() == SampleFamily::Kind::kUniform) {
+    // Uniform samples drift only in size: compare row counts.
+    const double old_n = static_cast<double>(family.source_rows());
+    const double new_n = static_cast<double>(current.num_rows());
+    if (old_n > 0.0) {
+      report.total_variation = std::fabs(new_n - old_n) / std::max(old_n, new_n);
+    }
+    report.needs_refresh = report.total_variation > threshold;
+    return report;
+  }
+
+  // Stored profile: per-stratum N_h captured at build time.
+  std::vector<double> stored;
+  {
+    const Dataset largest = family.LogicalSample(0);
+    const auto& counts = *largest.stratum_counts;
+    stored.reserve(counts.size());
+    double total = 0.0;
+    for (const auto& c : counts) {
+      total += c.total_rows;
+    }
+    for (const auto& c : counts) {
+      stored.push_back(total > 0.0 ? c.total_rows / total : 0.0);
+    }
+    std::sort(stored.begin(), stored.end(), std::greater<>());
+  }
+
+  auto live = FrequencyProfile(current, family.columns());
+  if (!live.ok()) {
+    return live.status();
+  }
+  report.total_variation = TotalVariation(stored, *live);
+  report.needs_refresh = report.total_variation > threshold;
+  return report;
+}
+
+Result<SampleFamily> RebuildFamily(const SampleFamily& family, const Table& current,
+                                   const SampleFamilyOptions& options, Rng& rng) {
+  if (family.kind() == SampleFamily::Kind::kUniform) {
+    return SampleFamily::BuildUniform(current, options, rng);
+  }
+  return SampleFamily::BuildStratified(current, family.columns(), options, rng);
+}
+
+}  // namespace blink

@@ -1,0 +1,36 @@
+// Sample maintenance (paper §4.5 and §3.2.3): detect when a family's
+// stratum-frequency distribution has drifted from the live table and rebuild
+// it. The paper runs this as a low-priority background task; here rebuilds
+// are synchronous calls the host application schedules as it likes.
+#ifndef BLINKDB_SAMPLE_MAINTENANCE_H_
+#define BLINKDB_SAMPLE_MAINTENANCE_H_
+
+#include "src/sample/sample_family.h"
+
+namespace blink {
+
+struct DriftReport {
+  // Total-variation distance in [0,1] between the family's stored frequency
+  // profile and the live table's, computed over sorted frequency vectors
+  // (shape comparison, robust to relabeled values).
+  double total_variation = 0.0;
+  bool needs_refresh = false;
+};
+
+// Compares the frequency distribution the family was built from against the
+// current table contents. `threshold` is the TV distance above which a
+// refresh is recommended (the paper's monitoring module "detects significant
+// changes in data distribution").
+Result<DriftReport> CheckDrift(const SampleFamily& family, const Table& current,
+                               double threshold = 0.1);
+
+// Rebuilds `family` from the current table contents with the given options,
+// preserving its kind and column set. The caller swaps the result into its
+// SampleStore ("periodically replace samples with new ones in the
+// background", §2.1 Offline Sampling).
+Result<SampleFamily> RebuildFamily(const SampleFamily& family, const Table& current,
+                                   const SampleFamilyOptions& options, Rng& rng);
+
+}  // namespace blink
+
+#endif  // BLINKDB_SAMPLE_MAINTENANCE_H_

@@ -1,0 +1,179 @@
+#include "src/sample/sample_family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/util/string_util.h"
+
+namespace blink {
+
+std::vector<uint64_t> ResolutionCaps(uint64_t largest_cap, double factor,
+                                     size_t max_resolutions) {
+  std::vector<uint64_t> caps;
+  double cap = static_cast<double>(largest_cap);
+  while (caps.size() < max_resolutions && cap >= 1.0) {
+    const uint64_t k = static_cast<uint64_t>(std::floor(cap));
+    if (!caps.empty() && k >= caps.back()) {
+      break;  // floor() stopped decreasing (factor too close to 1)
+    }
+    caps.push_back(k);
+    cap /= factor;
+  }
+  return caps;
+}
+
+Result<SampleFamily> SampleFamily::BuildStratified(
+    const Table& source, const std::vector<std::string>& phi_columns,
+    const SampleFamilyOptions& options, Rng& rng) {
+  if (phi_columns.empty()) {
+    return Status::InvalidArgument("stratified family needs at least one column");
+  }
+  if (options.resolution_factor <= 1.0) {
+    return Status::InvalidArgument("resolution factor must exceed 1");
+  }
+  std::vector<size_t> col_indices;
+  std::vector<std::string> normalized;
+  for (const auto& name : phi_columns) {
+    auto idx = source.schema().FindColumn(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("stratification column '" + name + "' not found");
+    }
+    col_indices.push_back(*idx);
+    normalized.push_back(AsciiToLower(name));
+  }
+  std::sort(normalized.begin(), normalized.end());
+
+  SampleFamily family;
+  family.kind_ = Kind::kStratified;
+  family.columns_ = std::move(normalized);
+  family.source_rows_ = source.num_rows();
+
+  // 1. Group source rows by phi value -> strata.
+  KeyEncoder encoder(source, col_indices);
+  std::unordered_map<std::vector<int64_t>, uint32_t, KeyHash> stratum_ids;
+  std::vector<std::vector<uint64_t>> stratum_rows;
+  std::vector<int64_t> key;
+  for (uint64_t row = 0; row < source.num_rows(); ++row) {
+    encoder.Encode(row, key);
+    auto [it, inserted] =
+        stratum_ids.emplace(key, static_cast<uint32_t>(stratum_rows.size()));
+    if (inserted) {
+      stratum_rows.emplace_back();
+    }
+    stratum_rows[it->second].push_back(row);
+  }
+
+  // 2. Permute each stratum once; nested prefixes give every resolution.
+  for (auto& rows : stratum_rows) {
+    rng.Shuffle(rows);
+  }
+
+  const std::vector<uint64_t> caps =
+      ResolutionCaps(options.largest_cap, options.resolution_factor,
+                     options.max_resolutions);
+  const size_t m = caps.size();
+  const size_t num_strata = stratum_rows.size();
+
+  // 3. Per-resolution per-stratum counts: n_h(K_i) = min(F_h, K_i).
+  family.per_resolution_counts_.assign(m, std::vector<StratumCounts>(num_strata));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t h = 0; h < num_strata; ++h) {
+      const double f = static_cast<double>(stratum_rows[h].size());
+      family.per_resolution_counts_[i][h] = {
+          f, std::min(f, static_cast<double>(caps[i]))};
+    }
+  }
+
+  // 4. Physical layout: delta blocks, smallest resolution first. Block for
+  // resolution level i (from smallest m-1 up to largest 0) holds, for each
+  // stratum, rows [n_h(K_{i+1}), n_h(K_i)).
+  std::vector<uint64_t> physical_order;
+  std::vector<uint32_t> physical_strata;
+  uint64_t total_rows = 0;
+  for (size_t h = 0; h < num_strata; ++h) {
+    total_rows += static_cast<uint64_t>(
+        family.per_resolution_counts_[0][h].sampled_rows);
+  }
+  physical_order.reserve(total_rows);
+  physical_strata.reserve(total_rows);
+  family.resolutions_.resize(m);
+  for (size_t level = m; level-- > 0;) {
+    for (size_t h = 0; h < num_strata; ++h) {
+      const uint64_t prev =
+          level + 1 < m
+              ? static_cast<uint64_t>(family.per_resolution_counts_[level + 1][h].sampled_rows)
+              : 0;
+      const uint64_t now =
+          static_cast<uint64_t>(family.per_resolution_counts_[level][h].sampled_rows);
+      for (uint64_t r = prev; r < now; ++r) {
+        physical_order.push_back(stratum_rows[h][r]);
+        physical_strata.push_back(static_cast<uint32_t>(h));
+      }
+    }
+    family.resolutions_[level].cap = caps[level];
+    family.resolutions_[level].rows = physical_order.size();
+  }
+
+  family.physical_rows_ = source.SelectRows(physical_order);
+  family.row_strata_ = std::move(physical_strata);
+  const double bytes_per_row = family.physical_rows_.EstimatedBytesPerRow();
+  for (auto& res : family.resolutions_) {
+    res.bytes = static_cast<double>(res.rows) * bytes_per_row;
+  }
+  return family;
+}
+
+Result<SampleFamily> SampleFamily::BuildUniform(const Table& source,
+                                                const SampleFamilyOptions& options,
+                                                Rng& rng) {
+  if (options.uniform_fraction <= 0.0 || options.uniform_fraction > 1.0) {
+    return Status::InvalidArgument("uniform fraction must be in (0, 1]");
+  }
+  if (options.resolution_factor <= 1.0) {
+    return Status::InvalidArgument("resolution factor must exceed 1");
+  }
+  SampleFamily family;
+  family.kind_ = Kind::kUniform;
+  family.source_rows_ = source.num_rows();
+
+  const uint64_t n = source.num_rows();
+  const uint64_t largest_rows = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(options.uniform_fraction *
+                                            static_cast<double>(n))));
+  // Row targets per resolution, decreasing by the factor.
+  std::vector<uint64_t> sizes =
+      ResolutionCaps(largest_rows, options.resolution_factor, options.max_resolutions);
+  const size_t m = sizes.size();
+
+  // One random permutation; logical sample i = prefix of size sizes[i]. The
+  // physical layout is the permutation reversed into smallest-first order
+  // implicitly: a prefix of length sizes[i] IS the sample (single stratum).
+  std::vector<uint64_t> chosen = rng.SampleWithoutReplacement(n, largest_rows);
+  // chosen is already in random order; prefix of it is a uniform subsample.
+  family.physical_rows_ = source.SelectRows(chosen);
+  family.row_strata_.assign(chosen.size(), 0);
+
+  family.resolutions_.resize(m);
+  family.per_resolution_counts_.assign(m, std::vector<StratumCounts>(1));
+  const double bytes_per_row = family.physical_rows_.EstimatedBytesPerRow();
+  for (size_t i = 0; i < m; ++i) {
+    family.resolutions_[i].cap = sizes[i];
+    family.resolutions_[i].rows = sizes[i];
+    family.resolutions_[i].bytes = static_cast<double>(sizes[i]) * bytes_per_row;
+    family.per_resolution_counts_[i][0] = {static_cast<double>(n),
+                                           static_cast<double>(sizes[i])};
+  }
+  return family;
+}
+
+Dataset SampleFamily::LogicalSample(size_t i) const {
+  Dataset d;
+  d.table = &physical_rows_;
+  d.strata = &row_strata_;
+  d.stratum_counts = &per_resolution_counts_[i];
+  d.scan_rows = resolutions_[i].rows;
+  return d;
+}
+
+}  // namespace blink

@@ -1,0 +1,174 @@
+#include "src/sql/analyzer.h"
+
+#include "src/util/string_util.h"
+
+namespace blink {
+namespace {
+
+Status ValidatePredicate(const Predicate& pred, const Schema& fact, const Schema* dim,
+                         const std::vector<std::string>* extra_names = nullptr) {
+  if (pred.kind == Predicate::Kind::kCompare) {
+    if (extra_names != nullptr) {
+      // HAVING may reference select-item aliases / aggregate display names;
+      // those are validated structurally at execution time.
+      for (const auto& name : *extra_names) {
+        if (EqualsIgnoreCase(name, pred.column)) {
+          return Status::Ok();
+        }
+      }
+    }
+    auto ref = ResolveColumn(pred.column, fact, dim);
+    if (!ref.ok()) {
+      return ref.status();
+    }
+    // Type compatibility: string literals only against string columns and
+    // numeric literals only against numeric columns.
+    const bool column_is_string = ref->type == DataType::kString;
+    const bool literal_is_string = pred.literal.is_string();
+    if (column_is_string != literal_is_string) {
+      return Status::InvalidArgument("type mismatch comparing column '" + pred.column +
+                                     "' with " + pred.literal.ToString());
+    }
+    if (column_is_string && pred.op != CompareOp::kEq && pred.op != CompareOp::kNe) {
+      return Status::InvalidArgument("string column '" + pred.column +
+                                     "' only supports = and !=");
+    }
+    return Status::Ok();
+  }
+  for (const auto& child : pred.children) {
+    BLINK_RETURN_IF_ERROR(ValidatePredicate(child, fact, dim, extra_names));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ColumnRef> ResolveColumn(const std::string& name, const Schema& fact,
+                                const Schema* dim) {
+  if (auto idx = fact.FindColumn(name); idx.has_value()) {
+    return ColumnRef{TableSide::kFact, *idx, fact.column(*idx).type};
+  }
+  if (dim != nullptr) {
+    if (auto idx = dim->FindColumn(name); idx.has_value()) {
+      return ColumnRef{TableSide::kDim, *idx, dim->column(*idx).type};
+    }
+  }
+  return Status::NotFound("unknown column '" + name + "'");
+}
+
+Status ValidateQuery(const SelectStatement& stmt, const Schema& fact, const Schema* dim) {
+  if (stmt.join.has_value()) {
+    if (dim == nullptr) {
+      return Status::InvalidArgument("query joins '" + stmt.join->table +
+                                     "' but no dimension schema was provided");
+    }
+    const auto left = fact.FindColumn(stmt.join->left_column);
+    if (!left.has_value()) {
+      return Status::NotFound("join key '" + stmt.join->left_column +
+                              "' not in fact table");
+    }
+    const auto right = dim->FindColumn(stmt.join->right_column);
+    if (!right.has_value()) {
+      return Status::NotFound("join key '" + stmt.join->right_column +
+                              "' not in joined table");
+    }
+    if (fact.column(*left).type != dim->column(*right).type) {
+      return Status::InvalidArgument("join key type mismatch");
+    }
+  }
+
+  for (const auto& item : stmt.items) {
+    if (item.is_aggregate) {
+      if (item.agg.count_star) {
+        continue;
+      }
+      auto ref = ResolveColumn(item.agg.column, fact, dim);
+      if (!ref.ok()) {
+        return ref.status();
+      }
+      if (item.agg.func != AggFunc::kCount && ref->type == DataType::kString) {
+        return Status::InvalidArgument(std::string(AggFuncName(item.agg.func)) +
+                                       " requires a numeric column, got '" +
+                                       item.agg.column + "'");
+      }
+    } else {
+      auto ref = ResolveColumn(item.column, fact, dim);
+      if (!ref.ok()) {
+        return ref.status();
+      }
+      // Non-aggregate select items must appear in GROUP BY.
+      bool in_group = false;
+      for (const auto& g : stmt.group_by) {
+        if (EqualsIgnoreCase(g, item.column)) {
+          in_group = true;
+          break;
+        }
+      }
+      if (!in_group) {
+        return Status::InvalidArgument("column '" + item.column +
+                                       "' must appear in GROUP BY");
+      }
+    }
+  }
+
+  for (const auto& g : stmt.group_by) {
+    auto ref = ResolveColumn(g, fact, dim);
+    if (!ref.ok()) {
+      return ref.status();
+    }
+  }
+
+  if (stmt.where.has_value()) {
+    BLINK_RETURN_IF_ERROR(ValidatePredicate(*stmt.where, fact, dim));
+  }
+  if (stmt.having.has_value()) {
+    std::vector<std::string> select_names;
+    select_names.reserve(stmt.items.size());
+    for (const auto& item : stmt.items) {
+      select_names.push_back(SelectItemName(item));
+    }
+    BLINK_RETURN_IF_ERROR(ValidatePredicate(*stmt.having, fact, dim, &select_names));
+  }
+
+  switch (stmt.bounds.kind) {
+    case QueryBounds::Kind::kError:
+      if (stmt.bounds.error <= 0.0) {
+        return Status::InvalidArgument("error bound must be positive");
+      }
+      if (stmt.bounds.confidence <= 0.0 || stmt.bounds.confidence >= 1.0) {
+        return Status::InvalidArgument("confidence must be in (0,1)");
+      }
+      break;
+    case QueryBounds::Kind::kTime:
+      if (stmt.bounds.time_seconds <= 0.0) {
+        return Status::InvalidArgument("time bound must be positive");
+      }
+      break;
+    case QueryBounds::Kind::kNone:
+      break;
+  }
+  return Status::Ok();
+}
+
+std::string SelectItemName(const SelectItem& item) {
+  if (!item.alias.empty()) {
+    return item.alias;
+  }
+  if (!item.is_aggregate) {
+    return item.column;
+  }
+  std::string name = AggFuncName(item.agg.func);
+  name += "(";
+  if (item.agg.count_star) {
+    name += "*";
+  } else {
+    name += item.agg.column;
+    if (item.agg.func == AggFunc::kQuantile) {
+      name += ", " + std::to_string(item.agg.quantile_p);
+    }
+  }
+  name += ")";
+  return name;
+}
+
+}  // namespace blink

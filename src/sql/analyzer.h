@@ -1,0 +1,44 @@
+// Semantic analysis: resolves column names in a parsed statement against the
+// fact table schema (and the joined dimension schema, if any) and validates
+// aggregate argument types. Both the executor and the runtime sample
+// selector rely on these helpers.
+#ifndef BLINKDB_SQL_ANALYZER_H_
+#define BLINKDB_SQL_ANALYZER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/sql/ast.h"
+#include "src/storage/schema.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+// Where a resolved column lives: the FROM table or the JOINed table.
+enum class TableSide { kFact = 0, kDim = 1 };
+
+struct ColumnRef {
+  TableSide side = TableSide::kFact;
+  size_t index = 0;
+  DataType type = DataType::kInt64;
+};
+
+// Resolves `name` against the fact schema, then the dimension schema.
+// Returns NotFound if the column exists in neither.
+Result<ColumnRef> ResolveColumn(const std::string& name, const Schema& fact,
+                                const Schema* dim);
+
+// Validates the whole statement:
+//  - every referenced column resolves;
+//  - SUM/AVG/QUANTILE arguments are numeric;
+//  - JOIN key columns exist on their respective sides with matching types;
+//  - bounds are sane (error > 0, 0 < confidence < 1, time > 0).
+// Returns the first problem found.
+Status ValidateQuery(const SelectStatement& stmt, const Schema& fact, const Schema* dim);
+
+// The display name of a select item ("COUNT(*)", alias if given, ...).
+std::string SelectItemName(const SelectItem& item);
+
+}  // namespace blink
+
+#endif  // BLINKDB_SQL_ANALYZER_H_

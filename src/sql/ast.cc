@@ -1,0 +1,191 @@
+#include "src/sql/ast.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace blink {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kQuantile:
+      return "QUANTILE";
+  }
+  return "?";
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Predicate Predicate::Compare(std::string col, CompareOp cmp, Value lit) {
+  Predicate p;
+  p.kind = Kind::kCompare;
+  p.column = std::move(col);
+  p.op = cmp;
+  p.literal = std::move(lit);
+  return p;
+}
+
+Predicate Predicate::And(std::vector<Predicate> kids) {
+  Predicate p;
+  p.kind = Kind::kAnd;
+  p.children = std::move(kids);
+  return p;
+}
+
+Predicate Predicate::Or(std::vector<Predicate> kids) {
+  Predicate p;
+  p.kind = Kind::kOr;
+  p.children = std::move(kids);
+  return p;
+}
+
+void Predicate::CollectColumns(std::vector<std::string>& out) const {
+  if (kind == Kind::kCompare) {
+    const std::string lower = AsciiToLower(column);
+    if (std::find(out.begin(), out.end(), lower) == out.end()) {
+      out.push_back(lower);
+    }
+    return;
+  }
+  for (const auto& child : children) {
+    child.CollectColumns(out);
+  }
+}
+
+bool Predicate::IsConjunctive() const {
+  if (kind == Kind::kOr) {
+    return false;
+  }
+  if (kind == Kind::kCompare) {
+    return true;
+  }
+  for (const auto& child : children) {
+    if (!child.IsConjunctive()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kCompare:
+      return column + " " + CompareOpName(op) + " " + literal.ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) {
+          out += sep;
+        }
+        out += children[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::vector<std::string> SelectStatement::TemplateColumns() const {
+  std::vector<std::string> cols;
+  if (where.has_value()) {
+    where->CollectColumns(cols);
+  }
+  if (having.has_value()) {
+    having->CollectColumns(cols);
+  }
+  for (const auto& g : group_by) {
+    const std::string lower = AsciiToLower(g);
+    if (std::find(cols.begin(), cols.end(), lower) == cols.end()) {
+      cols.push_back(lower);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    const auto& item = items[i];
+    if (item.is_aggregate) {
+      out += AggFuncName(item.agg.func);
+      out += "(";
+      if (item.agg.count_star) {
+        out += "*";
+      } else {
+        out += item.agg.column;
+        if (item.agg.func == AggFunc::kQuantile) {
+          out += ", " + std::to_string(item.agg.quantile_p);
+        }
+      }
+      out += ")";
+    } else {
+      out += item.column;
+    }
+    if (!item.alias.empty()) {
+      out += " AS " + item.alias;
+    }
+  }
+  out += " FROM " + table;
+  if (join.has_value()) {
+    out += " JOIN " + join->table + " ON " + join->left_column + " = " + join->right_column;
+  }
+  if (where.has_value()) {
+    out += " WHERE " + where->ToString();
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += group_by[i];
+    }
+  }
+  if (having.has_value()) {
+    out += " HAVING " + having->ToString();
+  }
+  switch (bounds.kind) {
+    case QueryBounds::Kind::kNone:
+      break;
+    case QueryBounds::Kind::kError:
+      out += " ERROR WITHIN " + std::to_string(bounds.error * (bounds.relative ? 100.0 : 1.0)) +
+             (bounds.relative ? "%" : "") + " AT CONFIDENCE " +
+             std::to_string(bounds.confidence * 100.0) + "%";
+      break;
+    case QueryBounds::Kind::kTime:
+      out += " WITHIN " + std::to_string(bounds.time_seconds) + " SECONDS";
+      break;
+  }
+  return out;
+}
+
+}  // namespace blink

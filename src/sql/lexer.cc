@@ -1,0 +1,105 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/util/string_util.h"
+
+namespace blink {
+
+bool Token::IsWord(std::string_view word) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+bool Token::IsSymbol(std::string_view sym) const {
+  return type == TokenType::kSymbol && text == sym;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) || sql[j] == '_' ||
+                       sql[j] == '.')) {
+        ++j;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) || sql[j] == '.')) {
+        ++j;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = std::string(sql.substr(i, j - i));
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string content;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          // '' escapes a quote.
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            content += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        content += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(content);
+      i = j;
+    } else {
+      // Multi-char operators first.
+      auto starts = [&](std::string_view op) {
+        return sql.substr(i).substr(0, op.size()) == op;
+      };
+      tok.type = TokenType::kSymbol;
+      if (starts("<=") || starts(">=") || starts("!=") || starts("<>")) {
+        tok.text = std::string(sql.substr(i, 2));
+        if (tok.text == "<>") {
+          tok.text = "!=";
+        }
+        i += 2;
+      } else if (c == '(' || c == ')' || c == ',' || c == '*' || c == '=' || c == '<' ||
+                 c == '>' || c == '%' || c == ';') {
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                       "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace blink

@@ -1,0 +1,39 @@
+// SQL tokenizer for the BlinkDB dialect.
+#ifndef BLINKDB_SQL_LEXER_H_
+#define BLINKDB_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace blink {
+
+enum class TokenType {
+  kIdentifier,  // column / table / keyword (keywords resolved by the parser)
+  kNumber,      // integer or decimal literal
+  kString,      // 'quoted'
+  kSymbol,      // punctuation and operators: ( ) , * = != <> < <= > >= %
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // raw text (identifiers preserved as written)
+  double number = 0;  // value for kNumber
+  size_t position = 0;  // byte offset, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  // Case-insensitive keyword/identifier match.
+  bool IsWord(std::string_view word) const;
+  bool IsSymbol(std::string_view sym) const;
+};
+
+// Tokenizes `sql`. Returns InvalidArgument on unterminated strings or
+// unexpected characters. The token list always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace blink
+
+#endif  // BLINKDB_SQL_LEXER_H_

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the BlinkDB SQL dialect.
+//
+// Grammar (keywords case-insensitive):
+//   SELECT item ("," item)* FROM table [JOIN t ON a = b]
+//     [WHERE predicate] [GROUP BY col ("," col)*] [HAVING predicate]
+//     [ERROR WITHIN num ["%"] AT CONFIDENCE num ["%"] | WITHIN num SECONDS]
+//   item := COUNT "(" ("*" | col) ")" | (SUM|AVG|MEAN) "(" col ")"
+//         | MEDIAN "(" col ")" | (QUANTILE|PERCENTILE) "(" col "," num ")"
+//         | col | [RELATIVE|ABSOLUTE] ERROR AT num "%" CONFIDENCE
+//   predicate := and_expr (OR and_expr)* ; and_expr := prim (AND prim)*
+//   prim := "(" predicate ")" | col (=|!=|<|<=|>|>=) literal
+#ifndef BLINKDB_SQL_PARSER_H_
+#define BLINKDB_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "src/sql/ast.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+// Parses one SELECT statement. Returns InvalidArgument with a position-tagged
+// message on syntax errors.
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+}  // namespace blink
+
+#endif  // BLINKDB_SQL_PARSER_H_

@@ -1,0 +1,145 @@
+#include "src/stats/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace blink {
+namespace {
+
+constexpr uint64_t kTableLimit = 1u << 20;  // build explicit CDF up to ~1M values
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(double exponent, uint64_t num_values)
+    : exponent_(exponent), num_values_(num_values) {
+  assert(num_values >= 1);
+  assert(exponent >= 0.0);
+  if (num_values_ <= kTableLimit || exponent_ == 0.0) {
+    cdf_.resize(num_values_);
+    double acc = 0.0;
+    for (uint64_t r = 1; r <= num_values_; ++r) {
+      acc += std::pow(static_cast<double>(r), -exponent_);
+      cdf_[r - 1] = acc;
+    }
+    for (double& c : cdf_) {
+      c /= acc;
+    }
+  } else {
+    // Rejection-inversion sampling (Hörmann & Derflinger 1996), as used by
+    // Apache Commons Math. Valid for any exponent > 0 and huge domains.
+    h_x1_ = HIntegral(1.5) - 1.0;
+    h_half_ = HIntegral(static_cast<double>(num_values_) + 0.5);
+    s_const_ = 2.0 - HIntegralInverse(HIntegral(2.5) - std::pow(2.0, -exponent_));
+  }
+}
+
+double ZipfGenerator::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  if (exponent_ == 1.0) {
+    return log_x;
+  }
+  return std::expm1((1.0 - exponent_) * log_x) / (1.0 - exponent_);
+}
+
+double ZipfGenerator::HIntegralInverse(double x) const {
+  if (exponent_ == 1.0) {
+    return std::exp(x);
+  }
+  double t = x * (1.0 - exponent_);
+  if (t < -1.0) {
+    t = -1.0;  // guard against numerical round-off below the domain boundary
+  }
+  return std::exp(std::log1p(t) / (1.0 - exponent_));
+}
+
+uint64_t ZipfGenerator::NextByTable(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return num_values_;
+  }
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+uint64_t ZipfGenerator::NextByRejection(Rng& rng) const {
+  for (;;) {
+    const double u = h_half_ + rng.NextDouble() * (h_x1_ - h_half_);
+    const double x = HIntegralInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    k = std::max<uint64_t>(1, std::min(k, num_values_));
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_const_ ||
+        u >= HIntegral(kd + 0.5) - std::pow(kd, -exponent_)) {
+      return k;
+    }
+  }
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  if (!cdf_.empty()) {
+    return NextByTable(rng);
+  }
+  return NextByRejection(rng);
+}
+
+double NextExponential(Rng& rng, double rate) {
+  assert(rate > 0.0);
+  // Inverse CDF; guard against log(0).
+  double u = rng.NextDouble();
+  if (u >= 1.0) {
+    u = std::nextafter(1.0, 0.0);
+  }
+  return -std::log(1.0 - u) / rate;
+}
+
+double GeneralizedHarmonic(uint64_t a, uint64_t b, double s) {
+  assert(a >= 1 && a <= b);
+  constexpr uint64_t kExactLimit = 2'000'000;
+  if (b - a + 1 <= kExactLimit) {
+    double sum = 0.0;
+    for (uint64_t r = a; r <= b; ++r) {
+      sum += std::pow(static_cast<double>(r), -s);
+    }
+    return sum;
+  }
+  // Exact head + Euler-Maclaurin tail:
+  //   sum_{r=lo}^{b} r^-s ~= integral_lo^b x^-s dx + (lo^-s + b^-s)/2
+  //                          + s/12 (lo^-(s+1) - b^-(s+1)).
+  const uint64_t head_end = a + 100'000;
+  double sum = GeneralizedHarmonic(a, head_end, s);
+  const double lo = static_cast<double>(head_end + 1);
+  const double hi = static_cast<double>(b);
+  double integral;
+  if (s == 1.0) {
+    integral = std::log(hi) - std::log(lo);
+  } else {
+    integral = (std::pow(hi, 1.0 - s) - std::pow(lo, 1.0 - s)) / (1.0 - s);
+  }
+  sum += integral + 0.5 * (std::pow(lo, -s) + std::pow(hi, -s)) +
+         (s / 12.0) * (std::pow(lo, -s - 1.0) - std::pow(hi, -s - 1.0));
+  return sum;
+}
+
+uint64_t ZipfDistinctValues(double s, double peak_frequency_m) {
+  assert(s > 0.0);
+  return static_cast<uint64_t>(std::floor(std::pow(peak_frequency_m, 1.0 / s)));
+}
+
+double ZipfStratifiedStorageFraction(double s, double cap_k, double peak_frequency_m) {
+  assert(cap_k >= 1.0);
+  const uint64_t num_ranks = ZipfDistinctValues(s, peak_frequency_m);
+  // Ranks 1..r_cap have frequency >= K and are capped; the tail is kept whole.
+  // F(r) >= K  <=>  r <= (M/K)^(1/s).
+  uint64_t r_cap =
+      static_cast<uint64_t>(std::floor(std::pow(peak_frequency_m / cap_k, 1.0 / s)));
+  r_cap = std::min(r_cap, num_ranks);
+  const double total = peak_frequency_m * GeneralizedHarmonic(1, num_ranks, s);
+  double stored = static_cast<double>(r_cap) * cap_k;
+  if (r_cap < num_ranks) {
+    stored += peak_frequency_m * GeneralizedHarmonic(r_cap + 1, num_ranks, s);
+  }
+  return stored / total;
+}
+
+}  // namespace blink

@@ -1,0 +1,71 @@
+// Random-variate generators and analytic helpers for the distributions the
+// paper evaluates on: Zipf (heavy-tailed, §3.1 / Appendix A / Table 5),
+// exponential, and uniform.
+#ifndef BLINKDB_STATS_DISTRIBUTIONS_H_
+#define BLINKDB_STATS_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace blink {
+
+// Generates ranks distributed as Zipf(s) over {1, ..., num_values}:
+// P(rank = r) proportional to 1 / r^s. Sampling is inverse-CDF over a
+// precomputed cumulative table for small domains and rejection-inversion
+// (Hörmann) for large domains, so construction stays O(min(n, 1e6)).
+class ZipfGenerator {
+ public:
+  // `exponent` >= 0 (0 degenerates to uniform); `num_values` >= 1.
+  ZipfGenerator(double exponent, uint64_t num_values);
+
+  // Returns a rank in [1, num_values].
+  uint64_t Next(Rng& rng) const;
+
+  double exponent() const { return exponent_; }
+  uint64_t num_values() const { return num_values_; }
+
+ private:
+  uint64_t NextByTable(Rng& rng) const;
+  uint64_t NextByRejection(Rng& rng) const;
+  // Antiderivative of x^-s (shifted so HIntegral(1) = 0) and its inverse,
+  // used by rejection-inversion.
+  double HIntegral(double x) const;
+  double HIntegralInverse(double x) const;
+
+  double exponent_;
+  uint64_t num_values_;
+  // Inverse-CDF table (used when num_values_ <= kTableLimit).
+  std::vector<double> cdf_;
+  // Rejection-inversion constants (used otherwise).
+  double h_x1_ = 0.0;
+  double h_half_ = 0.0;
+  double s_const_ = 0.0;
+};
+
+// Exponentially distributed values with the given rate (mean = 1/rate).
+double NextExponential(Rng& rng, double rate);
+
+// --- Analytic Zipf storage math (Appendix A / Table 5) -----------------------
+//
+// The paper models a column whose value frequencies follow
+// F(rank) = M / rank^s, with M the highest frequency. The number of distinct
+// values is the largest R with F(R) >= 1, i.e. R = floor(M^(1/s)).
+
+// Sum_{r=a}^{b} r^(-s), computed exactly for short ranges and via an
+// Euler-Maclaurin integral approximation for long ones. Requires 1 <= a <= b.
+double GeneralizedHarmonic(uint64_t a, uint64_t b, double s);
+
+// Fraction of the original table kept by a stratified sample S(phi, K) when
+// the frequency distribution is Zipf with exponent `s` and peak frequency `M`:
+//   stored / total = Sum_r min(K, F(r)) / Sum_r F(r).
+// Reproduces Table 5 (e.g. s=1.5, K=1e5, M=1e9 -> ~0.052).
+double ZipfStratifiedStorageFraction(double s, double cap_k, double peak_frequency_m);
+
+// Number of distinct values under the Zipf(s, M) frequency model.
+uint64_t ZipfDistinctValues(double s, double peak_frequency_m);
+
+}  // namespace blink
+
+#endif  // BLINKDB_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,44 @@
+#include "src/storage/schema.h"
+
+#include "src/util/string_util.h"
+
+namespace blink {
+
+Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace blink

@@ -1,0 +1,44 @@
+// Table schemas: ordered, named, typed columns.
+#ifndef BLINKDB_STORAGE_SCHEMA_H_
+#define BLINKDB_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/storage/value.h"
+
+namespace blink {
+
+// One column declaration.
+struct ColumnSpec {
+  std::string name;
+  DataType type;
+};
+
+// An ordered list of column declarations with by-name lookup
+// (case-insensitive, matching SQL identifier semantics).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  // Index of the column named `name`, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  // "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_STORAGE_SCHEMA_H_

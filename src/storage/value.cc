@@ -1,0 +1,47 @@
+#include "src/storage/value.h"
+
+#include <cassert>
+
+namespace blink {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+DataType Value::type() const {
+  if (is_int()) {
+    return DataType::kInt64;
+  }
+  if (is_double()) {
+    return DataType::kDouble;
+  }
+  return DataType::kString;
+}
+
+double Value::AsNumeric() const {
+  if (is_int()) {
+    return static_cast<double>(AsInt());
+  }
+  assert(is_double() && "AsNumeric on a string value");
+  return AsDouble();
+}
+
+std::string Value::ToString() const {
+  if (is_int()) {
+    return std::to_string(AsInt());
+  }
+  if (is_double()) {
+    return std::to_string(AsDouble());
+  }
+  return "'" + AsString() + "'";
+}
+
+}  // namespace blink

@@ -1,0 +1,53 @@
+// Scalar value model for blinkdb-cpp tables and SQL literals.
+#ifndef BLINKDB_STORAGE_VALUE_H_
+#define BLINKDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace blink {
+
+// Column/scalar types supported by the engine. Strings are dictionary-encoded
+// inside tables; doubles/ints are stored natively.
+enum class DataType { kInt64, kDouble, kString };
+
+// Human-readable type name ("INT64", "DOUBLE", "STRING").
+const char* DataTypeName(DataType type);
+
+// A dynamically typed scalar, used at API boundaries (literals, query results,
+// row construction). Hot loops use the typed columnar accessors instead.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  DataType type() const;
+
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  // Numeric view: ints widen to double; strings are an error (asserts).
+  double AsNumeric() const;
+
+  // SQL-style rendering ('quoted' for strings).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_STORAGE_VALUE_H_

@@ -1,0 +1,10 @@
+#include "src/util/logging.h"
+
+namespace blink {
+
+LogLevel& MinLogLevel() {
+  static LogLevel level = LogLevel::kWarning;
+  return level;
+}
+
+}  // namespace blink

@@ -1,0 +1,72 @@
+// Minimal leveled logging for blinkdb-cpp.
+//
+// Logging defaults to warnings-and-above so tests and benchmarks stay quiet;
+// examples raise the level to kInfo to narrate what the engine is doing.
+#ifndef BLINKDB_UTIL_LOGGING_H_
+#define BLINKDB_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace blink {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Returns the mutable process-wide minimum level.
+LogLevel& MinLogLevel();
+
+// RAII line logger: accumulates a message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= MinLogLevel()) {
+      std::cerr << stream_.str() << "\n";
+    }
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      default:
+        return "?";
+    }
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') {
+        base = p + 1;
+      }
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define BLINK_LOG(level) ::blink::LogMessage(::blink::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace blink
+
+#endif  // BLINKDB_UTIL_LOGGING_H_

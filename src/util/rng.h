@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of blinkdb-cpp (sample creation, workload
+// generation, Monte-Carlo tests) draws from Rng so that experiments are
+// reproducible from a single seed. The generator is SplitMix64-seeded
+// xoshiro256**, which is fast, high-quality, and trivially portable.
+#ifndef BLINKDB_UTIL_RNG_H_
+#define BLINKDB_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace blink {
+
+// A small, fast, seedable random number generator (xoshiro256**).
+// Not thread-safe; create one Rng per thread (see Split()).
+class Rng {
+ public:
+  // Seeds the generator deterministically from `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Returns the next 64 random bits.
+  uint64_t NextUint64();
+
+  // Returns a uniformly distributed integer in [0, bound). Requires bound > 0.
+  // Uses rejection sampling, so the result is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Returns a uniformly distributed double in [0, 1).
+  double NextDouble();
+
+  // Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Returns true with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Returns a standard normal variate (Marsaglia polar method).
+  double NextGaussian();
+
+  // Derives an independent child generator; useful for giving each worker
+  // thread its own stream.
+  Rng Split();
+
+  // Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Samples `k` distinct indices from [0, n) via partial Fisher-Yates.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_UTIL_RNG_H_

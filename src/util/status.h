@@ -1,0 +1,131 @@
+// Lightweight status / result types used across blinkdb-cpp.
+//
+// The library reports recoverable errors (bad SQL, missing table, infeasible
+// optimization) through Status / Result<T> rather than exceptions, so callers
+// embedded in long-running services can handle them without unwinding.
+#ifndef BLINKDB_UTIL_STATUS_H_
+#define BLINKDB_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace blink {
+
+// Error categories surfaced by the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad SQL, negative budget, ...)
+  kNotFound,          // unknown table / column / sample
+  kFailedPrecondition,// operation not valid in the current state
+  kUnimplemented,     // recognized but unsupported construct
+  kInternal,          // invariant violation inside the engine
+  kResourceExhausted, // budget / capacity exceeded
+  kInfeasible,        // optimizer: no solution satisfies the constraints
+};
+
+// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  // Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-status result. `value()` asserts on the error path; callers must
+// check `ok()` first (or use `status()` to propagate).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse: `return my_value;` / `return Status::NotFound(...)`.
+  Result(T value) : data_(std::move(value)) {}           // NOLINT
+  Result(Status status) : data_(std::move(status)) {     // NOLINT
+    assert(!std::get<Status>(data_).ok() && "Result(Status) requires an error");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates an error status out of the enclosing function.
+#define BLINK_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::blink::Status status_ = (expr);          \
+    if (!status_.ok()) {                       \
+      return status_;                          \
+    }                                          \
+  } while (false)
+
+}  // namespace blink
+
+#endif  // BLINKDB_UTIL_STATUS_H_

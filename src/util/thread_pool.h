@@ -1,0 +1,53 @@
+// Fixed-size thread pool used for parallel sample creation (§5 of the paper
+// leverages Hive's parallel execution engine; we substitute worker threads).
+#ifndef BLINKDB_UTIL_THREAD_POOL_H_
+#define BLINKDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace blink {
+
+// A simple FIFO thread pool. Submit tasks with Submit(); Wait() blocks until
+// the queue is drained and all workers are idle. The destructor joins all
+// threads.
+class ThreadPool {
+ public:
+  // Creates a pool with `num_threads` workers (defaults to hardware
+  // concurrency, at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_UTIL_THREAD_POOL_H_

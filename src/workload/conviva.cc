@@ -1,0 +1,165 @@
+#include "src/workload/conviva.h"
+
+#include <cmath>
+
+#include "src/stats/distributions.h"
+
+namespace blink {
+namespace {
+
+const char* kGenres[] = {"western", "comedy",  "drama",   "news",    "sports",
+                         "horror",  "romance", "scifi",   "kids",    "music",
+                         "action",  "anime",   "classic", "reality", "talk",
+                         "crime",   "doc",     "fantasy", "history", "nature"};
+const char* kOses[] = {"Windows", "OSX", "Linux", "iOS", "Android", "Other"};
+const double kOsWeights[] = {0.45, 0.18, 0.05, 0.17, 0.13, 0.02};
+const char* kBrowsers[] = {"Chrome", "Firefox", "IE", "Safari", "Opera", "Edge", "Other"};
+const double kBrowserWeights[] = {0.35, 0.22, 0.18, 0.15, 0.04, 0.04, 0.02};
+
+size_t WeightedPick(Rng& rng, const double* weights, size_t n) {
+  double u = rng.NextDouble();
+  for (size_t i = 0; i < n; ++i) {
+    if (u < weights[i]) {
+      return i;
+    }
+    u -= weights[i];
+  }
+  return n - 1;
+}
+
+}  // namespace
+
+Table GenerateConvivaTable(const ConvivaConfig& config) {
+  Table t(Schema({{"dt", DataType::kInt64},
+                  {"city", DataType::kString},
+                  {"country", DataType::kString},
+                  {"customer_id", DataType::kInt64},
+                  {"asn", DataType::kInt64},
+                  {"url", DataType::kString},
+                  {"genre", DataType::kString},
+                  {"os", DataType::kString},
+                  {"browser", DataType::kString},
+                  {"isp", DataType::kString},
+                  {"endedflag", DataType::kInt64},
+                  {"jointimems", DataType::kDouble},
+                  {"sessiontimems", DataType::kDouble},
+                  {"bufferingms", DataType::kDouble},
+                  {"bitrate", DataType::kDouble}}));
+  t.Reserve(config.num_rows);
+
+  Rng rng(config.rng_seed);
+  const ZipfGenerator city_gen(1.1, config.num_cities);
+  const ZipfGenerator country_gen(1.4, config.num_countries);
+  const ZipfGenerator customer_gen(1.3, config.num_customers);
+  const ZipfGenerator asn_gen(1.2, config.num_asns);
+  const ZipfGenerator url_gen(1.5, config.num_urls);
+  const ZipfGenerator isp_gen(1.1, config.num_isps);
+
+  for (uint64_t i = 0; i < config.num_rows; ++i) {
+    const uint64_t city = city_gen.Next(rng);
+    t.AppendInt(0, static_cast<int64_t>(rng.NextBounded(config.num_days)));
+    t.AppendString(1, "city_" + std::to_string(city));
+    t.AppendString(2, "country_" + std::to_string(country_gen.Next(rng)));
+    t.AppendInt(3, static_cast<int64_t>(customer_gen.Next(rng)));
+    t.AppendInt(4, static_cast<int64_t>(asn_gen.Next(rng)));
+    t.AppendString(5, "url_" + std::to_string(url_gen.Next(rng)));
+    // Genre is uniformly distributed on purpose: the §2.3 example notes the
+    // optimizer should skip it because the uniform sample serves it well.
+    t.AppendString(6, kGenres[rng.NextBounded(20)]);
+    t.AppendString(7, kOses[WeightedPick(rng, kOsWeights, 6)]);
+    t.AppendString(8, kBrowsers[WeightedPick(rng, kBrowserWeights, 7)]);
+    // ISPs are regional: each city is dominated by a few providers, making
+    // the (city, isp) joint distribution heavily skewed (the drill-down
+    // slices §6.3.2 studies).
+    const uint64_t isp = 1 + (city + isp_gen.Next(rng)) % config.num_isps;
+    t.AppendString(9, "isp_" + std::to_string(isp));
+    t.AppendInt(10, rng.NextBernoulli(0.85) ? 1 : 0);
+    // Join time: lognormal-ish, most sessions join fast.
+    t.AppendDouble(11, std::exp(rng.NextGaussian() * 0.9 + 5.0));
+    // Session time: heavy-tailed positive.
+    t.AppendDouble(12, std::exp(rng.NextGaussian() * 1.1 + 11.0));
+    t.AppendDouble(13, NextExponential(rng, 1.0 / 800.0));
+    t.AppendDouble(14, 300.0 + rng.NextDouble() * 4500.0);
+    t.CommitRow();
+  }
+  return t;
+}
+
+std::vector<WorkloadTemplate> ConvivaTemplates() {
+  // Weights shaped like Fig 2 / the 42-template trace collapsed to its most
+  // frequent shapes. Column sets echo the families of Fig 6(a).
+  return {
+      {{"dt", "customer_id"}, 0.20},
+      {{"url", "customer_id"}, 0.10},
+      {{"dt", "city"}, 0.14},
+      {{"country", "endedflag"}, 0.10},
+      {{"dt", "country"}, 0.09},
+      {{"city"}, 0.08},
+      {{"genre"}, 0.07},  // uniform column: well served by a uniform sample
+      {{"os", "browser"}, 0.06},
+      {{"isp", "city"}, 0.10},
+      {{"asn"}, 0.03},
+      {{"customer_id", "city", "dt"}, 0.02},
+      {{"genre", "city"}, 0.01},
+  };
+}
+
+std::string InstantiateConvivaQuery(const Table& table, const WorkloadTemplate& tmpl,
+                                    const std::string& bound_clause, Rng& rng) {
+  // Split template columns: one becomes the GROUP BY, the rest filter.
+  // Low-cardinality columns are eligible GROUP BY keys (grouping on a
+  // 100k-value column would make per-group error bars meaningless).
+  auto groupable = [](const std::string& col) {
+    for (const char* ok : {"dt", "country", "os", "browser", "genre", "isp", "endedflag"}) {
+      if (col == ok) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // High-cardinality integer keys get range predicates; equality on them
+  // would select a handful of rows out of millions.
+  auto range_column = [](const std::string& col) {
+    return col == "customer_id" || col == "asn";
+  };
+
+  std::vector<std::string> where_cols = tmpl.columns;
+  std::string group_col;
+  if (where_cols.size() > 1 && rng.NextBernoulli(0.5) && groupable(where_cols.back())) {
+    group_col = where_cols.back();
+    where_cols.pop_back();
+  }
+  std::string sql = rng.NextBernoulli(0.5) ? "SELECT AVG(sessiontimems)"
+                                           : "SELECT COUNT(*)";
+  sql += " FROM sessions";
+  if (!where_cols.empty()) {
+    sql += " WHERE ";
+    for (size_t i = 0; i < where_cols.size(); ++i) {
+      if (i > 0) {
+        sql += " AND ";
+      }
+      const auto col_idx = table.schema().FindColumn(where_cols[i]);
+      const uint64_t row = rng.NextBounded(table.num_rows());
+      const Value v = table.GetValue(*col_idx, row);
+      // Continuous columns get range predicates (point equality on a double
+      // would select ~1 row); high-cardinality keys get ranges too;
+      // categorical columns get equality.
+      if (v.is_double()) {
+        sql += where_cols[i] + " >= " + v.ToString();
+      } else if (range_column(where_cols[i])) {
+        sql += where_cols[i] + " <= " + v.ToString();
+      } else {
+        sql += where_cols[i] + " = " + v.ToString();
+      }
+    }
+  }
+  if (!group_col.empty()) {
+    sql += " GROUP BY " + group_col;
+  }
+  if (!bound_clause.empty()) {
+    sql += " " + bound_clause;
+  }
+  return sql;
+}
+
+}  // namespace blink

@@ -1,0 +1,60 @@
+// Conviva-like workload (paper §6.1).
+//
+// The paper evaluates on a 17 TB, 5.5-billion-row, 104-column fact table of
+// video-session records from Conviva Inc, plus a 2-year query trace (19,296
+// queries, 42 templates). Neither is public, so this module generates a
+// synthetic stand-in with the same *decision-relevant* structure: Zipfian
+// key columns with realistic cardinalities (city, country, ASN, customer),
+// deliberately uniform columns (genre — which the optimizer should therefore
+// NOT stratify on, §2.3), session-quality metrics for aggregation, and a
+// weighted template workload shaped like the paper's Figures 2/6(a).
+// The remaining ~88 payload columns of the real table affect only row width,
+// which callers absorb into the catalog scale factor.
+#ifndef BLINKDB_WORKLOAD_CONVIVA_H_
+#define BLINKDB_WORKLOAD_CONVIVA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/sample_planner.h"
+#include "src/sql/ast.h"
+#include "src/storage/table.h"
+#include "src/util/rng.h"
+
+namespace blink {
+
+struct ConvivaConfig {
+  uint64_t num_rows = 500'000;
+  uint64_t num_days = 30;         // dt cardinality
+  uint64_t num_cities = 2'000;    // Zipf 1.1
+  uint64_t num_countries = 200;   // Zipf 1.4
+  uint64_t num_customers = 5'000; // Zipf 1.3
+  uint64_t num_asns = 3'000;      // Zipf 1.2
+  uint64_t num_urls = 50'000;     // Zipf 1.5 (heavy tail)
+  uint64_t num_isps = 50;         // Zipf 1.1
+  uint64_t rng_seed = 2013;
+};
+
+// Generates the synthetic Conviva-like sessions fact table. Columns:
+//   dt INT64, city STRING, country STRING, customer_id INT64, asn INT64,
+//   url STRING, genre STRING (uniform!), os STRING, browser STRING,
+//   isp STRING, endedflag INT64, jointimems DOUBLE, sessiontimems DOUBLE,
+//   bufferingms DOUBLE, bitrate DOUBLE
+Table GenerateConvivaTable(const ConvivaConfig& config);
+
+// The weighted template workload (column sets of WHERE/GROUP BY clauses).
+// Shapes match Fig 2 / Fig 6(a): heavy weight on {dt, jointimems}-style
+// diagnostic templates, some weight on genre-only templates that the uniform
+// sample should serve.
+std::vector<WorkloadTemplate> ConvivaTemplates();
+
+// Renders a concrete ad-hoc query for a template: random predicate constants
+// drawn from the table's actual values, AVG(sessiontimems) or COUNT(*), and
+// the given bound clause (may be empty). Deterministic in `rng`.
+std::string InstantiateConvivaQuery(const Table& table, const WorkloadTemplate& tmpl,
+                                    const std::string& bound_clause, Rng& rng);
+
+}  // namespace blink
+
+#endif  // BLINKDB_WORKLOAD_CONVIVA_H_

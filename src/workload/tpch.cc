@@ -1,0 +1,134 @@
+#include "src/workload/tpch.h"
+
+#include <cmath>
+
+#include "src/stats/distributions.h"
+
+namespace blink {
+namespace {
+
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+const char* kReturnFlags[] = {"R", "A", "N"};
+const char* kLineStatus[] = {"O", "F"};
+const char* kOrderStatus[] = {"O", "F", "P"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                             "5-LOW"};
+
+}  // namespace
+
+Table GenerateLineitem(const TpchConfig& config) {
+  Table t(Schema({{"orderkey", DataType::kInt64},
+                  {"partkey", DataType::kInt64},
+                  {"suppkey", DataType::kInt64},
+                  {"quantity", DataType::kInt64},
+                  {"extendedprice", DataType::kDouble},
+                  {"discount", DataType::kDouble},
+                  {"tax", DataType::kDouble},
+                  {"returnflag", DataType::kString},
+                  {"linestatus", DataType::kString},
+                  {"shipdate", DataType::kInt64},
+                  {"commitdt", DataType::kInt64},
+                  {"receiptdt", DataType::kInt64},
+                  {"shipmode", DataType::kString}}));
+  t.Reserve(config.lineitem_rows);
+  Rng rng(config.rng_seed);
+  // Supplier activity is mildly skewed in real warehouses; TPC-H itself is
+  // uniform, so use a gentle Zipf to give stratification something to do
+  // without distorting the benchmark's character.
+  const ZipfGenerator supp_gen(0.8, config.num_suppliers);
+  const ZipfGenerator part_gen(0.6, config.num_parts);
+
+  for (uint64_t i = 0; i < config.lineitem_rows; ++i) {
+    const int64_t orderkey = static_cast<int64_t>(rng.NextBounded(config.num_orders)) + 1;
+    const int64_t quantity = rng.NextInt(1, 50);
+    const double price = (900.0 + static_cast<double>(part_gen.Next(rng)) / 10.0) *
+                         static_cast<double>(quantity);
+    const int64_t shipdate = rng.NextInt(0, 2525);  // days across 7 years
+    t.AppendInt(0, orderkey);
+    t.AppendInt(1, static_cast<int64_t>(part_gen.Next(rng)));
+    t.AppendInt(2, static_cast<int64_t>(supp_gen.Next(rng)));
+    t.AppendInt(3, quantity);
+    t.AppendDouble(4, price);
+    t.AppendDouble(5, static_cast<double>(rng.NextInt(0, 10)) / 100.0);
+    t.AppendDouble(6, static_cast<double>(rng.NextInt(0, 8)) / 100.0);
+    t.AppendString(7, kReturnFlags[rng.NextBounded(3)]);
+    t.AppendString(8, kLineStatus[rng.NextBounded(2)]);
+    t.AppendInt(9, shipdate);
+    // Commit/receipt at month granularity: row-scaled stand-ins keep the
+    // (commitdt, receiptdt) pair cardinality in a range where stratification
+    // caps bind, matching the role this family plays in Fig 6(b).
+    t.AppendInt(10, (shipdate + rng.NextInt(-30, 60)) / 30);
+    t.AppendInt(11, (shipdate + rng.NextInt(1, 30)) / 30);
+    t.AppendString(12, kShipModes[rng.NextBounded(7)]);
+    t.CommitRow();
+  }
+  return t;
+}
+
+Table GenerateOrders(const TpchConfig& config) {
+  Table t(Schema({{"orderkey", DataType::kInt64},
+                  {"custkey", DataType::kInt64},
+                  {"orderstatus", DataType::kString},
+                  {"totalprice", DataType::kDouble},
+                  {"orderdate", DataType::kInt64},
+                  {"orderpriority", DataType::kString}}));
+  t.Reserve(config.num_orders);
+  Rng rng(config.rng_seed + 1);
+  for (uint64_t i = 0; i < config.num_orders; ++i) {
+    t.AppendInt(0, static_cast<int64_t>(i) + 1);
+    t.AppendInt(1, rng.NextInt(1, 15'000));
+    t.AppendString(2, kOrderStatus[rng.NextBounded(3)]);
+    t.AppendDouble(3, 1000.0 + rng.NextDouble() * 400'000.0);
+    t.AppendInt(4, rng.NextInt(0, 2525));
+    t.AppendString(5, kPriorities[rng.NextBounded(5)]);
+    t.CommitRow();
+  }
+  return t;
+}
+
+std::vector<WorkloadTemplate> TpchTemplates() {
+  // The 22 TPC-H queries collapse to 6 templates (§6.1); the sets below match
+  // the families reported in Fig 6(b), with trace-like weights (Fig 7(b)
+  // annotates T1..T6 with 18/27/14/32/4.5/4.5%).
+  return {
+      {{"orderkey", "suppkey"}, 0.18},
+      {{"commitdt", "receiptdt"}, 0.27},
+      {{"quantity"}, 0.14},
+      {{"discount"}, 0.32},
+      {{"shipmode"}, 0.045},
+      {{"returnflag", "linestatus"}, 0.045},
+  };
+}
+
+std::string InstantiateTpchQuery(const Table& lineitem, const WorkloadTemplate& tmpl,
+                                 const std::string& bound_clause, Rng& rng) {
+  std::string sql =
+      rng.NextBernoulli(0.5) ? "SELECT SUM(extendedprice)" : "SELECT AVG(quantity)";
+  sql += " FROM lineitem WHERE ";
+  for (size_t i = 0; i < tmpl.columns.size(); ++i) {
+    if (i > 0) {
+      sql += " AND ";
+    }
+    const auto& col = tmpl.columns[i];
+    const auto idx = lineitem.schema().FindColumn(col);
+    const uint64_t row = rng.NextBounded(lineitem.num_rows());
+    const Value v = lineitem.GetValue(*idx, row);
+    // Keys and dates get range predicates (equality would select ~one order);
+    // small-domain columns get equality.
+    const bool range_column = col == "orderkey" || col == "suppkey" ||
+                              col == "partkey" || col == "shipdate" ||
+                              col == "commitdt" || col == "receiptdt" ||
+                              v.is_double();
+    if (range_column) {
+      sql += col + " >= " + v.ToString();
+    } else {
+      sql += col + " = " + v.ToString();
+    }
+  }
+  if (!bound_clause.empty()) {
+    sql += " " + bound_clause;
+  }
+  return sql;
+}
+
+}  // namespace blink

@@ -1,0 +1,50 @@
+// TPC-H-lite workload (paper §6.1).
+//
+// The paper runs TPC-H at scale factor 1000 (1 TB) and maps the 22 benchmark
+// queries to 6 unique templates over lineitem. This module generates a
+// row-scaled lineitem table with the standard value domains plus an orders
+// dimension table, and the 6-template workload whose column sets match the
+// families reported in Fig 6(b): [orderkey suppkey], [commitdt receiptdt],
+// [quantity], [discount], [shipmode], and a residual template.
+#ifndef BLINKDB_WORKLOAD_TPCH_H_
+#define BLINKDB_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/sample_planner.h"
+#include "src/storage/table.h"
+#include "src/util/rng.h"
+
+namespace blink {
+
+struct TpchConfig {
+  uint64_t lineitem_rows = 600'000;  // ~SF 0.1 row count
+  uint64_t num_orders = 150'000;
+  uint64_t num_parts = 20'000;
+  uint64_t num_suppliers = 1'000;
+  uint64_t rng_seed = 1000;
+};
+
+// lineitem: orderkey INT64, partkey INT64, suppkey INT64, quantity INT64,
+// extendedprice DOUBLE, discount DOUBLE, tax DOUBLE, returnflag STRING,
+// linestatus STRING, shipdate INT64, commitdt INT64, receiptdt INT64,
+// shipmode STRING.
+Table GenerateLineitem(const TpchConfig& config);
+
+// orders dimension: orderkey INT64, custkey INT64, orderstatus STRING,
+// totalprice DOUBLE, orderdate INT64, orderpriority STRING.
+Table GenerateOrders(const TpchConfig& config);
+
+// The 6 unique query templates of §6.1.
+std::vector<WorkloadTemplate> TpchTemplates();
+
+// Renders a concrete lineitem aggregation query for a template (HiveQL-style,
+// as the paper modified the TPC-H queries to conform). Deterministic in rng.
+std::string InstantiateTpchQuery(const Table& lineitem, const WorkloadTemplate& tmpl,
+                                 const std::string& bound_clause, Rng& rng);
+
+}  // namespace blink
+
+#endif  // BLINKDB_WORKLOAD_TPCH_H_

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_model.h"
+
+namespace blink {
+namespace {
+
+constexpr double kTb = 1e12;
+
+ClusterModel ModelFor(EngineKind kind, int nodes = 100) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  return ClusterModel(config, EngineModel::For(kind));
+}
+
+TEST(ClusterModelTest, PaperCalibrationSharkCached) {
+  // §6.2: Shark with caching answers the 2.5 TB query in ~112 s.
+  const ClusterModel shark = ModelFor(EngineKind::kSharkCached);
+  const double latency = shark.EstimateLatency({2.5 * kTb, 0.0, true});
+  EXPECT_GT(latency, 80.0);
+  EXPECT_LT(latency, 180.0);
+}
+
+TEST(ClusterModelTest, PaperCalibrationHive) {
+  // §1: a full scan of ~10 TB takes 30-45 minutes on Hadoop.
+  const ClusterModel hive = ModelFor(EngineKind::kHiveOnHadoop);
+  const double latency = hive.EstimateLatency({10.0 * kTb, 0.0, false});
+  EXPECT_GT(latency, 30.0 * 60.0);
+  EXPECT_LT(latency, 80.0 * 60.0);
+}
+
+TEST(ClusterModelTest, PaperCalibrationBlinkDb) {
+  // §6.2 / abstract: BlinkDB answers in ~2 s by reading a small cached sample.
+  const ClusterModel blink = ModelFor(EngineKind::kBlinkDb);
+  const double latency = blink.EstimateLatency({25e9, 0.0, true});  // 25 GB sample
+  EXPECT_LT(latency, 3.0);
+  EXPECT_GT(latency, 0.5);
+}
+
+TEST(ClusterModelTest, OrderingAcrossEngines) {
+  // For the same 2.5 TB input: Hive >> Shark-no-cache > Shark-cached.
+  const double hive =
+      ModelFor(EngineKind::kHiveOnHadoop).EstimateLatency({2.5 * kTb, 0, false});
+  const double shark_disk =
+      ModelFor(EngineKind::kSharkNoCache).EstimateLatency({2.5 * kTb, 0, true});
+  const double shark_mem =
+      ModelFor(EngineKind::kSharkCached).EstimateLatency({2.5 * kTb, 0, true});
+  EXPECT_GT(hive, 2.0 * shark_disk);
+  EXPECT_GT(shark_disk, 2.0 * shark_mem);
+}
+
+TEST(ClusterModelTest, CacheSpillDegradesGracefully) {
+  // 7.5 TB against 6 TB of cluster RAM: between full-memory and full-disk.
+  const ClusterModel shark = ModelFor(EngineKind::kSharkCached);
+  const double mem_rate = shark.EffectiveScanBandwidth(2.5 * kTb, true);
+  const double spill_rate = shark.EffectiveScanBandwidth(7.5 * kTb, true);
+  const double disk_rate = shark.EffectiveScanBandwidth(7.5 * kTb, false);
+  EXPECT_LT(spill_rate, mem_rate);
+  EXPECT_GT(spill_rate, disk_rate);
+}
+
+TEST(ClusterModelTest, LatencyScalesWithBytes) {
+  const ClusterModel model = ModelFor(EngineKind::kBlinkDb);
+  const double t1 = model.EstimateLatency({10e9, 0, true});
+  const double t2 = model.EstimateLatency({100e9, 0, true});
+  const double t3 = model.EstimateLatency({1000e9, 0, true});
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  // Roughly linear at scale (overheads amortize).
+  EXPECT_NEAR(t3 / t2, 10.0, 3.0);
+}
+
+TEST(ClusterModelTest, MoreNodesFasterForSameData) {
+  const double t10 = ModelFor(EngineKind::kBlinkDb, 10).EstimateLatency({kTb, 0, true});
+  const double t100 = ModelFor(EngineKind::kBlinkDb, 100).EstimateLatency({kTb, 0, true});
+  EXPECT_GT(t10, 5.0 * t100);
+}
+
+TEST(ClusterModelTest, ShuffleCostGrowsWithClusterSize) {
+  // Per-node data held constant (Fig 8c "bulk"): latency creeps up with n
+  // due to the all-to-all coordination penalty.
+  double prev = 0.0;
+  for (int nodes : {10, 40, 100}) {
+    const ClusterModel model = ModelFor(EngineKind::kBlinkDb, nodes);
+    const QueryWorkload w{nodes * 10e9 * 0.1, nodes * 1e9, true};
+    const double latency = model.EstimateLatency(w);
+    EXPECT_GT(latency, prev);
+    prev = latency;
+  }
+}
+
+TEST(ClusterModelTest, StragglerNoiseIsBoundedAndSkewed) {
+  const ClusterModel model = ModelFor(EngineKind::kBlinkDb);
+  const QueryWorkload w{50e9, 0, true};
+  const double base = model.EstimateLatency(w);
+  Rng rng(5);
+  double sum = 0.0;
+  double max_seen = 0.0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double s = model.SampleLatency(w, rng);
+    EXPECT_GT(s, base * 0.5);
+    EXPECT_LT(s, base * 2.5);
+    sum += s;
+    max_seen = std::max(max_seen, s);
+  }
+  EXPECT_NEAR(sum / kTrials, base, base * 0.05);  // mean ~ deterministic value
+  EXPECT_GT(max_seen, base * 1.1);                // stragglers exist
+}
+
+TEST(ClusterModelTest, SampleCreationStratifiedSlower) {
+  // §5: uniform samples take a few hundred seconds; stratified 5-30 minutes.
+  const ClusterModel model = ModelFor(EngineKind::kBlinkDb);
+  const double table_bytes = 17.0 * kTb;
+  const double sample_bytes = 1.0 * kTb;
+  const double uniform = model.SampleCreationTime(table_bytes, sample_bytes, false);
+  const double stratified = model.SampleCreationTime(table_bytes, sample_bytes, true);
+  EXPECT_GT(uniform, 100.0);
+  EXPECT_LT(uniform, 1200.0);
+  EXPECT_GT(stratified, uniform);
+  EXPECT_LT(stratified, 45.0 * 60.0);
+}
+
+TEST(ClusterModelTest, EngineNames) {
+  EXPECT_STREQ(EngineKindName(EngineKind::kBlinkDb), "BlinkDB");
+  EXPECT_STREQ(EngineKindName(EngineKind::kHiveOnHadoop), "Hive on Hadoop");
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,201 @@
+// End-to-end integration tests: multi-step flows through the public API,
+// exercising combinations the per-module suites do not (bounded joins,
+// disjunctions through the runtime, quantile queries from samples, absolute
+// error bounds, replanning under churn, maintenance followed by queries).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/api/blinkdb.h"
+#include "src/workload/conviva.h"
+#include "src/workload/tpch.h"
+
+namespace blink {
+namespace {
+
+ConvivaConfig MediumConviva() {
+  ConvivaConfig config;
+  config.num_rows = 80'000;
+  config.num_cities = 200;
+  config.num_urls = 1'000;
+  config.num_isps = 20;
+  return config;
+}
+
+PlannerConfig MediumPlanner() {
+  PlannerConfig config;
+  config.budget_fraction = 0.5;
+  config.cap_k = 400;
+  config.max_columns_per_set = 2;
+  config.uniform_fraction = 0.1;
+  config.max_resolutions = 8;
+  return config;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const Table table = GenerateConvivaTable(MediumConviva());
+    const double bytes =
+        static_cast<double>(table.num_rows()) * table.EstimatedBytesPerRow();
+    ASSERT_TRUE(db_.RegisterTable("sessions", GenerateConvivaTable(MediumConviva()),
+                                  5e11 / bytes)
+                    .ok());
+    ASSERT_TRUE(db_.BuildSamples("sessions", ConvivaTemplates(), MediumPlanner()).ok());
+  }
+
+  // |approx - exact| / exact for the first aggregate of the first row.
+  double TrueError(const std::string& bounded_sql, const std::string& exact_sql) {
+    auto approx = db_.Query(bounded_sql);
+    EXPECT_TRUE(approx.ok()) << approx.status().ToString();
+    auto exact = db_.QueryExact(exact_sql);
+    EXPECT_TRUE(exact.ok()) << exact.status().ToString();
+    if (!approx.ok() || !exact.ok() || approx->result.rows.empty() ||
+        exact->result.rows.empty()) {
+      return 1e9;
+    }
+    const double truth = exact->result.rows[0].aggregates[0].value;
+    if (truth == 0.0) {
+      return 0.0;
+    }
+    return std::fabs(approx->result.rows[0].aggregates[0].value - truth) /
+           std::fabs(truth);
+  }
+
+  BlinkDB db_;
+};
+
+TEST_F(IntegrationTest, CountSumAvgAgreeWithExact) {
+  EXPECT_LT(TrueError("SELECT COUNT(*) FROM sessions WHERE country = 'country_1' "
+                      "ERROR WITHIN 10% AT CONFIDENCE 95%",
+                      "SELECT COUNT(*) FROM sessions WHERE country = 'country_1'"),
+            0.20);
+  EXPECT_LT(TrueError("SELECT SUM(sessiontimems) FROM sessions WHERE dt = 3 "
+                      "ERROR WITHIN 10% AT CONFIDENCE 95%",
+                      "SELECT SUM(sessiontimems) FROM sessions WHERE dt = 3"),
+            0.25);
+  EXPECT_LT(TrueError("SELECT AVG(bitrate) FROM sessions WHERE dt <= 10 "
+                      "ERROR WITHIN 5% AT CONFIDENCE 95%",
+                      "SELECT AVG(bitrate) FROM sessions WHERE dt <= 10"),
+            0.10);
+}
+
+TEST_F(IntegrationTest, QuantileFromSamples) {
+  auto approx = db_.Query(
+      "SELECT MEDIAN(bitrate) FROM sessions WITHIN 20 SECONDS");
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  auto exact = db_.QueryExact("SELECT MEDIAN(bitrate) FROM sessions");
+  ASSERT_TRUE(exact.ok());
+  const double truth = exact->result.rows[0].aggregates[0].value;
+  // Median of U[300, 4800] ~ 2550; sample median should land nearby.
+  EXPECT_NEAR(approx->result.rows[0].aggregates[0].value, truth, truth * 0.10);
+}
+
+TEST_F(IntegrationTest, DisjunctionThroughApi) {
+  auto approx = db_.Query(
+      "SELECT COUNT(*) FROM sessions WHERE os = 'Windows' OR os = 'OSX' "
+      "ERROR WITHIN 10% AT CONFIDENCE 95%");
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  auto exact = db_.QueryExact(
+      "SELECT COUNT(*) FROM sessions WHERE os = 'Windows' OR os = 'OSX'");
+  ASSERT_TRUE(exact.ok());
+  const double truth = exact->result.rows[0].aggregates[0].value;
+  EXPECT_NEAR(approx->result.rows[0].aggregates[0].value, truth, truth * 0.15);
+}
+
+TEST_F(IntegrationTest, AbsoluteErrorBoundAccepted) {
+  auto answer = db_.Query(
+      "SELECT AVG(bitrate) FROM sessions ABSOLUTE ERROR WITHIN 200 AT CONFIDENCE 95%");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  // The absolute half-width of the chosen answer must be reported.
+  const Estimate& est = answer->result.rows[0].aggregates[0];
+  EXPECT_GT(est.value, 0.0);
+}
+
+TEST_F(IntegrationTest, GroupByWithHavingThroughSamples) {
+  auto answer = db_.Query(
+      "SELECT os, COUNT(*) AS n FROM sessions GROUP BY os HAVING n > 1000 "
+      "WITHIN 20 SECONDS");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  // All OSes are frequent in the generator; at least the top ones survive.
+  EXPECT_GE(answer->result.rows.size(), 3u);
+  for (const auto& row : answer->result.rows) {
+    EXPECT_GT(row.aggregates[0].value, 1000.0);
+  }
+}
+
+TEST_F(IntegrationTest, ReportExposesElp) {
+  auto answer = db_.Query(
+      "SELECT COUNT(*) FROM sessions WHERE country = 'country_2' "
+      "ERROR WITHIN 10% AT CONFIDENCE 95%");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->report.elp.empty());
+  EXPECT_GT(answer->report.rows_read, 0u);
+  EXPECT_GT(answer->report.total_latency, 0.0);
+  EXPECT_GE(answer->report.total_latency,
+            answer->report.execution_latency - 1e-9);
+}
+
+TEST_F(IntegrationTest, ChurnLimitedReplanKeepsMostFamilies) {
+  // Re-plan with a drastically different workload but r = 0.2: at most 20%
+  // of the existing sample storage may change.
+  const double before = db_.samples().TotalStorageBytes("sessions");
+  PlannerConfig replan = MediumPlanner();
+  replan.churn_r = 0.2;
+  auto plan = db_.BuildSamples("sessions", {{{"asn"}, 1.0}}, replan);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const double after = db_.samples().TotalStorageBytes("sessions");
+  // Storage may shift but not collapse: most of the old set survives.
+  EXPECT_GT(after, before * 0.5);
+}
+
+TEST_F(IntegrationTest, TpchJoinWithTimeBound) {
+  BlinkDB db;
+  TpchConfig config;
+  config.lineitem_rows = 60'000;
+  const Table lineitem = GenerateLineitem(config);
+  const double bytes =
+      static_cast<double>(lineitem.num_rows()) * lineitem.EstimatedBytesPerRow();
+  ASSERT_TRUE(db.RegisterTable("lineitem", GenerateLineitem(config), 1e11 / bytes).ok());
+  ASSERT_TRUE(db.RegisterDimensionTable("orders", GenerateOrders(config)).ok());
+  PlannerConfig planner = MediumPlanner();
+  ASSERT_TRUE(db.BuildSamples("lineitem", TpchTemplates(), planner).ok());
+  auto answer = db.Query(
+      "SELECT orderpriority, AVG(extendedprice) FROM lineitem "
+      "JOIN orders ON orderkey = orderkey GROUP BY orderpriority WITHIN 10 SECONDS");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->result.rows.size(), 5u);
+  // Join through a sample must still give sane magnitudes.
+  auto exact = db.QueryExact(
+      "SELECT orderpriority, AVG(extendedprice) FROM lineitem "
+      "JOIN orders ON orderkey = orderkey GROUP BY orderpriority");
+  ASSERT_TRUE(exact.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    const double truth = exact->result.rows[i].aggregates[0].value;
+    EXPECT_NEAR(answer->result.rows[i].aggregates[0].value, truth, truth * 0.15);
+  }
+}
+
+TEST_F(IntegrationTest, MaintenanceKeepsAnswersCorrect) {
+  // Append drifted data, let maintenance rebuild, verify a query reflects
+  // the NEW distribution.
+  ConvivaConfig shifted = MediumConviva();
+  shifted.num_rows = 80'000;
+  shifted.rng_seed = 4242;
+  shifted.num_cities = 10;  // concentrates the distribution
+  auto rebuilt = db_.AppendAndMaintain("sessions", GenerateConvivaTable(shifted), 0.05);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_GT(*rebuilt, 0);
+  auto approx = db_.Query("SELECT COUNT(*) FROM sessions WITHIN 20 SECONDS");
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->result.rows[0].aggregates[0].value, 160'000.0, 8'000.0);
+}
+
+TEST_F(IntegrationTest, UnboundedQueryUsesLargestResolution) {
+  auto answer = db_.Query("SELECT COUNT(*) FROM sessions WHERE dt = 1");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->report.resolution, 0u);  // no bound => most accurate
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/lp/milp.h"
+#include "src/lp/simplex.h"
+
+namespace blink {
+namespace {
+
+TEST(SimplexTest, SimpleTwoVariableLp) {
+  // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y >= 0. Optimal (4,0) -> 12.
+  LpProblem p;
+  const size_t x = p.AddVariable(3.0);
+  const size_t y = p.AddVariable(2.0);
+  p.AddConstraint({{{x, 1.0}, {y, 1.0}}, Relation::kLe, 4.0});
+  p.AddConstraint({{{x, 1.0}, {y, 3.0}}, Relation::kLe, 6.0});
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);
+  EXPECT_NEAR(s.values[x], 4.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, InteriorOptimum) {
+  // max x + y  s.t. 2x + y <= 10, x + 3y <= 15 -> optimum at (3, 4) = 7.
+  LpProblem p;
+  const size_t x = p.AddVariable(1.0);
+  const size_t y = p.AddVariable(1.0);
+  p.AddConstraint({{{x, 2.0}, {y, 1.0}}, Relation::kLe, 10.0});
+  p.AddConstraint({{{x, 1.0}, {y, 3.0}}, Relation::kLe, 15.0});
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 7.0, 1e-9);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, UpperBoundsRespected) {
+  // max x s.t. x <= 10 via variable bound 2.5.
+  LpProblem p;
+  const size_t x = p.AddVariable(1.0, 2.5);
+  p.AddConstraint({{{x, 1.0}}, Relation::kLe, 10.0});
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.5, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualConstraints) {
+  // min x + y  s.t. x + y >= 3, x >= 1  (as max of negative).
+  LpProblem p;
+  const size_t x = p.AddVariable(-1.0);
+  const size_t y = p.AddVariable(-1.0);
+  p.AddConstraint({{{x, 1.0}, {y, 1.0}}, Relation::kGe, 3.0});
+  p.AddConstraint({{{x, 1.0}}, Relation::kGe, 1.0});
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -3.0, 1e-9);
+  EXPECT_NEAR(s.values[x] + s.values[y], 3.0, 1e-9);
+  EXPECT_GE(s.values[x], 1.0 - 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // max 2x + y s.t. x + y = 5, x <= 3 -> x=3, y=2, obj 8.
+  LpProblem p;
+  const size_t x = p.AddVariable(2.0, 3.0);
+  const size_t y = p.AddVariable(1.0);
+  p.AddConstraint({{{x, 1.0}, {y, 1.0}}, Relation::kEq, 5.0});
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-9);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 2.
+  LpProblem p;
+  const size_t x = p.AddVariable(1.0);
+  p.AddConstraint({{{x, 1.0}}, Relation::kLe, 1.0});
+  p.AddConstraint({{{x, 1.0}}, Relation::kGe, 2.0});
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem p;
+  const size_t x = p.AddVariable(1.0);
+  p.AddConstraint({{{x, -1.0}}, Relation::kLe, 0.0});  // -x <= 0, no upper limit
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // x - y <= -1  (i.e. y >= x + 1), max x with y <= 5 -> x = 4.
+  LpProblem p;
+  const size_t x = p.AddVariable(1.0);
+  const size_t y = p.AddVariable(0.0, 5.0);
+  p.AddConstraint({{{x, 1.0}, {y, -1.0}}, Relation::kLe, -1.0});
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem p;
+  const size_t x = p.AddVariable(1.0);
+  const size_t y = p.AddVariable(1.0);
+  p.AddConstraint({{{x, 1.0}}, Relation::kLe, 1.0});
+  p.AddConstraint({{{x, 1.0}, {y, 0.0}}, Relation::kLe, 1.0});
+  p.AddConstraint({{{x, 2.0}}, Relation::kLe, 2.0});
+  p.AddConstraint({{{y, 1.0}}, Relation::kLe, 1.0});
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(MilpTest, BinaryKnapsack) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary. Optimal: a+c = 17?
+  // a,c: weight 5 value 17; b,c: weight 6 value 20. -> b+c = 20.
+  MilpProblem m;
+  const size_t a = m.lp.AddVariable(10.0, 1.0);
+  const size_t b = m.lp.AddVariable(13.0, 1.0);
+  const size_t c = m.lp.AddVariable(7.0, 1.0);
+  m.lp.AddConstraint({{{a, 3.0}, {b, 4.0}, {c, 2.0}}, Relation::kLe, 6.0});
+  m.binary_vars = {a, b, c};
+  const MilpSolution s = SolveMilp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 20.0, 1e-6);
+  EXPECT_NEAR(s.values[b], 1.0, 1e-6);
+  EXPECT_NEAR(s.values[c], 1.0, 1e-6);
+  EXPECT_NEAR(s.values[a], 0.0, 1e-6);
+}
+
+TEST(MilpTest, IntegralityChangesOptimum) {
+  // LP relaxation would take fractional x; MILP must not.
+  // max x s.t. 2x <= 3, x binary -> x = 1 (LP would give 1.5 without ub).
+  MilpProblem m;
+  const size_t x = m.lp.AddVariable(1.0, 1.0);
+  m.lp.AddConstraint({{{x, 2.0}}, Relation::kLe, 3.0});
+  m.binary_vars = {x};
+  const MilpSolution s = SolveMilp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+}
+
+TEST(MilpTest, MixedContinuousAndBinary) {
+  // max y + 5z  s.t. y <= 10 z (big-M link), y <= 7. z binary.
+  // z=1 -> y=7, obj 12.
+  MilpProblem m;
+  const size_t y = m.lp.AddVariable(1.0, 7.0);
+  const size_t z = m.lp.AddVariable(5.0, 1.0);
+  m.lp.AddConstraint({{{y, 1.0}, {z, -10.0}}, Relation::kLe, 0.0});
+  m.binary_vars = {z};
+  const MilpSolution s = SolveMilp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-6);
+}
+
+TEST(MilpTest, InfeasibleBinaryProblem) {
+  // z1 + z2 >= 3 with two binaries.
+  MilpProblem m;
+  const size_t z1 = m.lp.AddVariable(1.0, 1.0);
+  const size_t z2 = m.lp.AddVariable(1.0, 1.0);
+  m.lp.AddConstraint({{{z1, 1.0}, {z2, 1.0}}, Relation::kGe, 3.0});
+  m.binary_vars = {z1, z2};
+  EXPECT_EQ(SolveMilp(m).status, MilpStatus::kInfeasible);
+}
+
+TEST(MilpTest, MaxCoverageStyleProblem) {
+  // A miniature of the BlinkDB formulation: 3 candidate samples, 2 templates.
+  // Template 1 covered by sample A (cov 1.0) or B (cov 0.5); template 2 by
+  // B (cov 1.0) or C (cov 0.8). Storage: A=6, B=5, C=4; budget 9.
+  // Weights w1*delta1 = 10, w2*delta2 = 8.
+  // Options: {A,C}: 10*1 + 8*0.8 = 16.4 (cost 10 > 9, infeasible);
+  //          {B}:   10*0.5 + 8*1 = 13 (cost 5);
+  //          {B,C}: 10*0.5+8*1 = 13 (cost 9, C unused);
+  //          {A}:   10 (cost 6); {C}: 6.4 (cost 4).
+  // Optimal: 13.
+  MilpProblem m;
+  const size_t za = m.lp.AddVariable(0.0, 1.0);
+  const size_t zb = m.lp.AddVariable(0.0, 1.0);
+  const size_t zc = m.lp.AddVariable(0.0, 1.0);
+  const size_t y1 = m.lp.AddVariable(10.0, 1.0);
+  const size_t y2 = m.lp.AddVariable(8.0, 1.0);
+  // Coverage linearization with continuous assignment vars.
+  const size_t t1a = m.lp.AddVariable(0.0, 1.0);
+  const size_t t1b = m.lp.AddVariable(0.0, 1.0);
+  const size_t t2b = m.lp.AddVariable(0.0, 1.0);
+  const size_t t2c = m.lp.AddVariable(0.0, 1.0);
+  m.lp.AddConstraint({{{za, 6.0}, {zb, 5.0}, {zc, 4.0}}, Relation::kLe, 9.0});
+  m.lp.AddConstraint({{{t1a, 1.0}, {za, -1.0}}, Relation::kLe, 0.0});
+  m.lp.AddConstraint({{{t1b, 1.0}, {zb, -1.0}}, Relation::kLe, 0.0});
+  m.lp.AddConstraint({{{t2b, 1.0}, {zb, -1.0}}, Relation::kLe, 0.0});
+  m.lp.AddConstraint({{{t2c, 1.0}, {zc, -1.0}}, Relation::kLe, 0.0});
+  m.lp.AddConstraint({{{t1a, 1.0}, {t1b, 1.0}}, Relation::kLe, 1.0});
+  m.lp.AddConstraint({{{t2b, 1.0}, {t2c, 1.0}}, Relation::kLe, 1.0});
+  m.lp.AddConstraint({{{y1, 1.0}, {t1a, -1.0}, {t1b, -0.5}}, Relation::kLe, 0.0});
+  m.lp.AddConstraint({{{y2, 1.0}, {t2b, -1.0}, {t2c, -0.8}}, Relation::kLe, 0.0});
+  m.binary_vars = {za, zb, zc};
+  const MilpSolution s = SolveMilp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 13.0, 1e-6);
+  EXPECT_NEAR(s.values[zb], 1.0, 1e-6);
+}
+
+TEST(MilpTest, NodesExploredReported) {
+  MilpProblem m;
+  const size_t a = m.lp.AddVariable(1.0, 1.0);
+  m.lp.AddConstraint({{{a, 1.0}}, Relation::kLe, 1.0});
+  m.binary_vars = {a};
+  const MilpSolution s = SolveMilp(m);
+  EXPECT_GE(s.nodes_explored, 1u);
+}
+
+TEST(MilpTest, TenVariableKnapsackExact) {
+  // Verify against brute force.
+  const double values[] = {9, 11, 13, 15, 5, 8, 20, 3, 7, 12};
+  const double weights[] = {4, 5, 6, 7, 2, 3, 9, 1, 3, 5};
+  const double budget = 20.0;
+  MilpProblem m;
+  for (int i = 0; i < 10; ++i) {
+    m.binary_vars.push_back(m.lp.AddVariable(values[i], 1.0));
+  }
+  LinearConstraint cap;
+  for (int i = 0; i < 10; ++i) {
+    cap.terms.emplace_back(i, weights[i]);
+  }
+  cap.relation = Relation::kLe;
+  cap.rhs = budget;
+  m.lp.AddConstraint(cap);
+  const MilpSolution s = SolveMilp(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << 10); ++mask) {
+    double v = 0, w = 0;
+    for (int i = 0; i < 10; ++i) {
+      if (mask & (1 << i)) {
+        v += values[i];
+        w += weights[i];
+      }
+    }
+    if (w <= budget) {
+      best = std::max(best, v);
+    }
+  }
+  EXPECT_NEAR(s.objective, best, 1e-6);
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/optimizer/column_stats.h"
+#include "src/optimizer/sample_planner.h"
+#include "src/optimizer/sample_selection.h"
+#include "src/stats/distributions.h"
+#include "src/util/rng.h"
+
+namespace blink {
+namespace {
+
+// Table with one skewed column (k), one uniform column (g), one extra (x).
+Table MixedTable(uint64_t rows = 20'000) {
+  Table t(Schema({{"k", DataType::kInt64},
+                  {"g", DataType::kInt64},
+                  {"x", DataType::kInt64},
+                  {"v", DataType::kDouble}}));
+  t.Reserve(rows);
+  Rng rng(101);
+  ZipfGenerator zipf(1.5, 2'000);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.AppendInt(0, static_cast<int64_t>(zipf.Next(rng)));
+    t.AppendInt(1, static_cast<int64_t>(rng.NextBounded(10)));  // uniform, 10 values
+    t.AppendInt(2, static_cast<int64_t>(rng.NextBounded(500)));
+    t.AppendDouble(3, rng.NextDouble());
+    t.CommitRow();
+  }
+  return t;
+}
+
+TEST(ColumnStatsTest, SkewedColumnHasLongTail) {
+  const Table t = MixedTable();
+  auto k_stats = ComputeColumnSetStats(t, {"k"}, 100);
+  auto g_stats = ComputeColumnSetStats(t, {"g"}, 100);
+  ASSERT_TRUE(k_stats.ok() && g_stats.ok());
+  // Uniform g: all 10 values have freq 2000 >> 100 -> no tail.
+  EXPECT_EQ(g_stats->tail_count, 0u);
+  EXPECT_EQ(g_stats->distinct_values, 10u);
+  // Zipf k: most values are rare.
+  EXPECT_GT(k_stats->tail_count, k_stats->distinct_values / 2);
+  // Storage: g's sample is 10 * 100 rows; k keeps the tail.
+  EXPECT_DOUBLE_EQ(g_stats->sample_rows, 1000.0);
+  EXPECT_LT(k_stats->sample_rows, 20'000.0);
+}
+
+TEST(ColumnStatsTest, MultiColumnDistincts) {
+  const Table t = MixedTable();
+  auto kg = ComputeColumnSetStats(t, {"k", "g"}, 100);
+  auto k = ComputeColumnSetStats(t, {"k"}, 100);
+  ASSERT_TRUE(kg.ok() && k.ok());
+  EXPECT_GE(kg->distinct_values, k->distinct_values);
+  // Columns are normalized: sorted lower-case.
+  EXPECT_EQ(kg->columns[0], "g");
+  EXPECT_EQ(kg->columns[1], "k");
+}
+
+TEST(ColumnStatsTest, ErrorsOnBadInput) {
+  const Table t = MixedTable(100);
+  EXPECT_FALSE(ComputeColumnSetStats(t, {"missing"}, 10).ok());
+  EXPECT_FALSE(ComputeColumnSetStats(t, {}, 10).ok());
+}
+
+TEST(CandidateGenTest, SubsetsWithinTemplates) {
+  const auto candidates = GenerateCandidateColumnSets({{"a", "b"}, {"b", "c"}}, 2);
+  // {a},{b},{a,b},{c},{b,c} = 5.
+  EXPECT_EQ(candidates.size(), 5u);
+  // Only subsets that co-appear in a template (§3.2.2): no {a,c}.
+  for (const auto& c : candidates) {
+    EXPECT_FALSE(c == std::vector<std::string>({"a", "c"}));
+  }
+}
+
+TEST(CandidateGenTest, MaxColumnsRespected) {
+  const auto candidates = GenerateCandidateColumnSets({{"a", "b", "c", "d"}}, 2);
+  for (const auto& c : candidates) {
+    EXPECT_LE(c.size(), 2u);
+  }
+  // C(4,1) + C(4,2) = 10.
+  EXPECT_EQ(candidates.size(), 10u);
+}
+
+TEST(CandidateGenTest, DeduplicatesAcrossTemplates) {
+  const auto candidates = GenerateCandidateColumnSets({{"a"}, {"A"}, {"a", "a"}}, 3);
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
+TEST(CoverageTest, SubsetRatioAndNonSubsetZero) {
+  TemplateInfo tmpl;
+  tmpl.columns = {"a", "b"};
+  tmpl.distinct_values = 100;
+  ColumnSetStats cand;
+  cand.columns = {"a"};
+  cand.distinct_values = 60;
+  EXPECT_DOUBLE_EQ(CoverageCoefficient(tmpl, cand), 0.6);
+  cand.columns = {"c"};
+  EXPECT_DOUBLE_EQ(CoverageCoefficient(tmpl, cand), 0.0);
+  // Full sets cover exactly.
+  cand.columns = {"a", "b"};
+  cand.distinct_values = 100;
+  EXPECT_DOUBLE_EQ(CoverageCoefficient(tmpl, cand), 1.0);
+}
+
+SelectionConfig BudgetConfig(double budget, bool milp = true) {
+  SelectionConfig config;
+  config.storage_budget_bytes = budget;
+  config.use_milp = milp;
+  return config;
+}
+
+TEST(SelectionTest, PrefersSkewedHighWeightTemplates) {
+  // Two templates: skewed high-weight {k}, uniform {g} (tail 0 -> no value).
+  std::vector<TemplateInfo> templates(2);
+  templates[0].columns = {"k"};
+  templates[0].weight = 0.7;
+  templates[0].distinct_values = 1000;
+  templates[0].tail_count = 900;
+  templates[1].columns = {"g"};
+  templates[1].weight = 0.3;
+  templates[1].distinct_values = 10;
+  templates[1].tail_count = 0;  // uniform: stratification worthless
+
+  std::vector<ColumnSetStats> candidates(2);
+  candidates[0].columns = {"k"};
+  candidates[0].distinct_values = 1000;
+  candidates[0].sample_bytes = 500.0;
+  candidates[1].columns = {"g"};
+  candidates[1].distinct_values = 10;
+  candidates[1].sample_bytes = 500.0;
+
+  const auto result = SelectSampleColumnSets(templates, candidates, BudgetConfig(500.0));
+  ASSERT_EQ(result.chosen.size(), 1u);
+  EXPECT_EQ(result.chosen[0], 0u);  // picks the skewed template's set
+  EXPECT_TRUE(result.used_milp);
+  EXPECT_NEAR(result.objective, 0.7 * 900.0, 1e-6);
+}
+
+TEST(SelectionTest, BudgetIsRespected) {
+  std::vector<TemplateInfo> templates(3);
+  std::vector<ColumnSetStats> candidates(3);
+  for (int i = 0; i < 3; ++i) {
+    templates[i].columns = {std::string(1, static_cast<char>('a' + i))};
+    templates[i].weight = 1.0;
+    templates[i].distinct_values = 100;
+    templates[i].tail_count = 100;
+    candidates[i].columns = templates[i].columns;
+    candidates[i].distinct_values = 100;
+    candidates[i].sample_bytes = 400.0;
+  }
+  const auto result = SelectSampleColumnSets(templates, candidates, BudgetConfig(900.0));
+  EXPECT_EQ(result.chosen.size(), 2u);  // only two fit in 900
+  EXPECT_LE(result.storage_bytes, 900.0);
+}
+
+TEST(SelectionTest, PartialCoverageThroughSubsets) {
+  // One template {a,b}; only candidate is {a} with half the distincts.
+  std::vector<TemplateInfo> templates(1);
+  templates[0].columns = {"a", "b"};
+  templates[0].weight = 1.0;
+  templates[0].distinct_values = 200;
+  templates[0].tail_count = 150;
+  std::vector<ColumnSetStats> candidates(1);
+  candidates[0].columns = {"a"};
+  candidates[0].distinct_values = 100;
+  candidates[0].sample_bytes = 100.0;
+  const auto result = SelectSampleColumnSets(templates, candidates, BudgetConfig(1000.0));
+  ASSERT_EQ(result.chosen.size(), 1u);
+  EXPECT_NEAR(result.objective, 150.0 * 0.5, 1e-6);  // y = |D(a)|/|D(ab)| = 0.5
+}
+
+TEST(SelectionTest, GreedyMatchesMilpOnSimpleInstances) {
+  std::vector<TemplateInfo> templates(4);
+  std::vector<ColumnSetStats> candidates(4);
+  const double weights[] = {0.4, 0.3, 0.2, 0.1};
+  const double stores[] = {300, 250, 200, 150};
+  for (int i = 0; i < 4; ++i) {
+    templates[i].columns = {std::string(1, static_cast<char>('a' + i))};
+    templates[i].weight = weights[i];
+    templates[i].distinct_values = 100;
+    templates[i].tail_count = 80;
+    candidates[i].columns = templates[i].columns;
+    candidates[i].distinct_values = 100;
+    candidates[i].sample_bytes = stores[i];
+  }
+  const auto milp = SelectSampleColumnSets(templates, candidates, BudgetConfig(600.0, true));
+  const auto greedy =
+      SelectSampleColumnSets(templates, candidates, BudgetConfig(600.0, false));
+  EXPECT_GE(milp.objective, greedy.objective - 1e-9);  // MILP is optimal
+  EXPECT_LE(milp.storage_bytes, 600.0);
+  EXPECT_LE(greedy.storage_bytes, 600.0);
+}
+
+TEST(SelectionTest, ChurnConstraintLimitsChanges) {
+  // Existing family on {a}; re-solve prefers {b} but churn forbids replacing.
+  std::vector<TemplateInfo> templates(2);
+  templates[0].columns = {"a"};
+  templates[0].weight = 0.3;
+  templates[0].distinct_values = 100;
+  templates[0].tail_count = 50;
+  templates[1].columns = {"b"};
+  templates[1].weight = 0.7;
+  templates[1].distinct_values = 100;
+  templates[1].tail_count = 100;
+  std::vector<ColumnSetStats> candidates(2);
+  candidates[0].columns = {"a"};
+  candidates[0].distinct_values = 100;
+  candidates[0].sample_bytes = 500.0;
+  candidates[1].columns = {"b"};
+  candidates[1].distinct_values = 100;
+  candidates[1].sample_bytes = 500.0;
+
+  std::vector<bool> existing = {true, false};
+  // Budget fits only one; r=0 freezes the store: must keep {a}.
+  SelectionConfig config = BudgetConfig(500.0);
+  config.churn_r = 0.0;
+  auto frozen = SelectSampleColumnSets(templates, candidates, config, &existing);
+  ASSERT_EQ(frozen.chosen.size(), 1u);
+  EXPECT_EQ(frozen.chosen[0], 0u);
+
+  // r=1 allows full replacement: switches to {b}.
+  config.churn_r = 1.0;
+  auto free = SelectSampleColumnSets(templates, candidates, config, &existing);
+  ASSERT_EQ(free.chosen.size(), 1u);
+  EXPECT_EQ(free.chosen[0], 1u);
+}
+
+TEST(PlannerTest, EndToEndPlanWithinBudget) {
+  const Table t = MixedTable();
+  std::vector<WorkloadTemplate> workload = {
+      {{"k"}, 0.5}, {{"g"}, 0.2}, {{"k", "g"}, 0.2}, {{"x"}, 0.1}};
+  PlannerConfig config;
+  config.budget_fraction = 0.5;
+  config.cap_k = 50;
+  config.max_columns_per_set = 2;
+  auto plan = PlanSamples(t, workload, config);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_LE(plan->total_bytes, plan->budget_bytes * 1.0001);
+  EXPECT_FALSE(plan->families.empty());
+  // The uniform column g should not be stratified on alone (tail = 0).
+  for (const auto& family : plan->families) {
+    EXPECT_FALSE(family.columns == std::vector<std::string>({"g"}));
+  }
+}
+
+TEST(PlannerTest, BuildRegistersFamilies) {
+  const Table t = MixedTable();
+  std::vector<WorkloadTemplate> workload = {{{"k"}, 0.8}, {{"x"}, 0.2}};
+  PlannerConfig config;
+  config.budget_fraction = 1.0;
+  config.cap_k = 50;
+  config.uniform_fraction = 0.1;
+  SampleStore store;
+  auto plan = PlanAndBuildSamples(t, "t", workload, config, store);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(store.UniformFamily("t"), nullptr);
+  EXPECT_GE(store.FamiliesFor("t").size(), 2u);
+  // Built families match the plan entries.
+  for (const auto& planned : plan->families) {
+    if (planned.columns.empty()) {
+      continue;  // uniform
+    }
+    EXPECT_NE(store.FindStratified("t", planned.columns), nullptr);
+  }
+}
+
+TEST(PlannerTest, ReplanRemovesUnselectedFamilies) {
+  const Table t = MixedTable();
+  PlannerConfig config;
+  config.budget_fraction = 1.0;
+  config.cap_k = 50;
+  SampleStore store;
+  // First plan favors k.
+  auto p1 = PlanAndBuildSamples(t, "t", {{{"k"}, 1.0}}, config, store);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_NE(store.FindStratified("t", {"k"}), nullptr);
+  // Second plan shifts the workload entirely to x.
+  auto p2 = PlanAndBuildSamples(t, "t", {{{"x"}, 1.0}}, config, store);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(store.FindStratified("t", {"k"}), nullptr);
+  EXPECT_NE(store.FindStratified("t", {"x"}), nullptr);
+}
+
+}  // namespace
+}  // namespace blink

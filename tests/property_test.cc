@@ -1,0 +1,237 @@
+// Property-based sweeps over the invariants listed in DESIGN.md §6, using
+// parameterized gtest. Each property is checked across a grid of skews,
+// caps, and resolution factors rather than a single hand-picked case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/exec/executor.h"
+#include "src/runtime/query_runtime.h"
+#include "src/sample/sample_family.h"
+#include "src/sql/parser.h"
+#include "src/stats/distributions.h"
+#include "src/util/rng.h"
+
+namespace blink {
+namespace {
+
+Table ZipfTable(uint64_t rows, double skew, uint64_t domain, uint64_t seed) {
+  Table t(Schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}}));
+  t.Reserve(rows);
+  Rng rng(seed);
+  ZipfGenerator zipf(skew, domain);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.AppendInt(0, static_cast<int64_t>(zipf.Next(rng)));
+    t.AppendDouble(1, rng.NextDouble() * 50.0);
+    t.CommitRow();
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Property: for any (skew, cap), S(phi,K) caps every stratum at K, keeps
+// sub-cap strata whole, and nests across resolutions.
+struct FamilyCase {
+  double skew;
+  uint64_t cap;
+  double factor;
+};
+
+class FamilyInvariants : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FamilyInvariants, CapNestingAndStorage) {
+  const auto& param = GetParam();
+  const Table t = ZipfTable(30'000, param.skew, 800, 7);
+  SampleFamilyOptions options;
+  options.largest_cap = param.cap;
+  options.resolution_factor = param.factor;
+  options.max_resolutions = 5;
+  Rng rng(1);
+  auto family = SampleFamily::BuildStratified(t, {"k"}, options, rng);
+  ASSERT_TRUE(family.ok());
+
+  std::unordered_map<int64_t, uint64_t> true_freq;
+  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+    ++true_freq[t.GetInt(0, r)];
+  }
+  uint64_t prev_rows = ~0ull;
+  for (size_t i = 0; i < family->num_resolutions(); ++i) {
+    const Dataset ds = family->LogicalSample(i);
+    const uint64_t cap = family->resolution(i).cap;
+    std::unordered_map<int64_t, uint64_t> freq;
+    for (uint64_t r = 0; r < ds.NumRows(); ++r) {
+      ++freq[ds.table->GetInt(0, r)];
+    }
+    for (const auto& [k, f] : freq) {
+      ASSERT_LE(f, cap);
+      ASSERT_EQ(f, std::min<uint64_t>(true_freq[k], cap));
+    }
+    ASSERT_LT(ds.NumRows(), prev_rows);
+    prev_rows = ds.NumRows();
+  }
+  // Storage = largest sample only.
+  EXPECT_EQ(family->storage_rows(), family->resolution(0).rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FamilyInvariants,
+    ::testing::Values(FamilyCase{0.5, 64, 2.0}, FamilyCase{1.0, 64, 2.0},
+                      FamilyCase{1.5, 64, 2.0}, FamilyCase{2.0, 64, 2.0},
+                      FamilyCase{1.2, 16, 2.0}, FamilyCase{1.2, 256, 2.0},
+                      FamilyCase{1.2, 64, 1.5}, FamilyCase{1.2, 64, 3.0}));
+
+// ---------------------------------------------------------------------------
+// Property: stratified estimates are unbiased for any skew — the mean over
+// independently built samples converges to the exact answer.
+class UnbiasednessSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnbiasednessSweep, SumEstimateUnbiased) {
+  const double skew = GetParam();
+  const Table t = ZipfTable(25'000, skew, 600, 11);
+  auto stmt = ParseSelect("SELECT SUM(v) FROM t WHERE k <= 5");
+  ASSERT_TRUE(stmt.ok());
+  auto exact = ExecuteQuery(*stmt, Dataset::Exact(t));
+  ASSERT_TRUE(exact.ok());
+  const double truth = exact->rows[0].aggregates[0].value;
+  ASSERT_GT(truth, 0.0);
+
+  RunningMoments estimates;
+  SampleFamilyOptions options;
+  options.largest_cap = 64;
+  options.max_resolutions = 1;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 7919);
+    auto family = SampleFamily::BuildStratified(t, {"k"}, options, rng);
+    ASSERT_TRUE(family.ok());
+    auto result = ExecuteQuery(*stmt, family->LogicalSample(0));
+    ASSERT_TRUE(result.ok());
+    estimates.Add(result->rows[0].aggregates[0].value);
+  }
+  EXPECT_NEAR(estimates.mean(), truth, truth * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, UnbiasednessSweep,
+                         ::testing::Values(0.0, 0.8, 1.2, 1.6, 2.0));
+
+// ---------------------------------------------------------------------------
+// Property: the DNF rewrite is semantics-preserving — executing the original
+// disjunctive predicate equals executing the union of its DNF terms on the
+// full table (terms are disjoint for single-column disjunctions).
+TEST(DnfSemantics, UnionOfTermsMatchesDirectExecution) {
+  const Table t = ZipfTable(10'000, 1.1, 50, 13);
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM t WHERE k = 1 OR k = 2 OR k = 3",
+      "SELECT COUNT(*) FROM t WHERE (k = 1 OR k = 2) AND v >= 10",
+      "SELECT SUM(v) FROM t WHERE k <= 2 OR k = 7",
+  };
+  for (const char* sql : queries) {
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok());
+    auto direct = ExecuteQuery(*stmt, Dataset::Exact(t));
+    ASSERT_TRUE(direct.ok());
+    auto dnf = ToDnf(*stmt->where, 16);
+    ASSERT_TRUE(dnf.has_value());
+    double combined = 0.0;
+    for (const auto& term : *dnf) {
+      SelectStatement sub = *stmt;
+      sub.where = term;
+      auto part = ExecuteQuery(sub, Dataset::Exact(t));
+      ASSERT_TRUE(part.ok());
+      combined += part->rows[0].aggregates[0].value;
+    }
+    // Terms from "a OR b" on one column are disjoint; "k<=2 OR k=7" too.
+    EXPECT_NEAR(combined, direct->rows[0].aggregates[0].value,
+                std::fabs(direct->rows[0].aggregates[0].value) * 1e-9 + 1e-9)
+        << sql;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: confidence intervals at level C cover the truth at rate >= ~C
+// across skews (calibration of the whole sample->estimate pipeline).
+class CoverageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverageSweep, CountCoverageAtNinetyFive) {
+  const double skew = GetParam();
+  const Table t = ZipfTable(20'000, skew, 400, 17);
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM t WHERE k <= 10");
+  ASSERT_TRUE(stmt.ok());
+  auto exact = ExecuteQuery(*stmt, Dataset::Exact(t));
+  ASSERT_TRUE(exact.ok());
+  const double truth = exact->rows[0].aggregates[0].value;
+
+  int covered = 0;
+  constexpr int kTrials = 120;
+  SampleFamilyOptions options;
+  options.uniform_fraction = 0.05;
+  options.max_resolutions = 1;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(static_cast<uint64_t>(trial) * 104'729 + 1);
+    auto family = SampleFamily::BuildUniform(t, options, rng);
+    ASSERT_TRUE(family.ok());
+    auto result = ExecuteQuery(*stmt, family->LogicalSample(0));
+    ASSERT_TRUE(result.ok());
+    const auto interval = result->rows[0].aggregates[0].IntervalAt(0.95);
+    if (truth >= interval.lo && truth <= interval.hi) {
+      ++covered;
+    }
+  }
+  // 95% nominal with Monte-Carlo slack on 120 trials.
+  EXPECT_GE(covered, 104);  // ~87%
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, CoverageSweep, ::testing::Values(0.5, 1.0, 1.5));
+
+// ---------------------------------------------------------------------------
+// Property: resolution caps follow K_i = floor(K_1 / c^i) for every (K, c).
+struct CapsCase {
+  uint64_t k1;
+  double c;
+};
+
+class CapsSweep : public ::testing::TestWithParam<CapsCase> {};
+
+TEST_P(CapsSweep, MatchesFormula) {
+  const auto& param = GetParam();
+  const auto caps = ResolutionCaps(param.k1, param.c, 10);
+  ASSERT_FALSE(caps.empty());
+  EXPECT_EQ(caps[0], param.k1);
+  for (size_t i = 0; i < caps.size(); ++i) {
+    const uint64_t expected = static_cast<uint64_t>(
+        std::floor(static_cast<double>(param.k1) / std::pow(param.c, i)));
+    EXPECT_EQ(caps[i], expected) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CapsSweep,
+                         ::testing::Values(CapsCase{1000, 2.0}, CapsCase{1000, 3.0},
+                                           CapsCase{777, 1.7}, CapsCase{100'000, 2.0},
+                                           CapsCase{7, 2.0}));
+
+// ---------------------------------------------------------------------------
+// Property: Zipf storage fraction is monotone in K and anti-monotone in s
+// across the entire Table-5 grid.
+TEST(ZipfStorageProperty, MonotoneGrid) {
+  for (double s = 1.0; s <= 2.0; s += 0.1) {
+    double prev_fraction = 0.0;
+    for (double k : {1e3, 1e4, 1e5, 1e6, 1e7}) {
+      const double fraction = ZipfStratifiedStorageFraction(s, k, 1e9);
+      EXPECT_GT(fraction, prev_fraction);
+      EXPECT_LE(fraction, 1.0);
+      prev_fraction = fraction;
+    }
+  }
+  for (double k : {1e4, 1e5, 1e6}) {
+    double prev_fraction = 1.1;
+    for (double s = 1.0; s <= 2.0; s += 0.1) {
+      const double fraction = ZipfStratifiedStorageFraction(s, k, 1e9);
+      EXPECT_LT(fraction, prev_fraction);
+      prev_fraction = fraction;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "src/sql/analyzer.h"
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+
+namespace blink {
+namespace {
+
+// --- Lexer -------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT COUNT(*) FROM t WHERE x = 'a b' AND y >= 3.5");
+  ASSERT_TRUE(tokens.ok());
+  const auto& v = *tokens;
+  EXPECT_TRUE(v[0].IsWord("select"));
+  EXPECT_TRUE(v[1].IsWord("COUNT"));
+  EXPECT_TRUE(v[2].IsSymbol("("));
+  EXPECT_TRUE(v[3].IsSymbol("*"));
+  // find the string literal
+  bool found_string = false;
+  bool found_ge = false;
+  for (const auto& t : v) {
+    if (t.Is(TokenType::kString) && t.text == "a b") {
+      found_string = true;
+    }
+    if (t.IsSymbol(">=")) {
+      found_ge = true;
+    }
+  }
+  EXPECT_TRUE(found_string);
+  EXPECT_TRUE(found_ge);
+  EXPECT_TRUE(v.back().Is(TokenType::kEnd));
+}
+
+TEST(LexerTest, NumbersParsed) {
+  auto tokens = Tokenize("10 3.25 0.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 10.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 3.25);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.5);
+}
+
+TEST(LexerTest, EscapedQuote) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+TEST(LexerTest, NotEqualsVariants) {
+  auto tokens = Tokenize("a != b <> c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("!="));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("!="));  // <> normalized
+}
+
+// --- Parser ------------------------------------------------------------------
+
+TEST(ParserTest, PaperExampleErrorBound) {
+  // Verbatim from §2 of the paper.
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM Sessions WHERE Genre = 'western' GROUP BY OS "
+      "ERROR WITHIN 10% AT CONFIDENCE 95%");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->table, "Sessions");
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_TRUE(stmt->items[0].is_aggregate);
+  EXPECT_TRUE(stmt->items[0].agg.count_star);
+  ASSERT_TRUE(stmt->where.has_value());
+  EXPECT_EQ(stmt->where->kind, Predicate::Kind::kCompare);
+  EXPECT_EQ(stmt->where->column, "Genre");
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_EQ(stmt->group_by[0], "OS");
+  EXPECT_EQ(stmt->bounds.kind, QueryBounds::Kind::kError);
+  EXPECT_TRUE(stmt->bounds.relative);
+  EXPECT_NEAR(stmt->bounds.error, 0.10, 1e-12);
+  EXPECT_NEAR(stmt->bounds.confidence, 0.95, 1e-12);
+}
+
+TEST(ParserTest, PaperExampleTimeBound) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*), RELATIVE ERROR AT 95% CONFIDENCE FROM Sessions "
+      "WHERE Genre = 'western' GROUP BY OS WITHIN 5 SECONDS");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->bounds.kind, QueryBounds::Kind::kTime);
+  EXPECT_DOUBLE_EQ(stmt->bounds.time_seconds, 5.0);
+  EXPECT_TRUE(stmt->report_error_columns);
+  EXPECT_NEAR(stmt->bounds.confidence, 0.95, 1e-12);
+  EXPECT_EQ(stmt->items.size(), 1u);  // the error pseudo-column is not an item
+}
+
+TEST(ParserTest, AggregateVariants) {
+  auto stmt = ParseSelect(
+      "SELECT SUM(x), AVG(y), MEAN(y), MEDIAN(z), QUANTILE(z, 0.99), COUNT(u) FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->items.size(), 6u);
+  EXPECT_EQ(stmt->items[0].agg.func, AggFunc::kSum);
+  EXPECT_EQ(stmt->items[1].agg.func, AggFunc::kAvg);
+  EXPECT_EQ(stmt->items[2].agg.func, AggFunc::kAvg);
+  EXPECT_EQ(stmt->items[3].agg.func, AggFunc::kQuantile);
+  EXPECT_DOUBLE_EQ(stmt->items[3].agg.quantile_p, 0.5);
+  EXPECT_EQ(stmt->items[4].agg.func, AggFunc::kQuantile);
+  EXPECT_DOUBLE_EQ(stmt->items[4].agg.quantile_p, 0.99);
+  EXPECT_EQ(stmt->items[5].agg.func, AggFunc::kCount);
+  EXPECT_FALSE(stmt->items[5].agg.count_star);
+  EXPECT_EQ(stmt->items[5].agg.column, "u");
+}
+
+TEST(ParserTest, Aliases) {
+  auto stmt = ParseSelect("SELECT city, SUM(t) AS total FROM s GROUP BY city");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->items[0].column, "city");
+  EXPECT_EQ(stmt->items[1].alias, "total");
+}
+
+TEST(ParserTest, ConjunctiveAndDisjunctivePredicates) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM t WHERE a = 1 AND (b = 'x' OR c > 2.5) AND d <= 7");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->where.has_value());
+  EXPECT_EQ(stmt->where->kind, Predicate::Kind::kAnd);
+  EXPECT_FALSE(stmt->where->IsConjunctive());
+  ASSERT_EQ(stmt->where->children.size(), 3u);
+  EXPECT_EQ(stmt->where->children[1].kind, Predicate::Kind::kOr);
+}
+
+TEST(ParserTest, JoinClause) {
+  auto stmt = ParseSelect(
+      "SELECT AVG(price) FROM fact JOIN dim ON fact.key = dim.id WHERE dim_col = 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_TRUE(stmt->join.has_value());
+  EXPECT_EQ(stmt->join->table, "dim");
+  EXPECT_EQ(stmt->join->left_column, "key");
+  EXPECT_EQ(stmt->join->right_column, "id");
+}
+
+TEST(ParserTest, HavingClause) {
+  auto stmt = ParseSelect(
+      "SELECT city, COUNT(*) AS n FROM t GROUP BY city HAVING n > 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_TRUE(stmt->having.has_value());
+  EXPECT_EQ(stmt->having->column, "n");
+}
+
+TEST(ParserTest, AbsoluteErrorBound) {
+  auto stmt = ParseSelect(
+      "SELECT AVG(x) FROM t ABSOLUTE ERROR WITHIN 5 AT CONFIDENCE 99%");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->bounds.kind, QueryBounds::Kind::kError);
+  EXPECT_FALSE(stmt->bounds.relative);
+  EXPECT_DOUBLE_EQ(stmt->bounds.error, 5.0);
+  EXPECT_NEAR(stmt->bounds.confidence, 0.99, 1e-12);
+}
+
+TEST(ParserTest, ConfidenceWithoutPercentSign) {
+  auto stmt = ParseSelect("SELECT AVG(x) FROM t ERROR WITHIN 10% AT CONFIDENCE 0.95");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NEAR(stmt->bounds.confidence, 0.95, 1e-12);
+  auto stmt2 = ParseSelect("SELECT AVG(x) FROM t ERROR WITHIN 10% AT CONFIDENCE 95");
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_NEAR(stmt2->bounds.confidence, 0.95, 1e-12);
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(ParseSelect("SELECT COUNT(*) FROM t;").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(* FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*) FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*) FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*) FROM t WHERE x =").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*) FROM t GROUP city").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*) FROM t WITHIN SECONDS").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(*) FROM t trailing garbage").ok());
+  EXPECT_FALSE(ParseSelect("SELECT QUANTILE(x, 1.5) FROM t").ok());
+}
+
+TEST(ParserTest, TemplateColumnsFromWhereGroupByHaving) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM t WHERE City = 'NY' AND Genre = 'a' "
+      "GROUP BY OS HAVING URL = 'x'");
+  ASSERT_TRUE(stmt.ok());
+  // Sorted, lower-cased, deduplicated.
+  const auto cols = stmt->TemplateColumns();
+  ASSERT_EQ(cols.size(), 4u);
+  EXPECT_EQ(cols[0], "city");
+  EXPECT_EQ(cols[1], "genre");
+  EXPECT_EQ(cols[2], "os");
+  EXPECT_EQ(cols[3], "url");
+}
+
+TEST(ParserTest, TemplateColumnsDeduplicated) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM t WHERE city = 'NY' OR city = 'SF' GROUP BY city");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->TemplateColumns().size(), 1u);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto stmt = ParseSelect(
+      "SELECT city, SUM(x) FROM t WHERE a = 1 GROUP BY city WITHIN 2 SECONDS");
+  ASSERT_TRUE(stmt.ok());
+  const std::string rendered = stmt->ToString();
+  auto reparsed = ParseSelect(rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered << " -> " << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->table, "t");
+  EXPECT_EQ(reparsed->group_by.size(), 1u);
+  EXPECT_EQ(reparsed->bounds.kind, QueryBounds::Kind::kTime);
+}
+
+// --- Analyzer ----------------------------------------------------------------
+
+Schema FactSchema() {
+  return Schema({{"city", DataType::kString},
+                 {"os", DataType::kString},
+                 {"session_time", DataType::kDouble},
+                 {"customer_id", DataType::kInt64}});
+}
+
+Schema DimSchema() {
+  return Schema({{"id", DataType::kInt64}, {"region", DataType::kString}});
+}
+
+TEST(AnalyzerTest, ResolvesFactThenDim) {
+  const Schema fact = FactSchema();
+  const Schema dim = DimSchema();
+  auto ref = ResolveColumn("region", fact, &dim);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->side, TableSide::kDim);
+  auto ref2 = ResolveColumn("CITY", fact, &dim);
+  ASSERT_TRUE(ref2.ok());
+  EXPECT_EQ(ref2->side, TableSide::kFact);
+  EXPECT_FALSE(ResolveColumn("nope", fact, &dim).ok());
+}
+
+TEST(AnalyzerTest, ValidQueryPasses) {
+  auto stmt = ParseSelect(
+      "SELECT os, AVG(session_time) FROM s WHERE city = 'NY' GROUP BY os");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(ValidateQuery(*stmt, FactSchema(), nullptr).ok());
+}
+
+TEST(AnalyzerTest, UnknownColumnRejected) {
+  auto stmt = ParseSelect("SELECT AVG(nope) FROM s");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(ValidateQuery(*stmt, FactSchema(), nullptr).code(), StatusCode::kNotFound);
+}
+
+TEST(AnalyzerTest, StringAggregateRejected) {
+  auto stmt = ParseSelect("SELECT SUM(city) FROM s");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(ValidateQuery(*stmt, FactSchema(), nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AnalyzerTest, NonGroupedPassthroughRejected) {
+  auto stmt = ParseSelect("SELECT city, COUNT(*) FROM s");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(ValidateQuery(*stmt, FactSchema(), nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AnalyzerTest, TypeMismatchInPredicateRejected) {
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM s WHERE city = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(ValidateQuery(*stmt, FactSchema(), nullptr).ok());
+  auto stmt2 = ParseSelect("SELECT COUNT(*) FROM s WHERE session_time = 'x'");
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_FALSE(ValidateQuery(*stmt2, FactSchema(), nullptr).ok());
+}
+
+TEST(AnalyzerTest, StringInequalityRejected) {
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM s WHERE city < 'NY'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(ValidateQuery(*stmt, FactSchema(), nullptr).ok());
+}
+
+TEST(AnalyzerTest, JoinValidation) {
+  auto stmt = ParseSelect(
+      "SELECT AVG(session_time) FROM s JOIN d ON customer_id = id");
+  ASSERT_TRUE(stmt.ok());
+  const Schema fact = FactSchema();
+  const Schema dim = DimSchema();
+  EXPECT_TRUE(ValidateQuery(*stmt, fact, &dim).ok());
+  // Without a dim schema, the join must be rejected.
+  EXPECT_FALSE(ValidateQuery(*stmt, fact, nullptr).ok());
+}
+
+TEST(AnalyzerTest, SelectItemNames) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*), SUM(session_time) AS total, QUANTILE(session_time, 0.9) FROM s");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(SelectItemName(stmt->items[0]), "COUNT(*)");
+  EXPECT_EQ(SelectItemName(stmt->items[1]), "total");
+  EXPECT_EQ(SelectItemName(stmt->items[2]).substr(0, 9), "QUANTILE(");
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "src/storage/table.h"
+
+namespace blink {
+namespace {
+
+Schema SessionsSchema() {
+  return Schema({{"url", DataType::kString},
+                 {"city", DataType::kString},
+                 {"browser", DataType::kString},
+                 {"session_time", DataType::kDouble},
+                 {"user_id", DataType::kInt64}});
+}
+
+Table SessionsTable() {
+  // The paper's §4.3 worked example (Table 3).
+  Table t(SessionsSchema());
+  EXPECT_TRUE(t.AppendRow({Value("cnn.com"), Value("New York"), Value("Firefox"),
+                           Value(15.0), Value(int64_t{1})})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value("yahoo.com"), Value("New York"), Value("Firefox"),
+                           Value(20.0), Value(int64_t{2})})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value("google.com"), Value("Berkeley"), Value("Firefox"),
+                           Value(85.0), Value(int64_t{3})})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value("google.com"), Value("New York"), Value("Safari"),
+                           Value(82.0), Value(int64_t{4})})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value("bing.com"), Value("Cambridge"), Value("IE"),
+                           Value(22.0), Value(int64_t{5})})
+                  .ok());
+  return t;
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(int64_t{3}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("x").type(), DataType::kString);
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsNumeric(), 3.5);
+  EXPECT_EQ(Value("abc").ToString(), "'abc'");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // different types
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  const Schema s = SessionsSchema();
+  EXPECT_EQ(s.FindColumn("CITY").value(), 1u);
+  EXPECT_EQ(s.FindColumn("session_time").value(), 3u);
+  EXPECT_FALSE(s.FindColumn("nope").has_value());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  const Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "a INT64, b STRING");
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  const int32_t a = d.Intern("x");
+  const int32_t b = d.Intern("y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("x"), a);
+  EXPECT_EQ(d.At(a), "x");
+  EXPECT_EQ(d.Find("y"), b);
+  EXPECT_EQ(d.Find("missing"), -1);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(TableTest, AppendAndRead) {
+  const Table t = SessionsTable();
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.GetString(1, 0), "New York");
+  EXPECT_DOUBLE_EQ(t.GetDouble(3, 2), 85.0);
+  EXPECT_EQ(t.GetInt(4, 4), 5);
+  EXPECT_EQ(t.GetValue(0, 4), Value("bing.com"));
+}
+
+TEST(TableTest, AppendRowValidatesArity) {
+  Table t(SessionsSchema());
+  EXPECT_FALSE(t.AppendRow({Value("x")}).ok());
+}
+
+TEST(TableTest, AppendRowValidatesTypes) {
+  Table t(SessionsSchema());
+  const Status s = t.AppendRow({Value(int64_t{1}), Value("c"), Value("b"),
+                                Value(1.0), Value(int64_t{1})});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, IntWidensToDouble) {
+  Table t(Schema({{"d", DataType::kDouble}}));
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{4})}).ok());
+  EXPECT_DOUBLE_EQ(t.GetDouble(0, 0), 4.0);
+}
+
+TEST(TableTest, GetNumericOnIntAndDouble) {
+  const Table t = SessionsTable();
+  EXPECT_DOUBLE_EQ(t.GetNumeric(3, 0), 15.0);
+  EXPECT_DOUBLE_EQ(t.GetNumeric(4, 0), 1.0);
+}
+
+TEST(TableTest, SharedDictionaryAcrossRows) {
+  const Table t = SessionsTable();
+  // "google.com" appears twice; codes must match.
+  EXPECT_EQ(t.GetStringCode(0, 2), t.GetStringCode(0, 3));
+}
+
+TEST(TableTest, SelectRowsPreservesValuesAndSharesDict) {
+  const Table t = SessionsTable();
+  const Table sub = t.SelectRows({4, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.GetString(0, 0), "bing.com");
+  EXPECT_EQ(sub.GetString(0, 1), "cnn.com");
+  EXPECT_DOUBLE_EQ(sub.GetDouble(3, 0), 22.0);
+  // Codes stay compatible because the dictionary is shared.
+  EXPECT_EQ(sub.GetStringCode(1, 0), t.GetStringCode(1, 4));
+}
+
+TEST(TableTest, SelectRowsEmpty) {
+  const Table t = SessionsTable();
+  const Table sub = t.SelectRows({});
+  EXPECT_EQ(sub.num_rows(), 0u);
+  EXPECT_EQ(sub.schema(), t.schema());
+}
+
+TEST(TableTest, CellKeyDistinguishesValues) {
+  const Table t = SessionsTable();
+  EXPECT_NE(t.CellKey(1, 0), t.CellKey(1, 2));  // New York vs Berkeley
+  EXPECT_EQ(t.CellKey(1, 0), t.CellKey(1, 1));  // both New York
+}
+
+TEST(TableTest, EstimatedBytesPerRowPositive) {
+  const Table t = SessionsTable();
+  EXPECT_GT(t.EstimatedBytesPerRow(), 20.0);
+}
+
+TEST(KeyEncoderTest, CompositeKeysGroupCorrectly) {
+  const Table t = SessionsTable();
+  KeyEncoder enc(t, {1, 2});  // (city, browser)
+  std::unordered_map<std::vector<int64_t>, int, KeyHash> groups;
+  std::vector<int64_t> key;
+  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+    enc.Encode(r, key);
+    groups[key]++;
+  }
+  // Groups: (NY,Firefox)x2, (Berkeley,Firefox), (NY,Safari), (Cambridge,IE).
+  EXPECT_EQ(groups.size(), 4u);
+  enc.Encode(0, key);
+  EXPECT_EQ(groups[key], 2);
+}
+
+TEST(KeyEncoderTest, SingleColumnKey) {
+  const Table t = SessionsTable();
+  KeyEncoder enc(t, {2});  // browser
+  std::unordered_map<std::vector<int64_t>, int, KeyHash> groups;
+  std::vector<int64_t> key;
+  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+    enc.Encode(r, key);
+    groups[key]++;
+  }
+  EXPECT_EQ(groups.size(), 3u);  // Firefox, Safari, IE
+}
+
+TEST(KeyHashTest, EqualKeysHashEqual) {
+  KeyHash h;
+  std::vector<int64_t> a = {1, 2, 3};
+  std::vector<int64_t> b = {1, 2, 3};
+  EXPECT_EQ(h(a), h(b));
+}
+
+}  // namespace
+}  // namespace blink
