@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# One-command local gate: configure + build + ctest + format check.
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== format =="
+if command -v clang-format >/dev/null 2>&1; then
+  # Dry run: fails (non-zero) if any file under src/ needs reformatting.
+  find src tests bench -name '*.cc' -o -name '*.h' | xargs clang-format --dry-run --Werror
+  echo "format clean"
+else
+  echo "clang-format not installed; skipping format check"
+fi
+
+echo "== OK =="

@@ -80,7 +80,18 @@ double ClusterModel::EstimateLatency(const QueryWorkload& workload) const {
   const double scan_s =
       workload.input_bytes / (nodes * bw) * engine_.cpu_inefficiency;
 
-  const double tasks = std::ceil(workload.input_bytes / engine_.task_split_bytes);
+  // Task count: block-granular when the workload carries its morsel
+  // decomposition (tasks own whole blocks), byte-based otherwise.
+  double tasks;
+  if (workload.input_blocks > 0 && workload.input_bytes > 0.0) {
+    const double avg_block_bytes =
+        workload.input_bytes / static_cast<double>(workload.input_blocks);
+    const double blocks_per_task =
+        std::max(1.0, std::floor(engine_.task_split_bytes / avg_block_bytes));
+    tasks = std::ceil(static_cast<double>(workload.input_blocks) / blocks_per_task);
+  } else {
+    tasks = std::ceil(workload.input_bytes / engine_.task_split_bytes);
+  }
   const double slots = nodes * config_.slots_per_node;
   const double waves = std::max(1.0, std::ceil(tasks / slots));
   const double overhead_s = engine_.job_startup_s + waves * engine_.per_wave_overhead_s;

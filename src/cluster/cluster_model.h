@@ -55,6 +55,11 @@ struct QueryWorkload {
   double input_bytes = 0.0;    // bytes scanned
   double shuffle_bytes = 0.0;  // bytes exchanged for aggregation
   bool want_cached = true;     // input is requested from cache if the engine can
+  // Scan blocks (morsels) making up the input. When nonzero, task scheduling
+  // is block-granular: tasks are assigned whole blocks, never block
+  // fractions, mirroring how the engine charges §4.4 delta blocks. 0 falls
+  // back to pure byte-based splitting.
+  uint64_t input_blocks = 0;
 };
 
 class ClusterModel {

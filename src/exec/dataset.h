@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/exec/morsel.h"
 #include "src/storage/table.h"
 
 namespace blink {
@@ -39,6 +40,11 @@ struct Dataset {
   const std::vector<StratumCounts>* stratum_counts = nullptr;
   // 0 = scan the whole table; otherwise scan rows [0, scan_rows).
   uint64_t scan_rows = 0;
+  // Ascending logical-prefix row counts of the family this dataset views
+  // (one per resolution). Morsel carving cuts at these, so every resolution
+  // is a whole number of blocks and §4.4 reuse is exact block arithmetic.
+  // Null for standalone tables.
+  const std::vector<uint64_t>* prefix_boundaries = nullptr;
 
   bool is_exact() const { return weights == nullptr && stratum_counts == nullptr; }
 
@@ -70,6 +76,11 @@ struct Dataset {
     }
     const double n = table == nullptr ? 0.0 : static_cast<double>(table->num_rows());
     return {n, n};
+  }
+
+  // Block decomposition of this dataset's scan range, prefix-aligned.
+  MorselPlan PlanMorsels(uint32_t target_rows = kDefaultMorselRows) const {
+    return CarveMorsels(NumRows(), target_rows, prefix_boundaries);
   }
 
   // Convenience: exact view of a table.

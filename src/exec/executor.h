@@ -2,6 +2,14 @@
 // the WHERE predicate and optional equi-join, groups rows, and produces
 // unbiased estimates with closed-form error bounds for every aggregate
 // (§4.3 of the paper; Table 2 estimators).
+//
+// Execution is morsel-driven and vectorized: the scan range is carved into
+// blocks aligned to the sample-prefix boundaries (src/exec/morsel.h), each
+// block is filtered through selection-vector predicate evaluation, and
+// per-block partial accumulators (stratum cells) are merged in block-index
+// order. The merge order makes results bit-identical across thread counts
+// and schedules; a row-at-a-time reference path is kept for differential
+// testing.
 #ifndef BLINKDB_EXEC_EXECUTOR_H_
 #define BLINKDB_EXEC_EXECUTOR_H_
 
@@ -9,6 +17,7 @@
 #include <vector>
 
 #include "src/exec/dataset.h"
+#include "src/exec/morsel.h"
 #include "src/sql/ast.h"
 #include "src/stats/estimators.h"
 #include "src/storage/table.h"
@@ -16,16 +25,22 @@
 
 namespace blink {
 
+class ThreadPool;
+
 // One output row: the group key values plus one estimate per aggregate item.
 struct ResultRow {
   std::vector<Value> group_values;
   std::vector<Estimate> aggregates;
 };
 
-// Scan-volume accounting, consumed by the cluster latency model.
+// Scan-volume accounting, consumed by the cluster latency model. Volume is
+// tracked both in rows and in blocks: the latency model and the §4.4
+// intermediate-reuse logic charge whole blocks.
 struct ScanStats {
   uint64_t rows_scanned = 0;
   uint64_t rows_matched = 0;
+  uint64_t blocks_scanned = 0;  // morsels in the scan decomposition
+  uint32_t block_rows = 0;      // target morsel size the scan used
   double bytes_scanned = 0.0;
 };
 
@@ -45,12 +60,33 @@ struct QueryResult {
   std::string ToString() const;
 };
 
+// Scan-engine knobs for one execution.
+struct ExecutionOptions {
+  // Worker threads for the morsel fan-out. 1 processes blocks inline (still
+  // vectorized); results are identical for every value.
+  size_t num_threads = 1;
+  // Target morsel size in rows; carving additionally cuts at sample-prefix
+  // boundaries.
+  uint32_t morsel_rows = kDefaultMorselRows;
+  // Pool to run workers on when num_threads > 1. Null spawns transient
+  // threads. Must not be the pool of an enclosing ParallelFor/Wait (the
+  // executor waits for its workers).
+  ThreadPool* pool = nullptr;
+};
+
 // Executes `stmt` against `fact` (optionally joining `dim`, which must be an
-// exact in-memory table per §2.1). The statement must not contain
-// disjunctive-only constructs the runtime was supposed to rewrite; both
-// conjunctive and disjunctive WHERE clauses are supported here.
+// exact in-memory table per §2.1) on the morsel-driven vectorized engine.
+// Both conjunctive and disjunctive WHERE clauses are supported here.
+Result<QueryResult> ExecuteQuery(const SelectStatement& stmt, const Dataset& fact,
+                                 const Table* dim, const ExecutionOptions& options);
 Result<QueryResult> ExecuteQuery(const SelectStatement& stmt, const Dataset& fact,
                                  const Table* dim = nullptr);
+
+// Row-at-a-time reference implementation (the original serial path). Kept for
+// differential tests and the scan-throughput benchmark baseline; agrees with
+// the morsel engine up to floating-point summation order.
+Result<QueryResult> ExecuteQueryScalar(const SelectStatement& stmt, const Dataset& fact,
+                                       const Table* dim = nullptr);
 
 }  // namespace blink
 

@@ -1,0 +1,68 @@
+#include "src/exec/morsel.h"
+
+#include <algorithm>
+
+namespace blink {
+namespace {
+
+// The cut points of one carving: every boundary inside (0, total_rows),
+// ascending and deduplicated, terminated by total_rows itself.
+std::vector<uint64_t> CollectCuts(uint64_t total_rows,
+                                  const std::vector<uint64_t>* boundaries) {
+  std::vector<uint64_t> cuts;
+  if (boundaries != nullptr) {
+    for (uint64_t b : *boundaries) {
+      if (b > 0 && b < total_rows) {
+        cuts.push_back(b);
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  }
+  cuts.push_back(total_rows);
+  return cuts;
+}
+
+}  // namespace
+
+MorselPlan CarveMorsels(uint64_t total_rows, uint32_t target_rows,
+                        const std::vector<uint64_t>* boundaries) {
+  MorselPlan plan;
+  plan.total_rows = total_rows;
+  plan.target_rows = std::max<uint32_t>(1, target_rows);
+  if (total_rows == 0) {
+    return plan;
+  }
+  const std::vector<uint64_t> cuts = CollectCuts(total_rows, boundaries);
+  plan.morsels.reserve(total_rows / plan.target_rows + cuts.size());
+  uint64_t begin = 0;
+  for (uint64_t cut : cuts) {
+    while (begin < cut) {
+      Morsel m;
+      m.begin = begin;
+      m.end = std::min<uint64_t>(begin + plan.target_rows, cut);
+      m.index = static_cast<uint32_t>(plan.morsels.size());
+      plan.morsels.push_back(m);
+      begin = m.end;
+    }
+  }
+  return plan;
+}
+
+uint64_t CountMorsels(uint64_t total_rows, uint32_t target_rows,
+                      const std::vector<uint64_t>* boundaries) {
+  target_rows = std::max<uint32_t>(1, target_rows);
+  if (total_rows == 0) {
+    return 0;
+  }
+  uint64_t blocks = 0;
+  uint64_t begin = 0;
+  for (uint64_t cut : CollectCuts(total_rows, boundaries)) {
+    const uint64_t segment = cut - begin;
+    blocks += (segment + target_rows - 1) / target_rows;
+    begin = cut;
+  }
+  return blocks;
+}
+
+}  // namespace blink

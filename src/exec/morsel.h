@@ -1,0 +1,59 @@
+// Morsel-driven scan decomposition.
+//
+// A Dataset's scan range [0, NumRows) is carved into fixed-size row blocks
+// ("morsels"). Workers pull morsels from a shared counter, so scheduling is
+// dynamic, but every morsel has a stable index: partial aggregates are merged
+// in index order, which makes the parallel pipeline deterministic for any
+// thread count or schedule.
+//
+// Carving additionally cuts at the multi-resolution sample prefix boundaries
+// (§3.1 / §4.4): each logical resolution is then a whole number of blocks, so
+// the §4.4 "don't re-read the probe's blocks" reuse is exact block
+// arithmetic, never a partial block.
+#ifndef BLINKDB_EXEC_MORSEL_H_
+#define BLINKDB_EXEC_MORSEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace blink {
+
+// Default morsel size in rows: large enough to amortize per-block setup,
+// small enough that per-morsel state stays cache-resident.
+inline constexpr uint32_t kDefaultMorselRows = 4096;
+
+// One block of consecutive rows, [begin, end).
+struct Morsel {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint32_t index = 0;  // position in the plan; fixes the merge order
+
+  uint64_t rows() const { return end - begin; }
+};
+
+// The block decomposition of one scan.
+struct MorselPlan {
+  std::vector<Morsel> morsels;
+  uint64_t total_rows = 0;
+  uint32_t target_rows = kDefaultMorselRows;
+
+  uint64_t num_blocks() const { return morsels.size(); }
+};
+
+// Carves [0, total_rows) into morsels of at most `target_rows` rows, cutting
+// additionally at every row count in `boundaries` (ascending; typically the
+// resolution sizes of a sample family). Boundaries outside (0, total_rows)
+// are ignored.
+MorselPlan CarveMorsels(uint64_t total_rows, uint32_t target_rows,
+                        const std::vector<uint64_t>* boundaries = nullptr);
+
+// Block count of the same carving, without materializing the plan. Because
+// boundaries are cut points, counting over a prefix that is itself a
+// boundary covers it exactly — what the block-granular latency/reuse
+// accounting relies on.
+uint64_t CountMorsels(uint64_t total_rows, uint32_t target_rows,
+                      const std::vector<uint64_t>* boundaries = nullptr);
+
+}  // namespace blink
+
+#endif  // BLINKDB_EXEC_MORSEL_H_

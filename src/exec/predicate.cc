@@ -1,6 +1,56 @@
 #include "src/exec/predicate.h"
 
 namespace blink {
+namespace {
+
+// Compacts `sel` (and the parallel `dim_rows`) down to the positions where
+// keep(i) is true, preserving order.
+template <typename KeepFn>
+void Compact(std::vector<uint32_t>& sel, std::vector<uint64_t>* dim_rows, KeepFn keep) {
+  size_t out = 0;
+  for (size_t i = 0; i < sel.size(); ++i) {
+    if (keep(i)) {
+      sel[out] = sel[i];
+      if (dim_rows != nullptr) {
+        (*dim_rows)[out] = (*dim_rows)[i];
+      }
+      ++out;
+    }
+  }
+  sel.resize(out);
+  if (dim_rows != nullptr) {
+    dim_rows->resize(out);
+  }
+}
+
+// Dispatches the comparison operator once per block, so the per-row loop is a
+// tight load-compare-compact with no switches.
+template <typename LoadFn>
+void FilterCompare(CompareOp op, double literal, std::vector<uint32_t>& sel,
+                   std::vector<uint64_t>* dim_rows, LoadFn load) {
+  switch (op) {
+    case CompareOp::kEq:
+      Compact(sel, dim_rows, [&](size_t i) { return load(i) == literal; });
+      break;
+    case CompareOp::kNe:
+      Compact(sel, dim_rows, [&](size_t i) { return load(i) != literal; });
+      break;
+    case CompareOp::kLt:
+      Compact(sel, dim_rows, [&](size_t i) { return load(i) < literal; });
+      break;
+    case CompareOp::kLe:
+      Compact(sel, dim_rows, [&](size_t i) { return load(i) <= literal; });
+      break;
+    case CompareOp::kGt:
+      Compact(sel, dim_rows, [&](size_t i) { return load(i) > literal; });
+      break;
+    case CompareOp::kGe:
+      Compact(sel, dim_rows, [&](size_t i) { return load(i) >= literal; });
+      break;
+  }
+}
+
+}  // namespace
 
 Result<CompiledPredicate> CompiledPredicate::Compile(const Predicate& pred,
                                                      const Table& fact, const Table* dim) {
@@ -11,7 +61,17 @@ Result<CompiledPredicate> CompiledPredicate::Compile(const Predicate& pred,
   if (!root.ok()) {
     return root.status();
   }
+  compiled.max_or_depth_ = compiled.OrDepth(0);
   return compiled;
+}
+
+size_t CompiledPredicate::OrDepth(size_t node_idx) const {
+  const Node& node = nodes_[node_idx];
+  size_t child_max = 0;
+  for (size_t child : node.children) {
+    child_max = std::max(child_max, OrDepth(child));
+  }
+  return child_max + (node.kind == NodeKind::kOr ? 1 : 0);
 }
 
 Result<size_t> CompiledPredicate::CompileNode(const Predicate& pred, const Table& fact,
@@ -65,6 +125,107 @@ Result<size_t> CompiledPredicate::CompileNode(const Predicate& pred, const Table
     node.numeric_literal = pred.literal.AsNumeric();
   }
   return my_index;
+}
+
+void CompiledPredicate::FilterNode(size_t node_idx, uint64_t base,
+                                   std::vector<uint32_t>& sel,
+                                   std::vector<uint64_t>* dim_rows,
+                                   PredicateScratch& scratch, size_t depth) const {
+  const Node& node = nodes_[node_idx];
+  switch (node.kind) {
+    case NodeKind::kAnd:
+      for (size_t child : node.children) {
+        if (sel.empty()) {
+          return;
+        }
+        FilterNode(child, base, sel, dim_rows, scratch, depth);
+      }
+      return;
+    case NodeKind::kOr: {
+      if (sel.empty()) {
+        return;
+      }
+      // Union of the children's survivors. Each child filters a copy of the
+      // candidate selection; survivors (an ordered subsequence) are marked
+      // and the union compacted once at the end. Buffers come from this OR
+      // level's scratch slot (nested ORs use deeper slots), so steady-state
+      // evaluation allocates nothing.
+      PredicateScratch::Level& level = scratch.levels[depth];
+      level.keep.assign(sel.size(), 0);
+      for (size_t child : node.children) {
+        level.sel.assign(sel.begin(), sel.end());
+        std::vector<uint64_t>* ds = nullptr;
+        if (dim_rows != nullptr) {
+          level.dim_rows.assign(dim_rows->begin(), dim_rows->end());
+          ds = &level.dim_rows;
+        }
+        FilterNode(child, base, level.sel, ds, scratch, depth + 1);
+        size_t pos = 0;
+        for (uint32_t off : level.sel) {
+          while (sel[pos] != off) {
+            ++pos;
+          }
+          level.keep[pos++] = 1;
+        }
+      }
+      Compact(sel, dim_rows, [&](size_t i) { return level.keep[i] != 0; });
+      return;
+    }
+    case NodeKind::kNumericCompare:
+    case NodeKind::kStringCompare:
+      FilterLeaf(node, base, sel, dim_rows);
+      return;
+  }
+}
+
+void CompiledPredicate::FilterLeaf(const Node& node, uint64_t base,
+                                   std::vector<uint32_t>& sel,
+                                   std::vector<uint64_t>* dim_rows) const {
+  const bool fact_side = node.side == TableSide::kFact;
+  const Table& t = fact_side ? *fact_ : *dim_;
+  if (node.kind == NodeKind::kStringCompare) {
+    const int32_t* codes = t.CodeData(node.column);
+    const int32_t lit = node.code_literal;
+    if (fact_side) {
+      const int32_t* data = codes + base;
+      if (node.op == CompareOp::kEq) {
+        Compact(sel, dim_rows, [&](size_t i) { return data[sel[i]] == lit; });
+      } else {
+        Compact(sel, dim_rows, [&](size_t i) { return data[sel[i]] != lit; });
+      }
+    } else {
+      if (node.op == CompareOp::kEq) {
+        Compact(sel, dim_rows, [&](size_t i) { return codes[(*dim_rows)[i]] == lit; });
+      } else {
+        Compact(sel, dim_rows, [&](size_t i) { return codes[(*dim_rows)[i]] != lit; });
+      }
+    }
+    return;
+  }
+  // Numeric leaf: same semantics as the scalar path (values widened to
+  // double, compared against the double literal).
+  const Column& col = t.column(node.column);
+  if (col.type == DataType::kInt64) {
+    const int64_t* raw = t.IntData(node.column);
+    if (fact_side) {
+      const int64_t* data = raw + base;
+      FilterCompare(node.op, node.numeric_literal, sel, dim_rows,
+                    [&](size_t i) { return static_cast<double>(data[sel[i]]); });
+    } else {
+      FilterCompare(node.op, node.numeric_literal, sel, dim_rows,
+                    [&](size_t i) { return static_cast<double>(raw[(*dim_rows)[i]]); });
+    }
+  } else {
+    const double* raw = t.DoubleData(node.column);
+    if (fact_side) {
+      const double* data = raw + base;
+      FilterCompare(node.op, node.numeric_literal, sel, dim_rows,
+                    [&](size_t i) { return data[sel[i]]; });
+    } else {
+      FilterCompare(node.op, node.numeric_literal, sel, dim_rows,
+                    [&](size_t i) { return raw[(*dim_rows)[i]]; });
+    }
+  }
 }
 
 bool CompiledPredicate::EvalNode(size_t node_idx, uint64_t fact_row, uint64_t dim_row) const {

@@ -3,9 +3,16 @@
 // Compilation resolves column names to (side, index), binds string literals
 // to dictionary codes once, and flattens the tree into a compact node vector,
 // so per-row evaluation does no string work.
+//
+// Two evaluation modes: Matches() for one row (the scalar reference path),
+// and FilterBlock() which narrows a selection vector over a columnar block
+// with type-specialized loops (the morsel engine's path). AND nodes filter
+// the selection sequentially; OR nodes take the union of their children's
+// survivors; both preserve row order, so the two modes select identical rows.
 #ifndef BLINKDB_EXEC_PREDICATE_H_
 #define BLINKDB_EXEC_PREDICATE_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "src/sql/analyzer.h"
@@ -14,6 +21,18 @@
 #include "src/util/status.h"
 
 namespace blink {
+
+// Reusable buffers for FilterBlock's OR-union evaluation, one level per OR
+// nesting depth. Owned by the caller (one per worker) so per-block
+// evaluation does not allocate.
+struct PredicateScratch {
+  struct Level {
+    std::vector<uint8_t> keep;
+    std::vector<uint32_t> sel;
+    std::vector<uint64_t> dim_rows;
+  };
+  std::vector<Level> levels;
+};
 
 class CompiledPredicate {
  public:
@@ -25,6 +44,24 @@ class CompiledPredicate {
   // pass any value otherwise).
   bool Matches(uint64_t fact_row, uint64_t dim_row) const {
     return EvalNode(0, fact_row, dim_row);
+  }
+
+  // Vectorized evaluation over the block of fact rows starting at `base`:
+  // filters `sel` (ascending in-block offsets) in place, keeping offsets
+  // whose rows match. `dim_rows`, when non-null, runs parallel to `sel`
+  // (each candidate's join-resolved dimension row) and is compacted
+  // alongside. Equivalent to keeping i iff Matches(base + sel[i],
+  // dim_rows ? (*dim_rows)[i] : 0). Pass a caller-owned `scratch` to reuse
+  // OR-union buffers across blocks (null allocates locally).
+  void FilterBlock(uint64_t base, std::vector<uint32_t>& sel,
+                   std::vector<uint64_t>* dim_rows,
+                   PredicateScratch* scratch = nullptr) const {
+    PredicateScratch local;
+    PredicateScratch& s = scratch != nullptr ? *scratch : local;
+    if (s.levels.size() < max_or_depth_) {
+      s.levels.resize(max_or_depth_);  // recursion never resizes below
+    }
+    FilterNode(0, base, sel, dim_rows, s, 0);
   }
 
  private:
@@ -43,11 +80,19 @@ class CompiledPredicate {
 
   bool EvalNode(size_t node, uint64_t fact_row, uint64_t dim_row) const;
 
+  void FilterNode(size_t node, uint64_t base, std::vector<uint32_t>& sel,
+                  std::vector<uint64_t>* dim_rows, PredicateScratch& scratch,
+                  size_t depth) const;
+  void FilterLeaf(const Node& node, uint64_t base, std::vector<uint32_t>& sel,
+                  std::vector<uint64_t>* dim_rows) const;
+
   Result<size_t> CompileNode(const Predicate& pred, const Table& fact, const Table* dim);
+  size_t OrDepth(size_t node) const;
 
   const Table* fact_ = nullptr;
   const Table* dim_ = nullptr;
   std::vector<Node> nodes_;
+  size_t max_or_depth_ = 0;  // OR nesting depth; sizes the scratch levels
 };
 
 }  // namespace blink

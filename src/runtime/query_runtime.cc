@@ -95,25 +95,58 @@ std::optional<std::vector<Predicate>> ToDnf(const Predicate& pred, size_t max_di
   return std::nullopt;
 }
 
-double QueryRuntime::LatencyForDataset(const Dataset& ds, double scale_factor) const {
+QueryWorkload QueryRuntime::WorkloadForScan(const Dataset& ds, double scale_factor,
+                                            uint64_t skip_prefix_rows) const {
   QueryWorkload workload;
-  workload.input_bytes = static_cast<double>(ds.NumRows()) *
-                         ds.table->EstimatedBytesPerRow() * scale_factor;
+  const double bytes_per_row = ds.table->EstimatedBytesPerRow() * scale_factor;
+  // Carving cuts at sample-prefix boundaries, so a skipped prefix is whole
+  // blocks: its block count subtracts out exactly, no plan materialization
+  // needed.
+  const uint64_t total = ds.NumRows();
+  const uint64_t skip = std::min(skip_prefix_rows, total);
+  const uint64_t rows = total - skip;
+  const uint64_t blocks =
+      CountMorsels(total, config_.morsel_rows, ds.prefix_boundaries) -
+      CountMorsels(skip, config_.morsel_rows, ds.prefix_boundaries);
+  workload.input_bytes = static_cast<double>(rows) * bytes_per_row;
+  // Blocks, like bytes, are at paper scale: the in-memory stand-in's morsels
+  // each represent scale_factor times as much data, so the block count grows
+  // by the same factor (keeping avg block bytes = one in-memory morsel).
+  workload.input_blocks =
+      blocks == 0 ? 0
+                  : static_cast<uint64_t>(std::max(
+                        1.0, std::ceil(static_cast<double>(blocks) * scale_factor)));
   // Aggregation shuffles a tiny digest per group; negligible next to scans.
   workload.shuffle_bytes = 0.0;
   workload.want_cached = true;
-  return cluster_->EstimateLatency(workload);
+  return workload;
+}
+
+double QueryRuntime::LatencyForDataset(const Dataset& ds, double scale_factor) const {
+  return cluster_->EstimateLatency(WorkloadForScan(ds, scale_factor));
+}
+
+double QueryRuntime::DeltaLatency(const SampleFamily& family, size_t larger,
+                                  size_t already_scanned, double scale_factor) const {
+  const QueryWorkload delta =
+      WorkloadForScan(family.LogicalSample(larger), scale_factor,
+                      family.resolution(already_scanned).rows);
+  if (delta.input_blocks == 0) {
+    return 0.0;  // every block was read during probing
+  }
+  return cluster_->EstimateLatency(delta);
 }
 
 Result<ApproxAnswer> QueryRuntime::RunExact(const SelectStatement& stmt, const Table& fact,
                                             double scale_factor, const Table* dim) const {
-  auto result = ExecuteQuery(stmt, Dataset::Exact(fact), dim);
+  auto result = ExecuteQuery(stmt, Dataset::Exact(fact), dim, ExecOpts());
   if (!result.ok()) {
     return result.status();
   }
   ApproxAnswer answer{std::move(result.value()), {}};
   answer.report.family = "exact";
   answer.report.rows_read = fact.num_rows();
+  answer.report.blocks_read = answer.result.stats.blocks_scanned;
   answer.report.execution_latency = LatencyForDataset(Dataset::Exact(fact), scale_factor);
   answer.report.total_latency = answer.report.execution_latency;
   answer.report.achieved_error = 0.0;
@@ -150,42 +183,89 @@ Result<QueryRuntime::FamilyChoice> QueryRuntime::ChooseFamily(
     return choice;
   }
 
+  // Probe every family's smallest useful resolution. Probes are independent
+  // read-only scans, so they fan out on the thread pool (§4.1.1 runs them in
+  // parallel); each probe chain escalates while the match count is too small
+  // to estimate selectivity (rare slices would otherwise produce pure-noise
+  // ratios). Levels are prefixes, so a chain costs one scan of the largest
+  // level reached. The reduction below walks families in declaration order,
+  // so the outcome does not depend on probe completion order.
+  struct ProbeOutcome {
+    Status status = Status::Ok();
+    QueryResult result;
+    size_t resolution = 0;
+    double latency = 0.0;
+  };
+  std::vector<ProbeOutcome> probes(families.size());
+  // Results are identical either way (deterministic merge order), and both
+  // paths use the configured morsel size so the winning probe's answer —
+  // reused verbatim as the final run — carries consistent block accounting.
+  auto run_probe = [&](size_t f, const ExecutionOptions& options) {
+    const SampleFamily* family = families[f];
+    ProbeOutcome& out = probes[f];
+    size_t idx = family->smallest_resolution();
+    for (;;) {
+      auto result = ExecuteQuery(stmt, family->LogicalSample(idx), dim, options);
+      if (!result.ok()) {
+        out.status = result.status();
+        return;
+      }
+      out.result = std::move(result.value());
+      if (out.result.stats.rows_matched >= config_.min_probe_matches || idx == 0) {
+        break;
+      }
+      --idx;
+    }
+    out.resolution = idx;
+    out.latency = LatencyForDataset(family->LogicalSample(idx), scale_factor);
+  };
+  if (pool_ != nullptr && families.size() > 1) {
+    // Fan probes out across families; each probe's scan stays serial because
+    // a pool task must not Wait() on its own pool.
+    ExecutionOptions serial;
+    serial.num_threads = 1;
+    serial.morsel_rows = config_.morsel_rows;
+    for (size_t f = 0; f < families.size(); ++f) {
+      pool_->Submit([&run_probe, &serial, f] { run_probe(f, serial); });
+    }
+    pool_->Wait();
+  } else {
+    // Single family (or no pool): probes run on the caller's thread, so each
+    // scan can parallelize its morsels instead.
+    for (size_t f = 0; f < families.size(); ++f) {
+      run_probe(f, ExecOpts());
+    }
+  }
+
   double best_ratio = -1.0;
   double best_projected_error = std::numeric_limits<double>::infinity();
   double max_probe_latency = 0.0;
-  for (const SampleFamily* family : families) {
-    // Probe the smallest resolution, escalating while the match count is too
-    // small to estimate selectivity (rare slices would otherwise produce
-    // pure-noise ratios). Levels are prefixes, so the chain costs one scan
-    // of the largest level reached.
-    size_t idx = family->smallest_resolution();
-    Result<QueryResult> result = ExecuteQuery(stmt, family->LogicalSample(idx), dim);
-    if (!result.ok()) {
-      return result.status();
+  size_t winner = families.size();
+  for (size_t f = 0; f < families.size(); ++f) {
+    const SampleFamily* family = families[f];
+    ProbeOutcome& out = probes[f];
+    if (!out.status.ok()) {
+      return out.status;
     }
-    while (result->stats.rows_matched < config_.min_probe_matches && idx > 0) {
-      --idx;
-      result = ExecuteQuery(stmt, family->LogicalSample(idx), dim);
-      if (!result.ok()) {
-        return result.status();
-      }
-    }
-    const Dataset probe = family->LogicalSample(idx);
-    max_probe_latency = std::max(max_probe_latency, LatencyForDataset(probe, scale_factor));
+    // Probes run concurrently, so the selection charge is the makespan (the
+    // slowest probe), never the sum of per-family scans.
+    max_probe_latency = std::max(max_probe_latency, out.latency);
+    const QueryResult& result = out.result;
+    const uint64_t probe_rows = family->resolution(out.resolution).rows;
     const double ratio =
-        result->stats.rows_scanned == 0
+        result.stats.rows_scanned == 0
             ? 0.0
-            : static_cast<double>(result->stats.rows_matched) /
-                  static_cast<double>(result->stats.rows_scanned);
+            : static_cast<double>(result.stats.rows_matched) /
+                  static_cast<double>(result.stats.rows_scanned);
     // Error this family could reach at its largest resolution, projected from
     // the probe with the 1/sqrt(n) law. Captures both selectivity and the
     // weight dispersion a mismatched stratification induces. A probe that
     // matched nothing gives no information: treat as unboundedly bad.
-    const double probe_error = ResultError(*result, stmt.bounds, config_.default_confidence);
+    const double probe_error = ResultError(result, stmt.bounds, config_.default_confidence);
     const double projected =
-        result->stats.rows_matched == 0
+        result.stats.rows_matched == 0
             ? std::numeric_limits<double>::infinity()
-            : probe_error * std::sqrt(static_cast<double>(probe.NumRows()) /
+            : probe_error * std::sqrt(static_cast<double>(probe_rows) /
                                       static_cast<double>(family->resolution(0).rows));
     // Highest selected/read ratio wins (§4.1.1). Escalated probes make the
     // ratio reliable, but families whose ratios land within ~30% of each
@@ -212,16 +292,22 @@ Result<QueryRuntime::FamilyChoice> QueryRuntime::ChooseFamily(
       best_ratio = std::max(ratio, best_ratio);
       best_projected_error = projected;
       choice.family = family;
+      winner = f;
     }
   }
   // Probes run in parallel across families (§4.1.1), so charge the max.
   choice.selection_probe_latency = max_probe_latency;
+  // §4.4: hand the winner's probe to RunOnFamily so it is not re-executed.
+  if (winner < families.size()) {
+    choice.probe_result = std::move(probes[winner].result);
+    choice.probe_resolution = probes[winner].resolution;
+  }
   return choice;
 }
 
 Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
                                                const SampleFamily& family,
-                                               double selection_latency,
+                                               FamilyChoice choice,
                                                double scale_factor,
                                                const Table* dim) const {
   const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
@@ -229,25 +315,35 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
                                 : config_.default_confidence;
   ExecutionReport report;
   report.family = FamilyName(family);
-  report.probe_latency = selection_latency;
+  report.probe_latency = choice.selection_probe_latency;
 
   // --- Probe: smallest resolution, escalating while too few rows match -----
   // Logical samples are prefixes of one another (§4.4), so an escalation
   // chain costs one scan of the largest level reached, not the sum of levels.
-  size_t probe_idx = family.smallest_resolution();
+  // When family selection already probed this family, its answer is reused
+  // verbatim (§4.4) — no re-execution, and its latency is already inside the
+  // selection makespan.
+  size_t probe_idx;
   QueryResult probe_result;
-  for (;;) {
-    const Dataset probe = family.LogicalSample(probe_idx);
-    auto result = ExecuteQuery(stmt, probe, dim);
-    if (!result.ok()) {
-      return result.status();
+  if (choice.probe_result.has_value()) {
+    probe_idx = choice.probe_resolution;
+    probe_result = std::move(*choice.probe_result);
+  } else {
+    probe_idx = family.smallest_resolution();
+    for (;;) {
+      const Dataset probe = family.LogicalSample(probe_idx);
+      auto result = ExecuteQuery(stmt, probe, dim, ExecOpts());
+      if (!result.ok()) {
+        return result.status();
+      }
+      probe_result = std::move(result.value());
+      if (probe_result.stats.rows_matched >= config_.min_probe_matches ||
+          probe_idx == 0) {
+        report.probe_latency += LatencyForDataset(probe, scale_factor);
+        break;
+      }
+      --probe_idx;  // escalate to the next larger resolution
     }
-    probe_result = std::move(result.value());
-    if (probe_result.stats.rows_matched >= config_.min_probe_matches || probe_idx == 0) {
-      report.probe_latency += LatencyForDataset(probe, scale_factor);
-      break;
-    }
-    --probe_idx;  // escalate to the next larger resolution
   }
   const uint64_t probe_rows = family.resolution(probe_idx).rows;
   const double probe_matched =
@@ -256,7 +352,8 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
 
   // --- ELP: project error and latency per resolution (§4.2) ----------------
   // Error ~ 1/sqrt(matched rows); matched rows scale with sample rows at
-  // fixed selectivity. Latency scales linearly with bytes (the model).
+  // fixed selectivity. Latency is modeled over the prefix-aligned block
+  // decomposition of each resolution.
   for (size_t i = 0; i < family.num_resolutions(); ++i) {
     ElpPoint point;
     point.resolution = i;
@@ -265,7 +362,10 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
         probe_matched * static_cast<double>(point.rows) / static_cast<double>(probe_rows);
     point.projected_error =
         probe_error * std::sqrt(probe_matched / std::max(1.0, point.projected_matched));
-    point.projected_latency = LatencyForDataset(family.LogicalSample(i), scale_factor);
+    const QueryWorkload workload =
+        WorkloadForScan(family.LogicalSample(i), scale_factor);
+    point.blocks = workload.input_blocks;
+    point.projected_latency = cluster_->EstimateLatency(workload);
     report.elp.push_back(point);
   }
 
@@ -294,9 +394,10 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
       chosen = family.smallest_resolution();
       for (size_t i = 0; i < family.num_resolutions(); ++i) {
         double cost = report.elp[i].projected_latency;
-        if (config_.reuse_intermediate && i <= probe_idx) {
-          // §4.4: blocks scanned during probing are not re-read.
-          cost = std::max(0.0, cost - report.elp[probe_idx].projected_latency);
+        if (config_.reuse_intermediate) {
+          // §4.4: blocks scanned during probing are not re-read; charge only
+          // the delta blocks beyond the probe prefix.
+          cost = DeltaLatency(family, i, probe_idx, scale_factor);
         }
         if (cost <= remaining) {
           chosen = i;
@@ -312,6 +413,10 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
   report.resolution = chosen;
   report.cap = family.resolution(chosen).cap;
   report.rows_read = family.resolution(chosen).rows;
+  // blocks_read/blocks_reused are engine (in-memory) blocks, like rows_read;
+  // elp[].blocks is the paper-scale modeled count.
+  report.blocks_read = CountMorsels(family.resolution(chosen).rows,
+                                    config_.morsel_rows, &family.prefix_rows());
   report.projected_error = report.elp[chosen].projected_error;
 
   // --- Final execution -------------------------------------------------------
@@ -319,15 +424,20 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
   if (chosen == probe_idx) {
     final_result = std::move(probe_result);  // §4.4: probe answer is the answer
     report.execution_latency = 0.0;
+    report.blocks_reused = report.blocks_read;
   } else {
-    auto result = ExecuteQuery(stmt, family.LogicalSample(chosen), dim);
+    auto result = ExecuteQuery(stmt, family.LogicalSample(chosen), dim, ExecOpts());
     if (!result.ok()) {
       return result.status();
     }
     final_result = std::move(result.value());
     double cost = report.elp[chosen].projected_latency;
-    if (config_.reuse_intermediate && chosen < probe_idx) {
-      cost = std::max(0.0, cost - report.elp[probe_idx].projected_latency);
+    if (config_.reuse_intermediate) {
+      cost = DeltaLatency(family, chosen, probe_idx, scale_factor);
+      report.blocks_reused =
+          std::min(report.blocks_read,
+                   CountMorsels(family.resolution(probe_idx).rows,
+                                config_.morsel_rows, &family.prefix_rows()));
     }
     report.execution_latency = cost;
   }
@@ -380,11 +490,11 @@ Result<ApproxAnswer> QueryRuntime::RunDisjunctive(const SelectStatement& stmt,
     if (!choice.ok()) {
       return choice.status();
     }
+    const SampleFamily* sub_family = choice->family;
     Result<ApproxAnswer> partial =
-        choice->family == nullptr
+        sub_family == nullptr
             ? RunExact(sub, fact, scale_factor, dim)
-            : RunOnFamily(sub, *choice->family, choice->selection_probe_latency,
-                          scale_factor, dim);
+            : RunOnFamily(sub, *sub_family, std::move(*choice), scale_factor, dim);
     if (!partial.ok()) {
       return partial.status();
     }
@@ -525,8 +635,8 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
   if (choice->family == nullptr) {
     return RunExact(stmt, fact, scale_factor, dim);
   }
-  return RunOnFamily(stmt, *choice->family, choice->selection_probe_latency, scale_factor,
-                     dim);
+  const SampleFamily* family = choice->family;
+  return RunOnFamily(stmt, *family, std::move(*choice), scale_factor, dim);
 }
 
 }  // namespace blink

@@ -7,6 +7,8 @@
 #ifndef BLINKDB_RUNTIME_QUERY_RUNTIME_H_
 #define BLINKDB_RUNTIME_QUERY_RUNTIME_H_
 
+#include <algorithm>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "src/sample/sample_store.h"
 #include "src/sql/ast.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace blink {
 
@@ -31,12 +34,20 @@ struct RuntimeConfig {
   // Cap on disjuncts produced by the DNF rewrite before falling back to
   // single-family execution of the whole disjunctive predicate.
   size_t max_disjuncts = 16;
+  // Worker threads for the morsel-driven scan engine. > 1 creates a
+  // ThreadPool that also fans out the §4.1.1 family-selection probes.
+  // Results are identical for every value (deterministic merge order).
+  size_t exec_threads = 1;
+  // Target morsel size: the block unit of scans, latency accounting, and
+  // §4.4 delta-byte charging.
+  uint32_t morsel_rows = kDefaultMorselRows;
 };
 
 // One point of the Error-Latency Profile.
 struct ElpPoint {
   size_t resolution = 0;          // family resolution index (0 = largest)
   uint64_t rows = 0;              // logical sample rows
+  uint64_t blocks = 0;            // modeled scan blocks, at paper scale
   double projected_error = 0.0;   // relative (or absolute) error projection
   double projected_latency = 0.0; // modeled seconds
   double projected_matched = 0.0; // rows the query is expected to select
@@ -48,6 +59,8 @@ struct ExecutionReport {
   size_t resolution = 0;
   uint64_t cap = 0;
   uint64_t rows_read = 0;
+  uint64_t blocks_read = 0;       // blocks of the final scan
+  uint64_t blocks_reused = 0;     // probe blocks not re-read (§4.4)
   double probe_latency = 0.0;     // simulated seconds spent building the ELP
   double execution_latency = 0.0; // simulated seconds of the final run
   double total_latency = 0.0;
@@ -66,7 +79,11 @@ class QueryRuntime {
  public:
   QueryRuntime(const SampleStore* store, const ClusterModel* cluster,
                RuntimeConfig config = {})
-      : store_(store), cluster_(cluster), config_(config) {}
+      : store_(store), cluster_(cluster), config_(config) {
+    if (config_.exec_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(config_.exec_threads);
+    }
+  }
 
   // Answers `stmt` over table `table_name` whose exact contents are `fact`.
   // `scale_factor` maps in-memory bytes to paper-scale bytes for the latency
@@ -79,17 +96,23 @@ class QueryRuntime {
  private:
   struct FamilyChoice {
     const SampleFamily* family = nullptr;  // null = exact execution
-    double selection_probe_latency = 0.0;  // parallel probes of other families
+    double selection_probe_latency = 0.0;  // makespan of the parallel probes
+    // §4.4: the winning family's escalated probe answer, handed to
+    // RunOnFamily so the probe is neither re-executed nor re-charged.
+    std::optional<QueryResult> probe_result;
+    size_t probe_resolution = 0;
   };
 
-  // §4.1.1: pick a family for a conjunctive column set.
+  // §4.1.1: pick a family for a conjunctive column set. Probes every
+  // family's smallest useful resolution concurrently on the thread pool;
+  // the selection charge is the makespan (max), not the sum.
   Result<FamilyChoice> ChooseFamily(const SelectStatement& stmt,
                                     const std::string& table_name, const Table& fact,
                                     double scale_factor, const Table* dim) const;
 
   // §4.2: probe + ELP + resolution choice + final run on one family.
   Result<ApproxAnswer> RunOnFamily(const SelectStatement& stmt, const SampleFamily& family,
-                                   double selection_latency, double scale_factor,
+                                   FamilyChoice choice, double scale_factor,
                                    const Table* dim) const;
 
   // Exact fallback when no samples exist.
@@ -102,11 +125,34 @@ class QueryRuntime {
                                       double scale_factor, const Table* dim,
                                       std::vector<Predicate> disjuncts) const;
 
+  // Workload of scanning `ds` minus its first `skip_prefix_rows` rows
+  // (a sample-prefix boundary, so the skip is whole blocks). Bytes and block
+  // counts are at paper scale.
+  QueryWorkload WorkloadForScan(const Dataset& ds, double scale_factor,
+                                uint64_t skip_prefix_rows = 0) const;
   double LatencyForDataset(const Dataset& ds, double scale_factor) const;
+  // §4.4: latency of scanning resolution `larger` given the blocks of
+  // resolution `already_scanned` are already in hand. Zero when every block
+  // of `larger` was scanned before.
+  double DeltaLatency(const SampleFamily& family, size_t larger,
+                      size_t already_scanned, double scale_factor) const;
+
+  // Scan-engine options for executions issued from the caller's thread.
+  ExecutionOptions ExecOpts() const {
+    ExecutionOptions options;
+    options.num_threads = std::max<size_t>(1, config_.exec_threads);
+    options.morsel_rows = config_.morsel_rows;
+    options.pool = pool_.get();
+    return options;
+  }
 
   const SampleStore* store_;
   const ClusterModel* cluster_;
   RuntimeConfig config_;
+  // Shared by the scan fan-out and the §4.1.1 probe fan-out. Never used from
+  // inside one of its own tasks (tasks run serial scans), so Submit+Wait
+  // cannot deadlock.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 // Converts a predicate to disjunctive normal form: a list of conjunctive

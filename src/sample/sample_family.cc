@@ -121,6 +121,9 @@ Result<SampleFamily> SampleFamily::BuildStratified(
   for (auto& res : family.resolutions_) {
     res.bytes = static_cast<double>(res.rows) * bytes_per_row;
   }
+  for (size_t level = m; level-- > 0;) {
+    family.prefix_rows_.push_back(family.resolutions_[level].rows);
+  }
   return family;
 }
 
@@ -164,6 +167,9 @@ Result<SampleFamily> SampleFamily::BuildUniform(const Table& source,
     family.per_resolution_counts_[i][0] = {static_cast<double>(n),
                                            static_cast<double>(sizes[i])};
   }
+  for (size_t i = m; i-- > 0;) {
+    family.prefix_rows_.push_back(family.resolutions_[i].rows);
+  }
   return family;
 }
 
@@ -173,6 +179,7 @@ Dataset SampleFamily::LogicalSample(size_t i) const {
   d.strata = &row_strata_;
   d.stratum_counts = &per_resolution_counts_[i];
   d.scan_rows = resolutions_[i].rows;
+  d.prefix_boundaries = &prefix_rows_;
   return d;
 }
 

@@ -73,6 +73,10 @@ class SampleFamily {
   // Dataset view of logical sample i. Valid as long as this family lives.
   Dataset LogicalSample(size_t i) const;
 
+  // Resolution row counts ascending (smallest resolution first): the prefix
+  // boundaries morsel carving aligns blocks to (§4.4 delta blocks).
+  const std::vector<uint64_t>& prefix_rows() const { return prefix_rows_; }
+
   // Physical storage of the family: the largest sample only (smaller ones are
   // prefixes and cost nothing extra, §3.1 "Storage overhead").
   uint64_t storage_rows() const { return physical_rows_.num_rows(); }
@@ -96,6 +100,7 @@ class SampleFamily {
   Table physical_rows_;                       // delta-block layout
   std::vector<uint32_t> row_strata_;          // stratum id per physical row
   std::vector<ResolutionInfo> resolutions_;   // index 0 = largest
+  std::vector<uint64_t> prefix_rows_;         // resolution rows, ascending
   // per_resolution_counts_[i][h] = {N_h, n_h(K_i)}.
   std::vector<std::vector<StratumCounts>> per_resolution_counts_;
   uint64_t source_rows_ = 0;

@@ -83,6 +83,21 @@ class Table {
   // Numeric view of an int or double cell.
   double GetNumeric(size_t col, uint64_t row) const;
 
+  // Raw columnar block views for vectorized operators. Caller guarantees the
+  // column type; pointers stay valid until rows are appended.
+  const int64_t* IntData(size_t col) const { return columns_[col].ints.data(); }
+  const double* DoubleData(size_t col) const { return columns_[col].doubles.data(); }
+  const int32_t* CodeData(size_t col) const { return columns_[col].codes.data(); }
+
+  // Gathers the numeric values of rows {base + sel[i]} into out[i]. The type
+  // dispatch happens once per block instead of once per row.
+  void GatherNumeric(size_t col, uint64_t base, const uint32_t* sel, size_t count,
+                     double* out) const;
+
+  // Gathers CellKey(col, base + sel[i]) into out[i].
+  void GatherCellKeys(size_t col, uint64_t base, const uint32_t* sel, size_t count,
+                      int64_t* out) const;
+
   // Generic (slow) accessor, for result printing and tests.
   Value GetValue(size_t col, uint64_t row) const;
 
