@@ -57,6 +57,10 @@ Result<BlinkDB::ResolvedTables> BlinkDB::Resolve(const SelectStatement& stmt) co
 }
 
 Result<ApproxAnswer> BlinkDB::Query(std::string_view sql) const {
+  return Query(sql, ProgressCallback{});
+}
+
+Result<ApproxAnswer> BlinkDB::Query(std::string_view sql, ProgressCallback progress) const {
   auto stmt = ParseSelect(sql);
   if (!stmt.ok()) {
     return stmt.status();
@@ -67,7 +71,8 @@ Result<ApproxAnswer> BlinkDB::Query(std::string_view sql) const {
   }
   return runtime_.Execute(*stmt, tables->fact->name, tables->fact->table,
                           tables->fact->scale_factor,
-                          tables->dim != nullptr ? &tables->dim->table : nullptr);
+                          tables->dim != nullptr ? &tables->dim->table : nullptr,
+                          std::move(progress));
 }
 
 Result<ApproxAnswer> BlinkDB::QueryExact(std::string_view sql) const {

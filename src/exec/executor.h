@@ -10,6 +10,11 @@
 // order. The merge order makes results bit-identical across thread counts
 // and schedules; a row-at-a-time reference path is kept for differential
 // testing.
+//
+// ExecuteQuery is implemented as a streamed scan with a never-stop rule: the
+// online incremental executor (src/exec/incremental.h) is the single
+// implementation, and bounded queries use it directly to stop the scan as
+// soon as the error bound is met.
 #ifndef BLINKDB_EXEC_EXECUTOR_H_
 #define BLINKDB_EXEC_EXECUTOR_H_
 
@@ -53,8 +58,9 @@ struct QueryResult {
   double confidence = 0.95;  // confidence used when rendering error columns
 
   // Worst-case relative error at `confidence` across all rows/aggregates
-  // (the metric Figures 7-8 of the paper plot). Infinite if any aggregate
-  // has value 0 with nonzero variance; 0 for exact answers.
+  // (the metric Figures 7-8 of the paper plot). Zero-valued aggregates have
+  // no meaningful relative error and are excluded from the max; 0 for exact
+  // answers.
   double MaxRelativeError(double conf) const;
   // Pretty-printed table with +/- error annotations.
   std::string ToString() const;

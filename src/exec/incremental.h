@@ -1,0 +1,90 @@
+// Online incremental execution: stream morsel blocks through the aggregation
+// pipeline in deterministic prefix order and stop the scan the moment the
+// query's error bound is met (or a block budget runs out), returning the
+// partial answer with its achieved error.
+//
+// Why a block prefix is a valid sample: multi-resolution families lay out
+// each stratum's rows in one fixed random permutation (smallest resolution
+// first, §3.1 / Fig 4), so the rows of stratum h inside ANY row prefix are a
+// prefix of that permutation — a simple random sample of the stratum. The
+// executor tallies per-stratum consumed counts n_h(prefix) per block and
+// re-finalizes the §4.3 estimators against those counts, so every batch's
+// partial answer carries unbiased estimates with honest variances.
+//
+// Determinism: blocks are consumed batch-by-batch in block-index order, and
+// partials merge in that same order, so a streamed scan with the never-stop
+// rule is bit-identical to the one-shot executor (which is implemented as
+// exactly that) for every thread count, morsel size, and batch size.
+#ifndef BLINKDB_EXEC_INCREMENTAL_H_
+#define BLINKDB_EXEC_INCREMENTAL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/exec/dataset.h"
+#include "src/exec/executor.h"
+#include "src/sql/ast.h"
+#include "src/stats/stopping.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+// Progress snapshot delivered to the caller after every batch.
+struct StreamProgress {
+  uint64_t blocks_consumed = 0;
+  uint64_t blocks_total = 0;
+  uint64_t rows_consumed = 0;
+  uint64_t rows_total = 0;
+  // Worst error over the partial answer's groups/aggregates, at the stopping
+  // policy's confidence.
+  double achieved_error = 0.0;
+  bool bound_met = false;    // the error target (if any) is met
+  bool final_batch = false;  // no further callbacks will follow
+};
+
+// Invoked after every batch with the partial answer over the consumed prefix.
+// The QueryResult reference is only valid during the call.
+using ProgressCallback =
+    std::function<void(const QueryResult& partial, const StreamProgress& progress)>;
+
+struct StreamOptions {
+  ExecutionOptions exec;
+  // Blocks consumed between stopping-rule evaluations / progress callbacks.
+  // 0 means the whole scan runs as one batch (the one-shot fast path when the
+  // policy never stops and no callback is installed).
+  uint32_t batch_blocks = 0;
+  // Default-constructed policy never stops.
+  StopPolicy policy;
+  ProgressCallback progress;
+};
+
+struct StreamResult {
+  QueryResult result;
+  uint64_t blocks_consumed = 0;
+  uint64_t blocks_total = 0;
+  uint64_t rows_consumed = 0;
+  bool stopped_early = false;  // returned before consuming every block
+  bool bound_met = false;      // the error target was met at return
+  // Worst error of `result` at the policy confidence (max over
+  // groups/aggregates).
+  double achieved_error = 0.0;
+};
+
+// Flattens every group's aggregates of `result` into one vector — the input
+// MaxEstimateError and StopPolicy::Evaluate consume.
+std::vector<Estimate> FlattenEstimates(const QueryResult& result);
+
+// Streams `stmt` over `fact` in block-prefix order, evaluating
+// `options.policy` after each batch. Early stopping applies only to sample
+// datasets: a row prefix of an exact table is not a random sample, so for
+// exact datasets the policy is ignored and the scan always completes
+// (progress callbacks still fire). On stratified families, no stop fires
+// before the smallest resolution's prefix boundary — the first row prefix
+// guaranteed to hold rows of every stratum.
+Result<StreamResult> ExecuteQueryIncremental(const SelectStatement& stmt,
+                                             const Dataset& fact, const Table* dim,
+                                             const StreamOptions& options);
+
+}  // namespace blink
+
+#endif  // BLINKDB_EXEC_INCREMENTAL_H_

@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/stats/stopping.h"
 #include "src/util/string_util.h"
 
 namespace blink {
@@ -18,23 +19,16 @@ std::string FamilyName(const SampleFamily& family) {
   return "{" + Join(family.columns(), ",") + "}";
 }
 
-// The error metric the bounds constrain: relative (default) or absolute.
-double ResultError(const QueryResult& result, const QueryBounds& bounds,
-                   double confidence) {
-  if (bounds.kind == QueryBounds::Kind::kError && !bounds.relative) {
-    double worst = 0.0;
-    for (const auto& row : result.rows) {
-      for (const auto& est : row.aggregates) {
-        worst = std::max(worst, est.ErrorAt(confidence));
-      }
-    }
-    return worst;
-  }
-  const double rel = result.MaxRelativeError(confidence);
-  return std::isfinite(rel) ? rel : 0.0;
-}
-
 }  // namespace
+
+double ReportedError(const QueryResult& result, const QueryBounds& bounds,
+                     double confidence) {
+  // Relative unless the bound asked for an absolute target. The max runs over
+  // every group and aggregate; earlier code let one zero-valued group's
+  // infinite relative error collapse the whole metric to 0.
+  const bool relative = bounds.kind != QueryBounds::Kind::kError || bounds.relative;
+  return MaxEstimateError(FlattenEstimates(result), relative, confidence);
+}
 
 std::optional<std::vector<Predicate>> ToDnf(const Predicate& pred, size_t max_disjuncts) {
   switch (pred.kind) {
@@ -95,19 +89,10 @@ std::optional<std::vector<Predicate>> ToDnf(const Predicate& pred, size_t max_di
   return std::nullopt;
 }
 
-QueryWorkload QueryRuntime::WorkloadForScan(const Dataset& ds, double scale_factor,
-                                            uint64_t skip_prefix_rows) const {
+QueryWorkload QueryRuntime::WorkloadForConsumed(const Dataset& ds, double scale_factor,
+                                                uint64_t rows, uint64_t blocks) const {
   QueryWorkload workload;
   const double bytes_per_row = ds.table->EstimatedBytesPerRow() * scale_factor;
-  // Carving cuts at sample-prefix boundaries, so a skipped prefix is whole
-  // blocks: its block count subtracts out exactly, no plan materialization
-  // needed.
-  const uint64_t total = ds.NumRows();
-  const uint64_t skip = std::min(skip_prefix_rows, total);
-  const uint64_t rows = total - skip;
-  const uint64_t blocks =
-      CountMorsels(total, config_.morsel_rows, ds.prefix_boundaries) -
-      CountMorsels(skip, config_.morsel_rows, ds.prefix_boundaries);
   workload.input_bytes = static_cast<double>(rows) * bytes_per_row;
   // Blocks, like bytes, are at paper scale: the in-memory stand-in's morsels
   // each represent scale_factor times as much data, so the block count grows
@@ -122,8 +107,63 @@ QueryWorkload QueryRuntime::WorkloadForScan(const Dataset& ds, double scale_fact
   return workload;
 }
 
+QueryWorkload QueryRuntime::WorkloadForScan(const Dataset& ds, double scale_factor,
+                                            uint64_t skip_prefix_rows) const {
+  // Carving cuts at sample-prefix boundaries, so a skipped prefix is whole
+  // blocks: its block count subtracts out exactly, no plan materialization
+  // needed.
+  const uint64_t total = ds.NumRows();
+  const uint64_t skip = std::min(skip_prefix_rows, total);
+  const uint64_t blocks =
+      CountMorsels(total, config_.morsel_rows, ds.prefix_boundaries) -
+      CountMorsels(skip, config_.morsel_rows, ds.prefix_boundaries);
+  return WorkloadForConsumed(ds, scale_factor, total - skip, blocks);
+}
+
 double QueryRuntime::LatencyForDataset(const Dataset& ds, double scale_factor) const {
   return cluster_->EstimateLatency(WorkloadForScan(ds, scale_factor));
+}
+
+uint64_t QueryRuntime::TimeBudgetBlocks(const Dataset& ds, double scale_factor,
+                                        double remaining_seconds,
+                                        uint64_t reused_prefix_rows) const {
+  const MorselPlan plan = ds.PlanMorsels(config_.morsel_rows);
+  const uint64_t total = plan.num_blocks();
+  if (total == 0) {
+    return 0;
+  }
+  const uint64_t reused_blocks =
+      CountMorsels(std::min<uint64_t>(reused_prefix_rows, ds.NumRows()),
+                   config_.morsel_rows, ds.prefix_boundaries);
+  // Charged latency of consuming the first `blocks` blocks (monotone).
+  auto cost = [&](uint64_t blocks) {
+    const uint64_t rows = plan.morsels[blocks - 1].end;
+    const uint64_t charge_blocks = blocks > reused_blocks ? blocks - reused_blocks : 0;
+    if (rows <= reused_prefix_rows || charge_blocks == 0) {
+      return 0.0;  // entirely inside the probe's already-scanned prefix
+    }
+    return cluster_->EstimateLatency(WorkloadForConsumed(
+        ds, scale_factor, rows - reused_prefix_rows, charge_blocks));
+  };
+  if (cost(total) <= remaining_seconds) {
+    return total;
+  }
+  // The reused prefix is free, so at least that much (and never 0 blocks) is
+  // always affordable; binary search the boundary above it.
+  uint64_t lo = std::max<uint64_t>(1, std::min(reused_blocks, total));
+  if (cost(lo) > remaining_seconds) {
+    return lo;  // no time left at all: return the minimum meaningful prefix
+  }
+  uint64_t hi = total;  // invariant: cost(lo) <= remaining < cost(hi)
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (cost(mid) <= remaining_seconds) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 double QueryRuntime::DeltaLatency(const SampleFamily& family, size_t larger,
@@ -147,6 +187,7 @@ Result<ApproxAnswer> QueryRuntime::RunExact(const SelectStatement& stmt, const T
   answer.report.family = "exact";
   answer.report.rows_read = fact.num_rows();
   answer.report.blocks_read = answer.result.stats.blocks_scanned;
+  answer.report.blocks_consumed = answer.report.blocks_read;
   answer.report.execution_latency = LatencyForDataset(Dataset::Exact(fact), scale_factor);
   answer.report.total_latency = answer.report.execution_latency;
   answer.report.achieved_error = 0.0;
@@ -261,7 +302,7 @@ Result<QueryRuntime::FamilyChoice> QueryRuntime::ChooseFamily(
     // the probe with the 1/sqrt(n) law. Captures both selectivity and the
     // weight dispersion a mismatched stratification induces. A probe that
     // matched nothing gives no information: treat as unboundedly bad.
-    const double probe_error = ResultError(result, stmt.bounds, config_.default_confidence);
+    const double probe_error = ReportedError(result, stmt.bounds, config_.default_confidence);
     const double projected =
         result.stats.rows_matched == 0
             ? std::numeric_limits<double>::infinity()
@@ -309,7 +350,8 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
                                                const SampleFamily& family,
                                                FamilyChoice choice,
                                                double scale_factor,
-                                               const Table* dim) const {
+                                               const Table* dim,
+                                               const ProgressCallback& progress) const {
   const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
                                 ? stmt.bounds.confidence
                                 : config_.default_confidence;
@@ -348,7 +390,7 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
   const uint64_t probe_rows = family.resolution(probe_idx).rows;
   const double probe_matched =
       std::max<double>(1.0, static_cast<double>(probe_result.stats.rows_matched));
-  const double probe_error = ResultError(probe_result, stmt.bounds, confidence);
+  const double probe_error = ReportedError(probe_result, stmt.bounds, confidence);
 
   // --- ELP: project error and latency per resolution (§4.2) ----------------
   // Error ~ 1/sqrt(matched rows); matched rows scale with sample rows at
@@ -420,30 +462,91 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
   report.projected_error = report.elp[chosen].projected_error;
 
   // --- Final execution -------------------------------------------------------
+  // Streamed bounded queries: consume blocks in prefix order, fold per-batch
+  // partials into running estimates, and stop the moment the bound is met
+  // (or the time bound's block budget runs out). The one-shot projection
+  // path remains available via RuntimeConfig::streaming = false.
+  const bool stream_error = config_.streaming &&
+                            stmt.bounds.kind == QueryBounds::Kind::kError &&
+                            chosen != probe_idx;
+  const bool stream_time = config_.streaming &&
+                           stmt.bounds.kind == QueryBounds::Kind::kTime &&
+                           chosen != probe_idx;
+  const uint64_t probe_prefix_blocks =
+      CountMorsels(probe_rows, config_.morsel_rows, &family.prefix_rows());
+
   QueryResult final_result;
   if (chosen == probe_idx) {
     final_result = std::move(probe_result);  // §4.4: probe answer is the answer
     report.execution_latency = 0.0;
     report.blocks_reused = report.blocks_read;
+    report.blocks_consumed = report.blocks_read;
+  } else if (stream_error || stream_time) {
+    // For an error bound, stream the LARGEST resolution: prefix order passes
+    // through every smaller resolution on the way, so the scan lands exactly
+    // where the bound is met — below the projected resolution when the ELP
+    // overshot, beyond it (automatic escalation) when it undershot. For a
+    // time bound, stream the chosen resolution under the block budget the
+    // remaining time buys.
+    const Dataset ds =
+        family.LogicalSample(stream_error ? 0 : chosen);
+    StreamOptions stream;
+    stream.exec = ExecOpts();
+    stream.batch_blocks = config_.stream_batch_blocks;
+    stream.progress = progress;
+    if (stream_error) {
+      stream.policy.target_error = stmt.bounds.error;
+      stream.policy.relative = stmt.bounds.relative;
+      stream.policy.confidence = confidence;
+      stream.policy.min_blocks = config_.stream_min_blocks;
+      // Mirrors the 2x min-matches guard the resolution choice applies.
+      stream.policy.min_matched = 2.0 * static_cast<double>(config_.min_probe_matches);
+    } else {
+      stream.policy.confidence = confidence;  // progress errors match the report
+      stream.policy.max_blocks = TimeBudgetBlocks(
+          ds, scale_factor, stmt.bounds.time_seconds - report.probe_latency,
+          config_.reuse_intermediate ? probe_rows : 0);
+    }
+    auto streamed = ExecuteQueryIncremental(stmt, ds, dim, stream);
+    if (!streamed.ok()) {
+      return streamed.status();
+    }
+    final_result = std::move(streamed->result);
+    report.rows_read = streamed->rows_consumed;
+    report.blocks_read = streamed->blocks_consumed;
+    report.blocks_consumed = streamed->blocks_consumed;
+    report.stopped_early = streamed->stopped_early;
+    // §4.4: the probe's prefix blocks were already scanned; charge only the
+    // consumed blocks beyond them.
+    uint64_t charge_rows = streamed->rows_consumed;
+    uint64_t charge_blocks = streamed->blocks_consumed;
+    if (config_.reuse_intermediate) {
+      report.blocks_reused = std::min(charge_blocks, probe_prefix_blocks);
+      charge_rows -= std::min(charge_rows, probe_rows);
+      charge_blocks -= report.blocks_reused;
+    }
+    report.execution_latency =
+        charge_blocks == 0
+            ? 0.0
+            : cluster_->EstimateLatency(
+                  WorkloadForConsumed(ds, scale_factor, charge_rows, charge_blocks));
   } else {
     auto result = ExecuteQuery(stmt, family.LogicalSample(chosen), dim, ExecOpts());
     if (!result.ok()) {
       return result.status();
     }
     final_result = std::move(result.value());
+    report.blocks_consumed = report.blocks_read;
     double cost = report.elp[chosen].projected_latency;
     if (config_.reuse_intermediate) {
       cost = DeltaLatency(family, chosen, probe_idx, scale_factor);
-      report.blocks_reused =
-          std::min(report.blocks_read,
-                   CountMorsels(family.resolution(probe_idx).rows,
-                                config_.morsel_rows, &family.prefix_rows()));
+      report.blocks_reused = std::min(report.blocks_read, probe_prefix_blocks);
     }
     report.execution_latency = cost;
   }
   report.total_latency = report.probe_latency + report.execution_latency;
   final_result.confidence = confidence;
-  report.achieved_error = ResultError(final_result, stmt.bounds, confidence);
+  report.achieved_error = ReportedError(final_result, stmt.bounds, confidence);
   return ApproxAnswer{std::move(final_result), std::move(report)};
 }
 
@@ -494,7 +597,8 @@ Result<ApproxAnswer> QueryRuntime::RunDisjunctive(const SelectStatement& stmt,
     Result<ApproxAnswer> partial =
         sub_family == nullptr
             ? RunExact(sub, fact, scale_factor, dim)
-            : RunOnFamily(sub, *sub_family, std::move(*choice), scale_factor, dim);
+            : RunOnFamily(sub, *sub_family, std::move(*choice), scale_factor, dim,
+                          /*progress=*/{});
     if (!partial.ok()) {
       return partial.status();
     }
@@ -534,6 +638,9 @@ Result<ApproxAnswer> QueryRuntime::RunDisjunctive(const SelectStatement& stmt,
     // Subqueries run in parallel: total latency is the max.
     report.total_latency = std::max(report.total_latency, partial.report.total_latency);
     report.rows_read += partial.report.rows_read;
+    report.blocks_read += partial.report.blocks_read;
+    report.blocks_consumed += partial.report.blocks_consumed;
+    report.stopped_early = report.stopped_early || partial.report.stopped_early;
     for (const auto& row : partial.result.rows) {
       Combined& c = merged[group_key_of(row)];
       if (c.sums.empty()) {
@@ -599,14 +706,45 @@ Result<ApproxAnswer> QueryRuntime::RunDisjunctive(const SelectStatement& stmt,
               }
               return false;
             });
-  report.achieved_error = ResultError(combined, stmt.bounds, confidence);
+  report.achieved_error = ReportedError(combined, stmt.bounds, confidence);
   return ApproxAnswer{std::move(combined), std::move(report)};
 }
 
 Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
                                            const std::string& table_name,
                                            const Table& fact, double scale_factor,
-                                           const Table* dim) const {
+                                           const Table* dim,
+                                           ProgressCallback progress) const {
+  // The callback contract promises a terminal final_batch invocation for
+  // every successful query. Paths that never stream (unbounded queries,
+  // exact fallback, §4.4 probe reuse, the disjunctive rewrite) fire one
+  // synthetic completion callback after the answer is assembled.
+  bool progress_fired = false;
+  ProgressCallback wrapped;
+  if (progress) {
+    wrapped = [&progress, &progress_fired](const QueryResult& partial,
+                                           const StreamProgress& p) {
+      progress_fired = true;
+      progress(partial, p);
+    };
+  }
+  auto finish = [&](Result<ApproxAnswer> answer) {
+    if (progress && answer.ok() && !progress_fired) {
+      const ApproxAnswer& a = answer.value();
+      StreamProgress p;
+      p.blocks_consumed = a.report.blocks_consumed;
+      p.blocks_total = a.report.blocks_read;
+      p.rows_consumed = a.report.rows_read;
+      p.rows_total = a.report.rows_read;
+      p.achieved_error = a.report.achieved_error;
+      p.bound_met = stmt.bounds.kind == QueryBounds::Kind::kError &&
+                    a.report.achieved_error <= stmt.bounds.error;
+      p.final_batch = true;
+      progress(a.result, p);
+    }
+    return answer;
+  };
+
   // Disjunctive WHERE with no single covering family: rewrite as a union of
   // conjunctive subqueries (§4.1.2). Quantiles cannot be recombined across
   // disjuncts, so they always take the single-family path.
@@ -622,8 +760,8 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
     if (!has_covering && !has_quantile) {
       auto disjuncts = ToDnf(*stmt.where, config_.max_disjuncts);
       if (disjuncts.has_value() && disjuncts->size() > 1) {
-        return RunDisjunctive(stmt, table_name, fact, scale_factor, dim,
-                              std::move(*disjuncts));
+        return finish(RunDisjunctive(stmt, table_name, fact, scale_factor, dim,
+                                     std::move(*disjuncts)));
       }
     }
   }
@@ -633,10 +771,11 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
     return choice.status();
   }
   if (choice->family == nullptr) {
-    return RunExact(stmt, fact, scale_factor, dim);
+    return finish(RunExact(stmt, fact, scale_factor, dim));
   }
   const SampleFamily* family = choice->family;
-  return RunOnFamily(stmt, *family, std::move(*choice), scale_factor, dim);
+  return finish(RunOnFamily(stmt, *family, std::move(*choice), scale_factor, dim,
+                            wrapped));
 }
 
 }  // namespace blink

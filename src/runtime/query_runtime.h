@@ -15,6 +15,7 @@
 
 #include "src/cluster/cluster_model.h"
 #include "src/exec/executor.h"
+#include "src/exec/incremental.h"
 #include "src/sample/sample_store.h"
 #include "src/sql/ast.h"
 #include "src/util/status.h"
@@ -41,6 +42,21 @@ struct RuntimeConfig {
   // Target morsel size: the block unit of scans, latency accounting, and
   // §4.4 delta-byte charging.
   uint32_t morsel_rows = kDefaultMorselRows;
+  // --- Online incremental execution ---------------------------------------
+  // Stream bounded queries through the incremental executor: blocks are
+  // consumed in prefix order, per-batch partials fold into running
+  // estimates, and the scan stops the moment every group's error at the
+  // query's confidence is inside the bound (ERROR WITHIN) or the time
+  // bound's block budget is exhausted (WITHIN .. SECONDS). The cluster model
+  // is charged only for blocks actually consumed. false reproduces the
+  // one-shot §4.2 projection path exactly.
+  bool streaming = true;
+  // Blocks consumed between stopping-rule evaluations (the batch size of the
+  // streamed scan). Smaller = finer stops, more re-finalization overhead.
+  uint32_t stream_batch_blocks = 16;
+  // Minimum blocks a streamed scan must consume before an error stop may
+  // fire; guards against spurious stops on tiny, noisy prefixes.
+  uint64_t stream_min_blocks = 4;
 };
 
 // One point of the Error-Latency Profile.
@@ -61,6 +77,11 @@ struct ExecutionReport {
   uint64_t rows_read = 0;
   uint64_t blocks_read = 0;       // blocks of the final scan
   uint64_t blocks_reused = 0;     // probe blocks not re-read (§4.4)
+  // Streamed executions: engine blocks the scan actually consumed before the
+  // stopping rule (or block budget) ended it. Equals blocks_read for
+  // non-streamed paths.
+  uint64_t blocks_consumed = 0;
+  bool stopped_early = false;     // the streamed scan returned before its last block
   double probe_latency = 0.0;     // simulated seconds spent building the ELP
   double execution_latency = 0.0; // simulated seconds of the final run
   double total_latency = 0.0;
@@ -88,10 +109,13 @@ class QueryRuntime {
   // Answers `stmt` over table `table_name` whose exact contents are `fact`.
   // `scale_factor` maps in-memory bytes to paper-scale bytes for the latency
   // model (a 5M-row stand-in for a 5.5B-row table has scale 1100). `dim` is
-  // the joined dimension table, exact and unsampled (§2.1).
+  // the joined dimension table, exact and unsampled (§2.1). `progress`, when
+  // set, receives the partial answer after every streamed batch (it fires
+  // only on the streamed single-family path of bounded queries).
   Result<ApproxAnswer> Execute(const SelectStatement& stmt, const std::string& table_name,
                                const Table& fact, double scale_factor,
-                               const Table* dim = nullptr) const;
+                               const Table* dim = nullptr,
+                               ProgressCallback progress = {}) const;
 
  private:
   struct FamilyChoice {
@@ -110,10 +134,11 @@ class QueryRuntime {
                                     const std::string& table_name, const Table& fact,
                                     double scale_factor, const Table* dim) const;
 
-  // §4.2: probe + ELP + resolution choice + final run on one family.
+  // §4.2: probe + ELP + resolution choice + final run on one family. With
+  // streaming enabled, bounded queries stream the final scan and stop early.
   Result<ApproxAnswer> RunOnFamily(const SelectStatement& stmt, const SampleFamily& family,
                                    FamilyChoice choice, double scale_factor,
-                                   const Table* dim) const;
+                                   const Table* dim, const ProgressCallback& progress) const;
 
   // Exact fallback when no samples exist.
   Result<ApproxAnswer> RunExact(const SelectStatement& stmt, const Table& fact,
@@ -130,12 +155,22 @@ class QueryRuntime {
   // counts are at paper scale.
   QueryWorkload WorkloadForScan(const Dataset& ds, double scale_factor,
                                 uint64_t skip_prefix_rows = 0) const;
+  // Workload of a consumed block prefix given directly as engine rows/blocks
+  // (what a streamed scan reports); bytes and blocks at paper scale.
+  QueryWorkload WorkloadForConsumed(const Dataset& ds, double scale_factor,
+                                    uint64_t rows, uint64_t blocks) const;
   double LatencyForDataset(const Dataset& ds, double scale_factor) const;
   // §4.4: latency of scanning resolution `larger` given the blocks of
   // resolution `already_scanned` are already in hand. Zero when every block
   // of `larger` was scanned before.
   double DeltaLatency(const SampleFamily& family, size_t larger,
                       size_t already_scanned, double scale_factor) const;
+  // Largest block prefix of `ds` whose modeled latency fits in
+  // `remaining_seconds`, charging nothing for the first `reused_prefix_rows`
+  // rows (the probe's §4.4 prefix). The streamed time-bound budget.
+  uint64_t TimeBudgetBlocks(const Dataset& ds, double scale_factor,
+                            double remaining_seconds,
+                            uint64_t reused_prefix_rows) const;
 
   // Scan-engine options for executions issued from the caller's thread.
   ExecutionOptions ExecOpts() const {
@@ -159,6 +194,14 @@ class QueryRuntime {
 // predicates whose OR is equivalent. Returns nullopt if the expansion would
 // exceed `max_disjuncts`. Exposed for tests.
 std::optional<std::vector<Predicate>> ToDnf(const Predicate& pred, size_t max_disjuncts);
+
+// The error metric ExecutionReport::achieved_error reports: the max over
+// every group's and aggregate's error at `confidence` — relative by default,
+// absolute when the bounds request an absolute target. Zero-valued estimates
+// (no meaningful relative error) are excluded from a relative max rather
+// than collapsing the whole metric. Exposed for tests.
+double ReportedError(const QueryResult& result, const QueryBounds& bounds,
+                     double confidence);
 
 }  // namespace blink
 

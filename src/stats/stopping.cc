@@ -1,0 +1,45 @@
+#include "src/stats/stopping.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blink {
+
+double MaxEstimateError(const std::vector<Estimate>& estimates, bool relative,
+                        double confidence) {
+  double worst = 0.0;
+  for (const Estimate& est : estimates) {
+    if (est.variance <= 0.0) {
+      continue;  // exact (or degenerate) estimate: zero error
+    }
+    if (!relative) {
+      worst = std::max(worst, est.ErrorAt(confidence));
+      continue;
+    }
+    const double rel = est.RelativeErrorAt(confidence);
+    // A zero-valued estimate has no meaningful relative error; skipping it
+    // (instead of letting one infinity poison the max, which older code then
+    // collapsed to 0) keeps the metric the max over the remaining
+    // groups/aggregates.
+    if (std::isfinite(rel)) {
+      worst = std::max(worst, rel);
+    }
+  }
+  return worst;
+}
+
+StopPolicy::Decision StopPolicy::Evaluate(const std::vector<Estimate>& estimates,
+                                          uint64_t blocks_consumed,
+                                          double rows_matched) const {
+  Decision decision;
+  decision.achieved_error = MaxEstimateError(estimates, relative, confidence);
+  // An empty partial (no groups materialized yet) trivially has zero error
+  // but answers nothing; never report its bound as met.
+  decision.bound_met = target_error > 0.0 && !estimates.empty() &&
+                       decision.achieved_error <= target_error;
+  decision.stop = decision.bound_met && blocks_consumed >= min_blocks &&
+                  rows_matched >= min_matched;
+  return decision;
+}
+
+}  // namespace blink
