@@ -16,6 +16,11 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== bench smoke: disjunctive union stopping =="
+# Small-row smoke run of the §4.1.2 joint-stopping bench: emits one JSON line
+# per error bound and exits nonzero on any execution failure.
+"$BUILD_DIR"/bench_disjunctive 200000
+
 echo "== format =="
 if command -v clang-format >/dev/null 2>&1; then
   # Dry run: fails (non-zero) if any file under src/ needs reformatting.

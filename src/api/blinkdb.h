@@ -57,13 +57,15 @@ class BlinkDB {
   Result<ApproxAnswer> Query(std::string_view sql) const;
 
   // Same, with a progress/partial-answer callback: during a streamed bounded
-  // execution, `progress` is invoked after every batch of blocks with the
-  // running partial answer, its achieved error, and the scan position. Every
-  // successful query ends with exactly one final_batch invocation carrying
-  // the final answer — paths that never stream (unbounded queries, exact
-  // fallback, probe reuse, disjunctive rewrites) fire just that completion
-  // call. The QueryResult reference passed to the callback is only valid
-  // during the call.
+  // execution, `progress` is invoked after every round of blocks with the
+  // running partial answer, its achieved error, and the scan position. For
+  // bounded disjunctive queries the plan streams too: the callback receives
+  // the COMBINED §4.1.2 union partial across all pipelines, with block/row
+  // totals aggregated over them. Every successful query ends with exactly
+  // one final_batch invocation carrying the final answer — paths that never
+  // stream (unbounded queries, exact fallback, probe reuse) fire just that
+  // completion call. The QueryResult reference passed to the callback is
+  // only valid during the call.
   Result<ApproxAnswer> Query(std::string_view sql, ProgressCallback progress) const;
 
   // Ground truth: executes on the full table (no sampling). Latency is

@@ -106,6 +106,14 @@ double ClusterModel::EstimateLatency(const QueryWorkload& workload) const {
   return scan_s + overhead_s + shuffle_s;
 }
 
+double ClusterModel::MakespanLatency(const std::vector<QueryWorkload>& concurrent) const {
+  double makespan = 0.0;
+  for (const QueryWorkload& workload : concurrent) {
+    makespan = std::max(makespan, EstimateLatency(workload));
+  }
+  return makespan;
+}
+
 double ClusterModel::SampleLatency(const QueryWorkload& workload, Rng& rng) const {
   const double base = EstimateLatency(workload);
   // Stragglers skew latency upward: multiplicative noise exp(N(0, 0.08))

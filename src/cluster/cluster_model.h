@@ -12,6 +12,7 @@
 #define BLINKDB_CLUSTER_CLUSTER_MODEL_H_
 
 #include <string>
+#include <vector>
 
 #include "src/util/rng.h"
 
@@ -73,6 +74,13 @@ class ClusterModel {
 
   // Deterministic latency estimate in seconds.
   double EstimateLatency(const QueryWorkload& workload) const;
+
+  // Latency of `concurrent` workloads running side by side — the makespan
+  // (slowest member), never the sum. This is how a union plan's pipelines
+  // are charged: each pipeline's consumed blocks are an independent parallel
+  // scan, so the plan finishes when the slowest pipeline does. Empty input
+  // costs nothing.
+  double MakespanLatency(const std::vector<QueryWorkload>& concurrent) const;
 
   // Latency with multiplicative straggler noise (log-normal-ish, mean ~1):
   // used to produce the min/avg/max bars of Fig 8(a).

@@ -1,27 +1,10 @@
 #include "src/exec/incremental.h"
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
 #include <utility>
-#include <vector>
 
-#include "src/exec/aggregation.h"
-#include "src/util/thread_pool.h"
+#include "src/plan/query_plan.h"
 
 namespace blink {
-namespace {
-
-using exec_internal::BindQuery;
-using exec_internal::BoundQuery;
-using exec_internal::Finalize;
-using exec_internal::GroupMap;
-using exec_internal::MergePartials;
-using exec_internal::MorselPartial;
-using exec_internal::ProcessMorsel;
-using exec_internal::WorkerScratch;
-
-}  // namespace
 
 std::vector<Estimate> FlattenEstimates(const QueryResult& result) {
   std::vector<Estimate> flat;
@@ -31,215 +14,41 @@ std::vector<Estimate> FlattenEstimates(const QueryResult& result) {
   return flat;
 }
 
+// A single-dataset streamed scan is the 1-pipeline special case of the
+// unified plan driver (src/plan/query_plan.h): the pipeline consumes blocks
+// in prefix order, the driver re-finalizes per batch and applies the stop
+// policy, and with the never-stop rule the drive is bit-identical to the
+// one-shot executor for every thread count, morsel size, and batch size.
 Result<StreamResult> ExecuteQueryIncremental(const SelectStatement& stmt,
                                              const Dataset& fact, const Table* dim,
                                              const StreamOptions& options) {
-  auto bound = BindQuery(stmt, fact, dim);
-  if (!bound.ok()) {
-    return bound.status();
-  }
-  const BoundQuery& bq = bound.value();
-  const uint64_t n = fact.NumRows();
-  const MorselPlan plan = fact.PlanMorsels(options.exec.morsel_rows);
-  const uint64_t total_blocks = plan.num_blocks();
-  const double bytes_per_row = bq.table->EstimatedBytesPerRow();
+  QueryPlan plan;
+  PipelineSpec spec;
+  spec.stmt = stmt;
+  spec.dataset = fact;
+  spec.dim = dim;
+  spec.max_blocks = options.policy.max_blocks;
+  plan.pipelines.push_back(std::move(spec));
 
-  StopPolicy policy = options.policy;
-  if (fact.is_exact()) {
-    // A row prefix of an exact table is not a random sample: estimates over
-    // it would be biased by the table's physical row order. Never stop early.
-    policy.target_error = 0.0;
-    policy.max_blocks = 0;
-  }
-  // Partial answers must be materialized between batches for the error rule
-  // and for progress callbacks; a bare block budget only needs the final
-  // prefix finalization, so it skips the per-batch snapshots entirely.
-  const bool needs_partials = policy.target_error > 0.0 || options.progress != nullptr;
-  const bool may_stop_early = policy.target_error > 0.0 || policy.max_blocks > 0;
-  // Prefix stratum counts are only meaningful (and only needed) on samples.
-  const bool track_prefix = may_stop_early && !fact.is_exact();
+  PlanOptions popts;
+  popts.exec = options.exec;
+  popts.batch_blocks = options.batch_blocks;
+  popts.policy = options.policy;
+  popts.progress = options.progress;
 
+  auto run = ExecutePlan(plan, popts);
+  if (!run.ok()) {
+    return run.status();
+  }
   StreamResult out;
-  out.blocks_total = total_blocks;
-
-  if (total_blocks == 0) {
-    ScanStats stats;
-    stats.block_rows = plan.target_rows;
-    auto result = Finalize(stmt, fact, bq, GroupMap{}, stats, nullptr);
-    if (!result.ok()) {
-      return result.status();
-    }
-    out.result = std::move(result.value());
-    if (options.progress) {
-      StreamProgress progress;
-      progress.final_batch = true;
-      options.progress(out.result, progress);
-    }
-    return out;
-  }
-
-  // No error stop may fire before the smallest resolution's prefix boundary:
-  // it is the first row prefix guaranteed to contain rows of every stratum,
-  // so stopping inside it could silently drop whole strata from the answer.
-  uint64_t min_stop_rows = 0;
-  if (fact.prefix_boundaries != nullptr) {
-    for (uint64_t boundary : *fact.prefix_boundaries) {
-      if (boundary > 0 && boundary <= n) {
-        min_stop_rows = boundary;
-        break;  // boundaries ascend: the first in range is the smallest
-      }
-    }
-  }
-  if (policy.max_blocks > 0 && min_stop_rows > 0) {
-    // The guard applies to budget stops too: the smallest resolution is the
-    // minimum statistically meaningful answer (the ELP never plans below it
-    // either), so a block budget smaller than it floors there rather than
-    // silently dropping whole strata.
-    policy.max_blocks = std::max(
-        policy.max_blocks,
-        CountMorsels(min_stop_rows, plan.target_rows, fact.prefix_boundaries));
-  }
-
-  const size_t workers = std::max<size_t>(
-      1, std::min<size_t>(options.exec.num_threads, static_cast<size_t>(total_blocks)));
-  // Batch size: the stopping-rule evaluation cadence. Without evaluation the
-  // whole scan is one batch — exactly the one-shot executor.
-  uint64_t batch = total_blocks;
-  if (needs_partials && options.batch_blocks > 0) {
-    batch = std::max<uint64_t>(options.batch_blocks, workers);
-  }
-
-  GroupMap groups;
-  ScanStats stats;
-  stats.block_rows = plan.target_rows;
-  std::vector<double> prefix_scanned;  // consumed rows per stratum
-  std::vector<WorkerScratch> scratches(workers);
-
-  uint64_t consumed = 0;
-  for (;;) {
-    uint64_t end = std::min(consumed + batch, total_blocks);
-    if (policy.max_blocks > 0) {
-      end = std::min(end, std::max<uint64_t>(policy.max_blocks, 1));
-    }
-    const size_t count = static_cast<size_t>(end - consumed);
-    std::vector<MorselPartial> partials(count);
-    const size_t batch_workers = std::min(workers, count);
-    if (batch_workers <= 1) {
-      for (size_t i = 0; i < count; ++i) {
-        ProcessMorsel(bq, fact, plan.morsels[consumed + i], scratches[0], partials[i],
-                      track_prefix);
-      }
-    } else {
-      // Morsel-driven scheduling: workers pull block indices from a shared
-      // counter; any assignment of blocks to workers yields the same partials.
-      std::atomic<size_t> next{0};
-      std::atomic<size_t> slot{0};
-      auto work = [&] {
-        WorkerScratch& scratch = scratches[slot.fetch_add(1)];
-        for (;;) {
-          const size_t i = next.fetch_add(1);
-          if (i >= count) {
-            return;
-          }
-          ProcessMorsel(bq, fact, plan.morsels[consumed + i], scratch, partials[i],
-                        track_prefix);
-        }
-      };
-      if (options.exec.pool != nullptr) {
-        for (size_t w = 0; w < batch_workers; ++w) {
-          options.exec.pool->Submit(work);
-        }
-        options.exec.pool->Wait();
-      } else {
-        std::vector<std::thread> threads;
-        threads.reserve(batch_workers - 1);
-        for (size_t w = 0; w + 1 < batch_workers; ++w) {
-          threads.emplace_back(work);
-        }
-        work();
-        for (auto& t : threads) {
-          t.join();
-        }
-      }
-    }
-    MergePartials(partials, bq.aggs.size(), groups, stats,
-                  track_prefix ? &prefix_scanned : nullptr);
-    consumed = end;
-    const uint64_t rows_consumed = plan.morsels[consumed - 1].end;
-    const bool complete = consumed == total_blocks;
-    const bool budget_exhausted =
-        !complete && policy.max_blocks > 0 && consumed >= policy.max_blocks;
-
-    if (!needs_partials) {
-      if (!complete && !budget_exhausted) {
-        continue;
-      }
-      // No per-batch snapshots: a single finalize. Complete scans use the
-      // dataset's full counts — bit-identical to the pre-streaming executor;
-      // a budget stop finalizes against the consumed prefix's tallies.
-      stats.rows_scanned = rows_consumed;
-      stats.blocks_scanned = consumed;
-      stats.bytes_scanned = static_cast<double>(rows_consumed) * bytes_per_row;
-      auto result = Finalize(stmt, fact, bq, groups, stats,
-                             complete || !track_prefix ? nullptr : &prefix_scanned);
-      if (!result.ok()) {
-        return result.status();
-      }
-      out.result = std::move(result.value());
-      out.blocks_consumed = consumed;
-      out.rows_consumed = rows_consumed;
-      out.stopped_early = !complete;
-      if (may_stop_early) {
-        out.achieved_error = MaxEstimateError(FlattenEstimates(out.result),
-                                              policy.relative, policy.confidence);
-      }
-      return out;
-    }
-
-    // Materialize the partial answer over the consumed prefix (Finalize is
-    // read-only, so snapshots share the running accumulators). A complete
-    // scan finalizes against the dataset's own counts — the prefix tallies
-    // equal them, but using the dataset's keeps the one-shot equivalence
-    // exact by construction.
-    ScanStats snapshot_stats = stats;
-    snapshot_stats.rows_scanned = rows_consumed;
-    snapshot_stats.blocks_scanned = consumed;
-    snapshot_stats.bytes_scanned = static_cast<double>(rows_consumed) * bytes_per_row;
-    auto snapshot =
-        Finalize(stmt, fact, bq, groups, snapshot_stats,
-                 complete || !track_prefix ? nullptr : &prefix_scanned);
-    if (!snapshot.ok()) {
-      return snapshot.status();
-    }
-    QueryResult partial = std::move(snapshot.value());
-
-    const StopPolicy::Decision decision = policy.Evaluate(
-        FlattenEstimates(partial), consumed, static_cast<double>(stats.rows_matched));
-    // The sample-prefix guard: never stop inside the smallest resolution.
-    const bool error_stop = decision.stop && rows_consumed >= min_stop_rows;
-    const bool returning = complete || budget_exhausted || error_stop;
-
-    if (options.progress) {
-      StreamProgress progress;
-      progress.blocks_consumed = consumed;
-      progress.blocks_total = total_blocks;
-      progress.rows_consumed = rows_consumed;
-      progress.rows_total = n;
-      progress.achieved_error = decision.achieved_error;
-      progress.bound_met = decision.bound_met;
-      progress.final_batch = returning;
-      options.progress(partial, progress);
-    }
-    if (returning) {
-      out.result = std::move(partial);
-      out.blocks_consumed = consumed;
-      out.rows_consumed = rows_consumed;
-      out.stopped_early = !complete;
-      out.bound_met = decision.bound_met;
-      out.achieved_error = decision.achieved_error;
-      return out;
-    }
-  }
+  out.result = std::move(run->result);
+  out.blocks_consumed = run->blocks_consumed;
+  out.blocks_total = run->blocks_total;
+  out.rows_consumed = run->rows_consumed;
+  out.stopped_early = run->stopped_early;
+  out.bound_met = run->bound_met;
+  out.achieved_error = run->achieved_error;
+  return out;
 }
 
 }  // namespace blink

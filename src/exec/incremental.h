@@ -3,6 +3,12 @@
 // query's error bound is met (or a block budget runs out), returning the
 // partial answer with its achieved error.
 //
+// Since the plan refactor this is the single-dataset façade over the unified
+// plan driver (src/plan/query_plan.h): ExecuteQueryIncremental drives a
+// 1-pipeline QueryPlan, and the same driver generalizes to the N-pipeline
+// §4.1.2 union plans with joint error-driven stopping. The progress types
+// below (StreamProgress, ProgressCallback) are shared by both.
+//
 // Why a block prefix is a valid sample: multi-resolution families lay out
 // each stratum's rows in one fixed random permutation (smallest resolution
 // first, §3.1 / Fig 4), so the rows of stratum h inside ANY row prefix are a

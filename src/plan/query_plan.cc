@@ -1,0 +1,199 @@
+#include "src/plan/query_plan.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace blink {
+namespace {
+
+// Aggregate progress over the whole plan (all pipelines).
+StreamProgress ProgressOver(const std::vector<std::unique_ptr<ScanPipeline>>& pipes,
+                            const StopPolicy::Decision& decision, bool final_batch) {
+  StreamProgress p;
+  for (const auto& pipe : pipes) {
+    p.blocks_consumed += pipe->blocks_consumed();
+    p.blocks_total += pipe->blocks_total();
+    p.rows_consumed += pipe->rows_consumed();
+    p.rows_total += pipe->rows_total();
+  }
+  p.achieved_error = decision.achieved_error;
+  p.bound_met = decision.bound_met;
+  p.final_batch = final_batch;
+  return p;
+}
+
+}  // namespace
+
+Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options) {
+  if (plan.pipelines.empty()) {
+    return Status::InvalidArgument("plan has no pipelines");
+  }
+  if (plan.pipelines.size() > 1 && !plan.combiner.has_value()) {
+    return Status::InvalidArgument("multi-pipeline plan has no union combiner");
+  }
+
+  StopPolicy policy = options.policy;
+  policy.max_blocks = 0;  // budgets are per-pipeline (PipelineSpec::max_blocks)
+
+  // An error stop is only meaningful when some pipeline scans a sample; a
+  // plan made purely of exact scans (the EXACT fallback) never stops early.
+  bool any_sample = false;
+  bool any_budget = false;
+  for (const auto& spec : plan.pipelines) {
+    any_sample = any_sample || !spec.dataset.is_exact();
+    any_budget = any_budget || (!spec.dataset.is_exact() && spec.max_blocks > 0);
+  }
+  const bool error_stopping = policy.target_error > 0.0 && any_sample;
+  const bool may_stop_early = error_stopping || any_budget;
+  // Combined partial answers must be materialized between rounds for the
+  // joint error rule and for progress callbacks; bare budgets only need the
+  // final snapshots, so they skip the per-round re-finalization entirely.
+  const bool needs_partials = error_stopping || options.progress != nullptr;
+
+  std::vector<std::unique_ptr<ScanPipeline>> pipes;
+  pipes.reserve(plan.pipelines.size());
+  for (const auto& spec : plan.pipelines) {
+    auto pipe = std::make_unique<ScanPipeline>();
+    BLINK_RETURN_IF_ERROR(pipe->Init(spec, options.exec, may_stop_early));
+    pipes.push_back(std::move(pipe));
+  }
+
+  // Per-pipeline round-robin share: at least one batch's worth of work per
+  // worker so every round saturates the thread fan-out. 0 (or no partials
+  // needed) drives each pipeline in one maximal batch.
+  auto round_share = [&](const ScanPipeline& pipe) -> uint64_t {
+    if (!needs_partials || options.batch_blocks == 0) {
+      return pipe.blocks_total();
+    }
+    const uint64_t workers = std::max<uint64_t>(
+        1, std::min<uint64_t>(options.exec.num_threads, pipe.blocks_total()));
+    return std::max<uint64_t>(options.batch_blocks, workers);
+  };
+
+  // Snapshots of completed pipelines are immutable; freeze them so later
+  // rounds only re-finalize the pipelines still scanning and combine the
+  // finished ones by reference, never by copy. `fresh` owns the still-live
+  // snapshots of one round (reserved up front: growing must not move the
+  // elements `parts` points into).
+  std::vector<std::optional<QueryResult>> frozen(pipes.size());
+  std::vector<QueryResult> fresh;
+  auto snapshot_all = [&]() -> Result<std::vector<const QueryResult*>> {
+    fresh.clear();
+    fresh.reserve(pipes.size());
+    std::vector<const QueryResult*> parts;
+    parts.reserve(pipes.size());
+    for (size_t i = 0; i < pipes.size(); ++i) {
+      if (!frozen[i].has_value()) {
+        auto snap = pipes[i]->Snapshot();
+        if (!snap.ok()) {
+          return snap.status();
+        }
+        if (pipes[i]->complete()) {
+          frozen[i] = std::move(snap.value());
+        } else {
+          fresh.push_back(std::move(snap.value()));
+          parts.push_back(&fresh.back());
+          continue;
+        }
+      }
+      parts.push_back(&*frozen[i]);
+    }
+    return parts;
+  };
+  // The combined answer of the current round. A 1-pipeline plan hands its
+  // only snapshot through untouched; moving out of the backing store is safe
+  // because a single complete pipeline always ends the drive this round.
+  auto combine = [&](const std::vector<const QueryResult*>& parts) {
+    if (plan.combiner.has_value()) {
+      return plan.combiner->Combine(parts, policy.confidence);
+    }
+    return fresh.empty() ? std::move(*frozen.front()) : std::move(fresh.front());
+  };
+
+  auto finish = [&](QueryResult result, const StopPolicy::Decision& decision,
+                    bool evaluated) {
+    PlanResult out;
+    out.result = std::move(result);
+    out.pipelines.reserve(pipes.size());
+    for (const auto& pipe : pipes) {
+      PipelineOutcome stats;
+      stats.blocks_total = pipe->blocks_total();
+      stats.blocks_consumed = pipe->blocks_consumed();
+      stats.rows_consumed = pipe->rows_consumed();
+      stats.rows_matched = pipe->rows_matched();
+      stats.reused_probe = pipe->precomputed();
+      out.pipelines.push_back(stats);
+      out.blocks_consumed += stats.blocks_consumed;
+      out.blocks_total += stats.blocks_total;
+      out.rows_consumed += stats.rows_consumed;
+      out.stopped_early = out.stopped_early || !pipe->exhausted();
+    }
+    if (evaluated) {
+      out.bound_met = decision.bound_met;
+      out.achieved_error = decision.achieved_error;
+    } else if (may_stop_early) {
+      out.achieved_error = MaxEstimateError(FlattenEstimates(out.result),
+                                            policy.relative, policy.confidence);
+    }
+    return out;
+  };
+
+  for (;;) {
+    // One round: every unfinished pipeline, in index order, consumes its
+    // share of blocks. The interleave is a fixed function of the batch size
+    // and the pipeline block counts — never of thread scheduling.
+    for (auto& pipe : pipes) {
+      if (!pipe->complete()) {
+        pipe->Advance(round_share(*pipe));
+      }
+    }
+    bool all_complete = true;
+    uint64_t total_consumed = 0;
+    double total_matched = 0.0;
+    for (const auto& pipe : pipes) {
+      all_complete = all_complete && pipe->complete();
+      total_consumed += pipe->blocks_consumed();
+      total_matched += static_cast<double>(pipe->rows_matched());
+    }
+
+    if (!needs_partials) {
+      if (!all_complete) {
+        continue;
+      }
+      auto parts = snapshot_all();
+      if (!parts.ok()) {
+        return parts.status();
+      }
+      return finish(combine(*parts), StopPolicy::Decision{}, /*evaluated=*/false);
+    }
+
+    // Materialize the combined partial answer over every pipeline's consumed
+    // prefix and evaluate the joint stopping rule on it.
+    auto parts = snapshot_all();
+    if (!parts.ok()) {
+      return parts.status();
+    }
+    QueryResult combined = combine(*parts);
+    const StopPolicy::Decision decision =
+        policy.Evaluate(FlattenEstimates(combined), total_consumed, total_matched);
+    // The joint stop guard: every pipeline's prefix must be statistically
+    // sound (past its smallest-resolution boundary; exact pipelines must have
+    // run to completion) before the union bound may end the plan.
+    bool can_stop = error_stopping;
+    for (const auto& pipe : pipes) {
+      can_stop = can_stop && pipe->CanErrorStop();
+    }
+    const bool error_stop = decision.stop && can_stop;
+    const bool returning = all_complete || error_stop;
+
+    if (options.progress) {
+      options.progress(combined, ProgressOver(pipes, decision, returning));
+    }
+    if (returning) {
+      return finish(std::move(combined), decision, /*evaluated=*/true);
+    }
+  }
+}
+
+}  // namespace blink

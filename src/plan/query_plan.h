@@ -1,0 +1,93 @@
+// Unified physical query plans.
+//
+// Every query the runtime answers becomes a QueryPlan: a set of scan
+// pipelines plus a combination rule. A conjunctive query is a 1-pipeline plan
+// over its chosen dataset, a §4.1.2 disjunctive query is an N-pipeline plan
+// with one pipeline per DNF disjunct bound to its best-covering sample, and
+// the EXACT fallback is a 1-pipeline plan over the base table. One driver —
+// ExecutePlan — replaces both the bespoke per-disjunct recursion and the
+// conjunctive-only streaming loop: it interleaves block batches across
+// pipelines in a deterministic round-robin over block indices, folds
+// per-pipeline snapshots through the union combiner, and applies the
+// StopPolicy to the *joint* worst-case error of the combined answer, so an
+// ERROR WITHIN disjunctive query stops the moment the union estimate meets
+// the bound and a WITHIN n SECONDS query stops when every pipeline's block
+// budget is spent.
+//
+// Determinism: pipelines advance in index order, each consumes its own
+// blocks in prefix order, and combination happens only on finished snapshots
+// — so the answer is a pure function of the per-pipeline consumed prefix
+// lengths. With the never-stop policy every pipeline consumes everything and
+// the plan reproduces the one-shot answer bit-identically for any thread
+// count, morsel size, batch size, and pipeline interleave.
+#ifndef BLINKDB_PLAN_QUERY_PLAN_H_
+#define BLINKDB_PLAN_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/exec/incremental.h"
+#include "src/plan/scan_pipeline.h"
+#include "src/plan/union_combiner.h"
+#include "src/stats/stopping.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+// A physical plan: what to scan (one spec per pipeline) and how to combine.
+struct QueryPlan {
+  std::vector<PipelineSpec> pipelines;
+  // Union combination rule; required when pipelines.size() > 1 (a 1-pipeline
+  // plan passes its only snapshot through untouched, bit-identical to the
+  // plain executor).
+  std::optional<UnionCombiner> combiner;
+};
+
+struct PlanOptions {
+  ExecutionOptions exec;
+  // Blocks each pipeline consumes per round-robin turn (the joint
+  // stopping-rule cadence). 0 = each pipeline runs as one batch — the
+  // one-shot fast path when the policy never stops and no callback is set.
+  uint32_t batch_blocks = 0;
+  // Joint stopping rule, evaluated on the combined answer after every round.
+  // Its error guards (min_blocks / min_matched) read totals across all
+  // pipelines; per-pipeline block budgets live on PipelineSpec::max_blocks,
+  // so StopPolicy::max_blocks is ignored here. Default-constructed, the plan
+  // never stops early.
+  StopPolicy policy;
+  // Invoked after every round with the combined partial answer.
+  ProgressCallback progress;
+};
+
+// Per-pipeline outcome, for the runtime's §4.4/latency accounting.
+struct PipelineOutcome {
+  uint64_t blocks_total = 0;
+  uint64_t blocks_consumed = 0;
+  uint64_t rows_consumed = 0;
+  uint64_t rows_matched = 0;
+  bool reused_probe = false;  // §4.4: nothing was scanned, the probe answered
+};
+
+struct PlanResult {
+  QueryResult result;  // the combined answer
+  std::vector<PipelineOutcome> pipelines;
+  uint64_t blocks_consumed = 0;  // totals across pipelines
+  uint64_t blocks_total = 0;
+  uint64_t rows_consumed = 0;
+  bool stopped_early = false;  // some pipeline returned before its last block
+  bool bound_met = false;      // the error target was met at return
+  // Worst error of `result` at the policy confidence (max over
+  // groups/aggregates), computed whenever a stop was possible.
+  double achieved_error = 0.0;
+};
+
+// Drives `plan` to completion (or to a joint stop). Pipelines are
+// materialized, advanced round-robin, snapshotted, combined, and evaluated
+// against the joint policy.
+Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options);
+
+}  // namespace blink
+
+#endif  // BLINKDB_PLAN_QUERY_PLAN_H_

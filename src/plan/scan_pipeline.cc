@@ -1,0 +1,139 @@
+#include "src/plan/scan_pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/util/thread_pool.h"
+
+namespace blink {
+
+using exec_internal::BindQuery;
+using exec_internal::Finalize;
+using exec_internal::MorselPartial;
+using exec_internal::ProcessMorsel;
+
+Status ScanPipeline::Init(PipelineSpec spec, const ExecutionOptions& exec,
+                          bool may_stop_early) {
+  spec_ = std::move(spec);
+  exec_ = exec;
+  auto bound = BindQuery(spec_.stmt, spec_.dataset, spec_.dim);
+  if (!bound.ok()) {
+    return bound.status();
+  }
+  bound_ = std::move(bound.value());
+  plan_ = spec_.dataset.PlanMorsels(exec_.morsel_rows);
+  stats_.block_rows = plan_.target_rows;
+  bytes_per_row_ = bound_.table->EstimatedBytesPerRow();
+
+  if (exact()) {
+    // A row prefix of an exact table is not a random sample: estimates over
+    // it would be biased by the table's physical row order. Never stop early.
+    spec_.max_blocks = 0;
+    may_stop_early = false;
+  }
+  // Prefix stratum counts are only meaningful (and only needed) on samples
+  // whose scan may end before the last block.
+  track_prefix_ = may_stop_early && !exact();
+
+  // No stop may end this pipeline before the smallest resolution's prefix
+  // boundary: it is the first row prefix guaranteed to contain rows of every
+  // stratum, so stopping inside it could silently drop whole strata.
+  const uint64_t n = spec_.dataset.NumRows();
+  if (spec_.dataset.prefix_boundaries != nullptr) {
+    for (uint64_t boundary : *spec_.dataset.prefix_boundaries) {
+      if (boundary > 0 && boundary <= n) {
+        min_stop_rows_ = boundary;
+        break;  // boundaries ascend: the first in range is the smallest
+      }
+    }
+  }
+  if (spec_.max_blocks > 0 && min_stop_rows_ > 0) {
+    // The floor applies to block budgets too: the smallest resolution is the
+    // minimum statistically meaningful answer, so a budget below it floors
+    // there rather than silently dropping whole strata.
+    spec_.max_blocks =
+        std::max(spec_.max_blocks,
+                 CountMorsels(min_stop_rows_, plan_.target_rows,
+                              spec_.dataset.prefix_boundaries));
+  }
+
+  const size_t workers = std::max<size_t>(
+      1, std::min<size_t>(exec_.num_threads, static_cast<size_t>(std::max<uint64_t>(
+                                                 1, blocks_total()))));
+  scratches_.resize(workers);
+  return Status::Ok();
+}
+
+void ScanPipeline::Advance(uint64_t blocks) {
+  if (complete() || blocks == 0) {
+    return;
+  }
+  uint64_t end = std::min(consumed_ + blocks, blocks_total());
+  if (spec_.max_blocks > 0) {
+    end = std::min(end, std::max<uint64_t>(spec_.max_blocks, 1));
+  }
+  const size_t count = static_cast<size_t>(end - consumed_);
+  std::vector<MorselPartial> partials(count);
+  const size_t batch_workers = std::min(scratches_.size(), count);
+  if (batch_workers <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      ProcessMorsel(bound_, spec_.dataset, plan_.morsels[consumed_ + i], scratches_[0],
+                    partials[i], track_prefix_);
+    }
+  } else {
+    // Morsel-driven scheduling: workers pull block indices from a shared
+    // counter; any assignment of blocks to workers yields the same partials.
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> slot{0};
+    auto work = [&] {
+      exec_internal::WorkerScratch& scratch = scratches_[slot.fetch_add(1)];
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= count) {
+          return;
+        }
+        ProcessMorsel(bound_, spec_.dataset, plan_.morsels[consumed_ + i], scratch,
+                      partials[i], track_prefix_);
+      }
+    };
+    if (exec_.pool != nullptr) {
+      for (size_t w = 0; w < batch_workers; ++w) {
+        exec_.pool->Submit(work);
+      }
+      exec_.pool->Wait();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(batch_workers - 1);
+      for (size_t w = 0; w + 1 < batch_workers; ++w) {
+        threads.emplace_back(work);
+      }
+      work();
+      for (auto& t : threads) {
+        t.join();
+      }
+    }
+  }
+  MergePartials(partials, bound_.aggs.size(), groups_, stats_,
+                track_prefix_ ? &prefix_scanned_ : nullptr);
+  consumed_ = end;
+}
+
+Result<QueryResult> ScanPipeline::Snapshot() const {
+  if (precomputed()) {
+    return *spec_.precomputed;
+  }
+  // Finalize is read-only, so snapshots share the running accumulators. A
+  // scan that consumed everything finalizes against the dataset's own counts
+  // — the prefix tallies equal them, but using the dataset's keeps the
+  // one-shot equivalence exact by construction.
+  const bool whole = consumed_ == blocks_total();
+  ScanStats stats = stats_;
+  stats.rows_scanned = rows_consumed();
+  stats.blocks_scanned = consumed_;
+  stats.bytes_scanned = static_cast<double>(stats.rows_scanned) * bytes_per_row_;
+  return Finalize(spec_.stmt, spec_.dataset, bound_, groups_, stats,
+                  whole || !track_prefix_ ? nullptr : &prefix_scanned_);
+}
+
+}  // namespace blink

@@ -1,0 +1,126 @@
+// One pipeline of a physical query plan: the incremental scan state of a
+// single conjunctive subquery bound to the dataset the planner chose for it
+// (a sample resolution or the exact base table).
+//
+// A pipeline is the §4.1.2 unit of execution: a disjunctive query becomes one
+// pipeline per DNF disjunct, a conjunctive query is a 1-pipeline plan. The
+// plan driver (src/plan/query_plan.h) advances pipelines batch-by-batch in a
+// deterministic round-robin; each pipeline consumes its own blocks in prefix
+// order and folds per-block partials strictly in block-index order, so a
+// pipeline's running accumulators — and therefore any snapshot taken from
+// them — depend only on how many blocks it has consumed, never on the thread
+// count, the schedule, or how its batches interleave with other pipelines'.
+#ifndef BLINKDB_PLAN_SCAN_PIPELINE_H_
+#define BLINKDB_PLAN_SCAN_PIPELINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/exec/aggregation.h"
+#include "src/exec/dataset.h"
+#include "src/exec/executor.h"
+#include "src/sql/ast.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+// What one pipeline scans and how far it is allowed to go.
+struct PipelineSpec {
+  // Conjunctive sub-statement (the union path appends a helper COUNT(*) for
+  // AVG recombination before constructing the spec).
+  SelectStatement stmt;
+  Dataset dataset;
+  const Table* dim = nullptr;
+  // Hard cap on blocks this pipeline may consume (a time bound's per-pipeline
+  // block budget); 0 = none. Init floors it at the smallest-resolution
+  // boundary and clears it for exact datasets (which never stop early).
+  uint64_t max_blocks = 0;
+  // §4.4 probe reuse: when set, the pipeline is born complete with this
+  // answer (the planner's escalated probe already scanned exactly this
+  // dataset) — the driver never advances it and snapshots return the value.
+  std::optional<QueryResult> precomputed;
+};
+
+class ScanPipeline {
+ public:
+  ScanPipeline() = default;
+  ScanPipeline(const ScanPipeline&) = delete;
+  ScanPipeline& operator=(const ScanPipeline&) = delete;
+
+  // Binds the spec's statement against its dataset and plans the block
+  // decomposition. `may_stop_early` tells the pipeline whether any stop
+  // (error or budget) can end its scan before the last block: only then are
+  // per-stratum prefix counts n_h(prefix) tallied, which is what makes a
+  // stopped prefix finalize as a valid stratified sample.
+  Status Init(PipelineSpec spec, const ExecutionOptions& exec, bool may_stop_early);
+
+  // Scans up to `blocks` further blocks (clamped to the budget and the plan)
+  // in parallel and folds their partials into the running accumulators in
+  // block-index order. No-op once complete.
+  void Advance(uint64_t blocks);
+
+  // Finalizes the running accumulators over the consumed prefix. Complete
+  // scans finalize against the dataset's own counts (bit-identical to the
+  // one-shot executor by construction); stopped prefixes finalize against the
+  // tallied n_h(prefix).
+  Result<QueryResult> Snapshot() const;
+
+  // The scan has nothing left to do: every block consumed, the block budget
+  // exhausted, or a precomputed (§4.4) answer stands in for the scan.
+  bool complete() const {
+    return precomputed() || consumed_ == blocks_total() ||
+           (spec_.max_blocks > 0 && consumed_ >= spec_.max_blocks);
+  }
+  // The whole dataset was consumed (or its answer reused); false for budget
+  // stops.
+  bool exhausted() const { return precomputed() || consumed_ == blocks_total(); }
+  bool precomputed() const { return spec_.precomputed.has_value(); }
+  bool exact() const { return spec_.dataset.is_exact(); }
+
+  // An error stop may end the plan only when every pipeline's consumed prefix
+  // is statistically sound: past the smallest-resolution boundary (the first
+  // prefix guaranteed to hold rows of every stratum) for samples, and fully
+  // consumed for exact datasets (a prefix of an unshuffled table is not a
+  // random sample).
+  bool CanErrorStop() const {
+    return exact() ? complete() : rows_consumed() >= min_stop_rows_;
+  }
+
+  uint64_t blocks_total() const { return plan_.num_blocks(); }
+  uint64_t blocks_consumed() const {
+    return precomputed() ? blocks_total() : consumed_;
+  }
+  uint64_t rows_total() const { return spec_.dataset.NumRows(); }
+  uint64_t rows_consumed() const {
+    if (precomputed()) {
+      return rows_total();
+    }
+    return consumed_ == 0 ? 0 : plan_.morsels[consumed_ - 1].end;
+  }
+  uint64_t rows_matched() const {
+    return precomputed() ? spec_.precomputed->stats.rows_matched
+                         : stats_.rows_matched;
+  }
+
+  const PipelineSpec& spec() const { return spec_; }
+
+ private:
+  PipelineSpec spec_;
+  ExecutionOptions exec_;
+  exec_internal::BoundQuery bound_;
+  MorselPlan plan_;
+  exec_internal::GroupMap groups_;
+  ScanStats stats_;
+  std::vector<double> prefix_scanned_;  // consumed rows per stratum
+  std::vector<exec_internal::WorkerScratch> scratches_;
+  uint64_t consumed_ = 0;
+  uint64_t min_stop_rows_ = 0;
+  bool track_prefix_ = false;
+  double bytes_per_row_ = 0.0;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_PLAN_SCAN_PIPELINE_H_

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <unordered_map>
+#include <limits>
+#include <unordered_set>
+#include <utility>
 
 #include "src/stats/stopping.h"
 #include "src/util/string_util.h"
@@ -87,6 +88,18 @@ std::optional<std::vector<Predicate>> ToDnf(const Predicate& pred, size_t max_di
     }
   }
   return std::nullopt;
+}
+
+void DedupDisjuncts(std::vector<Predicate>& disjuncts) {
+  std::unordered_set<std::string> seen;
+  std::vector<Predicate> unique;
+  unique.reserve(disjuncts.size());
+  for (auto& d : disjuncts) {
+    if (seen.insert(d.CanonicalString()).second) {
+      unique.push_back(std::move(d));
+    }
+  }
+  disjuncts = std::move(unique);
 }
 
 QueryWorkload QueryRuntime::WorkloadForConsumed(const Dataset& ds, double scale_factor,
@@ -175,23 +188,6 @@ double QueryRuntime::DeltaLatency(const SampleFamily& family, size_t larger,
     return 0.0;  // every block was read during probing
   }
   return cluster_->EstimateLatency(delta);
-}
-
-Result<ApproxAnswer> QueryRuntime::RunExact(const SelectStatement& stmt, const Table& fact,
-                                            double scale_factor, const Table* dim) const {
-  auto result = ExecuteQuery(stmt, Dataset::Exact(fact), dim, ExecOpts());
-  if (!result.ok()) {
-    return result.status();
-  }
-  ApproxAnswer answer{std::move(result.value()), {}};
-  answer.report.family = "exact";
-  answer.report.rows_read = fact.num_rows();
-  answer.report.blocks_read = answer.result.stats.blocks_scanned;
-  answer.report.blocks_consumed = answer.report.blocks_read;
-  answer.report.execution_latency = LatencyForDataset(Dataset::Exact(fact), scale_factor);
-  answer.report.total_latency = answer.report.execution_latency;
-  answer.report.achieved_error = 0.0;
-  return answer;
 }
 
 Result<QueryRuntime::FamilyChoice> QueryRuntime::ChooseFamily(
@@ -338,7 +334,7 @@ Result<QueryRuntime::FamilyChoice> QueryRuntime::ChooseFamily(
   }
   // Probes run in parallel across families (§4.1.1), so charge the max.
   choice.selection_probe_latency = max_probe_latency;
-  // §4.4: hand the winner's probe to RunOnFamily so it is not re-executed.
+  // §4.4: hand the winner's probe to PlanOnFamily so it is not re-executed.
   if (winner < families.size()) {
     choice.probe_result = std::move(probes[winner].result);
     choice.probe_resolution = probes[winner].resolution;
@@ -346,18 +342,26 @@ Result<QueryRuntime::FamilyChoice> QueryRuntime::ChooseFamily(
   return choice;
 }
 
-Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
-                                               const SampleFamily& family,
-                                               FamilyChoice choice,
-                                               double scale_factor,
-                                               const Table* dim,
-                                               const ProgressCallback& progress) const {
-  const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
-                                ? stmt.bounds.confidence
-                                : config_.default_confidence;
-  ExecutionReport report;
-  report.family = FamilyName(family);
-  report.probe_latency = choice.selection_probe_latency;
+QueryRuntime::PipelinePlan QueryRuntime::PlanExact(const SelectStatement& stmt,
+                                                   const Table& fact,
+                                                   double scale_factor,
+                                                   const Table* dim) const {
+  (void)scale_factor;
+  PipelinePlan plan;
+  plan.family_name = "exact";
+  plan.spec.stmt = stmt;
+  plan.spec.dataset = Dataset::Exact(fact);
+  plan.spec.dim = dim;
+  plan.dataset = plan.spec.dataset;
+  return plan;
+}
+
+Result<QueryRuntime::PipelinePlan> QueryRuntime::PlanOnFamily(
+    const SelectStatement& stmt, const SampleFamily& family, FamilyChoice choice,
+    double scale_factor, const Table* dim) const {
+  PipelinePlan plan;
+  plan.family_name = FamilyName(family);
+  plan.probe_latency = choice.selection_probe_latency;
 
   // --- Probe: smallest resolution, escalating while too few rows match -----
   // Logical samples are prefixes of one another (§4.4), so an escalation
@@ -381,13 +385,16 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
       probe_result = std::move(result.value());
       if (probe_result.stats.rows_matched >= config_.min_probe_matches ||
           probe_idx == 0) {
-        report.probe_latency += LatencyForDataset(probe, scale_factor);
+        plan.probe_latency += LatencyForDataset(probe, scale_factor);
         break;
       }
       --probe_idx;  // escalate to the next larger resolution
     }
   }
   const uint64_t probe_rows = family.resolution(probe_idx).rows;
+  const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
+                                ? stmt.bounds.confidence
+                                : config_.default_confidence;
   const double probe_matched =
       std::max<double>(1.0, static_cast<double>(probe_result.stats.rows_matched));
   const double probe_error = ReportedError(probe_result, stmt.bounds, confidence);
@@ -408,7 +415,7 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
         WorkloadForScan(family.LogicalSample(i), scale_factor);
     point.blocks = workload.input_blocks;
     point.projected_latency = cluster_->EstimateLatency(workload);
-    report.elp.push_back(point);
+    plan.elp.push_back(point);
   }
 
   // --- Resolution choice ----------------------------------------------------
@@ -420,8 +427,8 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
       // intervals to be meaningful (tiny samples under-cover).
       chosen = 0;
       for (size_t i = family.num_resolutions(); i-- > 0;) {
-        if (report.elp[i].projected_error <= stmt.bounds.error &&
-            report.elp[i].projected_matched >= 2.0 * config_.min_probe_matches) {
+        if (plan.elp[i].projected_error <= stmt.bounds.error &&
+            plan.elp[i].projected_matched >= 2.0 * config_.min_probe_matches) {
           chosen = i;
           break;
         }
@@ -432,10 +439,10 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
       // Largest sample fitting in the remaining time budget. The paper fits a
       // linear latency model from the probe runs; our cost model is already
       // linear in bytes, so the projections coincide.
-      const double remaining = stmt.bounds.time_seconds - report.probe_latency;
+      const double remaining = stmt.bounds.time_seconds - plan.probe_latency;
       chosen = family.smallest_resolution();
       for (size_t i = 0; i < family.num_resolutions(); ++i) {
-        double cost = report.elp[i].projected_latency;
+        double cost = plan.elp[i].projected_latency;
         if (config_.reuse_intermediate) {
           // §4.4: blocks scanned during probing are not re-read; charge only
           // the delta blocks beyond the probe prefix.
@@ -452,262 +459,200 @@ Result<ApproxAnswer> QueryRuntime::RunOnFamily(const SelectStatement& stmt,
       chosen = 0;
       break;
   }
-  report.resolution = chosen;
-  report.cap = family.resolution(chosen).cap;
-  report.rows_read = family.resolution(chosen).rows;
-  // blocks_read/blocks_reused are engine (in-memory) blocks, like rows_read;
-  // elp[].blocks is the paper-scale modeled count.
-  report.blocks_read = CountMorsels(family.resolution(chosen).rows,
-                                    config_.morsel_rows, &family.prefix_rows());
-  report.projected_error = report.elp[chosen].projected_error;
+  plan.resolution = chosen;
+  plan.cap = family.resolution(chosen).cap;
+  plan.projected_error = plan.elp[chosen].projected_error;
+  plan.probe_rows = probe_rows;
+  plan.probe_prefix_blocks =
+      CountMorsels(probe_rows, config_.morsel_rows, &family.prefix_rows());
 
-  // --- Final execution -------------------------------------------------------
-  // Streamed bounded queries: consume blocks in prefix order, fold per-batch
-  // partials into running estimates, and stop the moment the bound is met
-  // (or the time bound's block budget runs out). The one-shot projection
-  // path remains available via RuntimeConfig::streaming = false.
+  // --- Pipeline construction -------------------------------------------------
+  // Streamed bounded queries: consume blocks in prefix order and stop at the
+  // bound (or the time budget). The one-shot projection path remains
+  // available via RuntimeConfig::streaming = false.
   const bool stream_error = config_.streaming &&
                             stmt.bounds.kind == QueryBounds::Kind::kError &&
                             chosen != probe_idx;
   const bool stream_time = config_.streaming &&
                            stmt.bounds.kind == QueryBounds::Kind::kTime &&
                            chosen != probe_idx;
-  const uint64_t probe_prefix_blocks =
-      CountMorsels(probe_rows, config_.morsel_rows, &family.prefix_rows());
-
-  QueryResult final_result;
+  plan.spec.stmt = stmt;
+  plan.spec.dim = dim;
   if (chosen == probe_idx) {
-    final_result = std::move(probe_result);  // §4.4: probe answer is the answer
-    report.execution_latency = 0.0;
-    report.blocks_reused = report.blocks_read;
-    report.blocks_consumed = report.blocks_read;
-  } else if (stream_error || stream_time) {
-    // For an error bound, stream the LARGEST resolution: prefix order passes
-    // through every smaller resolution on the way, so the scan lands exactly
-    // where the bound is met — below the projected resolution when the ELP
-    // overshot, beyond it (automatic escalation) when it undershot. For a
-    // time bound, stream the chosen resolution under the block budget the
-    // remaining time buys.
-    const Dataset ds =
-        family.LogicalSample(stream_error ? 0 : chosen);
-    StreamOptions stream;
-    stream.exec = ExecOpts();
-    stream.batch_blocks = config_.stream_batch_blocks;
-    stream.progress = progress;
-    if (stream_error) {
-      stream.policy.target_error = stmt.bounds.error;
-      stream.policy.relative = stmt.bounds.relative;
-      stream.policy.confidence = confidence;
-      stream.policy.min_blocks = config_.stream_min_blocks;
-      // Mirrors the 2x min-matches guard the resolution choice applies.
-      stream.policy.min_matched = 2.0 * static_cast<double>(config_.min_probe_matches);
-    } else {
-      stream.policy.confidence = confidence;  // progress errors match the report
-      stream.policy.max_blocks = TimeBudgetBlocks(
-          ds, scale_factor, stmt.bounds.time_seconds - report.probe_latency,
-          config_.reuse_intermediate ? probe_rows : 0);
-    }
-    auto streamed = ExecuteQueryIncremental(stmt, ds, dim, stream);
-    if (!streamed.ok()) {
-      return streamed.status();
-    }
-    final_result = std::move(streamed->result);
-    report.rows_read = streamed->rows_consumed;
-    report.blocks_read = streamed->blocks_consumed;
-    report.blocks_consumed = streamed->blocks_consumed;
-    report.stopped_early = streamed->stopped_early;
-    // §4.4: the probe's prefix blocks were already scanned; charge only the
-    // consumed blocks beyond them.
-    uint64_t charge_rows = streamed->rows_consumed;
-    uint64_t charge_blocks = streamed->blocks_consumed;
-    if (config_.reuse_intermediate) {
-      report.blocks_reused = std::min(charge_blocks, probe_prefix_blocks);
-      charge_rows -= std::min(charge_rows, probe_rows);
-      charge_blocks -= report.blocks_reused;
-    }
-    report.execution_latency =
-        charge_blocks == 0
-            ? 0.0
-            : cluster_->EstimateLatency(
-                  WorkloadForConsumed(ds, scale_factor, charge_rows, charge_blocks));
+    // §4.4: the probe answer is the answer; the pipeline is born complete.
+    plan.spec.dataset = family.LogicalSample(chosen);
+    plan.spec.precomputed = std::move(probe_result);
+  } else if (stream_error) {
+    // Stream the LARGEST resolution: prefix order passes through every
+    // smaller resolution on the way, so the scan lands exactly where the
+    // bound is met — below the projected resolution when the ELP overshot,
+    // beyond it (automatic escalation) when it undershot.
+    plan.spec.dataset = family.LogicalSample(0);
+    plan.streamed = true;
+  } else if (stream_time) {
+    // Stream the chosen resolution under the block budget the remaining time
+    // buys for this pipeline.
+    plan.spec.dataset = family.LogicalSample(chosen);
+    plan.spec.max_blocks = TimeBudgetBlocks(
+        plan.spec.dataset, scale_factor,
+        stmt.bounds.time_seconds - plan.probe_latency,
+        config_.reuse_intermediate ? probe_rows : 0);
+    plan.streamed = true;
   } else {
-    auto result = ExecuteQuery(stmt, family.LogicalSample(chosen), dim, ExecOpts());
-    if (!result.ok()) {
-      return result.status();
-    }
-    final_result = std::move(result.value());
-    report.blocks_consumed = report.blocks_read;
-    double cost = report.elp[chosen].projected_latency;
-    if (config_.reuse_intermediate) {
-      cost = DeltaLatency(family, chosen, probe_idx, scale_factor);
-      report.blocks_reused = std::min(report.blocks_read, probe_prefix_blocks);
-    }
-    report.execution_latency = cost;
+    plan.spec.dataset = family.LogicalSample(chosen);
   }
-  report.total_latency = report.probe_latency + report.execution_latency;
-  final_result.confidence = confidence;
-  report.achieved_error = ReportedError(final_result, stmt.bounds, confidence);
-  return ApproxAnswer{std::move(final_result), std::move(report)};
+  plan.dataset = plan.spec.dataset;
+  return plan;
 }
 
-Result<ApproxAnswer> QueryRuntime::RunDisjunctive(const SelectStatement& stmt,
-                                                  const std::string& table_name,
-                                                  const Table& fact, double scale_factor,
-                                                  const Table* dim,
-                                                  std::vector<Predicate> disjuncts) const {
-  // Run each conjunctive subquery independently (paper: in parallel), then
-  // combine per-group: COUNT/SUM add across disjuncts; AVG recombines via
-  // value*count. Assumes disjuncts select (nearly) disjoint rows, as the
-  // paper's rewrite does.
+StopPolicy QueryRuntime::PolicyFor(const SelectStatement& stmt, bool any_streamed) const {
+  StopPolicy policy;  // default-constructed: never stops
   const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
                                 ? stmt.bounds.confidence
                                 : config_.default_confidence;
-  // Locate (or plan to append) a COUNT aggregate for AVG recombination.
-  int count_pos = -1;
-  size_t num_orig_aggs = 0;
-  for (const auto& item : stmt.items) {
-    if (item.is_aggregate) {
-      if (item.agg.func == AggFunc::kCount && count_pos < 0) {
-        count_pos = static_cast<int>(num_orig_aggs);
-      }
-      ++num_orig_aggs;
-    }
+  policy.confidence = confidence;  // progress errors match the report either way
+  if (!any_streamed) {
+    return policy;
   }
-  const bool append_count = count_pos < 0;
-  const size_t count_idx = append_count ? num_orig_aggs : static_cast<size_t>(count_pos);
+  if (stmt.bounds.kind == QueryBounds::Kind::kError) {
+    policy.target_error = stmt.bounds.error;
+    policy.relative = stmt.bounds.relative;
+    policy.min_blocks = config_.stream_min_blocks;
+    // Mirrors the 2x min-matches guard the resolution choice applies.
+    policy.min_matched = 2.0 * static_cast<double>(config_.min_probe_matches);
+  }
+  // Time bounds carry no error target: each pipeline's block budget (set at
+  // planning time from the cluster model) ends the scan instead.
+  return policy;
+}
 
-  std::vector<ApproxAnswer> partials;
-  partials.reserve(disjuncts.size());
+Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
+                                           std::vector<PipelinePlan> plans,
+                                           double scale_factor,
+                                           const ProgressCallback& progress) const {
+  const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
+                                ? stmt.bounds.confidence
+                                : config_.default_confidence;
+  bool any_streamed = false;
+  QueryPlan plan;
+  plan.pipelines.reserve(plans.size());
+  for (auto& p : plans) {
+    any_streamed = any_streamed || p.streamed;
+    plan.pipelines.push_back(std::move(p.spec));
+  }
+  if (plans.size() > 1) {
+    plan.combiner.emplace(stmt);
+  }
+
+  PlanOptions options;
+  options.exec = ExecOpts();
+  // Non-streamed plans drive each pipeline as one maximal batch: the
+  // never-stop one-shot fast path (and exactly one progress callback).
+  options.batch_blocks = any_streamed ? config_.stream_batch_blocks : 0;
+  options.policy = PolicyFor(stmt, any_streamed);
+  options.progress = progress;
+
+  auto run = ExecutePlan(plan, options);
+  if (!run.ok()) {
+    return run.status();
+  }
+
+  // --- Accounting: §4.4 reuse + per-pipeline consumed-block charges ----------
+  ExecutionReport report;
+  report.num_subqueries = plans.size();
+  if (plans.size() == 1) {
+    const PipelinePlan& p = plans.front();
+    report.family = p.family_name;
+    report.resolution = p.resolution;
+    report.cap = p.cap;
+    report.elp = p.elp;
+    report.projected_error = p.projected_error;
+  } else {
+    report.family = "union";
+  }
+
+  double max_pipeline_total = 0.0;
+  std::vector<QueryWorkload> charged;  // per-pipeline consumed-block workloads
+  charged.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const PipelinePlan& p = plans[i];
+    const PipelineOutcome& outcome = run->pipelines[i];
+    report.probe_latency += p.probe_latency;
+    report.rows_read += outcome.rows_consumed;
+    report.blocks_read += outcome.blocks_consumed;
+    report.blocks_consumed += outcome.blocks_consumed;
+    report.stopped_early =
+        report.stopped_early || outcome.blocks_consumed < outcome.blocks_total;
+
+    double exec_latency = 0.0;
+    if (outcome.reused_probe) {
+      // §4.4: nothing was scanned; the probe's blocks stand in for the run.
+      report.blocks_reused += outcome.blocks_consumed;
+    } else {
+      uint64_t charge_rows = outcome.rows_consumed;
+      uint64_t charge_blocks = outcome.blocks_consumed;
+      if (config_.reuse_intermediate && p.probe_rows > 0) {
+        // The probe's prefix blocks were already scanned; charge only the
+        // consumed blocks beyond them.
+        const uint64_t reused = std::min(charge_blocks, p.probe_prefix_blocks);
+        report.blocks_reused += reused;
+        charge_rows -= std::min(charge_rows, p.probe_rows);
+        charge_blocks -= reused;
+      }
+      if (charge_blocks > 0) {
+        charged.push_back(
+            WorkloadForConsumed(p.dataset, scale_factor, charge_rows, charge_blocks));
+        exec_latency = cluster_->EstimateLatency(charged.back());
+      }
+    }
+    // Pipelines run concurrently on the cluster; a pipeline's own critical
+    // path is its probe chain plus its scan.
+    max_pipeline_total = std::max(max_pipeline_total, p.probe_latency + exec_latency);
+  }
+  // Concurrent pipelines: the execution charge is the makespan of the
+  // per-pipeline consumed-block workloads, never their sum.
+  report.execution_latency = cluster_->MakespanLatency(charged);
+  report.total_latency = max_pipeline_total;
+
+  QueryResult result = std::move(run->result);
+  result.confidence = confidence;
+  report.achieved_error = ReportedError(result, stmt.bounds, confidence);
+  return ApproxAnswer{std::move(result), std::move(report)};
+}
+
+Result<ApproxAnswer> QueryRuntime::RunUnion(const SelectStatement& stmt,
+                                            const std::string& table_name,
+                                            const Table& fact, double scale_factor,
+                                            const Table* dim,
+                                            std::vector<Predicate> disjuncts,
+                                            const ProgressCallback& progress) const {
+  // One pipeline per conjunctive disjunct, each bound to its best-covering
+  // dataset (§4.1.2). AVG recombination needs a COUNT column, so every
+  // subquery gets the helper before family selection probes it — the probes
+  // then carry the same aggregate shape the pipelines scan.
+  const UnionCombiner combiner(stmt);
+  std::vector<PipelinePlan> plans;
+  plans.reserve(disjuncts.size());
   for (auto& disjunct : disjuncts) {
     SelectStatement sub = stmt;
     sub.where = std::move(disjunct);
-    if (append_count) {
-      SelectItem count_item;
-      count_item.is_aggregate = true;
-      count_item.agg.count_star = true;
-      count_item.agg.func = AggFunc::kCount;
-      count_item.alias = "__blink_count";
-      sub.items.push_back(count_item);
-    }
+    combiner.PrepareSubquery(sub);
     auto choice = ChooseFamily(sub, table_name, fact, scale_factor, dim);
     if (!choice.ok()) {
       return choice.status();
     }
-    const SampleFamily* sub_family = choice->family;
-    Result<ApproxAnswer> partial =
-        sub_family == nullptr
-            ? RunExact(sub, fact, scale_factor, dim)
-            : RunOnFamily(sub, *sub_family, std::move(*choice), scale_factor, dim,
-                          /*progress=*/{});
-    if (!partial.ok()) {
-      return partial.status();
+    if (choice->family == nullptr) {
+      plans.push_back(PlanExact(sub, fact, scale_factor, dim));
+      continue;
     }
-    partials.push_back(std::move(partial.value()));
+    const SampleFamily* family = choice->family;
+    auto pipeline = PlanOnFamily(sub, *family, std::move(*choice), scale_factor, dim);
+    if (!pipeline.ok()) {
+      return pipeline.status();
+    }
+    plans.push_back(std::move(pipeline.value()));
   }
-
-  // Merge groups across partial results.
-  struct Combined {
-    std::vector<Value> group_values;
-    std::vector<Estimate> sums;        // per original aggregate: accumulated
-    std::vector<double> weighted_num;  // for AVG: sum of value*count
-    std::vector<double> total_count;   // for AVG: sum of counts
-  };
-  std::map<std::string, Combined> merged;
-  auto group_key_of = [](const ResultRow& row) {
-    std::string key;
-    for (const auto& v : row.group_values) {
-      key += v.ToString();
-      key += '\x1f';
-    }
-    return key;
-  };
-
-  // The original aggregates (excluding any appended count).
-  std::vector<AggFunc> agg_funcs;
-  for (const auto& item : stmt.items) {
-    if (item.is_aggregate) {
-      agg_funcs.push_back(item.agg.func);
-    }
-  }
-
-  ExecutionReport report;
-  report.num_subqueries = partials.size();
-  report.family = "union";
-  for (const auto& partial : partials) {
-    report.probe_latency += partial.report.probe_latency;
-    // Subqueries run in parallel: total latency is the max.
-    report.total_latency = std::max(report.total_latency, partial.report.total_latency);
-    report.rows_read += partial.report.rows_read;
-    report.blocks_read += partial.report.blocks_read;
-    report.blocks_consumed += partial.report.blocks_consumed;
-    report.stopped_early = report.stopped_early || partial.report.stopped_early;
-    for (const auto& row : partial.result.rows) {
-      Combined& c = merged[group_key_of(row)];
-      if (c.sums.empty()) {
-        c.group_values = row.group_values;
-        c.sums.resize(agg_funcs.size());
-        c.weighted_num.assign(agg_funcs.size(), 0.0);
-        c.total_count.assign(agg_funcs.size(), 0.0);
-      }
-      const double count_value =
-          count_idx < row.aggregates.size() ? row.aggregates[count_idx].value : 0.0;
-      for (size_t a = 0; a < agg_funcs.size(); ++a) {
-        const Estimate& est = row.aggregates[a];
-        switch (agg_funcs[a]) {
-          case AggFunc::kCount:
-          case AggFunc::kSum:
-            c.sums[a].value += est.value;
-            c.sums[a].variance += est.variance;
-            break;
-          case AggFunc::kAvg:
-            c.weighted_num[a] += est.value * count_value;
-            c.total_count[a] += count_value;
-            // Approximate numerator variance: count^2 * var(avg).
-            c.sums[a].variance += count_value * count_value * est.variance;
-            break;
-          case AggFunc::kQuantile:
-            // Handled by the caller (quantile queries are not split).
-            break;
-        }
-      }
-    }
-  }
-
-  QueryResult combined;
-  combined.group_names = partials.front().result.group_names;
-  combined.aggregate_names.assign(partials.front().result.aggregate_names.begin(),
-                                  partials.front().result.aggregate_names.begin() +
-                                      static_cast<long>(agg_funcs.size()));
-  combined.confidence = confidence;
-  for (auto& [key, c] : merged) {
-    (void)key;
-    ResultRow row;
-    row.group_values = std::move(c.group_values);
-    for (size_t a = 0; a < agg_funcs.size(); ++a) {
-      Estimate est = c.sums[a];
-      if (agg_funcs[a] == AggFunc::kAvg) {
-        const double total = std::max(1e-300, c.total_count[a]);
-        est.value = c.weighted_num[a] / total;
-        est.variance = c.sums[a].variance / (total * total);
-      }
-      row.aggregates.push_back(est);
-    }
-    combined.rows.push_back(std::move(row));
-  }
-  std::sort(combined.rows.begin(), combined.rows.end(),
-            [](const ResultRow& a, const ResultRow& b) {
-              for (size_t i = 0; i < a.group_values.size() && i < b.group_values.size();
-                   ++i) {
-                const std::string sa = a.group_values[i].ToString();
-                const std::string sb = b.group_values[i].ToString();
-                if (sa != sb) {
-                  return sa < sb;
-                }
-              }
-              return false;
-            });
-  report.achieved_error = ReportedError(combined, stmt.bounds, confidence);
-  return ApproxAnswer{std::move(combined), std::move(report)};
+  return RunPlan(stmt, std::move(plans), scale_factor, progress);
 }
 
 Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
@@ -716,9 +661,9 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
                                            const Table* dim,
                                            ProgressCallback progress) const {
   // The callback contract promises a terminal final_batch invocation for
-  // every successful query. Paths that never stream (unbounded queries,
-  // exact fallback, §4.4 probe reuse, the disjunctive rewrite) fire one
-  // synthetic completion callback after the answer is assembled.
+  // every successful query. The plan driver fires it on every path it
+  // drives; the synthetic completion below is a safety net for any path
+  // that returns without streaming.
   bool progress_fired = false;
   ProgressCallback wrapped;
   if (progress) {
@@ -748,6 +693,9 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
   // Disjunctive WHERE with no single covering family: rewrite as a union of
   // conjunctive subqueries (§4.1.2). Quantiles cannot be recombined across
   // disjuncts, so they always take the single-family path.
+  bool rewrite_fallback = false;
+  const SelectStatement* effective = &stmt;
+  SelectStatement dedup_stmt;  // backing store when dedup collapses the OR
   if (stmt.where.has_value() && !stmt.where->IsConjunctive()) {
     const std::vector<std::string> phi = stmt.TemplateColumns();
     const bool has_covering = !store_->CoveringFamilies(table_name, phi).empty();
@@ -759,23 +707,47 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
     }
     if (!has_covering && !has_quantile) {
       auto disjuncts = ToDnf(*stmt.where, config_.max_disjuncts);
-      if (disjuncts.has_value() && disjuncts->size() > 1) {
-        return finish(RunDisjunctive(stmt, table_name, fact, scale_factor, dim,
-                                     std::move(*disjuncts)));
+      if (!disjuncts.has_value()) {
+        // DNF overflow: run the whole disjunctive predicate as one scan, and
+        // say so instead of falling back silently.
+        rewrite_fallback = true;
+      } else {
+        DedupDisjuncts(*disjuncts);
+        if (disjuncts->size() > 1) {
+          return finish(RunUnion(stmt, table_name, fact, scale_factor, dim,
+                                 std::move(*disjuncts), wrapped));
+        }
+        // Every disjunct was identical (e.g. `x = 1 OR x = 1`): the query is
+        // really conjunctive; running the lone disjunct as a plain query
+        // avoids double-counting the "union".
+        dedup_stmt = stmt;
+        dedup_stmt.where = std::move(disjuncts->front());
+        effective = &dedup_stmt;
       }
     }
   }
 
-  auto choice = ChooseFamily(stmt, table_name, fact, scale_factor, dim);
+  auto choice = ChooseFamily(*effective, table_name, fact, scale_factor, dim);
   if (!choice.ok()) {
     return choice.status();
   }
+  std::vector<PipelinePlan> plans;
   if (choice->family == nullptr) {
-    return finish(RunExact(stmt, fact, scale_factor, dim));
+    plans.push_back(PlanExact(*effective, fact, scale_factor, dim));
+  } else {
+    const SampleFamily* family = choice->family;
+    auto pipeline =
+        PlanOnFamily(*effective, *family, std::move(*choice), scale_factor, dim);
+    if (!pipeline.ok()) {
+      return pipeline.status();
+    }
+    plans.push_back(std::move(pipeline.value()));
   }
-  const SampleFamily* family = choice->family;
-  return finish(RunOnFamily(stmt, *family, std::move(*choice), scale_factor, dim,
-                            wrapped));
+  auto answer = RunPlan(*effective, std::move(plans), scale_factor, wrapped);
+  if (answer.ok()) {
+    answer.value().report.rewrite_fallback = rewrite_fallback;
+  }
+  return finish(std::move(answer));
 }
 
 }  // namespace blink

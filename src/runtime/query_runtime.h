@@ -2,8 +2,14 @@
 // select a sample family (§4.1), build an Error-Latency Profile by probing
 // the family's smallest resolutions (§4.2), pick the resolution that meets
 // the bounds, and execute — reusing the probe's scanned blocks (§4.4).
-// Disjunctive WHERE clauses are rewritten into unions of conjunctive
-// subqueries whose results are combined (§4.1.2).
+//
+// Execution is plan-based: the runtime's job is planning and policy, and
+// every query becomes a physical QueryPlan (src/plan/query_plan.h) driven by
+// the one plan driver. A conjunctive query is a 1-pipeline plan over its
+// chosen dataset, a disjunctive WHERE is rewritten into an N-pipeline union
+// plan with one pipeline per DNF disjunct (§4.1.2) whose pipelines stream
+// together under a joint error bound, and the EXACT fallback is a 1-pipeline
+// plan over the base table.
 #ifndef BLINKDB_RUNTIME_QUERY_RUNTIME_H_
 #define BLINKDB_RUNTIME_QUERY_RUNTIME_H_
 
@@ -16,6 +22,7 @@
 #include "src/cluster/cluster_model.h"
 #include "src/exec/executor.h"
 #include "src/exec/incremental.h"
+#include "src/plan/query_plan.h"
 #include "src/sample/sample_store.h"
 #include "src/sql/ast.h"
 #include "src/util/status.h"
@@ -33,7 +40,8 @@ struct RuntimeConfig {
   // same family (§4.4): the final scan is charged only for the delta bytes.
   bool reuse_intermediate = true;
   // Cap on disjuncts produced by the DNF rewrite before falling back to
-  // single-family execution of the whole disjunctive predicate.
+  // single-family execution of the whole disjunctive predicate (reported as
+  // ExecutionReport::rewrite_fallback).
   size_t max_disjuncts = 16;
   // Worker threads for the morsel-driven scan engine. > 1 creates a
   // ThreadPool that also fans out the §4.1.1 family-selection probes.
@@ -43,19 +51,22 @@ struct RuntimeConfig {
   // §4.4 delta-byte charging.
   uint32_t morsel_rows = kDefaultMorselRows;
   // --- Online incremental execution ---------------------------------------
-  // Stream bounded queries through the incremental executor: blocks are
-  // consumed in prefix order, per-batch partials fold into running
-  // estimates, and the scan stops the moment every group's error at the
-  // query's confidence is inside the bound (ERROR WITHIN) or the time
-  // bound's block budget is exhausted (WITHIN .. SECONDS). The cluster model
-  // is charged only for blocks actually consumed. false reproduces the
-  // one-shot §4.2 projection path exactly.
+  // Stream bounded queries through the plan driver: each pipeline's blocks
+  // are consumed in prefix order, per-round partials fold into running
+  // estimates (combined across pipelines for union plans), and the plan
+  // stops the moment every group's error at the query's confidence is inside
+  // the bound (ERROR WITHIN) or the time bound's per-pipeline block budgets
+  // are exhausted (WITHIN .. SECONDS). The cluster model is charged only for
+  // blocks actually consumed. false reproduces the one-shot §4.2 projection
+  // path exactly.
   bool streaming = true;
-  // Blocks consumed between stopping-rule evaluations (the batch size of the
-  // streamed scan). Smaller = finer stops, more re-finalization overhead.
+  // Blocks each pipeline consumes between stopping-rule evaluations (the
+  // round-robin share of the streamed plan). Smaller = finer stops, more
+  // re-finalization overhead.
   uint32_t stream_batch_blocks = 16;
-  // Minimum blocks a streamed scan must consume before an error stop may
-  // fire; guards against spurious stops on tiny, noisy prefixes.
+  // Minimum blocks a streamed plan must consume (across its pipelines)
+  // before an error stop may fire; guards against spurious stops on tiny,
+  // noisy prefixes.
   uint64_t stream_min_blocks = 4;
 };
 
@@ -71,24 +82,28 @@ struct ElpPoint {
 
 // Diagnostics describing how the runtime answered a query.
 struct ExecutionReport {
-  std::string family;             // "exact", "uniform", or "{c1,c2}"
+  std::string family;             // "exact", "uniform", "{c1,c2}", or "union"
   size_t resolution = 0;
   uint64_t cap = 0;
   uint64_t rows_read = 0;
   uint64_t blocks_read = 0;       // blocks of the final scan
   uint64_t blocks_reused = 0;     // probe blocks not re-read (§4.4)
-  // Streamed executions: engine blocks the scan actually consumed before the
-  // stopping rule (or block budget) ended it. Equals blocks_read for
+  // Streamed executions: engine blocks the plan actually consumed before the
+  // stopping rule (or block budgets) ended it. Equals blocks_read for
   // non-streamed paths.
   uint64_t blocks_consumed = 0;
-  bool stopped_early = false;     // the streamed scan returned before its last block
+  bool stopped_early = false;     // the streamed plan returned before its last block
   double probe_latency = 0.0;     // simulated seconds spent building the ELP
   double execution_latency = 0.0; // simulated seconds of the final run
   double total_latency = 0.0;
   double projected_error = 0.0;
   double achieved_error = 0.0;    // self-reported relative error of the answer
   std::vector<ElpPoint> elp;
-  size_t num_subqueries = 1;      // >1 when the disjunction rewrite fired
+  size_t num_subqueries = 1;      // union-plan pipelines (>1 when the rewrite fired)
+  // The WHERE was disjunctive but the DNF expansion overflowed max_disjuncts,
+  // so the query ran as a single scan of the whole disjunctive predicate
+  // instead of a union plan (§4.1.2 rewrite abandoned, not silently hidden).
+  bool rewrite_fallback = false;
 };
 
 struct ApproxAnswer {
@@ -110,8 +125,8 @@ class QueryRuntime {
   // `scale_factor` maps in-memory bytes to paper-scale bytes for the latency
   // model (a 5M-row stand-in for a 5.5B-row table has scale 1100). `dim` is
   // the joined dimension table, exact and unsampled (§2.1). `progress`, when
-  // set, receives the partial answer after every streamed batch (it fires
-  // only on the streamed single-family path of bounded queries).
+  // set, receives the partial answer after every streamed round — for union
+  // plans, the combined partial answer across all pipelines.
   Result<ApproxAnswer> Execute(const SelectStatement& stmt, const std::string& table_name,
                                const Table& fact, double scale_factor,
                                const Table* dim = nullptr,
@@ -122,9 +137,25 @@ class QueryRuntime {
     const SampleFamily* family = nullptr;  // null = exact execution
     double selection_probe_latency = 0.0;  // makespan of the parallel probes
     // §4.4: the winning family's escalated probe answer, handed to
-    // RunOnFamily so the probe is neither re-executed nor re-charged.
+    // PlanOnFamily so the probe is neither re-executed nor re-charged.
     std::optional<QueryResult> probe_result;
     size_t probe_resolution = 0;
+  };
+
+  // The planned execution of one pipeline plus everything the runtime needs
+  // to account for it afterwards (§4.4 reuse, cluster charging, report).
+  struct PipelinePlan {
+    PipelineSpec spec;             // what the driver scans
+    Dataset dataset;               // copy of spec.dataset, for charging
+    std::string family_name;
+    size_t resolution = 0;         // chosen resolution (0 for exact)
+    uint64_t cap = 0;
+    std::vector<ElpPoint> elp;
+    double probe_latency = 0.0;    // selection share + own escalation chain
+    double projected_error = 0.0;
+    uint64_t probe_rows = 0;       // §4.4 prefix already scanned (0 = none)
+    uint64_t probe_prefix_blocks = 0;
+    bool streamed = false;         // a stop (error or budget) may end the scan
   };
 
   // §4.1.1: pick a family for a conjunctive column set. Probes every
@@ -134,21 +165,33 @@ class QueryRuntime {
                                     const std::string& table_name, const Table& fact,
                                     double scale_factor, const Table* dim) const;
 
-  // §4.2: probe + ELP + resolution choice + final run on one family. With
-  // streaming enabled, bounded queries stream the final scan and stop early.
-  Result<ApproxAnswer> RunOnFamily(const SelectStatement& stmt, const SampleFamily& family,
-                                   FamilyChoice choice, double scale_factor,
-                                   const Table* dim, const ProgressCallback& progress) const;
+  // §4.2: probe + ELP + resolution choice on one family, producing the
+  // pipeline the plan driver will scan (streamed with stops when the bounds
+  // and config allow, precomputed when §4.4 reuses the probe answer).
+  Result<PipelinePlan> PlanOnFamily(const SelectStatement& stmt,
+                                    const SampleFamily& family, FamilyChoice choice,
+                                    double scale_factor, const Table* dim) const;
+  // Exact fallback pipeline over the base table.
+  PipelinePlan PlanExact(const SelectStatement& stmt, const Table& fact,
+                         double scale_factor, const Table* dim) const;
 
-  // Exact fallback when no samples exist.
-  Result<ApproxAnswer> RunExact(const SelectStatement& stmt, const Table& fact,
-                                double scale_factor, const Table* dim) const;
+  // Joint stopping rule for a plan answering `stmt` (never stops when
+  // streaming is off or the query is unbounded).
+  StopPolicy PolicyFor(const SelectStatement& stmt, bool any_streamed) const;
 
-  // §4.1.2: union-of-conjunctive-subqueries path.
-  Result<ApproxAnswer> RunDisjunctive(const SelectStatement& stmt,
-                                      const std::string& table_name, const Table& fact,
-                                      double scale_factor, const Table* dim,
-                                      std::vector<Predicate> disjuncts) const;
+  // Drives a planned pipeline set and assembles the ExecutionReport:
+  // per-pipeline consumed blocks are charged to the cluster model (minus the
+  // §4.4 probe prefixes) with makespan latency across pipelines.
+  Result<ApproxAnswer> RunPlan(const SelectStatement& stmt,
+                               std::vector<PipelinePlan> plans, double scale_factor,
+                               const ProgressCallback& progress) const;
+
+  // §4.1.2: plan construction for the union-of-conjunctive-subqueries path.
+  Result<ApproxAnswer> RunUnion(const SelectStatement& stmt,
+                                const std::string& table_name, const Table& fact,
+                                double scale_factor, const Table* dim,
+                                std::vector<Predicate> disjuncts,
+                                const ProgressCallback& progress) const;
 
   // Workload of scanning `ds` minus its first `skip_prefix_rows` rows
   // (a sample-prefix boundary, so the skip is whole blocks). Bytes and block
@@ -194,6 +237,12 @@ class QueryRuntime {
 // predicates whose OR is equivalent. Returns nullopt if the expansion would
 // exceed `max_disjuncts`. Exposed for tests.
 std::optional<std::vector<Predicate>> ToDnf(const Predicate& pred, size_t max_disjuncts);
+
+// Removes duplicate disjuncts (by canonical rendering, so `x=1 AND y=2`
+// equals `y=2 AND x=1`), keeping first occurrences in order. Duplicates —
+// e.g. from `x = 1 OR x = 1` — would double-count the union. Exposed for
+// tests.
+void DedupDisjuncts(std::vector<Predicate>& disjuncts);
 
 // The error metric ExecutionReport::achieved_error reports: the max over
 // every group's and aggregate's error at `confidence` — relative by default,

@@ -110,6 +110,33 @@ std::string Predicate::ToString() const {
   return "?";
 }
 
+std::string Predicate::CanonicalString() const {
+  switch (kind) {
+    case Kind::kCompare:
+      return column + " " + CompareOpName(op) + " " + literal.ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children.size());
+      for (const auto& child : children) {
+        parts.push_back(child.CanonicalString());
+      }
+      std::sort(parts.begin(), parts.end());
+      const char* sep = kind == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) {
+          out += sep;
+        }
+        out += parts[i];
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
 std::vector<std::string> SelectStatement::TemplateColumns() const {
   std::vector<std::string> cols;
   if (where.has_value()) {

@@ -32,7 +32,11 @@ double MaxEstimateError(const std::vector<Estimate>& estimates, bool relative,
 
 // The stopping rule evaluated on partial answers after every batch of
 // blocks. Default-constructed, it never stops (the one-shot executor is
-// streaming with this rule).
+// streaming with this rule). For multi-pipeline union plans the rule is
+// JOINT: it is evaluated on the combined §4.1.2 union answer, with
+// blocks_consumed / rows_matched totalled across every pipeline, so an
+// ERROR WITHIN disjunctive query stops on the union estimate — not when any
+// single disjunct happens to look tight.
 struct StopPolicy {
   // Target error; <= 0 disables error-driven stopping.
   double target_error = 0.0;

@@ -499,6 +499,185 @@ TEST(AchievedErrorTest, RuntimeReportMatchesRecomputedMax) {
 
 // --- Runtime streamed path ----------------------------------------------------
 
+// --- Disjunctive union plans ---------------------------------------------------
+
+// Fixture for §4.1.2 union plans: a fact table plus a uniform family, so a
+// disjunction over uncovered columns takes the N-pipeline plan path.
+struct UnionFixture {
+  Table fact = MakeFact();
+  SampleStore store;
+  ClusterModel cluster;
+  double scale = 0.0;
+
+  explicit UnionFixture(uint64_t seed = 14) {
+    scale = 1e11 / (fact.num_rows() * fact.EstimatedBytesPerRow());
+    Rng rng(seed);
+    SampleFamilyOptions options;
+    options.uniform_fraction = 0.5;
+    options.max_resolutions = 6;
+    auto uniform = SampleFamily::BuildUniform(fact, options, rng);
+    EXPECT_TRUE(uniform.ok());
+    store.AddFamily("t", std::move(uniform.value()));
+  }
+
+  ApproxAnswer MustExecute(const SelectStatement& stmt, const RuntimeConfig& config,
+                           ProgressCallback progress = {}) const {
+    QueryRuntime runtime(&store, &cluster, config);
+    auto answer = runtime.Execute(stmt, "t", fact, scale, nullptr, std::move(progress));
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    return std::move(answer.value());
+  }
+};
+
+std::string RandomDisjunctiveQuery(Rng& rng) {
+  static const char* aggs[] = {"COUNT(*)", "SUM(v)", "AVG(v)", "AVG(w)"};
+  std::string sql = "SELECT ";
+  const int num_aggs = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < num_aggs; ++i) {
+    if (i > 0) {
+      sql += ", ";
+    }
+    sql += aggs[rng.NextBounded(4)];
+  }
+  sql += " FROM t WHERE " + RandomLeaf(rng);
+  const int extra = 1 + static_cast<int>(rng.NextBounded(2));
+  for (int i = 0; i < extra; ++i) {
+    sql += " OR " + RandomLeaf(rng);
+  }
+  return sql;
+}
+
+// The satellite contract: a disjunctive union plan driven with the
+// never-stop rule (an unreachably tight bound streams every pipeline to its
+// last block) is bit-identical to the one-shot union across thread counts
+// {1, 2, 7}, morsel sizes {64, 1024, 4096}, and batch sizes — the combined
+// answer is a pure function of the per-pipeline consumed prefixes, never of
+// the interleave.
+TEST(DisjunctiveStreamingTest, NeverStopDriveIsBitIdenticalToOneShotUnion) {
+  const UnionFixture fx;
+  const char* sqls[] = {
+      "SELECT COUNT(*), SUM(v) FROM t WHERE a = 1 OR a = 7 "
+      "ERROR WITHIN 0.0000001% AT CONFIDENCE 95%",
+      "SELECT AVG(v) FROM t WHERE s = 's_3' OR a < 2 "
+      "ERROR WITHIN 0.0000001% AT CONFIDENCE 95%",
+  };
+  for (const char* sql : sqls) {
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    for (uint32_t morsel_rows : {64u, 1024u, kDefaultMorselRows}) {
+      RuntimeConfig oneshot;
+      oneshot.streaming = false;
+      oneshot.morsel_rows = morsel_rows;
+      const ApproxAnswer reference = fx.MustExecute(*stmt, oneshot);
+      ASSERT_GE(reference.result.rows.size(), 1u) << sql;
+      EXPECT_GT(reference.report.num_subqueries, 1u) << sql;
+      for (size_t threads : {1u, 2u, 7u}) {
+        for (uint32_t batch : {1u, 3u, 64u}) {
+          RuntimeConfig streaming;
+          streaming.streaming = true;
+          streaming.morsel_rows = morsel_rows;
+          streaming.exec_threads = threads;
+          streaming.stream_batch_blocks = batch;
+          const ApproxAnswer streamed = fx.MustExecute(*stmt, streaming);
+          const std::string context =
+              std::string(sql) + " [threads=" + std::to_string(threads) +
+              " morsel=" + std::to_string(morsel_rows) +
+              " batch=" + std::to_string(batch) + "]";
+          // The bound is unreachable, so the plan consumed everything: the
+          // union answer must be bit-identical to the one-shot union.
+          ExpectIdentical(streamed.result, reference.result, context);
+          EXPECT_FALSE(streamed.report.stopped_early) << context;
+          EXPECT_EQ(streamed.report.num_subqueries, reference.report.num_subqueries)
+              << context;
+        }
+      }
+    }
+  }
+}
+
+// Joint stopping property, Monte-Carlo style: over many random disjunctive
+// queries and targets, whenever the union plan stops early the *joint* bound
+// holds — the combined answer's worst-case error (recomputed independently
+// from the returned result) is inside the requested target.
+TEST(DisjunctiveStreamingTest, JointBoundHoldsAtStop) {
+  const UnionFixture fx;
+  Rng rng(909);
+  int early_stops = 0;
+  int unions = 0;
+  uint64_t streamed_blocks = 0;
+  uint64_t oneshot_blocks = 0;
+  for (int q = 0; q < 40; ++q) {
+    const double target = 0.02 + rng.NextDouble() * 0.18;
+    char bound[80];
+    std::snprintf(bound, sizeof(bound), " ERROR WITHIN %.4f%% AT CONFIDENCE 95%%",
+                  target * 100.0);
+    const std::string sql = RandomDisjunctiveQuery(rng) + bound;
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+
+    RuntimeConfig streaming;
+    streaming.streaming = true;
+    streaming.morsel_rows = 512;
+    streaming.stream_batch_blocks = 2;
+    streaming.exec_threads = 1 + rng.NextBounded(4);
+    const ApproxAnswer streamed = fx.MustExecute(*stmt, streaming);
+    if (streamed.report.num_subqueries < 2) {
+      continue;  // deduped to a conjunctive query: not a union plan
+    }
+    ++unions;
+    const std::string context = sql;
+    if (streamed.report.stopped_early) {
+      ++early_stops;
+      // The joint bound holds for the combined answer, recomputed from the
+      // result's own estimates.
+      const double recomputed = ReportedError(streamed.result, stmt->bounds, 0.95);
+      EXPECT_LE(recomputed, target * (1.0 + 1e-9)) << context;
+      EXPECT_DOUBLE_EQ(streamed.report.achieved_error, recomputed) << context;
+    }
+    // Aggregate block accounting vs the one-shot union on the same query.
+    RuntimeConfig oneshot = streaming;
+    oneshot.streaming = false;
+    const ApproxAnswer projected = fx.MustExecute(*stmt, oneshot);
+    streamed_blocks += streamed.report.blocks_consumed;
+    oneshot_blocks += projected.report.blocks_consumed;
+  }
+  // The property is vacuous unless a healthy share of runs actually stop,
+  // and stopping must save engine blocks in aggregate.
+  EXPECT_GE(unions, 20) << "disjunctive rewrite rarely fired; property untested";
+  EXPECT_GE(early_stops, 5) << "joint stopping never fired; property untested";
+  EXPECT_LT(streamed_blocks, oneshot_blocks);
+}
+
+// Streamed union plans deliver combined partial answers: progress fires per
+// round with totals aggregated across pipelines and exactly one final batch.
+TEST(DisjunctiveStreamingTest, ProgressStreamsCombinedPartials) {
+  const UnionFixture fx;
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*), AVG(v) FROM t WHERE a = 2 OR a = 8 "
+      "ERROR WITHIN 2% AT CONFIDENCE 95%");
+  ASSERT_TRUE(stmt.ok());
+  RuntimeConfig streaming;
+  streaming.streaming = true;
+  streaming.morsel_rows = 256;
+  streaming.stream_batch_blocks = 2;
+  std::vector<StreamProgress> seen;
+  const ApproxAnswer answer = fx.MustExecute(
+      *stmt, streaming, [&seen](const QueryResult& partial, const StreamProgress& p) {
+        EXPECT_FALSE(partial.rows.empty());  // combined union partial
+        seen.push_back(p);
+      });
+  ASSERT_GE(seen.size(), 1u);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].final_batch, i + 1 == seen.size());
+    if (i > 0) {
+      EXPECT_GE(seen[i].blocks_consumed, seen[i - 1].blocks_consumed);
+    }
+  }
+  // Totals aggregate across the union's pipelines.
+  EXPECT_EQ(seen.back().blocks_consumed, answer.report.blocks_consumed);
+  EXPECT_GT(answer.report.num_subqueries, 1u);
+}
+
 TEST(RuntimeStreamingTest, StreamedAndOneShotBothMeetTheBound) {
   const Table fact = MakeFact();
   SampleStore store;

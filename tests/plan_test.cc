@@ -1,0 +1,343 @@
+// Plan-layer units: ScanPipeline advance/snapshot equivalence with the
+// one-shot executor, UnionCombiner recombination math, DNF disjunct
+// deduplication, and the rewrite_fallback report flag.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/plan/query_plan.h"
+#include "src/plan/scan_pipeline.h"
+#include "src/plan/union_combiner.h"
+#include "src/runtime/query_runtime.h"
+#include "src/sample/sample_family.h"
+#include "src/sample/sample_store.h"
+#include "src/sql/parser.h"
+#include "src/util/rng.h"
+
+namespace blink {
+namespace {
+
+Table MakeFact(uint64_t rows = 20'000) {
+  Table t(Schema({{"a", DataType::kInt64},
+                  {"v", DataType::kDouble},
+                  {"s", DataType::kString}}));
+  t.Reserve(rows);
+  Rng rng(515);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.AppendInt(0, static_cast<int64_t>(rng.NextBounded(10)));
+    t.AppendDouble(1, rng.NextDouble() * 100.0);
+    t.AppendString(2, "s_" + std::to_string(rng.NextBounded(8)));
+    t.CommitRow();
+  }
+  return t;
+}
+
+void ExpectIdentical(const QueryResult& x, const QueryResult& y) {
+  ASSERT_EQ(x.rows.size(), y.rows.size());
+  for (size_t r = 0; r < x.rows.size(); ++r) {
+    ASSERT_EQ(x.rows[r].aggregates.size(), y.rows[r].aggregates.size());
+    for (size_t a = 0; a < x.rows[r].aggregates.size(); ++a) {
+      EXPECT_EQ(x.rows[r].aggregates[a].value, y.rows[r].aggregates[a].value);
+      EXPECT_EQ(x.rows[r].aggregates[a].variance, y.rows[r].aggregates[a].variance);
+    }
+  }
+}
+
+// --- ScanPipeline -------------------------------------------------------------
+
+TEST(ScanPipelineTest, FullAdvanceMatchesOneShotExecutor) {
+  const Table fact = MakeFact();
+  Rng rng(7);
+  SampleFamilyOptions options;
+  options.uniform_fraction = 0.5;
+  auto family = SampleFamily::BuildUniform(fact, options, rng);
+  ASSERT_TRUE(family.ok());
+  const Dataset ds = family->LogicalSample(0);
+
+  auto stmt = ParseSelect("SELECT s, COUNT(*), AVG(v) FROM t WHERE a < 7 GROUP BY s");
+  ASSERT_TRUE(stmt.ok());
+  ExecutionOptions exec;
+  exec.morsel_rows = 512;
+  auto oneshot = ExecuteQuery(*stmt, ds, nullptr, exec);
+  ASSERT_TRUE(oneshot.ok());
+
+  PipelineSpec spec;
+  spec.stmt = *stmt;
+  spec.dataset = ds;
+  ScanPipeline pipe;
+  ASSERT_TRUE(pipe.Init(std::move(spec), exec, /*may_stop_early=*/true).ok());
+  EXPECT_FALSE(pipe.complete());
+  // Advance in uneven chunks; the result depends only on the prefix length.
+  while (!pipe.complete()) {
+    pipe.Advance(3);
+  }
+  EXPECT_EQ(pipe.blocks_consumed(), pipe.blocks_total());
+  EXPECT_EQ(pipe.rows_consumed(), ds.NumRows());
+  auto snap = pipe.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  ExpectIdentical(*snap, *oneshot);
+}
+
+TEST(ScanPipelineTest, BudgetStopsAtWholeBlocks) {
+  const Table fact = MakeFact();
+  Rng rng(9);
+  SampleFamilyOptions options;
+  options.uniform_fraction = 0.5;
+  auto family = SampleFamily::BuildUniform(fact, options, rng);
+  ASSERT_TRUE(family.ok());
+  const Dataset ds = family->LogicalSample(0);
+
+  auto stmt = ParseSelect("SELECT SUM(v) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  ExecutionOptions exec;
+  exec.morsel_rows = 256;
+  PipelineSpec spec;
+  spec.stmt = *stmt;
+  spec.dataset = ds;
+  spec.max_blocks = 6;
+  ScanPipeline pipe;
+  ASSERT_TRUE(pipe.Init(std::move(spec), exec, /*may_stop_early=*/true).ok());
+  pipe.Advance(1000);
+  EXPECT_TRUE(pipe.complete());
+  EXPECT_FALSE(pipe.exhausted());
+  EXPECT_GE(pipe.blocks_consumed(), 6u);  // floored at the smallest resolution
+  const MorselPlan plan = ds.PlanMorsels(256);
+  EXPECT_EQ(pipe.rows_consumed(), plan.morsels[pipe.blocks_consumed() - 1].end);
+}
+
+TEST(ScanPipelineTest, PrecomputedPipelineIsBornComplete) {
+  const Table fact = MakeFact();
+  const Dataset ds = Dataset::Exact(fact);
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  auto canned = ExecuteQuery(*stmt, ds);
+  ASSERT_TRUE(canned.ok());
+  PipelineSpec spec;
+  spec.stmt = *stmt;
+  spec.dataset = ds;
+  spec.precomputed = *canned;
+  ScanPipeline pipe;
+  ASSERT_TRUE(pipe.Init(std::move(spec), ExecutionOptions{}, false).ok());
+  EXPECT_TRUE(pipe.complete());
+  EXPECT_TRUE(pipe.exhausted());
+  EXPECT_EQ(pipe.rows_consumed(), fact.num_rows());
+  auto snap = pipe.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  ExpectIdentical(*snap, *canned);
+}
+
+// --- UnionCombiner ------------------------------------------------------------
+
+QueryResult OneRowResult(std::vector<Estimate> aggs) {
+  QueryResult r;
+  r.group_names = {};
+  r.aggregate_names.resize(aggs.size(), "x");
+  ResultRow row;
+  row.aggregates = std::move(aggs);
+  r.rows.push_back(std::move(row));
+  return r;
+}
+
+TEST(UnionCombinerTest, CountSumAddAvgRecombines) {
+  auto stmt = ParseSelect("SELECT COUNT(*), SUM(v), AVG(v) FROM t WHERE a = 1 OR a = 2");
+  ASSERT_TRUE(stmt.ok());
+  UnionCombiner combiner(*stmt);
+  EXPECT_FALSE(combiner.append_count());  // the query already has a COUNT
+
+  // Two disjuncts: (count 100, sum 500, avg 5) and (count 300, sum 2100, avg 7).
+  const std::vector<QueryResult> parts = {
+      OneRowResult({{100.0, 16.0}, {500.0, 25.0}, {5.0, 0.04}}),
+      OneRowResult({{300.0, 9.0}, {2100.0, 36.0}, {7.0, 0.01}}),
+  };
+  const QueryResult combined = combiner.Combine(parts, 0.95);
+  ASSERT_EQ(combined.rows.size(), 1u);
+  const auto& aggs = combined.rows[0].aggregates;
+  ASSERT_EQ(aggs.size(), 3u);
+  EXPECT_DOUBLE_EQ(aggs[0].value, 400.0);     // counts add
+  EXPECT_DOUBLE_EQ(aggs[0].variance, 25.0);   // variances add
+  EXPECT_DOUBLE_EQ(aggs[1].value, 2600.0);    // sums add
+  EXPECT_DOUBLE_EQ(aggs[1].variance, 61.0);
+  // AVG: (5*100 + 7*300) / 400 = 6.5; var = (100^2*0.04 + 300^2*0.01) / 400^2.
+  EXPECT_DOUBLE_EQ(aggs[2].value, 6.5);
+  EXPECT_DOUBLE_EQ(aggs[2].variance, (100.0 * 100.0 * 0.04 + 300.0 * 300.0 * 0.01) /
+                                         (400.0 * 400.0));
+}
+
+TEST(UnionCombinerTest, AppendsHiddenCountForAvgOnlyQueries) {
+  auto stmt = ParseSelect("SELECT AVG(v) FROM t WHERE a = 1 OR a = 2");
+  ASSERT_TRUE(stmt.ok());
+  UnionCombiner combiner(*stmt);
+  EXPECT_TRUE(combiner.append_count());
+  SelectStatement sub = *stmt;
+  combiner.PrepareSubquery(sub);
+  ASSERT_EQ(sub.items.size(), stmt->items.size() + 1);
+  EXPECT_TRUE(sub.items.back().is_aggregate);
+  EXPECT_EQ(sub.items.back().agg.func, AggFunc::kCount);
+
+  // The hidden count (index 1) weights the AVG and is stripped from output.
+  const std::vector<QueryResult> parts = {
+      OneRowResult({{10.0, 1.0}, {50.0, 0.0}}),
+      OneRowResult({{20.0, 1.0}, {150.0, 0.0}}),
+  };
+  const QueryResult combined = combiner.Combine(parts, 0.95);
+  ASSERT_EQ(combined.rows.size(), 1u);
+  ASSERT_EQ(combined.rows[0].aggregates.size(), 1u);
+  EXPECT_DOUBLE_EQ(combined.rows[0].aggregates[0].value,
+                   (10.0 * 50.0 + 20.0 * 150.0) / 200.0);
+}
+
+TEST(UnionCombinerTest, DisjointGroupsUnionAndSortDeterministically) {
+  auto stmt = ParseSelect("SELECT s, COUNT(*) FROM t WHERE a = 1 OR a = 2 GROUP BY s");
+  ASSERT_TRUE(stmt.ok());
+  UnionCombiner combiner(*stmt);
+  auto row = [](const char* g, double count) {
+    QueryResult r;
+    r.group_names = {"s"};
+    r.aggregate_names = {"COUNT(*)"};
+    ResultRow rr;
+    rr.group_values.push_back(Value(std::string(g)));
+    rr.aggregates.push_back({count, 1.0});
+    r.rows.push_back(std::move(rr));
+    return r;
+  };
+  // Pipeline 1 sees group "b", pipeline 2 sees "a": the union holds both,
+  // sorted, regardless of which pipeline surfaced a group first.
+  const QueryResult combined = combiner.Combine({row("b", 5.0), row("a", 3.0)}, 0.95);
+  ASSERT_EQ(combined.rows.size(), 2u);
+  EXPECT_EQ(combined.rows[0].group_values[0].AsString(), "a");
+  EXPECT_EQ(combined.rows[1].group_values[0].AsString(), "b");
+  EXPECT_DOUBLE_EQ(combined.rows[0].aggregates[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(combined.rows[1].aggregates[0].value, 5.0);
+}
+
+// --- Disjunct dedup + rewrite fallback ---------------------------------------
+
+TEST(DedupDisjunctsTest, RemovesExactAndPermutedDuplicates) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM t WHERE (a = 1 AND s = 'x') OR (s = 'x' AND a = 1) "
+      "OR a = 2 OR a = 2");
+  ASSERT_TRUE(stmt.ok());
+  auto dnf = ToDnf(*stmt->where, 16);
+  ASSERT_TRUE(dnf.has_value());
+  ASSERT_EQ(dnf->size(), 4u);
+  DedupDisjuncts(*dnf);
+  ASSERT_EQ(dnf->size(), 2u);  // {a=1 AND s='x'}, {a=2}
+  EXPECT_TRUE((*dnf)[0].IsConjunctive());
+  EXPECT_EQ((*dnf)[1].ToString(), "a = 2");
+}
+
+struct RuntimeFixture {
+  Table fact = MakeFact();
+  SampleStore store;
+  ClusterModel cluster;
+  double scale = 0.0;
+
+  RuntimeFixture() {
+    scale = 100e9 / (fact.num_rows() * fact.EstimatedBytesPerRow());
+    Rng rng(3);
+    SampleFamilyOptions options;
+    options.uniform_fraction = 0.4;
+    options.max_resolutions = 5;
+    auto uniform = SampleFamily::BuildUniform(fact, options, rng);
+    EXPECT_TRUE(uniform.ok());
+    store.AddFamily("t", std::move(uniform.value()));
+  }
+
+  ApproxAnswer MustExecute(const std::string& sql, RuntimeConfig config = {}) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    QueryRuntime runtime(&store, &cluster, config);
+    auto answer = runtime.Execute(*stmt, "t", fact, scale);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    return std::move(answer.value());
+  }
+};
+
+TEST(DedupDisjunctsTest, DuplicatedDisjunctDoesNotDoubleCount) {
+  RuntimeFixture fx;
+  const auto dup = fx.MustExecute("SELECT COUNT(*) FROM t WHERE a = 1 OR a = 1");
+  const auto single = fx.MustExecute("SELECT COUNT(*) FROM t WHERE a = 1");
+  // The degenerate disjunction collapses to the single conjunct: one
+  // pipeline, identical answer — not twice the count.
+  EXPECT_EQ(dup.report.num_subqueries, 1u);
+  ASSERT_EQ(dup.result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(dup.result.rows[0].aggregates[0].value,
+                   single.result.rows[0].aggregates[0].value);
+}
+
+TEST(RewriteFallbackTest, DnfOverflowIsReportedNotSilent) {
+  RuntimeFixture fx;
+  // (a=0|a=1) AND'ed 5 times = 32 disjuncts > max_disjuncts 16.
+  std::string where = "(a = 0 OR a = 1)";
+  std::string sql = "SELECT COUNT(*) FROM t WHERE " + where;
+  for (int i = 0; i < 4; ++i) {
+    sql += " AND " + where;
+  }
+  const auto answer = fx.MustExecute(sql);
+  EXPECT_TRUE(answer.report.rewrite_fallback);
+  EXPECT_EQ(answer.report.num_subqueries, 1u);
+  // The single-scan fallback still answers the (disjunctive) predicate.
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  auto exact = ExecuteQuery(*stmt, Dataset::Exact(fx.fact));
+  ASSERT_TRUE(exact.ok());
+  const double truth = exact->rows[0].aggregates[0].value;
+  EXPECT_NEAR(answer.result.rows[0].aggregates[0].value, truth, 0.15 * truth);
+}
+
+TEST(RewriteFallbackTest, CleanRewriteDoesNotSetTheFlag) {
+  RuntimeFixture fx;
+  const auto answer = fx.MustExecute("SELECT COUNT(*) FROM t WHERE a = 1 OR a = 2");
+  EXPECT_FALSE(answer.report.rewrite_fallback);
+  EXPECT_EQ(answer.report.num_subqueries, 2u);
+}
+
+// --- Plan driver over multiple pipelines -------------------------------------
+
+TEST(ExecutePlanTest, UnionPlanMatchesPerPipelineExecutions) {
+  const Table fact = MakeFact();
+  Rng rng(21);
+  SampleFamilyOptions options;
+  options.uniform_fraction = 0.5;
+  auto family = SampleFamily::BuildUniform(fact, options, rng);
+  ASSERT_TRUE(family.ok());
+  const Dataset ds = family->LogicalSample(0);
+
+  auto stmt = ParseSelect("SELECT COUNT(*), SUM(v) FROM t WHERE a = 1 OR a = 7");
+  ASSERT_TRUE(stmt.ok());
+  auto sub1 = ParseSelect("SELECT COUNT(*), SUM(v) FROM t WHERE a = 1");
+  auto sub2 = ParseSelect("SELECT COUNT(*), SUM(v) FROM t WHERE a = 7");
+  ASSERT_TRUE(sub1.ok() && sub2.ok());
+
+  QueryPlan plan;
+  for (const auto* sub : {&*sub1, &*sub2}) {
+    PipelineSpec spec;
+    spec.stmt = *sub;
+    spec.dataset = ds;
+    plan.pipelines.push_back(std::move(spec));
+  }
+  plan.combiner.emplace(*stmt);
+  PlanOptions popts;
+  popts.exec.morsel_rows = 512;
+  auto run = ExecutePlan(plan, popts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->stopped_early);
+  ASSERT_EQ(run->pipelines.size(), 2u);
+  EXPECT_EQ(run->blocks_consumed, run->blocks_total);
+
+  // Hand-combined reference: run the two subqueries independently.
+  ExecutionOptions exec;
+  exec.morsel_rows = 512;
+  auto r1 = ExecuteQuery(*sub1, ds, nullptr, exec);
+  auto r2 = ExecuteQuery(*sub2, ds, nullptr, exec);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  UnionCombiner combiner(*stmt);
+  const QueryResult reference = combiner.Combine({*r1, *r2}, 0.95);
+  ExpectIdentical(run->result, reference);
+}
+
+}  // namespace
+}  // namespace blink
