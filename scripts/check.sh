@@ -21,6 +21,11 @@ echo "== bench smoke: disjunctive union stopping =="
 # per error bound and exits nonzero on any execution failure.
 "$BUILD_DIR"/bench_disjunctive 200000
 
+echo "== bench smoke: adaptive pipeline scheduling =="
+# Small-row smoke run of the adaptive-vs-uniform scheduling bench (the full
+# 2M-row run is where the >=20% blocks-saved target is measured).
+"$BUILD_DIR"/bench_adaptive 200000
+
 echo "== format =="
 if command -v clang-format >/dev/null 2>&1; then
   # Dry run: fails (non-zero) if any file under src/ needs reformatting.

@@ -7,7 +7,10 @@
 //       "SELECT COUNT(*) FROM sessions WHERE genre = 'western' "
 //       "GROUP BY os ERROR WITHIN 10% AT CONFIDENCE 95%");
 //   // answer->result: estimates with error bars; answer->report: the
-//   // sample/resolution chosen, the ELP, and simulated latencies.
+//   // sample/resolution chosen, the ELP, simulated latencies, and — for
+//   // §4.1.2 union plans — per-pipeline outcomes (blocks consumed, scheduler
+//   // rounds granted, each pipeline's share of the joint error) under the
+//   // configured schedule_mode (adaptive error-attributed by default).
 #ifndef BLINKDB_API_BLINKDB_H_
 #define BLINKDB_API_BLINKDB_H_
 

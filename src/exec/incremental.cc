@@ -27,7 +27,9 @@ Result<StreamResult> ExecuteQueryIncremental(const SelectStatement& stmt,
   spec.stmt = stmt;
   spec.dataset = fact;
   spec.dim = dim;
-  spec.max_blocks = options.policy.max_blocks;
+  // policy.max_blocks passes through untouched: the driver folds the joint
+  // cap into its shared budget pool, floored at the smallest-resolution
+  // boundary exactly as a per-pipeline PipelineSpec::max_blocks would be.
   plan.pipelines.push_back(std::move(spec));
 
   PlanOptions popts;

@@ -34,7 +34,13 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
   }
 
   StopPolicy policy = options.policy;
-  policy.max_blocks = 0;  // budgets are per-pipeline (PipelineSpec::max_blocks)
+  uint64_t pool = options.budget_pool;
+  if (policy.max_blocks > 0) {
+    // StopPolicy::max_blocks is a joint cap across pipelines: fold it into
+    // the shared pool (the tighter budget wins) instead of dropping it.
+    pool = pool == 0 ? policy.max_blocks : std::min(pool, policy.max_blocks);
+    policy.max_blocks = 0;
+  }
 
   // An error stop is only meaningful when some pipeline scans a sample; a
   // plan made purely of exact scans (the EXACT fallback) never stops early.
@@ -44,12 +50,21 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
     any_sample = any_sample || !spec.dataset.is_exact();
     any_budget = any_budget || (!spec.dataset.is_exact() && spec.max_blocks > 0);
   }
+  any_budget = any_budget || (pool > 0 && any_sample);
   const bool error_stopping = policy.target_error > 0.0 && any_sample;
   const bool may_stop_early = error_stopping || any_budget;
+  // Adaptive awards only matter when there is more than one pipeline to
+  // choose between and some stop can actually end the plan early; otherwise
+  // the schedule degenerates to the uniform round-robin.
+  const bool adaptive = options.schedule == ScheduleMode::kAdaptive &&
+                        plan.pipelines.size() > 1 && plan.combiner.has_value() &&
+                        may_stop_early;
   // Combined partial answers must be materialized between rounds for the
-  // joint error rule and for progress callbacks; bare budgets only need the
-  // final snapshots, so they skip the per-round re-finalization entirely.
-  const bool needs_partials = error_stopping || options.progress != nullptr;
+  // joint error rule, for progress callbacks, and for adaptive attribution;
+  // bare uniform budgets only need the final snapshots, so they skip the
+  // per-round re-finalization entirely.
+  const bool needs_partials =
+      error_stopping || options.progress != nullptr || adaptive;
 
   std::vector<std::unique_ptr<ScanPipeline>> pipes;
   pipes.reserve(plan.pipelines.size());
@@ -59,75 +74,102 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
     pipes.push_back(std::move(pipe));
   }
 
-  // Per-pipeline round-robin share: at least one batch's worth of work per
-  // worker so every round saturates the thread fan-out. 0 (or no partials
-  // needed) drives each pipeline in one maximal batch.
-  auto round_share = [&](const ScanPipeline& pipe) -> uint64_t {
+  // Per-pipeline round share: at least one batch's worth of work per worker
+  // so every round saturates the thread fan-out. 0 (or no partials needed)
+  // drives each pipeline in one maximal batch — a pool still clamps such a
+  // grant to exactly the remaining budget (floored at the smallest
+  // resolution), so bounded rounds are never needed just to meet a budget.
+  std::vector<uint64_t> shares;
+  shares.reserve(pipes.size());
+  for (const auto& pipe : pipes) {
     if (!needs_partials || options.batch_blocks == 0) {
-      return pipe.blocks_total();
+      shares.push_back(pipe->blocks_total());
+      continue;
     }
     const uint64_t workers = std::max<uint64_t>(
-        1, std::min<uint64_t>(options.exec.num_threads, pipe.blocks_total()));
-    return std::max<uint64_t>(options.batch_blocks, workers);
-  };
+        1, std::min<uint64_t>(options.exec.num_threads, pipe->blocks_total()));
+    shares.push_back(std::max<uint64_t>(options.batch_blocks, workers));
+  }
+  PipelineScheduler scheduler(adaptive ? ScheduleMode::kAdaptive
+                                       : ScheduleMode::kUniform,
+                              plan.combiner.has_value() ? &*plan.combiner : nullptr,
+                              policy, pool, std::move(shares));
 
-  // Snapshots of completed pipelines are immutable; freeze them so later
-  // rounds only re-finalize the pipelines still scanning and combine the
-  // finished ones by reference, never by copy. `fresh` owns the still-live
-  // snapshots of one round (reserved up front: growing must not move the
-  // elements `parts` points into).
-  std::vector<std::optional<QueryResult>> frozen(pipes.size());
-  std::vector<QueryResult> fresh;
+  // A pipeline's snapshot is a pure function of its consumed prefix, so
+  // snapshots are cached keyed on the consumed block count: each round only
+  // the pipelines the scheduler actually advanced re-finalize (an adaptive
+  // round advances one), and completed pipelines are combined by reference
+  // forever after, never re-copied.
+  std::vector<std::optional<QueryResult>> cached(pipes.size());
+  std::vector<uint64_t> cached_consumed(pipes.size(), UINT64_MAX);
   auto snapshot_all = [&]() -> Result<std::vector<const QueryResult*>> {
-    fresh.clear();
-    fresh.reserve(pipes.size());
     std::vector<const QueryResult*> parts;
     parts.reserve(pipes.size());
     for (size_t i = 0; i < pipes.size(); ++i) {
-      if (!frozen[i].has_value()) {
+      if (!cached[i].has_value() || cached_consumed[i] != pipes[i]->blocks_consumed()) {
         auto snap = pipes[i]->Snapshot();
         if (!snap.ok()) {
           return snap.status();
         }
-        if (pipes[i]->complete()) {
-          frozen[i] = std::move(snap.value());
-        } else {
-          fresh.push_back(std::move(snap.value()));
-          parts.push_back(&fresh.back());
-          continue;
-        }
+        cached[i] = std::move(snap.value());
+        cached_consumed[i] = pipes[i]->blocks_consumed();
       }
-      parts.push_back(&*frozen[i]);
+      parts.push_back(&*cached[i]);
     }
     return parts;
   };
   // The combined answer of the current round. A 1-pipeline plan hands its
-  // only snapshot through untouched; moving out of the backing store is safe
-  // because a single complete pipeline always ends the drive this round.
+  // only snapshot through untouched; moving out of the cache is safe because
+  // the entry is invalidated, so any later round re-finalizes it.
   auto combine = [&](const std::vector<const QueryResult*>& parts) {
     if (plan.combiner.has_value()) {
       return plan.combiner->Combine(parts, policy.confidence);
     }
-    return fresh.empty() ? std::move(*frozen.front()) : std::move(fresh.front());
+    QueryResult out = std::move(*cached.front());
+    cached.front().reset();
+    return out;
+  };
+  // Normalized per-pipeline shares of the joint error, for PipelineOutcome.
+  auto contributions_over = [&](const QueryResult& combined,
+                                const std::vector<const QueryResult*>& parts) {
+    std::vector<double> shares_of_error(pipes.size(), 0.0);
+    if (!plan.combiner.has_value() || !may_stop_early) {
+      return shares_of_error;
+    }
+    shares_of_error = AttributeJointError(*plan.combiner, combined, parts,
+                                          policy.relative, policy.confidence);
+    double total = 0.0;
+    for (double c : shares_of_error) {
+      total += c;
+    }
+    if (total > 0.0) {
+      for (double& c : shares_of_error) {
+        c /= total;
+      }
+    }
+    return shares_of_error;
   };
 
   auto finish = [&](QueryResult result, const StopPolicy::Decision& decision,
-                    bool evaluated) {
+                    bool evaluated, const std::vector<double>& contributions) {
     PlanResult out;
     out.result = std::move(result);
     out.pipelines.reserve(pipes.size());
-    for (const auto& pipe : pipes) {
+    for (size_t i = 0; i < pipes.size(); ++i) {
+      const ScanPipeline& pipe = *pipes[i];
       PipelineOutcome stats;
-      stats.blocks_total = pipe->blocks_total();
-      stats.blocks_consumed = pipe->blocks_consumed();
-      stats.rows_consumed = pipe->rows_consumed();
-      stats.rows_matched = pipe->rows_matched();
-      stats.reused_probe = pipe->precomputed();
+      stats.blocks_total = pipe.blocks_total();
+      stats.blocks_consumed = pipe.blocks_consumed();
+      stats.rows_consumed = pipe.rows_consumed();
+      stats.rows_matched = pipe.rows_matched();
+      stats.reused_probe = pipe.precomputed();
+      stats.scheduled_rounds = scheduler.rounds(i);
+      stats.error_contribution = i < contributions.size() ? contributions[i] : 0.0;
       out.pipelines.push_back(stats);
       out.blocks_consumed += stats.blocks_consumed;
       out.blocks_total += stats.blocks_total;
       out.rows_consumed += stats.rows_consumed;
-      out.stopped_early = out.stopped_early || !pipe->exhausted();
+      out.stopped_early = out.stopped_early || !pipe.exhausted();
     }
     if (evaluated) {
       out.bound_met = decision.bound_met;
@@ -139,15 +181,29 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
     return out;
   };
 
+  // Previous round's combined answer and snapshots, the scheduler's
+  // attribution input. `parts` points into `cached` entries, which only
+  // snapshot_all() overwrites (in place) — except the single-pipeline
+  // combine() move-out, a path on which `parts` is never read again.
+  QueryResult combined;
+  std::vector<const QueryResult*> parts;
+  bool have_combined = false;
   for (;;) {
-    // One round: every unfinished pipeline, in index order, consumes its
-    // share of blocks. The interleave is a fixed function of the batch size
-    // and the pipeline block counts — never of thread scheduling.
-    for (auto& pipe : pipes) {
-      if (!pipe->complete()) {
-        pipe->Advance(round_share(*pipe));
-      }
+    // One round: the scheduler decides who advances (uniform: every
+    // unfinished pipeline in index order; adaptive past the fairness floor:
+    // the worst joint-error contributor). The interleave is a pure function
+    // of the batch size, the pipeline block counts, and the consumed-prefix
+    // snapshots — never of thread scheduling.
+    const std::vector<ScheduleGrant> grants = scheduler.NextRound(
+        pipes, have_combined ? &combined : nullptr, have_combined ? &parts : nullptr);
+    for (const ScheduleGrant& grant : grants) {
+      ScanPipeline& pipe = *pipes[grant.pipeline];
+      const uint64_t before = pipe.blocks_consumed();
+      pipe.Advance(grant.blocks);
+      scheduler.OnAdvanced(grant.pipeline, pipe.blocks_consumed() - before,
+                           pipe.exact());
     }
+    const bool advanced = !grants.empty();
     bool all_complete = true;
     uint64_t total_consumed = 0;
     double total_matched = 0.0;
@@ -156,25 +212,31 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
       total_consumed += pipe->blocks_consumed();
       total_matched += static_cast<double>(pipe->rows_matched());
     }
+    // A dry pool stalls the plan: no sample pipeline may draw further blocks
+    // and every one is past its smallest-resolution floor — a budget stop.
+    const bool stalled = scheduler.Stalled(pipes);
 
     if (!needs_partials) {
-      if (!all_complete) {
+      if (advanced && !all_complete && !stalled) {
         continue;
       }
-      auto parts = snapshot_all();
-      if (!parts.ok()) {
-        return parts.status();
+      auto snaps = snapshot_all();
+      if (!snaps.ok()) {
+        return snaps.status();
       }
-      return finish(combine(*parts), StopPolicy::Decision{}, /*evaluated=*/false);
+      return finish(combine(*snaps), StopPolicy::Decision{}, /*evaluated=*/false,
+                    {});
     }
 
     // Materialize the combined partial answer over every pipeline's consumed
     // prefix and evaluate the joint stopping rule on it.
-    auto parts = snapshot_all();
-    if (!parts.ok()) {
-      return parts.status();
+    auto snaps = snapshot_all();
+    if (!snaps.ok()) {
+      return snaps.status();
     }
-    QueryResult combined = combine(*parts);
+    parts = std::move(snaps.value());
+    combined = combine(parts);
+    have_combined = true;
     const StopPolicy::Decision decision =
         policy.Evaluate(FlattenEstimates(combined), total_consumed, total_matched);
     // The joint stop guard: every pipeline's prefix must be statistically
@@ -185,13 +247,14 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
       can_stop = can_stop && pipe->CanErrorStop();
     }
     const bool error_stop = decision.stop && can_stop;
-    const bool returning = all_complete || error_stop;
+    const bool returning = all_complete || error_stop || stalled || !advanced;
 
     if (options.progress) {
       options.progress(combined, ProgressOver(pipes, decision, returning));
     }
     if (returning) {
-      return finish(std::move(combined), decision, /*evaluated=*/true);
+      const std::vector<double> contributions = contributions_over(combined, parts);
+      return finish(std::move(combined), decision, /*evaluated=*/true, contributions);
     }
   }
 }

@@ -7,19 +7,22 @@
 // the EXACT fallback is a 1-pipeline plan over the base table. One driver —
 // ExecutePlan — replaces both the bespoke per-disjunct recursion and the
 // conjunctive-only streaming loop: it interleaves block batches across
-// pipelines in a deterministic round-robin over block indices, folds
-// per-pipeline snapshots through the union combiner, and applies the
-// StopPolicy to the *joint* worst-case error of the combined answer, so an
-// ERROR WITHIN disjunctive query stops the moment the union estimate meets
-// the bound and a WITHIN n SECONDS query stops when every pipeline's block
-// budget is spent.
+// pipelines in scheduler-decided rounds (src/plan/scheduler.h: a fixed
+// round-robin, or error-attributed adaptive awards), folds per-pipeline
+// snapshots through the union combiner, and applies the StopPolicy to the
+// *joint* worst-case error of the combined answer, so an ERROR WITHIN
+// disjunctive query stops the moment the union estimate meets the bound and
+// a WITHIN n SECONDS query stops when its block budget — per-pipeline caps,
+// or one shared pool the scheduler drains adaptively — is spent.
 //
-// Determinism: pipelines advance in index order, each consumes its own
-// blocks in prefix order, and combination happens only on finished snapshots
-// — so the answer is a pure function of the per-pipeline consumed prefix
-// lengths. With the never-stop policy every pipeline consumes everything and
-// the plan reproduces the one-shot answer bit-identically for any thread
-// count, morsel size, batch size, and pipeline interleave.
+// Determinism: granted pipelines advance in index order, each consumes its
+// own blocks in prefix order, and combination happens only on finished
+// snapshots — so the answer is a pure function of the per-pipeline consumed
+// prefix lengths, and the schedule itself is a pure function of those
+// prefixes' snapshots. With the never-stop policy every pipeline consumes
+// everything and the plan reproduces the one-shot answer bit-identically for
+// any thread count, morsel size, batch size, pipeline interleave, and
+// schedule mode.
 #ifndef BLINKDB_PLAN_QUERY_PLAN_H_
 #define BLINKDB_PLAN_QUERY_PLAN_H_
 
@@ -30,6 +33,7 @@
 #include "src/exec/executor.h"
 #include "src/exec/incremental.h"
 #include "src/plan/scan_pipeline.h"
+#include "src/plan/scheduler.h"
 #include "src/plan/union_combiner.h"
 #include "src/stats/stopping.h"
 #include "src/util/status.h"
@@ -53,21 +57,44 @@ struct PlanOptions {
   uint32_t batch_blocks = 0;
   // Joint stopping rule, evaluated on the combined answer after every round.
   // Its error guards (min_blocks / min_matched) read totals across all
-  // pipelines; per-pipeline block budgets live on PipelineSpec::max_blocks,
-  // so StopPolicy::max_blocks is ignored here. Default-constructed, the plan
-  // never stops early.
+  // pipelines. StopPolicy::max_blocks is a JOINT cap: it folds into
+  // budget_pool (the tighter of the two wins), never silently dropped.
+  // Default-constructed, the plan never stops early.
   StopPolicy policy;
   // Invoked after every round with the combined partial answer.
   ProgressCallback progress;
+  // How rounds are awarded across pipelines (src/plan/scheduler.h).
+  // kUniform reproduces the fixed round-robin block-consumption trace
+  // exactly; kAdaptive awards rounds to the pipeline dominating the joint
+  // error once every pipeline clears the fairness floor. Single-pipeline
+  // plans (and plans that can never stop early) degenerate to uniform.
+  ScheduleMode schedule = ScheduleMode::kUniform;
+  // Shared block-budget pool across the plan's sample pipelines (a WITHIN n
+  // SECONDS bound); 0 = none. Grants drain the pool until it is dry, with
+  // every sample pipeline floored at its smallest-resolution boundary and
+  // exact pipelines always running to completion. Complements (and folds
+  // with) per-pipeline PipelineSpec::max_blocks caps.
+  uint64_t budget_pool = 0;
 };
 
-// Per-pipeline outcome, for the runtime's §4.4/latency accounting.
+// Per-pipeline outcome, for the runtime's §4.4/latency accounting and the
+// scheduling diagnostics surfaced through ExecutionReport.
 struct PipelineOutcome {
   uint64_t blocks_total = 0;
   uint64_t blocks_consumed = 0;
   uint64_t rows_consumed = 0;
   uint64_t rows_matched = 0;
   bool reused_probe = false;  // §4.4: nothing was scanned, the probe answered
+  // Rounds in which the scheduler granted this pipeline blocks (floor rounds
+  // included); 0 for precomputed pipelines, which never advance.
+  uint64_t scheduled_rounds = 0;
+  // This pipeline's normalized share of the joint error at return: its
+  // fraction of the dominating cell's variance, attributed through the union
+  // combiner's recombination rule. Shares sum to 1 across pipelines when a
+  // cell dominates; all 0 for single-pipeline plans, plans that could never
+  // stop, exact answers, and drives that never materialized per-round
+  // partials (a bare uniform budget with no error target or progress).
+  double error_contribution = 0.0;
 };
 
 struct PlanResult {

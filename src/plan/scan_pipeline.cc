@@ -48,14 +48,15 @@ Status ScanPipeline::Init(PipelineSpec spec, const ExecutionOptions& exec,
       }
     }
   }
-  if (spec_.max_blocks > 0 && min_stop_rows_ > 0) {
+  if (min_stop_rows_ > 0) {
+    min_stop_blocks_ = CountMorsels(min_stop_rows_, plan_.target_rows,
+                                    spec_.dataset.prefix_boundaries);
+  }
+  if (spec_.max_blocks > 0 && min_stop_blocks_ > 0) {
     // The floor applies to block budgets too: the smallest resolution is the
     // minimum statistically meaningful answer, so a budget below it floors
     // there rather than silently dropping whole strata.
-    spec_.max_blocks =
-        std::max(spec_.max_blocks,
-                 CountMorsels(min_stop_rows_, plan_.target_rows,
-                              spec_.dataset.prefix_boundaries));
+    spec_.max_blocks = std::max(spec_.max_blocks, min_stop_blocks_);
   }
 
   const size_t workers = std::max<size_t>(

@@ -88,6 +88,11 @@ class ScanPipeline {
     return exact() ? complete() : rows_consumed() >= min_stop_rows_;
   }
 
+  // Blocks of the smallest-resolution floor: the shortest block prefix whose
+  // rows satisfy CanErrorStop (0 when the dataset has no boundaries). A
+  // shared budget pool may be overdrawn up to this floor, never past it.
+  uint64_t min_stop_blocks() const { return min_stop_blocks_; }
+
   uint64_t blocks_total() const { return plan_.num_blocks(); }
   uint64_t blocks_consumed() const {
     return precomputed() ? blocks_total() : consumed_;
@@ -117,6 +122,7 @@ class ScanPipeline {
   std::vector<exec_internal::WorkerScratch> scratches_;
   uint64_t consumed_ = 0;
   uint64_t min_stop_rows_ = 0;
+  uint64_t min_stop_blocks_ = 0;
   bool track_prefix_ = false;
   double bytes_per_row_ = 0.0;
 };

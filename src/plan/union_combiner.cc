@@ -35,6 +35,35 @@ void UnionCombiner::PrepareSubquery(SelectStatement& sub) const {
   sub.items.push_back(count_item);
 }
 
+std::string UnionCombiner::GroupKey(const ResultRow& row) {
+  std::string key;
+  for (const auto& v : row.group_values) {
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+double UnionCombiner::CellContribution(const ResultRow& row, size_t agg_idx) const {
+  if (agg_idx >= agg_funcs_.size() || agg_idx >= row.aggregates.size()) {
+    return 0.0;
+  }
+  const Estimate& est = row.aggregates[agg_idx];
+  switch (agg_funcs_[agg_idx]) {
+    case AggFunc::kCount:
+    case AggFunc::kSum:
+      return est.variance;
+    case AggFunc::kAvg: {
+      const double count =
+          count_idx_ < row.aggregates.size() ? row.aggregates[count_idx_].value : 0.0;
+      return count * count * est.variance;
+    }
+    case AggFunc::kQuantile:
+      return 0.0;
+  }
+  return 0.0;
+}
+
 QueryResult UnionCombiner::Combine(const std::vector<QueryResult>& partials,
                                    double confidence) const {
   std::vector<const QueryResult*> refs;
@@ -58,18 +87,9 @@ QueryResult UnionCombiner::Combine(const std::vector<const QueryResult*>& partia
     std::vector<double> total_count;   // for AVG: sum of counts
   };
   std::map<std::string, Combined> merged;
-  auto group_key_of = [](const ResultRow& row) {
-    std::string key;
-    for (const auto& v : row.group_values) {
-      key += v.ToString();
-      key += '\x1f';
-    }
-    return key;
-  };
-
   for (const QueryResult* partial : partials) {
     for (const auto& row : partial->rows) {
-      Combined& c = merged[group_key_of(row)];
+      Combined& c = merged[GroupKey(row)];
       if (c.sums.empty()) {
         c.group_values = row.group_values;
         c.sums.resize(agg_funcs_.size());

@@ -13,6 +13,7 @@
 #define BLINKDB_PLAN_UNION_COMBINER_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "src/exec/executor.h"
@@ -40,6 +41,22 @@ class UnionCombiner {
                       double confidence) const;
   QueryResult Combine(const std::vector<QueryResult>& partials,
                       double confidence) const;
+
+  // The rendered group-tuple key Combine merges rows under; two rows with the
+  // same key coalesce into one combined group. Exposed so the adaptive
+  // scheduler can look a combined group up in per-pipeline snapshots.
+  static std::string GroupKey(const ResultRow& row);
+
+  // Variance `row` (one pipeline's partial for some group) contributes to the
+  // combined estimate of original aggregate `agg_idx`, UNNORMALIZED: the
+  // variance itself for COUNT/SUM (contributions add), count^2 * variance for
+  // AVG (the numerator term of the value*count recombination; the shared
+  // (sum of counts)^2 denominator cancels in any cross-pipeline comparison),
+  // and 0 for quantiles (never recombined). Summed over pipelines and — for
+  // AVG — divided by the squared total count, this reproduces exactly the
+  // combined cell's variance, which is what lets the scheduler attribute the
+  // joint error across pipelines.
+  double CellContribution(const ResultRow& row, size_t agg_idx) const;
 
  private:
   std::vector<AggFunc> agg_funcs_;  // the original aggregates, in order

@@ -179,6 +179,60 @@ uint64_t QueryRuntime::TimeBudgetBlocks(const Dataset& ds, double scale_factor,
   return lo;
 }
 
+uint64_t QueryRuntime::PoolBudgetBlocks(const std::vector<PipelinePlan>& plans,
+                                        double scale_factor,
+                                        double remaining_seconds) const {
+  // Pooled pipelines all scan samples of the same fact table, so blocks cost
+  // the same everywhere and the pool reduces to "how many morsel-sized blocks
+  // fit in the window as one combined scan". The first pooled dataset stands
+  // in for the per-block byte cost.
+  const Dataset* representative = nullptr;
+  uint64_t total = 0;
+  uint64_t reused = 0;
+  for (const PipelinePlan& p : plans) {
+    if (!p.streamed || p.budget_blocks == 0) {
+      continue;
+    }
+    const uint64_t blocks = CountMorsels(p.dataset.NumRows(), config_.morsel_rows,
+                                         p.dataset.prefix_boundaries);
+    total += blocks;
+    if (config_.reuse_intermediate) {
+      reused += std::min(blocks, p.probe_prefix_blocks);
+    }
+    if (representative == nullptr) {
+      representative = &p.dataset;
+    }
+  }
+  if (representative == nullptr || total == 0) {
+    return 0;
+  }
+  auto cost = [&](uint64_t blocks) {
+    if (blocks <= reused) {
+      return 0.0;  // entirely inside the probes' already-scanned prefixes
+    }
+    const uint64_t charge = blocks - reused;
+    return cluster_->EstimateLatency(WorkloadForConsumed(
+        *representative, scale_factor, charge * config_.morsel_rows, charge));
+  };
+  if (cost(total) <= remaining_seconds) {
+    return total;
+  }
+  uint64_t lo = 1;
+  if (cost(lo) > remaining_seconds) {
+    return lo;  // no time at all: the scheduler's floors still apply
+  }
+  uint64_t hi = total;  // invariant: cost(lo) <= remaining < cost(hi)
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (cost(mid) <= remaining_seconds) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 double QueryRuntime::DeltaLatency(const SampleFamily& family, size_t larger,
                                   size_t already_scanned, double scale_factor) const {
   const QueryWorkload delta =
@@ -491,12 +545,15 @@ Result<QueryRuntime::PipelinePlan> QueryRuntime::PlanOnFamily(
     plan.streamed = true;
   } else if (stream_time) {
     // Stream the chosen resolution under the block budget the remaining time
-    // buys for this pipeline.
+    // buys for this pipeline. RunPlan merges union pipelines' budgets into
+    // one shared pool under adaptive scheduling; the static per-pipeline cap
+    // is the uniform-schedule (pre-pool) behavior.
     plan.spec.dataset = family.LogicalSample(chosen);
-    plan.spec.max_blocks = TimeBudgetBlocks(
+    plan.budget_blocks = TimeBudgetBlocks(
         plan.spec.dataset, scale_factor,
         stmt.bounds.time_seconds - plan.probe_latency,
         config_.reuse_intermediate ? probe_rows : 0);
+    plan.spec.max_blocks = plan.budget_blocks;
     plan.streamed = true;
   } else {
     plan.spec.dataset = family.LogicalSample(chosen);
@@ -534,14 +591,10 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
                                 ? stmt.bounds.confidence
                                 : config_.default_confidence;
   bool any_streamed = false;
-  QueryPlan plan;
-  plan.pipelines.reserve(plans.size());
-  for (auto& p : plans) {
+  double max_probe_latency = 0.0;
+  for (const auto& p : plans) {
     any_streamed = any_streamed || p.streamed;
-    plan.pipelines.push_back(std::move(p.spec));
-  }
-  if (plans.size() > 1) {
-    plan.combiner.emplace(stmt);
+    max_probe_latency = std::max(max_probe_latency, p.probe_latency);
   }
 
   PlanOptions options;
@@ -551,6 +604,34 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   options.batch_blocks = any_streamed ? config_.stream_batch_blocks : 0;
   options.policy = PolicyFor(stmt, any_streamed);
   options.progress = progress;
+  options.schedule = config_.schedule_mode;
+  // Adaptive time-bounded unions drain one shared block-budget pool instead
+  // of the static per-pipeline TimeBudgetBlocks caps: blocks the window
+  // affords go wherever the joint error is worst. Single-pipeline plans keep
+  // the per-pipeline cap (the pool degenerates to it anyway), and uniform
+  // scheduling keeps the static split — and its exact consumption trace.
+  if (config_.schedule_mode == ScheduleMode::kAdaptive && plans.size() > 1 &&
+      stmt.bounds.kind == QueryBounds::Kind::kTime) {
+    const uint64_t pool = PoolBudgetBlocks(
+        plans, scale_factor, stmt.bounds.time_seconds - max_probe_latency);
+    if (pool > 0) {
+      options.budget_pool = pool;
+      for (auto& p : plans) {
+        if (p.streamed && p.budget_blocks > 0) {
+          p.spec.max_blocks = 0;  // the pool gates it now
+        }
+      }
+    }
+  }
+
+  QueryPlan plan;
+  plan.pipelines.reserve(plans.size());
+  for (auto& p : plans) {
+    plan.pipelines.push_back(std::move(p.spec));
+  }
+  if (plans.size() > 1) {
+    plan.combiner.emplace(stmt);
+  }
 
   auto run = ExecutePlan(plan, options);
   if (!run.ok()) {
@@ -560,6 +641,7 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   // --- Accounting: §4.4 reuse + per-pipeline consumed-block charges ----------
   ExecutionReport report;
   report.num_subqueries = plans.size();
+  report.schedule = config_.schedule_mode;
   if (plans.size() == 1) {
     const PipelinePlan& p = plans.front();
     report.family = p.family_name;
@@ -613,6 +695,7 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   // per-pipeline consumed-block workloads, never their sum.
   report.execution_latency = cluster_->MakespanLatency(charged);
   report.total_latency = max_pipeline_total;
+  report.pipeline_outcomes = std::move(run->pipelines);
 
   QueryResult result = std::move(run->result);
   result.confidence = confidence;

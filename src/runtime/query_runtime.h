@@ -68,6 +68,14 @@ struct RuntimeConfig {
   // before an error stop may fire; guards against spurious stops on tiny,
   // noisy prefixes.
   uint64_t stream_min_blocks = 4;
+  // How streamed multi-pipeline union plans spread blocks across their
+  // pipelines (src/plan/scheduler.h). kAdaptive awards each round to the
+  // pipeline dominating the joint union error (once every pipeline clears
+  // the fairness floor) and drains WITHIN n SECONDS bounds from one shared
+  // block-budget pool; kUniform reproduces the fixed round-robin — and its
+  // exact block-consumption trace — with static per-pipeline time budgets.
+  // Answers under a never-stop drive are bit-identical in both modes.
+  ScheduleMode schedule_mode = ScheduleMode::kAdaptive;
 };
 
 // One point of the Error-Latency Profile.
@@ -104,6 +112,13 @@ struct ExecutionReport {
   // so the query ran as a single scan of the whole disjunctive predicate
   // instead of a union plan (§4.1.2 rewrite abandoned, not silently hidden).
   bool rewrite_fallback = false;
+  // Scheduling mode the plan was driven under (RuntimeConfig::schedule_mode).
+  ScheduleMode schedule = ScheduleMode::kUniform;
+  // Per-pipeline outcomes, index-aligned with the plan's pipelines (a single
+  // entry for conjunctive/exact plans): consumed blocks, §4.4 probe reuse,
+  // rounds the scheduler granted, and each pipeline's normalized share of the
+  // joint error at return. blocks_consumed above is their exact sum.
+  std::vector<PipelineOutcome> pipeline_outcomes;
 };
 
 struct ApproxAnswer {
@@ -156,6 +171,11 @@ class QueryRuntime {
     uint64_t probe_rows = 0;       // §4.4 prefix already scanned (0 = none)
     uint64_t probe_prefix_blocks = 0;
     bool streamed = false;         // a stop (error or budget) may end the scan
+    // Block budget a WITHIN n SECONDS bound affords this pipeline alone
+    // (TimeBudgetBlocks); 0 = unbounded. Under uniform scheduling it is the
+    // pipeline's static spec.max_blocks cap; under adaptive scheduling the
+    // union's budgets merge into one shared pool the scheduler drains.
+    uint64_t budget_blocks = 0;
   };
 
   // §4.1.1: pick a family for a conjunctive column set. Probes every
@@ -214,6 +234,14 @@ class QueryRuntime {
   uint64_t TimeBudgetBlocks(const Dataset& ds, double scale_factor,
                             double remaining_seconds,
                             uint64_t reused_prefix_rows) const;
+  // Shared block-budget pool for an adaptively scheduled time-bounded union:
+  // the largest total block count, across the union's streamed pipelines,
+  // whose combined workload fits in `remaining_seconds` when the pipelines
+  // share the cluster's capacity as one scan (§4.4 probe prefixes are free).
+  // Conservative next to the per-pipeline concurrent budgets — a pool-sized
+  // plan always fits the window under makespan charging too.
+  uint64_t PoolBudgetBlocks(const std::vector<PipelinePlan>& plans,
+                            double scale_factor, double remaining_seconds) const;
 
   // Scan-engine options for executions issued from the caller's thread.
   ExecutionOptions ExecOpts() const {

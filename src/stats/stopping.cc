@@ -28,6 +28,40 @@ double MaxEstimateError(const std::vector<Estimate>& estimates, bool relative,
   return worst;
 }
 
+std::vector<double> PerEstimateErrors(const std::vector<Estimate>& estimates,
+                                      bool relative, double confidence) {
+  std::vector<double> errors(estimates.size(), 0.0);
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const Estimate& est = estimates[i];
+    if (est.variance <= 0.0) {
+      continue;  // exact (or degenerate) estimate: zero error
+    }
+    if (!relative) {
+      errors[i] = est.ErrorAt(confidence);
+      continue;
+    }
+    const double rel = est.RelativeErrorAt(confidence);
+    if (std::isfinite(rel)) {
+      errors[i] = rel;  // zero-valued estimates stay 0, as in MaxEstimateError
+    }
+  }
+  return errors;
+}
+
+size_t DominatingEstimate(const std::vector<Estimate>& estimates, bool relative,
+                          double confidence) {
+  const std::vector<double> errors = PerEstimateErrors(estimates, relative, confidence);
+  size_t worst = estimates.size();
+  double worst_error = 0.0;
+  for (size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i] > worst_error) {
+      worst_error = errors[i];
+      worst = i;
+    }
+  }
+  return worst;
+}
+
 StopPolicy::Decision StopPolicy::Evaluate(const std::vector<Estimate>& estimates,
                                           uint64_t blocks_consumed,
                                           double rows_matched) const {

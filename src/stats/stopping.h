@@ -16,6 +16,7 @@
 #ifndef BLINKDB_STATS_STOPPING_H_
 #define BLINKDB_STATS_STOPPING_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,20 @@ namespace blink {
 // groups/aggregates" metric ExecutionReport::achieved_error reports.
 double MaxEstimateError(const std::vector<Estimate>& estimates, bool relative,
                         double confidence);
+
+// Per-estimate decomposition of the same metric: element i is estimate i's
+// error at `confidence` under MaxEstimateError's conventions (0 for exact
+// estimates and for zero-valued estimates in relative mode), so the maximum
+// of the returned vector equals MaxEstimateError. This is what the adaptive
+// pipeline scheduler attributes across a union plan's pipelines.
+std::vector<double> PerEstimateErrors(const std::vector<Estimate>& estimates,
+                                      bool relative, double confidence);
+
+// Index of the estimate that dominates MaxEstimateError (the argmax of
+// PerEstimateErrors, first occurrence on ties). Returns estimates.size()
+// when every estimate's error is zero — nothing dominates.
+size_t DominatingEstimate(const std::vector<Estimate>& estimates, bool relative,
+                          double confidence);
 
 // The stopping rule evaluated on partial answers after every batch of
 // blocks. Default-constructed, it never stops (the one-shot executor is

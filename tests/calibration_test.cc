@@ -20,6 +20,9 @@
 
 #include "src/exec/executor.h"
 #include "src/exec/incremental.h"
+#include "src/plan/query_plan.h"
+#include "src/plan/scheduler.h"
+#include "src/plan/union_combiner.h"
 #include "src/sample/sample_family.h"
 #include "src/sql/parser.h"
 #include "src/util/rng.h"
@@ -173,6 +176,135 @@ void CheckCalibration(bool stratified) {
 TEST(CalibrationTest, UniformSamples) { CheckCalibration(/*stratified=*/false); }
 
 TEST(CalibrationTest, StratifiedSamples) { CheckCalibration(/*stratified=*/true); }
+
+// --- Coverage at stop under ADAPTIVE union scheduling -------------------------
+//
+// Adaptive scheduling changes WHERE blocks are spent, and therefore where the
+// joint stopping rule fires — a new optional-stopping regime whose combined
+// union intervals must still cover. Each trial draws a fresh sample, builds a
+// two-pipeline §4.1.2 union plan over disjoint disjuncts, drives it with the
+// error-attributed scheduler, and checks the combined CI at the stop against
+// the exact population answer of the full disjunction.
+
+// Same reachable-but-not-instant regime as kCases, on the disjunctive union
+// (two ~35% disjuncts: matched counts roughly match the conjunctive cases).
+constexpr AggCase kUnionCases[] = {
+    {"count", "SELECT COUNT(*) FROM pop WHERE u < 0.35 OR u > 0.65", 0.03},
+    {"sum", "SELECT SUM(v) FROM pop WHERE u < 0.35 OR u > 0.65", 0.04},
+    {"avg", "SELECT AVG(v) FROM pop WHERE u < 0.35 OR u > 0.65", 0.02},
+};
+constexpr const char* kUnionDisjuncts[] = {"u < 0.35", "u > 0.65"};
+
+void RunAdaptiveUnionTrials(const Table& population, bool stratified, int trials,
+                            Tally (&tallies)[3], const double (&exact)[3]) {
+  // Build the combiners (from the full statements' aggregate shape) and the
+  // per-disjunct subqueries (with the hidden AVG helper count appended) once.
+  std::vector<UnionCombiner> combiners;
+  std::vector<std::vector<SelectStatement>> subs(3);
+  for (size_t c = 0; c < 3; ++c) {
+    auto full = ParseSelect(kUnionCases[c].sql);
+    ASSERT_TRUE(full.ok()) << kUnionCases[c].sql;
+    combiners.emplace_back(*full);
+    for (const char* where : kUnionDisjuncts) {
+      std::string sql = kUnionCases[c].sql;
+      sql = sql.substr(0, sql.find(" WHERE ")) + " WHERE " + where;
+      auto sub = ParseSelect(sql);
+      ASSERT_TRUE(sub.ok()) << sql;
+      combiners[c].PrepareSubquery(*sub);
+      subs[c].push_back(std::move(sub.value()));
+    }
+  }
+
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng(440'000 + static_cast<uint64_t>(trial) * 6469 + (stratified ? 1 : 0));
+    SampleFamilyOptions options;
+    options.uniform_fraction = 0.5;
+    options.largest_cap = 1'500;
+    options.max_resolutions = 5;
+    auto family = stratified
+                      ? SampleFamily::BuildStratified(population, {"g"}, options, rng)
+                      : SampleFamily::BuildUniform(population, options, rng);
+    ASSERT_TRUE(family.ok()) << family.status().ToString();
+    const Dataset ds = family->LogicalSample(0);
+
+    for (size_t c = 0; c < 3; ++c) {
+      QueryPlan plan;
+      for (const SelectStatement& sub : subs[c]) {
+        PipelineSpec spec;
+        spec.stmt = sub;
+        spec.dataset = ds;
+        plan.pipelines.push_back(std::move(spec));
+      }
+      plan.combiner = combiners[c];
+      PlanOptions popts;
+      popts.exec.morsel_rows = 1'024;
+      popts.batch_blocks = 2;
+      popts.schedule = ScheduleMode::kAdaptive;
+      popts.policy.target_error = kUnionCases[c].target_error;
+      popts.policy.confidence = kConfidence;
+      popts.policy.min_blocks = 4;
+      popts.policy.min_matched = 60.0;
+      auto run = ExecutePlan(plan, popts);
+      ASSERT_TRUE(run.ok()) << kUnionCases[c].sql;
+      ASSERT_EQ(run->result.rows.size(), 1u);
+      const Estimate& est = run->result.rows[0].aggregates[0];
+      const Estimate::Interval ci = est.IntervalAt(kConfidence);
+      Tally& tally = tallies[c];
+      if (ci.lo <= exact[c] && exact[c] <= ci.hi) {
+        ++tally.covered;
+      }
+      if (run->stopped_early) {
+        ++tally.stopped_early;
+        if (run->achieved_error > kUnionCases[c].target_error * (1.0 + 1e-12)) {
+          ++tally.bound_violations;
+        }
+      }
+    }
+  }
+}
+
+void CheckAdaptiveUnionCalibration(bool stratified) {
+  const Table population = MakePopulation();
+  const int trials = Trials();
+
+  double exact[3] = {};
+  for (size_t c = 0; c < 3; ++c) {
+    auto stmt = ParseSelect(kUnionCases[c].sql);
+    ASSERT_TRUE(stmt.ok());
+    auto truth = ExecuteQueryScalar(*stmt, Dataset::Exact(population));
+    ASSERT_TRUE(truth.ok());
+    exact[c] = truth->rows[0].aggregates[0].value;
+    ASSERT_GT(exact[c], 0.0);
+  }
+
+  Tally tallies[3];
+  RunAdaptiveUnionTrials(population, stratified, trials, tallies, exact);
+
+  for (size_t c = 0; c < 3; ++c) {
+    const Tally& tally = tallies[c];
+    const double coverage = static_cast<double>(tally.covered) / trials;
+    const double stop_rate = static_cast<double>(tally.stopped_early) / trials;
+    std::printf(
+        "[calibration-adaptive] family=%s agg=%s trials=%d coverage=%.3f "
+        "early_stop_rate=%.3f bound_violations=%d\n",
+        stratified ? "stratified" : "uniform", kUnionCases[c].name, trials, coverage,
+        stop_rate, tally.bound_violations);
+    EXPECT_GE(coverage, kMinCoverage)
+        << kUnionCases[c].name
+        << " union under-covers at adaptive stop (nominal " << kConfidence << ")";
+    EXPECT_GE(stop_rate, 0.4) << kUnionCases[c].name
+                              << ": joint stopping rarely fired; retune targets";
+    EXPECT_EQ(tally.bound_violations, 0) << kUnionCases[c].name;
+  }
+}
+
+TEST(CalibrationTest, AdaptiveUnionUniformSamples) {
+  CheckAdaptiveUnionCalibration(/*stratified=*/false);
+}
+
+TEST(CalibrationTest, AdaptiveUnionStratifiedSamples) {
+  CheckAdaptiveUnionCalibration(/*stratified=*/true);
+}
 
 }  // namespace
 }  // namespace blink

@@ -1,0 +1,360 @@
+// Randomized differential harness for the scheduled plan driver.
+//
+// A seeded generator produces queries spanning the planner's whole surface —
+// conjunctive and disjunctive WHERE clauses (up to 4 disjuncts, each a small
+// conjunction), GROUP BY, COUNT / SUM / AVG / QUANTILE aggregates, ERROR
+// WITHIN and WITHIN n SECONDS bounds — and runs them through QueryRuntime
+// over a generated table. Three contracts are asserted:
+//
+//  (a) Schedule independence: with a never-stop drive (an unreachably tight
+//      error bound), adaptive and uniform scheduling produce bit-identical
+//      answers across thread counts {1, 2, 7} x morsel sizes {64, 1024,
+//      4096}, both equal to the one-shot (non-streamed) reference — the
+//      answer is a pure function of consumed prefixes, never of the
+//      schedule.
+//  (b) Bound honesty: whenever a stopped answer reports its error bound met,
+//      the achieved error — recomputed independently from the returned
+//      estimates — is inside the requested bound.
+//  (c) Accounting: ExecutionReport::blocks_consumed equals the sum of the
+//      per-pipeline outcomes, in every mode, for every query.
+//
+// The uniform runs additionally check the pre-PR round-robin trace shape:
+// with equal round shares, uniform scheduling is lockstep, so every
+// non-reused pipeline's consumed prefix is min(its total, the longest
+// consumed prefix). Adaptive runs must break that lockstep somewhere in the
+// suite — otherwise the scheduler never actually reallocated.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/exec/morsel.h"
+#include "src/plan/scheduler.h"
+#include "src/runtime/query_runtime.h"
+#include "src/sample/sample_family.h"
+#include "src/sample/sample_store.h"
+#include "src/sql/parser.h"
+#include "src/util/rng.h"
+
+namespace blink {
+namespace {
+
+constexpr uint64_t kRows = 16'000;
+
+Table MakeFact() {
+  Table t(Schema({{"a", DataType::kInt64},
+                  {"v", DataType::kDouble},
+                  {"s", DataType::kString},
+                  {"u", DataType::kDouble}}));
+  t.Reserve(kRows);
+  Rng rng(62'003);
+  for (uint64_t i = 0; i < kRows; ++i) {
+    t.AppendInt(0, static_cast<int64_t>(rng.NextBounded(10)));
+    t.AppendDouble(1, rng.NextDouble() * 100.0);
+    t.AppendString(2, "s_" + std::to_string(rng.NextBounded(12)));
+    t.AppendDouble(3, rng.NextDouble());
+    t.CommitRow();
+  }
+  return t;
+}
+
+std::string RandomLeaf(Rng& rng) {
+  static const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return "a " + std::string(ops[rng.NextBounded(6)]) + " " +
+             std::to_string(rng.NextBounded(10));
+    case 1: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "v %s %.4f", ops[rng.NextBounded(6)],
+                    rng.NextDouble() * 100.0);
+      return buf;
+    }
+    case 2: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "u %s %.4f", rng.NextBernoulli(0.5) ? "<" : ">",
+                    rng.NextDouble());
+      return buf;
+    }
+    default:
+      return "s " + std::string(rng.NextBernoulli(0.5) ? "=" : "!=") + " 's_" +
+             std::to_string(rng.NextBounded(12)) + "'";
+  }
+}
+
+// Up to `max_disjuncts` disjuncts, each a conjunction of 1-2 leaves.
+std::string RandomPredicate(Rng& rng, uint64_t max_disjuncts) {
+  const uint64_t disjuncts = 1 + rng.NextBounded(max_disjuncts);
+  std::string sql;
+  for (uint64_t d = 0; d < disjuncts; ++d) {
+    if (d > 0) {
+      sql += " OR ";
+    }
+    if (rng.NextBernoulli(0.3)) {
+      sql += "(" + RandomLeaf(rng) + " AND " + RandomLeaf(rng) + ")";
+    } else {
+      sql += RandomLeaf(rng);
+    }
+  }
+  return sql;
+}
+
+std::string RandomQuery(Rng& rng, bool allow_quantile) {
+  static const char* aggs[] = {"COUNT(*)", "SUM(v)", "AVG(v)", "MEDIAN(v)"};
+  static const char* groups[] = {"", "s", "a"};
+  const std::string group = groups[rng.NextBounded(3)];
+  std::string sql = "SELECT ";
+  if (!group.empty()) {
+    sql += group + ", ";
+  }
+  const int num_aggs = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < num_aggs; ++i) {
+    if (i > 0) {
+      sql += ", ";
+    }
+    sql += aggs[rng.NextBounded(allow_quantile ? 4 : 3)];
+  }
+  sql += " FROM t WHERE " + RandomPredicate(rng, 4);
+  if (!group.empty()) {
+    sql += " GROUP BY " + group;
+  }
+  return sql;
+}
+
+void ExpectValueEq(const Value& x, const Value& y, const std::string& context) {
+  ASSERT_EQ(x.is_string(), y.is_string()) << context;
+  if (x.is_string()) {
+    EXPECT_EQ(x.AsString(), y.AsString()) << context;
+  } else {
+    EXPECT_EQ(x.AsNumeric(), y.AsNumeric()) << context;
+  }
+}
+
+// Bit-exact equality: group values, estimate values, and variances.
+void ExpectIdentical(const QueryResult& x, const QueryResult& y,
+                     const std::string& context) {
+  ASSERT_EQ(x.rows.size(), y.rows.size()) << context;
+  for (size_t r = 0; r < x.rows.size(); ++r) {
+    const std::string at = context + " row " + std::to_string(r);
+    ASSERT_EQ(x.rows[r].group_values.size(), y.rows[r].group_values.size()) << at;
+    for (size_t g = 0; g < x.rows[r].group_values.size(); ++g) {
+      ExpectValueEq(x.rows[r].group_values[g], y.rows[r].group_values[g], at);
+    }
+    ASSERT_EQ(x.rows[r].aggregates.size(), y.rows[r].aggregates.size()) << at;
+    for (size_t a = 0; a < x.rows[r].aggregates.size(); ++a) {
+      EXPECT_EQ(x.rows[r].aggregates[a].value, y.rows[r].aggregates[a].value) << at;
+      EXPECT_EQ(x.rows[r].aggregates[a].variance, y.rows[r].aggregates[a].variance)
+          << at;
+    }
+  }
+}
+
+// Contract (c): the report's block total is exactly the per-pipeline sum.
+void ExpectConsistentAccounting(const ExecutionReport& report,
+                                const std::string& context) {
+  ASSERT_EQ(report.pipeline_outcomes.size(), report.num_subqueries) << context;
+  uint64_t sum = 0;
+  for (const PipelineOutcome& outcome : report.pipeline_outcomes) {
+    sum += outcome.blocks_consumed;
+    EXPECT_LE(outcome.blocks_consumed, outcome.blocks_total) << context;
+  }
+  EXPECT_EQ(report.blocks_consumed, sum) << context;
+}
+
+// The pre-PR uniform trace shape: lockstep round-robin with equal shares
+// means every non-reused pipeline consumed min(its total, the longest
+// prefix). Returns true when some pipeline consumed strictly less than that
+// (i.e. the trace is NOT lockstep).
+bool CheckUniformLockstep(const ExecutionReport& report, const std::string& context,
+                          bool expect_lockstep) {
+  uint64_t longest = 0;
+  for (const PipelineOutcome& outcome : report.pipeline_outcomes) {
+    if (!outcome.reused_probe) {
+      longest = std::max(longest, outcome.blocks_consumed);
+    }
+  }
+  bool skewed = false;
+  for (const PipelineOutcome& outcome : report.pipeline_outcomes) {
+    if (outcome.reused_probe) {
+      continue;
+    }
+    const uint64_t expected = std::min(outcome.blocks_total, longest);
+    if (outcome.blocks_consumed != expected) {
+      skewed = true;
+      if (expect_lockstep) {
+        ADD_FAILURE() << context << ": uniform pipeline consumed "
+                      << outcome.blocks_consumed << " blocks, lockstep expects "
+                      << expected;
+      }
+    }
+  }
+  return skewed;
+}
+
+struct Fixture {
+  Table fact = MakeFact();
+  SampleStore store;
+  ClusterModel cluster;
+  double scale = 0.0;
+
+  Fixture() {
+    scale = 1e11 / (static_cast<double>(fact.num_rows()) * fact.EstimatedBytesPerRow());
+    Rng rng(17);
+    SampleFamilyOptions options;
+    options.uniform_fraction = 0.5;
+    options.max_resolutions = 6;
+    auto uniform = SampleFamily::BuildUniform(fact, options, rng);
+    EXPECT_TRUE(uniform.ok());
+    store.AddFamily("t", std::move(uniform.value()));
+  }
+
+  ApproxAnswer MustExecute(const SelectStatement& stmt,
+                           const RuntimeConfig& config) const {
+    QueryRuntime runtime(&store, &cluster, config);
+    auto answer = runtime.Execute(stmt, "t", fact, scale);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    return std::move(answer.value());
+  }
+};
+
+RuntimeConfig StreamingConfig(ScheduleMode mode, size_t threads, uint32_t morsel_rows,
+                              uint32_t batch) {
+  RuntimeConfig config;
+  config.streaming = true;
+  config.schedule_mode = mode;
+  config.exec_threads = threads;
+  config.morsel_rows = morsel_rows;
+  config.stream_batch_blocks = batch;
+  return config;
+}
+
+// --- (a) Schedule independence under a never-stop drive ----------------------
+
+TEST(FuzzDifferentialTest, NeverStopAnswersAreScheduleIndependent) {
+  const Fixture fx;
+  Rng rng(4242);
+  int unions = 0;
+  for (int q = 0; q < 6; ++q) {
+    const std::string sql = RandomQuery(rng, /*allow_quantile=*/true) +
+                            " ERROR WITHIN 0.0000001% AT CONFIDENCE 95%";
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    for (uint32_t morsel_rows : {64u, 1024u, 4096u}) {
+      RuntimeConfig oneshot = StreamingConfig(ScheduleMode::kUniform, 1, morsel_rows, 3);
+      oneshot.streaming = false;
+      const ApproxAnswer reference = fx.MustExecute(*stmt, oneshot);
+      ExpectConsistentAccounting(reference.report, sql + " [one-shot]");
+      for (size_t threads : {1u, 2u, 7u}) {
+        const ApproxAnswer uniform = fx.MustExecute(
+            *stmt, StreamingConfig(ScheduleMode::kUniform, threads, morsel_rows, 3));
+        const ApproxAnswer adaptive = fx.MustExecute(
+            *stmt, StreamingConfig(ScheduleMode::kAdaptive, threads, morsel_rows, 3));
+        const std::string context = sql + " [threads=" + std::to_string(threads) +
+                                    " morsel=" + std::to_string(morsel_rows) + "]";
+        // The bound is unreachable: every pipeline consumed everything in
+        // both modes, so the answers must be bit-identical to the one-shot
+        // union — the schedule cannot leak into the result.
+        ExpectIdentical(uniform.result, reference.result, context + " uniform");
+        ExpectIdentical(adaptive.result, reference.result, context + " adaptive");
+        EXPECT_FALSE(uniform.report.stopped_early) << context;
+        EXPECT_FALSE(adaptive.report.stopped_early) << context;
+        EXPECT_EQ(uniform.report.blocks_consumed, adaptive.report.blocks_consumed)
+            << context;
+        EXPECT_EQ(uniform.report.schedule, ScheduleMode::kUniform) << context;
+        EXPECT_EQ(adaptive.report.schedule, ScheduleMode::kAdaptive) << context;
+        ExpectConsistentAccounting(uniform.report, context + " uniform");
+        ExpectConsistentAccounting(adaptive.report, context + " adaptive");
+        if (adaptive.report.num_subqueries > 1) {
+          ++unions;
+        }
+      }
+    }
+  }
+  EXPECT_GT(unions, 0) << "no generated query took the union-plan path";
+}
+
+// --- (b) + (c): stopped answers honor the bound, accounting always adds up ---
+
+TEST(FuzzDifferentialTest, StoppedAnswersHonorTheBound) {
+  const Fixture fx;
+  Rng rng(515'151);
+  int early_stops = 0;
+  int union_runs = 0;
+  int adaptive_skews = 0;
+  for (int q = 0; q < 36; ++q) {
+    const double target = 0.02 + rng.NextDouble() * 0.18;
+    char bound[80];
+    std::snprintf(bound, sizeof(bound), " ERROR WITHIN %.4f%% AT CONFIDENCE 95%%",
+                  target * 100.0);
+    const std::string sql = RandomQuery(rng, /*allow_quantile=*/false) + bound;
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    const size_t threads = 1 + rng.NextBounded(2);  // shares stay equal (batch 2)
+    for (ScheduleMode mode : {ScheduleMode::kUniform, ScheduleMode::kAdaptive}) {
+      const ApproxAnswer answer =
+          fx.MustExecute(*stmt, StreamingConfig(mode, threads, 512, 2));
+      const std::string context = sql + " [" + ScheduleModeName(mode) + "]";
+      ExpectConsistentAccounting(answer.report, context);
+      if (answer.report.stopped_early) {
+        ++early_stops;
+        // Recompute the achieved error from the returned estimates alone.
+        const double recomputed = ReportedError(answer.result, stmt->bounds, 0.95);
+        EXPECT_LE(recomputed, target * (1.0 + 1e-9)) << context;
+        EXPECT_DOUBLE_EQ(answer.report.achieved_error, recomputed) << context;
+      }
+      if (answer.report.num_subqueries > 1) {
+        ++union_runs;
+        if (mode == ScheduleMode::kUniform) {
+          // Pre-PR trace shape: uniform rounds are lockstep.
+          CheckUniformLockstep(answer.report, context, /*expect_lockstep=*/true);
+        } else if (CheckUniformLockstep(answer.report, context,
+                                        /*expect_lockstep=*/false)) {
+          ++adaptive_skews;
+        }
+        // Error attribution is reported: shares are in [0, 1].
+        for (const PipelineOutcome& outcome : answer.report.pipeline_outcomes) {
+          EXPECT_GE(outcome.error_contribution, 0.0) << context;
+          EXPECT_LE(outcome.error_contribution, 1.0 + 1e-12) << context;
+        }
+      }
+    }
+  }
+  // The properties are vacuous unless the paths under test actually fired.
+  EXPECT_GE(early_stops, 10) << "stopping rule rarely fired; retune targets";
+  EXPECT_GE(union_runs, 10) << "union plans rarely generated";
+  EXPECT_GE(adaptive_skews, 1)
+      << "adaptive scheduling never broke lockstep; reallocation untested";
+}
+
+// --- WITHIN n SECONDS: pooled budgets keep the accounting consistent ---------
+
+TEST(FuzzDifferentialTest, TimeBoundedRunsKeepConsistentAccounting) {
+  const Fixture fx;
+  Rng rng(90'210);
+  int partial_runs = 0;
+  for (int q = 0; q < 12; ++q) {
+    const int seconds = 2 + static_cast<int>(rng.NextBounded(28));
+    const std::string sql = RandomQuery(rng, /*allow_quantile=*/false) + " WITHIN " +
+                            std::to_string(seconds) + " SECONDS";
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    for (ScheduleMode mode : {ScheduleMode::kUniform, ScheduleMode::kAdaptive}) {
+      const ApproxAnswer answer =
+          fx.MustExecute(*stmt, StreamingConfig(mode, 1, 512, 2));
+      const std::string context = sql + " [" + ScheduleModeName(mode) + "]";
+      ExpectConsistentAccounting(answer.report, context);
+      EXPECT_GT(answer.report.blocks_consumed, 0u) << context;
+      if (answer.report.stopped_early) {
+        ++partial_runs;
+        EXPECT_FALSE(answer.result.rows.empty()) << context;
+      }
+    }
+  }
+  EXPECT_GE(partial_runs, 2) << "time budgets never truncated a scan; retune bounds";
+}
+
+}  // namespace
+}  // namespace blink

@@ -338,6 +338,34 @@ TEST(StoppingRuleTest, BlockBudgetFloorsAtSmallestResolution) {
               0.25 * exact_count);
 }
 
+TEST(StoppingRuleTest, BlockBudgetIsExactForEveryBatchSize) {
+  // Regression: budgets route through the driver's shared pool, whose grants
+  // must not round consumption up to a batch multiple. A budget below the
+  // smallest-resolution floor consumes exactly the floor; one above it
+  // consumes exactly the budget — for batch sizes that divide neither.
+  const Table fact = MakeFact();
+  const SampleFamily stratified = MustBuildStratified(fact, 800, 13);
+  const Dataset ds = stratified.LogicalSample(0);
+  const uint32_t morsel_rows = 128;
+  const uint64_t floor_blocks =
+      CountMorsels(ds.prefix_boundaries->front(), morsel_rows, ds.prefix_boundaries);
+  ASSERT_GT(floor_blocks, 1u);
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  for (uint32_t batch : {0u, 2u, 3u, 4u}) {
+    for (uint64_t budget : {uint64_t{1}, floor_blocks + 3}) {
+      StreamOptions stream;
+      stream.exec.morsel_rows = morsel_rows;
+      stream.batch_blocks = batch;
+      stream.policy.max_blocks = budget;
+      auto streamed = ExecuteQueryIncremental(*stmt, ds, nullptr, stream);
+      ASSERT_TRUE(streamed.ok());
+      EXPECT_EQ(streamed->blocks_consumed, std::max(budget, floor_blocks))
+          << "batch=" << batch << " budget=" << budget;
+    }
+  }
+}
+
 TEST(StoppingRuleTest, BlockBudgetIsExact) {
   const Table fact = MakeFact();
   const SampleFamily uniform = MustBuildUniform(fact, 0.5, 9);

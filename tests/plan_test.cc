@@ -1,6 +1,8 @@
 // Plan-layer units: ScanPipeline advance/snapshot equivalence with the
 // one-shot executor, UnionCombiner recombination math, DNF disjunct
-// deduplication, and the rewrite_fallback report flag.
+// deduplication, the rewrite_fallback report flag, and the pipeline
+// scheduler (error attribution, fairness floor, shared budget pools,
+// tie-breaking, single-pipeline degeneration).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -10,6 +12,7 @@
 #include "src/exec/executor.h"
 #include "src/plan/query_plan.h"
 #include "src/plan/scan_pipeline.h"
+#include "src/plan/scheduler.h"
 #include "src/plan/union_combiner.h"
 #include "src/runtime/query_runtime.h"
 #include "src/sample/sample_family.h"
@@ -337,6 +340,240 @@ TEST(ExecutePlanTest, UnionPlanMatchesPerPipelineExecutions) {
   UnionCombiner combiner(*stmt);
   const QueryResult reference = combiner.Combine({*r1, *r2}, 0.95);
   ExpectIdentical(run->result, reference);
+}
+
+// --- Error attribution --------------------------------------------------------
+
+TEST(AttributeJointErrorTest, DecomposesDominatingCellAcrossPipelines) {
+  auto stmt = ParseSelect("SELECT COUNT(*), AVG(v) FROM t WHERE a = 1 OR a = 2");
+  ASSERT_TRUE(stmt.ok());
+  UnionCombiner combiner(*stmt);  // COUNT present: count_idx = 0, nothing appended
+  // Pipeline 1: count 100 (var 4), avg 10 (var 0.09); pipeline 2: count 300
+  // (var 1), avg 12 (var 0.04). The combined AVG's relative error dominates.
+  const std::vector<QueryResult> parts = {
+      OneRowResult({{100.0, 4.0}, {10.0, 0.09}}),
+      OneRowResult({{300.0, 1.0}, {12.0, 0.04}}),
+  };
+  const QueryResult combined = combiner.Combine(parts, 0.95);
+  std::vector<const QueryResult*> refs = {&parts[0], &parts[1]};
+  // Sanity: in this setup AVG dominates (COUNT's relative error is smaller).
+  const auto& aggs = combined.rows[0].aggregates;
+  ASSERT_GT(aggs[1].RelativeErrorAt(0.95), aggs[0].RelativeErrorAt(0.95));
+  const std::vector<double> contributions =
+      AttributeJointError(combiner, combined, refs, /*relative=*/true, 0.95);
+  ASSERT_EQ(contributions.size(), 2u);
+  // AVG attribution is count^2 * var per pipeline (the shared denominator
+  // cancels): 100^2 * 0.09 = 900 vs 300^2 * 0.04 = 3600.
+  EXPECT_DOUBLE_EQ(contributions[0], 900.0);
+  EXPECT_DOUBLE_EQ(contributions[1], 3600.0);
+}
+
+// --- Scheduler: fairness floor, pools, ties, degeneration --------------------
+
+// A fact table with one low-variance and one high-variance slice, selected by
+// disjoint predicates on `u` — the high-variance disjunct dominates any joint
+// error, so adaptive scheduling must spend there.
+Table MakeSkewedFact(uint64_t rows = 24'000) {
+  Table t(Schema({{"u", DataType::kDouble}, {"v", DataType::kDouble}}));
+  t.Reserve(rows);
+  Rng rng(8088);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const double u = rng.NextDouble();
+    t.AppendDouble(0, u);
+    // u > 0.9: heavy-tailed large values; u < 0.1: near-constant small ones.
+    const double v =
+        u > 0.9 ? 40.0 * std::exp(rng.NextGaussian()) : 5.0 + 0.5 * rng.NextGaussian();
+    t.AppendDouble(1, v);
+    t.CommitRow();
+  }
+  return t;
+}
+
+struct SkewedPlanFixture {
+  Table fact = MakeSkewedFact();
+  SampleFamily family;
+  Dataset ds;
+  SelectStatement full;
+  std::vector<SelectStatement> subs;
+  UnionCombiner combiner;
+
+  static SampleFamily BuildFamily(const Table& fact) {
+    Rng rng(31);
+    SampleFamilyOptions options;
+    options.uniform_fraction = 0.5;
+    options.max_resolutions = 6;
+    auto family = SampleFamily::BuildUniform(fact, options, rng);
+    EXPECT_TRUE(family.ok());
+    return std::move(family.value());
+  }
+
+  static SelectStatement Parse(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << sql;
+    return std::move(stmt.value());
+  }
+
+  SkewedPlanFixture()
+      : family(BuildFamily(fact)),
+        ds(family.LogicalSample(0)),
+        full(Parse("SELECT SUM(v) FROM t WHERE u < 0.1 OR u > 0.9")),
+        combiner(full) {
+    for (const char* where : {"u < 0.1", "u > 0.9"}) {
+      SelectStatement sub = Parse("SELECT SUM(v) FROM t WHERE " + std::string(where));
+      combiner.PrepareSubquery(sub);
+      subs.push_back(std::move(sub));
+    }
+  }
+
+  QueryPlan MakePlan() const {
+    QueryPlan plan;
+    for (const auto& sub : subs) {
+      PipelineSpec spec;
+      spec.stmt = sub;
+      spec.dataset = ds;
+      plan.pipelines.push_back(std::move(spec));
+    }
+    plan.combiner.emplace(full);
+    return plan;
+  }
+
+  PlanOptions MakeOptions(ScheduleMode mode) const {
+    PlanOptions options;
+    options.exec.morsel_rows = 256;
+    options.batch_blocks = 1;
+    options.schedule = mode;
+    return options;
+  }
+};
+
+TEST(SchedulerTest, FairnessFloorFeedsEveryPipelineBeforeReallocation) {
+  const SkewedPlanFixture fx;
+  PlanOptions options = fx.MakeOptions(ScheduleMode::kAdaptive);
+  options.policy.target_error = 0.12;
+  options.policy.min_blocks = 5;
+  options.policy.min_matched = 60.0;
+  auto run = ExecutePlan(fx.MakePlan(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_TRUE(run->stopped_early) << "target not reached mid-scan; retune";
+  ASSERT_EQ(run->pipelines.size(), 2u);
+  const PipelineOutcome& low = run->pipelines[0];
+  const PipelineOutcome& high = run->pipelines[1];
+  // No pipeline starves below the floor...
+  EXPECT_GE(low.blocks_consumed, 5u);
+  EXPECT_GE(high.blocks_consumed, 5u);
+  // ...and past it, the dominant-variance disjunct receives the surplus.
+  EXPECT_GT(high.blocks_consumed, low.blocks_consumed);
+  EXPECT_GT(high.scheduled_rounds, low.scheduled_rounds);
+  EXPECT_GT(high.error_contribution, low.error_contribution);
+  EXPECT_LE(run->achieved_error, 0.12 * (1.0 + 1e-9));
+}
+
+TEST(SchedulerTest, SharedPoolDrainsExactlyAndFoldsPolicyMaxBlocks) {
+  const SkewedPlanFixture fx;
+  PlanOptions options = fx.MakeOptions(ScheduleMode::kAdaptive);
+  options.budget_pool = 12;  // no error target: a pure budget drive
+  auto pooled = ExecutePlan(fx.MakePlan(), options);
+  ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+  EXPECT_EQ(pooled->blocks_consumed, 12u);
+  EXPECT_TRUE(pooled->stopped_early);
+  EXPECT_FALSE(pooled->bound_met);
+  // The fairness floor holds inside the pool: both pipelines cleared the
+  // default min_blocks guard before the surplus went to the dominant one.
+  EXPECT_GE(pooled->pipelines[0].blocks_consumed, 4u);
+  EXPECT_GE(pooled->pipelines[1].blocks_consumed, 4u);
+  EXPECT_GT(pooled->pipelines[1].blocks_consumed,
+            pooled->pipelines[0].blocks_consumed);
+
+  // PlanOptions::policy.max_blocks is a joint cap, folded into the pool —
+  // never silently dropped: the two spellings drive identical plans.
+  PlanOptions folded = fx.MakeOptions(ScheduleMode::kAdaptive);
+  folded.policy.max_blocks = 12;
+  auto via_policy = ExecutePlan(fx.MakePlan(), folded);
+  ASSERT_TRUE(via_policy.ok());
+  EXPECT_EQ(via_policy->blocks_consumed, pooled->blocks_consumed);
+  ASSERT_EQ(via_policy->pipelines.size(), pooled->pipelines.size());
+  for (size_t i = 0; i < pooled->pipelines.size(); ++i) {
+    EXPECT_EQ(via_policy->pipelines[i].blocks_consumed,
+              pooled->pipelines[i].blocks_consumed);
+  }
+}
+
+TEST(SchedulerTest, ExactPipelineIgnoresThePool) {
+  const SkewedPlanFixture fx;
+  QueryPlan plan;
+  PipelineSpec spec;
+  spec.stmt = fx.subs[0];
+  spec.dataset = Dataset::Exact(fx.fact);
+  plan.pipelines.push_back(std::move(spec));
+  PlanOptions options = fx.MakeOptions(ScheduleMode::kAdaptive);
+  options.budget_pool = 1;  // a prefix of an exact table is not a sample
+  auto run = ExecutePlan(plan, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->blocks_consumed, run->blocks_total);
+  EXPECT_FALSE(run->stopped_early);
+}
+
+TEST(SchedulerTest, TiedContributionsBreakDeterministically) {
+  const SkewedPlanFixture fx;
+  // Two IDENTICAL pipelines: contributions tie every adaptive round, so the
+  // award must alternate starting from the lowest index — and the whole drive
+  // must replay identically.
+  auto make_plan = [&] {
+    QueryPlan plan;
+    for (int i = 0; i < 2; ++i) {
+      PipelineSpec spec;
+      spec.stmt = fx.subs[1];
+      spec.dataset = fx.ds;
+      plan.pipelines.push_back(std::move(spec));
+    }
+    plan.combiner.emplace(fx.full);
+    return plan;
+  };
+  PlanOptions options = fx.MakeOptions(ScheduleMode::kAdaptive);
+  options.policy.target_error = 0.10;
+  auto first = ExecutePlan(make_plan(), options);
+  auto second = ExecutePlan(make_plan(), options);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_TRUE(first->stopped_early) << "target not reached mid-scan; retune";
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(first->pipelines[i].blocks_consumed,
+              second->pipelines[i].blocks_consumed);
+    EXPECT_EQ(first->pipelines[i].scheduled_rounds,
+              second->pipelines[i].scheduled_rounds);
+  }
+  // Lowest index wins ties, then the award alternates: pipeline 0 stays at
+  // most one grant ahead.
+  EXPECT_GE(first->pipelines[0].blocks_consumed, first->pipelines[1].blocks_consumed);
+  EXPECT_LE(first->pipelines[0].blocks_consumed - first->pipelines[1].blocks_consumed,
+            1u);
+}
+
+TEST(SchedulerTest, SinglePipelinePlansDegenerateToTheUniformPath) {
+  const SkewedPlanFixture fx;
+  QueryPlan adaptive_plan;
+  PipelineSpec spec;
+  spec.stmt = fx.subs[1];
+  spec.dataset = fx.ds;
+  adaptive_plan.pipelines.push_back(std::move(spec));
+  PlanOptions options = fx.MakeOptions(ScheduleMode::kAdaptive);
+  options.policy.target_error = 0.10;
+
+  QueryPlan uniform_plan;
+  PipelineSpec uspec;
+  uspec.stmt = fx.subs[1];
+  uspec.dataset = fx.ds;
+  uniform_plan.pipelines.push_back(std::move(uspec));
+  PlanOptions uniform_options = options;
+  uniform_options.schedule = ScheduleMode::kUniform;
+
+  auto adaptive = ExecutePlan(adaptive_plan, options);
+  auto uniform = ExecutePlan(uniform_plan, uniform_options);
+  ASSERT_TRUE(adaptive.ok() && uniform.ok());
+  EXPECT_EQ(adaptive->blocks_consumed, uniform->blocks_consumed);
+  EXPECT_EQ(adaptive->pipelines[0].scheduled_rounds,
+            uniform->pipelines[0].scheduled_rounds);
+  ExpectIdentical(adaptive->result, uniform->result);
+  EXPECT_EQ(adaptive->achieved_error, uniform->achieved_error);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "src/stats/descriptive.h"
 #include "src/stats/distributions.h"
 #include "src/stats/estimators.h"
+#include "src/stats/stopping.h"
 #include "src/util/rng.h"
 
 namespace blink {
@@ -474,6 +475,42 @@ TEST(WeightedQuantileTest, WeightsShiftQuantile) {
   // Value 100 has weight 9, value 1 has weight 1: median is 100.
   std::vector<std::pair<double, double>> vw = {{1.0, 1.0}, {100.0, 9.0}};
   EXPECT_DOUBLE_EQ(WeightedQuantile(vw, 0.5).value, 100.0);
+}
+
+TEST(ErrorDecompositionTest, PerEstimateErrorsMatchMaxEstimateError) {
+  // Mixed bag: an exact estimate, a zero-valued one (no relative error), and
+  // two regular ones. The per-estimate decomposition must reproduce the max
+  // metric element-wise under the same conventions.
+  const std::vector<Estimate> estimates = {
+      {50.0, 0.0},   // exact: zero error
+      {0.0, 4.0},    // zero-valued: excluded from the relative max
+      {100.0, 25.0},
+      {200.0, 16.0},
+  };
+  for (const bool relative : {true, false}) {
+    const std::vector<double> errors = PerEstimateErrors(estimates, relative, 0.95);
+    ASSERT_EQ(errors.size(), estimates.size());
+    EXPECT_EQ(errors[0], 0.0);
+    EXPECT_EQ(errors[1], relative ? 0.0 : estimates[1].ErrorAt(0.95));
+    EXPECT_DOUBLE_EQ(errors[2], relative ? estimates[2].RelativeErrorAt(0.95)
+                                         : estimates[2].ErrorAt(0.95));
+    const double max = *std::max_element(errors.begin(), errors.end());
+    EXPECT_DOUBLE_EQ(max, MaxEstimateError(estimates, relative, 0.95));
+  }
+}
+
+TEST(ErrorDecompositionTest, DominatingEstimateIsTheArgmax) {
+  const std::vector<Estimate> estimates = {
+      {100.0, 1.0},   // rel error ~0.0196
+      {100.0, 25.0},  // rel error ~0.098: dominates the relative metric
+      {10.0, 0.04},   // rel error ~0.039
+  };
+  EXPECT_EQ(DominatingEstimate(estimates, /*relative=*/true, 0.95), 1u);
+  // In absolute mode the half-widths decide: index 1 still wins here.
+  EXPECT_EQ(DominatingEstimate(estimates, /*relative=*/false, 0.95), 1u);
+  // All-exact input: nothing dominates.
+  const std::vector<Estimate> exact = {{5.0, 0.0}, {7.0, 0.0}};
+  EXPECT_EQ(DominatingEstimate(exact, /*relative=*/true, 0.95), exact.size());
 }
 
 TEST(RowsNeededTest, InverseOfErrorFormula) {
