@@ -1,10 +1,15 @@
-// Quickstart: the BlinkDB workflow in ~80 lines.
+// Quickstart: the BlinkDB workflow in ~100 lines.
 //
 //   1. Register a fact table.
 //   2. Build samples for your workload under a storage budget (offline, §3).
 //   3. Ask SQL queries with error or time bounds (online, §4).
+//   4. Watch a bounded query converge through partial answers — and cancel
+//      it mid-flight (what the streaming server does over TCP; see
+//      docs/CLIENT_GUIDE.md for the blinkdb_server + blinkdb_cli version of
+//      this same flow, and docs/PROTOCOL.md for the wire format).
 //
 // Build & run:  ./build/examples/quickstart
+#include <atomic>
 #include <cstdio>
 
 #include "src/api/blinkdb.h"
@@ -36,7 +41,13 @@ int main() {
     sessions.CommitRow();
   }
 
-  BlinkDB db;
+  // Finer streaming knobs than the defaults, so step 4's partial answers
+  // are visible: 512-row blocks and 4-block rounds between stopping-rule
+  // evaluations (answers are bit-identical for any setting).
+  BlinkDbOptions options;
+  options.runtime.morsel_rows = 512;
+  options.runtime.stream_batch_blocks = 4;
+  BlinkDB db(options);
   // Pretend the 200k-row stand-in is a 200 GB production table. (The
   // stand-in's distinct-values-to-rows ratio is far higher than a real
   // trillion-byte table's, so its smallest stratified samples are a larger
@@ -101,5 +112,49 @@ int main() {
               HumanSeconds(timed->report.total_latency).c_str(),
               timed->report.total_latency <= 3.0 ? "met" : "best effort",
               100.0 * timed->report.achieved_error);
+
+  // --- 4. Partial answers + cancellation. ----------------------------------
+  // A bounded query streams: the progress callback fires after every round
+  // of blocks with the running estimate and its error. Over TCP this is
+  // exactly one PARTIAL frame per callback (docs/PROTOCOL.md). Here we also
+  // cancel after the third round — the query returns its best partial
+  // answer, and §4.4 charges only the blocks actually consumed.
+  // sessiontime is not a stratification column, so this runs off the
+  // uniform sample and the error shrinks visibly round by round.
+  const char* streamed =
+      "SELECT COUNT(*) FROM sessions WHERE sessiontime > 600 "
+      "ERROR WITHIN 1% AT CONFIDENCE 95%";
+  std::printf("\nQ3 (streamed + cancelled): %s\n", streamed);
+  std::atomic<bool> cancel{false};
+  int rounds = 0;
+  auto partial = db.Query(
+      streamed,
+      [&cancel, &rounds](const QueryResult& running, const StreamProgress& p) {
+        if (p.final_batch) {
+          return;
+        }
+        std::printf("  PARTIAL #%d blocks=%llu/%llu error=%.2f%%  %s ~ %.0f\n",
+                    ++rounds, static_cast<unsigned long long>(p.blocks_consumed),
+                    static_cast<unsigned long long>(p.blocks_total),
+                    100.0 * p.achieved_error, "COUNT(*)",
+                    running.rows.empty() ? 0.0 : running.rows[0].aggregates[0].value);
+        if (rounds == 3) {
+          cancel.store(true);  // a client pressed Ctrl-C / sent CANCEL
+        }
+      },
+      &cancel);
+  if (!partial.ok()) {
+    std::printf("query failed: %s\n", partial.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  cancelled=%s after %llu of %llu planned blocks; answer so far:\n%s",
+              partial->report.cancelled ? "true" : "false",
+              static_cast<unsigned long long>(partial->report.blocks_consumed),
+              static_cast<unsigned long long>(
+                  partial->report.pipeline_outcomes.empty()
+                      ? partial->report.blocks_consumed
+                      : partial->report.pipeline_outcomes[0].blocks_total),
+              partial->result.ToString().c_str());
+  std::printf("\nNext: serve this database over TCP — see docs/CLIENT_GUIDE.md\n");
   return 0;
 }

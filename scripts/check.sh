@@ -26,10 +26,40 @@ echo "== bench smoke: adaptive pipeline scheduling =="
 # 2M-row run is where the >=20% blocks-saved target is measured).
 "$BUILD_DIR"/bench_adaptive 200000
 
+echo "== server smoke: streaming partials over the wire =="
+# Boot the demo server on an ephemeral port, run one bounded query through
+# blinkdb_cli, and require that at least one PARTIAL frame precedes FINAL —
+# the wire contract of docs/PROTOCOL.md, end to end.
+PORT_FILE="$(mktemp)"
+SMOKE_OUT="$(mktemp)"
+# Default 120k-row demo table: large enough that the streamed resolution
+# spans several 4-block rounds (smaller tables can resolve entirely from the
+# §4.4 probe prefix and legitimately skip PARTIALs).
+"$BUILD_DIR"/blinkdb_server --port-file "$PORT_FILE" >/dev/null 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$PORT_FILE" "$SMOKE_OUT"' EXIT
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.2
+done
+[ -s "$PORT_FILE" ] || { echo "server never wrote its port"; exit 1; }
+"$BUILD_DIR"/blinkdb_cli --port "$(cat "$PORT_FILE")" --execute \
+  "SELECT COUNT(*) FROM sessions WHERE city = 'city_9' ERROR WITHIN 1% AT CONFIDENCE 95%" \
+  | tee "$SMOKE_OUT"
+grep -q '^PARTIAL #' "$SMOKE_OUT" || { echo "no PARTIAL frame before FINAL"; exit 1; }
+grep -q '^FINAL ' "$SMOKE_OUT" || { echo "no FINAL frame"; exit 1; }
+awk '/^FINAL /{seen_final=1} /^PARTIAL /{if (seen_final) exit 1}' "$SMOKE_OUT" ||
+  { echo "a PARTIAL arrived after FINAL"; exit 1; }
+kill "$SERVER_PID" 2>/dev/null || true
+echo "server smoke OK"
+
+echo "== docs =="
+scripts/check_docs.sh
+
 echo "== format =="
 if command -v clang-format >/dev/null 2>&1; then
   # Dry run: fails (non-zero) if any file under src/ needs reformatting.
-  find src tests bench -name '*.cc' -o -name '*.h' | xargs clang-format --dry-run --Werror
+  find src tests bench tools -name '*.cc' -o -name '*.h' | xargs clang-format --dry-run --Werror
   echo "format clean"
 else
   echo "clang-format not installed; skipping format check"

@@ -61,6 +61,11 @@ Result<ApproxAnswer> BlinkDB::Query(std::string_view sql) const {
 }
 
 Result<ApproxAnswer> BlinkDB::Query(std::string_view sql, ProgressCallback progress) const {
+  return Query(sql, std::move(progress), /*cancel=*/nullptr);
+}
+
+Result<ApproxAnswer> BlinkDB::Query(std::string_view sql, ProgressCallback progress,
+                                    const std::atomic<bool>* cancel) const {
   auto stmt = ParseSelect(sql);
   if (!stmt.ok()) {
     return stmt.status();
@@ -72,7 +77,7 @@ Result<ApproxAnswer> BlinkDB::Query(std::string_view sql, ProgressCallback progr
   return runtime_.Execute(*stmt, tables->fact->name, tables->fact->table,
                           tables->fact->scale_factor,
                           tables->dim != nullptr ? &tables->dim->table : nullptr,
-                          std::move(progress));
+                          std::move(progress), cancel);
 }
 
 Result<ApproxAnswer> BlinkDB::QueryExact(std::string_view sql) const {

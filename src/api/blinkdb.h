@@ -14,6 +14,7 @@
 #ifndef BLINKDB_API_BLINKDB_H_
 #define BLINKDB_API_BLINKDB_H_
 
+#include <atomic>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -71,6 +72,18 @@ class BlinkDB {
   // only valid during the call.
   Result<ApproxAnswer> Query(std::string_view sql, ProgressCallback progress) const;
 
+  // Same, with a cooperative cancellation flag — the in-process form of the
+  // wire protocol's CANCEL (src/server/, docs/PROTOCOL.md). `cancel` may be
+  // flipped to true from any thread; the plan driver checks it at every
+  // round boundary and, once set, stops scanning and returns the best
+  // partial answer over the consumed prefixes with
+  // ExecutionReport::cancelled set. Per the §4.4 early-stopping rule, only
+  // blocks actually consumed are charged to the cluster model — a cancelled
+  // query never pays for the blocks it released. The flag is only read;
+  // passing null degenerates to the two-argument overload.
+  Result<ApproxAnswer> Query(std::string_view sql, ProgressCallback progress,
+                             const std::atomic<bool>* cancel) const;
+
   // Ground truth: executes on the full table (no sampling). Latency is
   // reported for the configured engine on the full data.
   Result<ApproxAnswer> QueryExact(std::string_view sql) const;
@@ -86,13 +99,18 @@ class BlinkDB {
   SampleStore& samples() { return samples_; }
   const ClusterModel& cluster() const { return cluster_; }
 
- private:
+  // The catalog entries a parsed statement executes against: the fact table
+  // plus the joined dimension table (null when the statement has no join).
+  // Shared by Query/QueryExact and the streaming server's sessions, so
+  // resolution rules and their error messages cannot diverge between the
+  // in-process and over-the-wire paths.
   struct ResolvedTables {
     const TableEntry* fact = nullptr;
     const TableEntry* dim = nullptr;
   };
   Result<ResolvedTables> Resolve(const SelectStatement& stmt) const;
 
+ private:
   Catalog catalog_;
   SampleStore samples_;
   ClusterModel cluster_;

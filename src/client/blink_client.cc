@@ -1,0 +1,159 @@
+#include "src/client/blink_client.h"
+
+#include <utility>
+
+namespace blink {
+namespace {
+
+// Maps a wire ERROR frame onto the Status a local call would have produced.
+Status StatusFromWire(const ErrorFrame& error) {
+  const std::string what = error.code + ": " + error.message;
+  if (error.code == wire_error::kQueryFailed) {
+    return Status::InvalidArgument(what);
+  }
+  if (error.code == wire_error::kBusy) {
+    return Status::FailedPrecondition(what);
+  }
+  if (error.code == wire_error::kUnsupportedProtocol) {
+    return Status::FailedPrecondition(what);
+  }
+  return Status::Internal(what);
+}
+
+}  // namespace
+
+Status BlinkClient::Connect(const std::string& host, uint16_t port,
+                            const std::string& client_name) {
+  if (connected()) {
+    return Status::FailedPrecondition("already connected");
+  }
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  fd_ = std::move(fd.value());
+
+  HelloFrame hello;
+  hello.protocol_version = kProtocolVersion;
+  hello.peer = client_name;
+  BLINK_RETURN_IF_ERROR(SendRaw(EncodeHello(hello)));
+
+  auto reply = ReadOne();
+  if (!reply.ok()) {
+    Close();
+    return reply.status();
+  }
+  if (reply->type == FrameType::kError) {
+    const Status status = StatusFromWire(std::get<ErrorFrame>(reply->payload));
+    Close();
+    return status;
+  }
+  if (reply->type != FrameType::kHello) {
+    Close();
+    return Status::Internal("server answered HELLO with an unexpected frame");
+  }
+  const HelloFrame& server_hello = std::get<HelloFrame>(reply->payload);
+  server_.protocol_version = server_hello.protocol_version;
+  server_.server_name = server_hello.peer;
+  server_.tables = server_hello.tables;
+  return Status::Ok();
+}
+
+Result<QueryOutcome> BlinkClient::Query(const std::string& sql,
+                                        PartialCallback on_partial) {
+  if (!connected()) {
+    return Status::FailedPrecondition("not connected");
+  }
+  QueryFrame query;
+  query.id = next_query_id_++;
+  query.sql = sql;
+  active_query_id_.store(query.id);
+  query_active_.store(true);
+  const Status sent = SendRaw(EncodeQuery(query));
+  if (!sent.ok()) {
+    query_active_.store(false);
+    return sent;
+  }
+
+  QueryOutcome outcome;
+  for (;;) {
+    auto frame = ReadOne();
+    if (!frame.ok()) {
+      query_active_.store(false);
+      return frame.status();
+    }
+    switch (frame->type) {
+      case FrameType::kPartial: {
+        PartialFrame& partial = std::get<PartialFrame>(frame->payload);
+        if (partial.id != query.id) {
+          continue;  // stale frame from an earlier query on this session
+        }
+        ++outcome.partial_frames;
+        if (on_partial) {
+          on_partial(partial);
+        }
+        continue;
+      }
+      case FrameType::kFinal: {
+        FinalFrame& final_frame = std::get<FinalFrame>(frame->payload);
+        if (final_frame.id != query.id) {
+          continue;
+        }
+        query_active_.store(false);
+        outcome.result = std::move(final_frame.result);
+        outcome.report = std::move(final_frame.report);
+        return outcome;
+      }
+      case FrameType::kError: {
+        const ErrorFrame& error = std::get<ErrorFrame>(frame->payload);
+        if (error.has_id && error.id != query.id) {
+          continue;
+        }
+        query_active_.store(false);
+        return StatusFromWire(error);
+      }
+      default:
+        // HELLO/QUERY/CANCEL never travel server→client mid-query; tolerate
+        // and keep waiting rather than abandoning a running query.
+        continue;
+    }
+  }
+}
+
+Status BlinkClient::CancelActive() {
+  if (!connected()) {
+    return Status::FailedPrecondition("not connected");
+  }
+  if (!query_active_.load()) {
+    return Status::Ok();  // nothing in flight; the benign race is documented
+  }
+  CancelFrame cancel;
+  cancel.id = active_query_id_.load();
+  return SendRaw(EncodeCancel(cancel));
+}
+
+void BlinkClient::Close() {
+  query_active_.store(false);
+  fd_.Close();
+}
+
+Status BlinkClient::SendRaw(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("not connected");
+  }
+  return WriteFrame(fd_.get(), payload);
+}
+
+Result<Frame> BlinkClient::ReadOne() {
+  auto payload = ReadFrame(fd_.get());
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  if (!payload->has_value()) {
+    return Status::Internal("server closed the connection");
+  }
+  return DecodeFrame(**payload);
+}
+
+}  // namespace blink

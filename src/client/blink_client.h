@@ -1,0 +1,100 @@
+// BlinkDB streaming client — the library behind blinkdb_cli and any
+// downstream application that talks to a BlinkServer.
+//
+// Usage (docs/CLIENT_GUIDE.md has the full walkthrough):
+//
+//   BlinkClient client;
+//   if (!client.Connect("127.0.0.1", port).ok()) { ... }
+//   auto outcome = client.Query(
+//       "SELECT COUNT(*) FROM sessions WHERE city = 'city_7' "
+//       "ERROR WITHIN 5% AT CONFIDENCE 95%",
+//       [](const PartialFrame& partial) {
+//         // Fires once per PARTIAL frame, in order: watch achieved_error
+//         // tighten as blocks_consumed grows.
+//       });
+//   // outcome->result is bit-identical to an in-process BlinkDB::Query of
+//   // the same SQL under the same runtime settings; outcome->report is the
+//   // full ExecutionReport.
+//
+// Query() blocks the calling thread until the FINAL (or ERROR) frame.
+// CancelActive() may be called from another thread while Query() is in
+// flight: it sends CANCEL for the active query id, and the server answers
+// with a FINAL whose report has cancelled=true and whose result is the best
+// partial answer — Query() returns that normally.
+#ifndef BLINKDB_CLIENT_BLINK_CLIENT_H_
+#define BLINKDB_CLIENT_BLINK_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "src/server/net.h"
+#include "src/server/protocol.h"
+
+namespace blink {
+
+// What the server announced in its HELLO.
+struct ServerInfo {
+  int64_t protocol_version = 0;
+  std::string server_name;
+  std::vector<std::string> tables;
+};
+
+// The terminal answer of one streamed query.
+struct QueryOutcome {
+  QueryResult result;
+  ExecutionReport report;
+  // PARTIAL frames observed before the FINAL (0 for one-shot paths).
+  uint64_t partial_frames = 0;
+};
+
+// Invoked once per PARTIAL frame, in arrival order, on the Query() thread.
+using PartialCallback = std::function<void(const PartialFrame& partial)>;
+
+class BlinkClient {
+ public:
+  BlinkClient() = default;
+  ~BlinkClient() { Close(); }
+  BlinkClient(const BlinkClient&) = delete;
+  BlinkClient& operator=(const BlinkClient&) = delete;
+
+  // Connects and performs the HELLO handshake. `client_name` is the
+  // free-form peer string sent in the HELLO.
+  Status Connect(const std::string& host, uint16_t port,
+                 const std::string& client_name = "blink_client/1");
+
+  bool connected() const { return fd_.valid(); }
+  const ServerInfo& server() const { return server_; }
+
+  // Sends a QUERY and blocks until its FINAL or ERROR frame, streaming each
+  // PARTIAL to `on_partial` along the way. A server-side failure (ERROR
+  // frame) comes back as a non-OK Status carrying the wire code + message.
+  Result<QueryOutcome> Query(const std::string& sql, PartialCallback on_partial = {});
+
+  // Thread-safe: requests cancellation of the Query() currently in flight.
+  // No-op (Ok) when no query is active — the race against a completing
+  // query is inherent and documented, docs/PROTOCOL.md "Cancellation".
+  Status CancelActive();
+
+  void Close();
+
+  // Test/debug escape hatches: send one raw frame payload, read one frame.
+  // Production code never needs these; tests/server_test.cc uses them to
+  // exercise the server's malformed-frame handling.
+  Status SendRaw(std::string_view payload);
+  Result<Frame> ReadOne();
+
+ private:
+  OwnedFd fd_;
+  std::mutex write_mu_;  // Query() and CancelActive() may write concurrently
+  ServerInfo server_;
+  uint64_t next_query_id_ = 1;
+  std::atomic<uint64_t> active_query_id_{0};
+  std::atomic<bool> query_active_{false};
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_CLIENT_BLINK_CLIENT_H_

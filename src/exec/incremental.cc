@@ -37,6 +37,7 @@ Result<StreamResult> ExecuteQueryIncremental(const SelectStatement& stmt,
   popts.batch_blocks = options.batch_blocks;
   popts.policy = options.policy;
   popts.progress = options.progress;
+  popts.cancel = options.cancel;
 
   auto run = ExecutePlan(plan, popts);
   if (!run.ok()) {
@@ -49,6 +50,7 @@ Result<StreamResult> ExecuteQueryIncremental(const SelectStatement& stmt,
   out.rows_consumed = run->rows_consumed;
   out.stopped_early = run->stopped_early;
   out.bound_met = run->bound_met;
+  out.cancelled = run->cancelled;
   out.achieved_error = run->achieved_error;
   return out;
 }

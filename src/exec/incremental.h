@@ -24,6 +24,7 @@
 #ifndef BLINKDB_EXEC_INCREMENTAL_H_
 #define BLINKDB_EXEC_INCREMENTAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -62,6 +63,10 @@ struct StreamOptions {
   // Default-constructed policy never stops.
   StopPolicy policy;
   ProgressCallback progress;
+  // Cooperative cancellation (see PlanOptions::cancel): checked at batch
+  // boundaries; once true, the scan returns its consumed-prefix partial
+  // answer with StreamResult::cancelled set.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct StreamResult {
@@ -71,6 +76,7 @@ struct StreamResult {
   uint64_t rows_consumed = 0;
   bool stopped_early = false;  // returned before consuming every block
   bool bound_met = false;      // the error target was met at return
+  bool cancelled = false;      // StreamOptions::cancel ended the scan
   // Worst error of `result` at the policy confidence (max over
   // groups/aggregates).
   double achieved_error = 0.0;

@@ -52,13 +52,20 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
   }
   any_budget = any_budget || (pool > 0 && any_sample);
   const bool error_stopping = policy.target_error > 0.0 && any_sample;
-  const bool may_stop_early = error_stopping || any_budget;
+  // Stops the driver itself may take (error bound met, budget spent) versus
+  // an externally requested cancel. Both can end a scan on a partial prefix,
+  // so both require the per-stratum prefix tallies that make a stopped
+  // prefix finalize as a valid stratified sample.
+  const bool stop_rules = error_stopping || any_budget;
+  const bool cancellable = options.cancel != nullptr;
+  const bool may_stop_early = stop_rules || cancellable;
   // Adaptive awards only matter when there is more than one pipeline to
-  // choose between and some stop can actually end the plan early; otherwise
-  // the schedule degenerates to the uniform round-robin.
+  // choose between and some stop can actually end the plan early; a merely
+  // cancellable plan keeps the uniform round-robin (cancellation should not
+  // perturb the schedule of a plan that would otherwise run to completion).
   const bool adaptive = options.schedule == ScheduleMode::kAdaptive &&
                         plan.pipelines.size() > 1 && plan.combiner.has_value() &&
-                        may_stop_early;
+                        stop_rules;
   // Combined partial answers must be materialized between rounds for the
   // joint error rule, for progress callbacks, and for adaptive attribution;
   // bare uniform budgets only need the final snapshots, so they skip the
@@ -150,10 +157,15 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
     return shares_of_error;
   };
 
+  // Set once PlanOptions::cancel reads true at a round boundary; the round
+  // that observes it advances nothing and returns the consumed-prefix answer.
+  bool cancel_seen = false;
+
   auto finish = [&](QueryResult result, const StopPolicy::Decision& decision,
                     bool evaluated, const std::vector<double>& contributions) {
     PlanResult out;
     out.result = std::move(result);
+    out.cancelled = cancel_seen;
     out.pipelines.reserve(pipes.size());
     for (size_t i = 0; i < pipes.size(); ++i) {
       const ScanPipeline& pipe = *pipes[i];
@@ -189,13 +201,21 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
   std::vector<const QueryResult*> parts;
   bool have_combined = false;
   for (;;) {
+    // Cancellation is observed only here, at the round boundary: a fired flag
+    // grants nothing this round, so the plan returns the partial answer over
+    // exactly the blocks consumed so far (the §4.4 charge downstream).
+    cancel_seen = cancel_seen ||
+                  (options.cancel != nullptr &&
+                   options.cancel->load(std::memory_order_relaxed));
     // One round: the scheduler decides who advances (uniform: every
     // unfinished pipeline in index order; adaptive past the fairness floor:
     // the worst joint-error contributor). The interleave is a pure function
     // of the batch size, the pipeline block counts, and the consumed-prefix
     // snapshots — never of thread scheduling.
-    const std::vector<ScheduleGrant> grants = scheduler.NextRound(
-        pipes, have_combined ? &combined : nullptr, have_combined ? &parts : nullptr);
+    const std::vector<ScheduleGrant> grants =
+        cancel_seen ? std::vector<ScheduleGrant>{}
+                    : scheduler.NextRound(pipes, have_combined ? &combined : nullptr,
+                                          have_combined ? &parts : nullptr);
     for (const ScheduleGrant& grant : grants) {
       ScanPipeline& pipe = *pipes[grant.pipeline];
       const uint64_t before = pipe.blocks_consumed();

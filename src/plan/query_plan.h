@@ -26,6 +26,7 @@
 #ifndef BLINKDB_PLAN_QUERY_PLAN_H_
 #define BLINKDB_PLAN_QUERY_PLAN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -75,6 +76,15 @@ struct PlanOptions {
   // exact pipelines always running to completion. Complements (and folds
   // with) per-pipeline PipelineSpec::max_blocks caps.
   uint64_t budget_pool = 0;
+  // Cooperative cancellation hook. When non-null, the driver checks the flag
+  // at every round boundary; once it reads true, no further blocks are
+  // scanned and the plan returns the combined partial answer over the
+  // consumed prefixes with PlanResult::cancelled set — exactly the shape of
+  // an early stop, so §4.4 accounting downstream charges only consumed
+  // blocks. Granularity is one round (batch_blocks per granted pipeline);
+  // plans driven as a single maximal batch (never-stop, no progress) are not
+  // interruptible mid-scan. The flag is only read, never cleared.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Per-pipeline outcome, for the runtime's §4.4/latency accounting and the
@@ -105,6 +115,9 @@ struct PlanResult {
   uint64_t rows_consumed = 0;
   bool stopped_early = false;  // some pipeline returned before its last block
   bool bound_met = false;      // the error target was met at return
+  // PlanOptions::cancel fired: the drive was abandoned at a round boundary
+  // and `result` is the partial answer over the consumed prefixes.
+  bool cancelled = false;
   // Worst error of `result` at the policy confidence (max over
   // groups/aggregates), computed whenever a stop was possible.
   double achieved_error = 0.0;

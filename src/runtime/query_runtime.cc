@@ -586,7 +586,8 @@ StopPolicy QueryRuntime::PolicyFor(const SelectStatement& stmt, bool any_streame
 Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
                                            std::vector<PipelinePlan> plans,
                                            double scale_factor,
-                                           const ProgressCallback& progress) const {
+                                           const ProgressCallback& progress,
+                                           const std::atomic<bool>* cancel) const {
   const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
                                 ? stmt.bounds.confidence
                                 : config_.default_confidence;
@@ -604,6 +605,7 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   options.batch_blocks = any_streamed ? config_.stream_batch_blocks : 0;
   options.policy = PolicyFor(stmt, any_streamed);
   options.progress = progress;
+  options.cancel = cancel;
   options.schedule = config_.schedule_mode;
   // Adaptive time-bounded unions drain one shared block-budget pool instead
   // of the static per-pipeline TimeBudgetBlocks caps: blocks the window
@@ -642,6 +644,7 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   ExecutionReport report;
   report.num_subqueries = plans.size();
   report.schedule = config_.schedule_mode;
+  report.cancelled = run->cancelled;
   if (plans.size() == 1) {
     const PipelinePlan& p = plans.front();
     report.family = p.family_name;
@@ -708,7 +711,8 @@ Result<ApproxAnswer> QueryRuntime::RunUnion(const SelectStatement& stmt,
                                             const Table& fact, double scale_factor,
                                             const Table* dim,
                                             std::vector<Predicate> disjuncts,
-                                            const ProgressCallback& progress) const {
+                                            const ProgressCallback& progress,
+                                            const std::atomic<bool>* cancel) const {
   // One pipeline per conjunctive disjunct, each bound to its best-covering
   // dataset (§4.1.2). AVG recombination needs a COUNT column, so every
   // subquery gets the helper before family selection probes it — the probes
@@ -735,14 +739,15 @@ Result<ApproxAnswer> QueryRuntime::RunUnion(const SelectStatement& stmt,
     }
     plans.push_back(std::move(pipeline.value()));
   }
-  return RunPlan(stmt, std::move(plans), scale_factor, progress);
+  return RunPlan(stmt, std::move(plans), scale_factor, progress, cancel);
 }
 
 Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
                                            const std::string& table_name,
                                            const Table& fact, double scale_factor,
                                            const Table* dim,
-                                           ProgressCallback progress) const {
+                                           ProgressCallback progress,
+                                           const std::atomic<bool>* cancel) const {
   // The callback contract promises a terminal final_batch invocation for
   // every successful query. The plan driver fires it on every path it
   // drives; the synthetic completion below is a safety net for any path
@@ -798,7 +803,7 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
         DedupDisjuncts(*disjuncts);
         if (disjuncts->size() > 1) {
           return finish(RunUnion(stmt, table_name, fact, scale_factor, dim,
-                                 std::move(*disjuncts), wrapped));
+                                 std::move(*disjuncts), wrapped, cancel));
         }
         // Every disjunct was identical (e.g. `x = 1 OR x = 1`): the query is
         // really conjunctive; running the lone disjunct as a plain query
@@ -826,7 +831,7 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
     }
     plans.push_back(std::move(pipeline.value()));
   }
-  auto answer = RunPlan(*effective, std::move(plans), scale_factor, wrapped);
+  auto answer = RunPlan(*effective, std::move(plans), scale_factor, wrapped, cancel);
   if (answer.ok()) {
     answer.value().report.rewrite_fallback = rewrite_fallback;
   }

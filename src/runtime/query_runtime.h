@@ -14,6 +14,7 @@
 #define BLINKDB_RUNTIME_QUERY_RUNTIME_H_
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -101,6 +102,10 @@ struct ExecutionReport {
   // non-streamed paths.
   uint64_t blocks_consumed = 0;
   bool stopped_early = false;     // the streamed plan returned before its last block
+  // The caller's cancel flag ended the plan at a round boundary; the answer
+  // is the partial over the consumed prefixes and — like any early stop —
+  // only consumed blocks were charged to the cluster model (§4.4).
+  bool cancelled = false;
   double probe_latency = 0.0;     // simulated seconds spent building the ELP
   double execution_latency = 0.0; // simulated seconds of the final run
   double total_latency = 0.0;
@@ -141,11 +146,16 @@ class QueryRuntime {
   // model (a 5M-row stand-in for a 5.5B-row table has scale 1100). `dim` is
   // the joined dimension table, exact and unsampled (§2.1). `progress`, when
   // set, receives the partial answer after every streamed round — for union
-  // plans, the combined partial answer across all pipelines.
+  // plans, the combined partial answer across all pipelines. `cancel`, when
+  // non-null, is a cooperative cancellation flag checked at round
+  // boundaries: once true, the plan returns its best partial answer with
+  // ExecutionReport::cancelled set, and the cluster model is charged only
+  // for the blocks actually consumed (the §4.4 early-stopping rule).
   Result<ApproxAnswer> Execute(const SelectStatement& stmt, const std::string& table_name,
                                const Table& fact, double scale_factor,
                                const Table* dim = nullptr,
-                               ProgressCallback progress = {}) const;
+                               ProgressCallback progress = {},
+                               const std::atomic<bool>* cancel = nullptr) const;
 
  private:
   struct FamilyChoice {
@@ -201,17 +211,21 @@ class QueryRuntime {
 
   // Drives a planned pipeline set and assembles the ExecutionReport:
   // per-pipeline consumed blocks are charged to the cluster model (minus the
-  // §4.4 probe prefixes) with makespan latency across pipelines.
+  // §4.4 probe prefixes) with makespan latency across pipelines. A fired
+  // `cancel` flag ends the drive at a round boundary; the charges then cover
+  // exactly the consumed prefixes, never the planned totals.
   Result<ApproxAnswer> RunPlan(const SelectStatement& stmt,
                                std::vector<PipelinePlan> plans, double scale_factor,
-                               const ProgressCallback& progress) const;
+                               const ProgressCallback& progress,
+                               const std::atomic<bool>* cancel) const;
 
   // §4.1.2: plan construction for the union-of-conjunctive-subqueries path.
   Result<ApproxAnswer> RunUnion(const SelectStatement& stmt,
                                 const std::string& table_name, const Table& fact,
                                 double scale_factor, const Table* dim,
                                 std::vector<Predicate> disjuncts,
-                                const ProgressCallback& progress) const;
+                                const ProgressCallback& progress,
+                                const std::atomic<bool>* cancel) const;
 
   // Workload of scanning `ds` minus its first `skip_prefix_rows` rows
   // (a sample-prefix boundary, so the skip is whole blocks). Bytes and block

@@ -1,0 +1,65 @@
+// POSIX TCP plumbing for the streaming query server: socket setup plus the
+// length-prefixed frame transport of docs/PROTOCOL.md.
+//
+// Framing: every frame is a 4-byte big-endian unsigned payload length
+// followed by exactly that many bytes of UTF-8 JSON. The length covers the
+// payload only. Frames larger than kMaxFrameBytes are a protocol violation:
+// readers reject them without consuming the payload, after which the stream
+// is unsynchronized and the connection must be closed.
+#ifndef BLINKDB_SERVER_NET_H_
+#define BLINKDB_SERVER_NET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace blink {
+
+// Upper bound on one frame's payload (16 MiB) — generous next to the largest
+// FINAL frame a grouped query produces, small enough to bound a malicious
+// length word.
+constexpr uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+// An owned file descriptor (closes on destruction; movable, not copyable).
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.Release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept;
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+  ~OwnedFd() { Close(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on `host:port` (port 0 picks an ephemeral port). On
+// success returns the listening fd; `*bound_port` receives the actual port.
+Result<OwnedFd> ListenTcp(const std::string& host, uint16_t port,
+                          uint16_t* bound_port);
+
+// Connects to `host:port` (blocking).
+Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port);
+
+// Writes one length-prefixed frame (loops over partial writes; EPIPE and
+// friends surface as a Status error, never a signal).
+Status WriteFrame(int fd, std::string_view payload);
+
+// Reads one length-prefixed frame. Returns nullopt on clean EOF at a frame
+// boundary (the peer hung up); any other shortfall or a length above
+// `max_bytes` is an error.
+Result<std::optional<std::string>> ReadFrame(int fd, uint32_t max_bytes = kMaxFrameBytes);
+
+}  // namespace blink
+
+#endif  // BLINKDB_SERVER_NET_H_

@@ -1,0 +1,638 @@
+#include "src/server/protocol.h"
+
+#include <utility>
+
+#include "src/plan/scheduler.h"
+
+namespace blink {
+namespace {
+
+// --- Field accessors (Status on missing/mistyped fields) ---------------------
+
+Status Missing(const char* key) {
+  return Status::InvalidArgument(std::string("missing or mistyped field '") + key +
+                                 "'");
+}
+
+Result<std::string> GetString(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Missing(key);
+  }
+  return v->AsString();
+}
+
+Result<uint64_t> GetUint(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  // Wire counters are JSON integers in [0, 2^63) — docs/PROTOCOL.md §1. A
+  // negative number must not wrap into a huge uint64, and a double outside
+  // int64 range must be rejected before the cast (which would be UB).
+  if (v == nullptr || !v->is_number()) {
+    return Missing(key);
+  }
+  const double d = v->AsDouble();
+  if (d < 0 || d >= 9223372036854775808.0 /* 2^63 */) {
+    return Missing(key);
+  }
+  return v->AsUint();
+}
+
+Result<double> GetDouble(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Missing(key);
+  }
+  return v->AsDouble();
+}
+
+bool GetBoolOr(const JsonValue& obj, const char* key, bool fallback) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_bool() ? v->AsBool() : fallback;
+}
+
+Result<const JsonValue*> GetObject(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_object()) {
+    return Missing(key);
+  }
+  return v;
+}
+
+Result<const JsonValue*> GetArray(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Missing(key);
+  }
+  return v;
+}
+
+// --- Values ------------------------------------------------------------------
+// A table Value is encoded as a single-key object tagging its type:
+// {"i": 42} int64, {"d": 4.2} double, {"s": "text"} string. The tag keeps
+// decoding unambiguous — "%.17g" renders 42.0 as "42", which bare JSON would
+// reparse as an integer.
+
+JsonValue EncodeValue(const Value& value) {
+  JsonValue out = JsonValue::Object();
+  if (value.is_int()) {
+    out.Set("i", value.AsInt());
+  } else if (value.is_double()) {
+    out.Set("d", value.AsDouble());
+  } else {
+    out.Set("s", value.AsString());
+  }
+  return out;
+}
+
+Result<Value> DecodeValue(const JsonValue& json) {
+  if (!json.is_object() || json.members().size() != 1) {
+    return Status::InvalidArgument("value must be a single-key tagged object");
+  }
+  const auto& [tag, v] = json.members().front();
+  if (tag == "i" && v.is_number()) {
+    return Value(v.AsInt());
+  }
+  if (tag == "d" && v.is_number()) {
+    return Value(v.AsDouble());
+  }
+  if (tag == "s" && v.is_string()) {
+    return Value(v.AsString());
+  }
+  return Status::InvalidArgument("unknown value tag '" + tag + "'");
+}
+
+// --- Frame envelope helpers --------------------------------------------------
+
+JsonValue Envelope(FrameType type) {
+  JsonValue out = JsonValue::Object();
+  out.Set("type", FrameTypeName(type));
+  return out;
+}
+
+JsonValue EncodeStringArray(const std::vector<std::string>& strings) {
+  JsonValue out = JsonValue::Array();
+  for (const auto& s : strings) {
+    out.Append(s);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DecodeStringArray(const JsonValue& json) {
+  std::vector<std::string> out;
+  out.reserve(json.items().size());
+  for (const auto& item : json.items()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument("expected an array of strings");
+    }
+    out.push_back(item.AsString());
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kQuery:
+      return "QUERY";
+    case FrameType::kPartial:
+      return "PARTIAL";
+    case FrameType::kFinal:
+      return "FINAL";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kCancel:
+      return "CANCEL";
+  }
+  return "UNKNOWN";
+}
+
+JsonValue EncodeQueryResult(const QueryResult& result) {
+  JsonValue out = JsonValue::Object();
+  out.Set("group_names", EncodeStringArray(result.group_names));
+  out.Set("aggregate_names", EncodeStringArray(result.aggregate_names));
+  out.Set("confidence", result.confidence);
+  JsonValue rows = JsonValue::Array();
+  for (const auto& row : result.rows) {
+    JsonValue jrow = JsonValue::Object();
+    JsonValue group = JsonValue::Array();
+    for (const auto& value : row.group_values) {
+      group.Append(EncodeValue(value));
+    }
+    jrow.Set("group", std::move(group));
+    JsonValue aggs = JsonValue::Array();
+    for (const auto& agg : row.aggregates) {
+      JsonValue jagg = JsonValue::Object();
+      jagg.Set("value", agg.value);
+      jagg.Set("variance", agg.variance);
+      aggs.Append(std::move(jagg));
+    }
+    jrow.Set("aggregates", std::move(aggs));
+    rows.Append(std::move(jrow));
+  }
+  out.Set("rows", std::move(rows));
+  JsonValue stats = JsonValue::Object();
+  stats.Set("rows_scanned", result.stats.rows_scanned);
+  stats.Set("rows_matched", result.stats.rows_matched);
+  stats.Set("blocks_scanned", result.stats.blocks_scanned);
+  stats.Set("block_rows", static_cast<uint64_t>(result.stats.block_rows));
+  stats.Set("bytes_scanned", result.stats.bytes_scanned);
+  out.Set("stats", std::move(stats));
+  return out;
+}
+
+Result<QueryResult> DecodeQueryResult(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("result must be an object");
+  }
+  QueryResult out;
+  auto group_names = GetArray(json, "group_names");
+  if (!group_names.ok()) {
+    return group_names.status();
+  }
+  auto names = DecodeStringArray(**group_names);
+  if (!names.ok()) {
+    return names.status();
+  }
+  out.group_names = std::move(names.value());
+  auto agg_names = GetArray(json, "aggregate_names");
+  if (!agg_names.ok()) {
+    return agg_names.status();
+  }
+  names = DecodeStringArray(**agg_names);
+  if (!names.ok()) {
+    return names.status();
+  }
+  out.aggregate_names = std::move(names.value());
+  auto confidence = GetDouble(json, "confidence");
+  if (!confidence.ok()) {
+    return confidence.status();
+  }
+  out.confidence = *confidence;
+
+  auto rows = GetArray(json, "rows");
+  if (!rows.ok()) {
+    return rows.status();
+  }
+  for (const auto& jrow : (*rows)->items()) {
+    if (!jrow.is_object()) {
+      return Status::InvalidArgument("row must be an object");
+    }
+    ResultRow row;
+    auto group = GetArray(jrow, "group");
+    if (!group.ok()) {
+      return group.status();
+    }
+    for (const auto& jvalue : (*group)->items()) {
+      auto value = DecodeValue(jvalue);
+      if (!value.ok()) {
+        return value.status();
+      }
+      row.group_values.push_back(std::move(value.value()));
+    }
+    auto aggs = GetArray(jrow, "aggregates");
+    if (!aggs.ok()) {
+      return aggs.status();
+    }
+    for (const auto& jagg : (*aggs)->items()) {
+      if (!jagg.is_object()) {
+        return Status::InvalidArgument("aggregate must be an object");
+      }
+      auto value = GetDouble(jagg, "value");
+      auto variance = GetDouble(jagg, "variance");
+      if (!value.ok() || !variance.ok()) {
+        return Missing("aggregate value/variance");
+      }
+      Estimate estimate;
+      estimate.value = *value;
+      estimate.variance = *variance;
+      row.aggregates.push_back(estimate);
+    }
+    out.rows.push_back(std::move(row));
+  }
+
+  auto stats = GetObject(json, "stats");
+  if (!stats.ok()) {
+    return stats.status();
+  }
+  auto rows_scanned = GetUint(**stats, "rows_scanned");
+  auto rows_matched = GetUint(**stats, "rows_matched");
+  auto blocks_scanned = GetUint(**stats, "blocks_scanned");
+  auto block_rows = GetUint(**stats, "block_rows");
+  auto bytes_scanned = GetDouble(**stats, "bytes_scanned");
+  if (!rows_scanned.ok() || !rows_matched.ok() || !blocks_scanned.ok() ||
+      !block_rows.ok() || !bytes_scanned.ok()) {
+    return Missing("stats");
+  }
+  out.stats.rows_scanned = *rows_scanned;
+  out.stats.rows_matched = *rows_matched;
+  out.stats.blocks_scanned = *blocks_scanned;
+  out.stats.block_rows = static_cast<uint32_t>(*block_rows);
+  out.stats.bytes_scanned = *bytes_scanned;
+  return out;
+}
+
+JsonValue EncodeProgress(const StreamProgress& progress) {
+  JsonValue out = JsonValue::Object();
+  out.Set("blocks_consumed", progress.blocks_consumed);
+  out.Set("blocks_total", progress.blocks_total);
+  out.Set("rows_consumed", progress.rows_consumed);
+  out.Set("rows_total", progress.rows_total);
+  out.Set("achieved_error", progress.achieved_error);
+  out.Set("bound_met", progress.bound_met);
+  return out;
+}
+
+Result<StreamProgress> DecodeProgress(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("progress must be an object");
+  }
+  auto blocks_consumed = GetUint(json, "blocks_consumed");
+  auto blocks_total = GetUint(json, "blocks_total");
+  auto rows_consumed = GetUint(json, "rows_consumed");
+  auto rows_total = GetUint(json, "rows_total");
+  auto achieved_error = GetDouble(json, "achieved_error");
+  if (!blocks_consumed.ok() || !blocks_total.ok() || !rows_consumed.ok() ||
+      !rows_total.ok() || !achieved_error.ok()) {
+    return Missing("progress");
+  }
+  StreamProgress out;
+  out.blocks_consumed = *blocks_consumed;
+  out.blocks_total = *blocks_total;
+  out.rows_consumed = *rows_consumed;
+  out.rows_total = *rows_total;
+  out.achieved_error = *achieved_error;
+  out.bound_met = GetBoolOr(json, "bound_met", false);
+  return out;
+}
+
+JsonValue EncodeReport(const ExecutionReport& report) {
+  JsonValue out = JsonValue::Object();
+  out.Set("family", report.family);
+  out.Set("resolution", report.resolution);
+  out.Set("cap", report.cap);
+  out.Set("rows_read", report.rows_read);
+  out.Set("blocks_read", report.blocks_read);
+  out.Set("blocks_reused", report.blocks_reused);
+  out.Set("blocks_consumed", report.blocks_consumed);
+  out.Set("stopped_early", report.stopped_early);
+  out.Set("cancelled", report.cancelled);
+  out.Set("probe_latency", report.probe_latency);
+  out.Set("execution_latency", report.execution_latency);
+  out.Set("total_latency", report.total_latency);
+  out.Set("projected_error", report.projected_error);
+  out.Set("achieved_error", report.achieved_error);
+  out.Set("num_subqueries", report.num_subqueries);
+  out.Set("rewrite_fallback", report.rewrite_fallback);
+  out.Set("schedule", ScheduleModeName(report.schedule));
+  JsonValue elp = JsonValue::Array();
+  for (const auto& point : report.elp) {
+    JsonValue jpoint = JsonValue::Object();
+    jpoint.Set("resolution", point.resolution);
+    jpoint.Set("rows", point.rows);
+    jpoint.Set("blocks", point.blocks);
+    jpoint.Set("projected_error", point.projected_error);
+    jpoint.Set("projected_latency", point.projected_latency);
+    jpoint.Set("projected_matched", point.projected_matched);
+    elp.Append(std::move(jpoint));
+  }
+  out.Set("elp", std::move(elp));
+  JsonValue pipelines = JsonValue::Array();
+  for (const auto& outcome : report.pipeline_outcomes) {
+    JsonValue jout = JsonValue::Object();
+    jout.Set("blocks_total", outcome.blocks_total);
+    jout.Set("blocks_consumed", outcome.blocks_consumed);
+    jout.Set("rows_consumed", outcome.rows_consumed);
+    jout.Set("rows_matched", outcome.rows_matched);
+    jout.Set("reused_probe", outcome.reused_probe);
+    jout.Set("scheduled_rounds", outcome.scheduled_rounds);
+    jout.Set("error_contribution", outcome.error_contribution);
+    pipelines.Append(std::move(jout));
+  }
+  out.Set("pipeline_outcomes", std::move(pipelines));
+  return out;
+}
+
+Result<ExecutionReport> DecodeReport(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("report must be an object");
+  }
+  ExecutionReport out;
+  auto family = GetString(json, "family");
+  if (!family.ok()) {
+    return family.status();
+  }
+  out.family = std::move(family.value());
+  auto resolution = GetUint(json, "resolution");
+  auto cap = GetUint(json, "cap");
+  auto rows_read = GetUint(json, "rows_read");
+  auto blocks_read = GetUint(json, "blocks_read");
+  auto blocks_reused = GetUint(json, "blocks_reused");
+  auto blocks_consumed = GetUint(json, "blocks_consumed");
+  auto probe_latency = GetDouble(json, "probe_latency");
+  auto execution_latency = GetDouble(json, "execution_latency");
+  auto total_latency = GetDouble(json, "total_latency");
+  auto projected_error = GetDouble(json, "projected_error");
+  auto achieved_error = GetDouble(json, "achieved_error");
+  auto num_subqueries = GetUint(json, "num_subqueries");
+  auto schedule = GetString(json, "schedule");
+  if (!resolution.ok() || !cap.ok() || !rows_read.ok() || !blocks_read.ok() ||
+      !blocks_reused.ok() || !blocks_consumed.ok() || !probe_latency.ok() ||
+      !execution_latency.ok() || !total_latency.ok() || !projected_error.ok() ||
+      !achieved_error.ok() || !num_subqueries.ok() || !schedule.ok()) {
+    return Missing("report");
+  }
+  out.resolution = static_cast<size_t>(*resolution);
+  out.cap = *cap;
+  out.rows_read = *rows_read;
+  out.blocks_read = *blocks_read;
+  out.blocks_reused = *blocks_reused;
+  out.blocks_consumed = *blocks_consumed;
+  out.stopped_early = GetBoolOr(json, "stopped_early", false);
+  out.cancelled = GetBoolOr(json, "cancelled", false);
+  out.probe_latency = *probe_latency;
+  out.execution_latency = *execution_latency;
+  out.total_latency = *total_latency;
+  out.projected_error = *projected_error;
+  out.achieved_error = *achieved_error;
+  out.num_subqueries = static_cast<size_t>(*num_subqueries);
+  out.rewrite_fallback = GetBoolOr(json, "rewrite_fallback", false);
+  out.schedule = schedule.value() == "adaptive" ? ScheduleMode::kAdaptive
+                                                : ScheduleMode::kUniform;
+  if (const JsonValue* elp = json.Find("elp"); elp != nullptr && elp->is_array()) {
+    for (const auto& jpoint : elp->items()) {
+      if (!jpoint.is_object()) {
+        return Missing("elp point");
+      }
+      auto res = GetUint(jpoint, "resolution");
+      auto rows = GetUint(jpoint, "rows");
+      auto blocks = GetUint(jpoint, "blocks");
+      auto err = GetDouble(jpoint, "projected_error");
+      auto lat = GetDouble(jpoint, "projected_latency");
+      auto matched = GetDouble(jpoint, "projected_matched");
+      if (!res.ok() || !rows.ok() || !blocks.ok() || !err.ok() || !lat.ok() ||
+          !matched.ok()) {
+        return Missing("elp point");
+      }
+      ElpPoint point;
+      point.resolution = static_cast<size_t>(*res);
+      point.rows = *rows;
+      point.blocks = *blocks;
+      point.projected_error = *err;
+      point.projected_latency = *lat;
+      point.projected_matched = *matched;
+      out.elp.push_back(point);
+    }
+  }
+  if (const JsonValue* pipelines = json.Find("pipeline_outcomes");
+      pipelines != nullptr && pipelines->is_array()) {
+    for (const auto& jout : pipelines->items()) {
+      if (!jout.is_object()) {
+        return Missing("pipeline outcome");
+      }
+      auto blocks_tot = GetUint(jout, "blocks_total");
+      auto blocks_con = GetUint(jout, "blocks_consumed");
+      auto rows_con = GetUint(jout, "rows_consumed");
+      auto rows_mat = GetUint(jout, "rows_matched");
+      auto rounds = GetUint(jout, "scheduled_rounds");
+      auto contribution = GetDouble(jout, "error_contribution");
+      if (!blocks_tot.ok() || !blocks_con.ok() || !rows_con.ok() || !rows_mat.ok() ||
+          !rounds.ok() || !contribution.ok()) {
+        return Missing("pipeline outcome");
+      }
+      PipelineOutcome outcome;
+      outcome.blocks_total = *blocks_tot;
+      outcome.blocks_consumed = *blocks_con;
+      outcome.rows_consumed = *rows_con;
+      outcome.rows_matched = *rows_mat;
+      outcome.reused_probe = GetBoolOr(jout, "reused_probe", false);
+      outcome.scheduled_rounds = *rounds;
+      outcome.error_contribution = *contribution;
+      out.pipeline_outcomes.push_back(outcome);
+    }
+  }
+  return out;
+}
+
+std::string EncodeHello(const HelloFrame& hello) {
+  JsonValue out = Envelope(FrameType::kHello);
+  out.Set("protocol_version", hello.protocol_version);
+  out.Set("peer", hello.peer);
+  if (!hello.tables.empty()) {
+    out.Set("tables", EncodeStringArray(hello.tables));
+  }
+  return out.Serialize();
+}
+
+std::string EncodeQuery(const QueryFrame& query) {
+  JsonValue out = Envelope(FrameType::kQuery);
+  out.Set("id", query.id);
+  out.Set("sql", query.sql);
+  return out.Serialize();
+}
+
+std::string EncodeCancel(const CancelFrame& cancel) {
+  JsonValue out = Envelope(FrameType::kCancel);
+  out.Set("id", cancel.id);
+  return out.Serialize();
+}
+
+std::string EncodePartial(const PartialFrame& partial) {
+  JsonValue out = Envelope(FrameType::kPartial);
+  out.Set("id", partial.id);
+  out.Set("seq", partial.seq);
+  out.Set("progress", EncodeProgress(partial.progress));
+  out.Set("result", EncodeQueryResult(partial.result));
+  return out.Serialize();
+}
+
+std::string EncodeFinal(const FinalFrame& final_frame) {
+  JsonValue out = Envelope(FrameType::kFinal);
+  out.Set("id", final_frame.id);
+  out.Set("result", EncodeQueryResult(final_frame.result));
+  out.Set("report", EncodeReport(final_frame.report));
+  return out.Serialize();
+}
+
+std::string EncodeError(const ErrorFrame& error) {
+  JsonValue out = Envelope(FrameType::kError);
+  if (error.has_id) {
+    out.Set("id", error.id);
+  }
+  out.Set("code", error.code);
+  out.Set("message", error.message);
+  return out.Serialize();
+}
+
+Result<Frame> DecodeFrame(std::string_view payload) {
+  auto parsed = JsonValue::Parse(payload);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const JsonValue& json = parsed.value();
+  if (!json.is_object()) {
+    return Status::InvalidArgument("frame must be a JSON object");
+  }
+  auto type = GetString(json, "type");
+  if (!type.ok()) {
+    return type.status();
+  }
+
+  Frame frame;
+  if (*type == "HELLO") {
+    frame.type = FrameType::kHello;
+    HelloFrame hello;
+    auto version = GetUint(json, "protocol_version");
+    if (!version.ok()) {
+      return version.status();
+    }
+    hello.protocol_version = static_cast<int64_t>(*version);
+    if (const JsonValue* peer = json.Find("peer"); peer != nullptr && peer->is_string()) {
+      hello.peer = peer->AsString();
+    }
+    if (const JsonValue* tables = json.Find("tables");
+        tables != nullptr && tables->is_array()) {
+      auto names = DecodeStringArray(*tables);
+      if (!names.ok()) {
+        return names.status();
+      }
+      hello.tables = std::move(names.value());
+    }
+    frame.payload = std::move(hello);
+    return frame;
+  }
+  if (*type == "QUERY") {
+    frame.type = FrameType::kQuery;
+    QueryFrame query;
+    auto id = GetUint(json, "id");
+    auto sql = GetString(json, "sql");
+    if (!id.ok() || !sql.ok()) {
+      return Missing("id/sql");
+    }
+    query.id = *id;
+    query.sql = std::move(sql.value());
+    frame.payload = std::move(query);
+    return frame;
+  }
+  if (*type == "CANCEL") {
+    frame.type = FrameType::kCancel;
+    CancelFrame cancel;
+    auto id = GetUint(json, "id");
+    if (!id.ok()) {
+      return id.status();
+    }
+    cancel.id = *id;
+    frame.payload = cancel;
+    return frame;
+  }
+  if (*type == "PARTIAL") {
+    frame.type = FrameType::kPartial;
+    PartialFrame partial;
+    auto id = GetUint(json, "id");
+    auto seq = GetUint(json, "seq");
+    auto progress = GetObject(json, "progress");
+    auto result = GetObject(json, "result");
+    if (!id.ok() || !seq.ok() || !progress.ok() || !result.ok()) {
+      return Missing("id/seq/progress/result");
+    }
+    partial.id = *id;
+    partial.seq = *seq;
+    auto decoded_progress = DecodeProgress(**progress);
+    if (!decoded_progress.ok()) {
+      return decoded_progress.status();
+    }
+    partial.progress = decoded_progress.value();
+    auto decoded_result = DecodeQueryResult(**result);
+    if (!decoded_result.ok()) {
+      return decoded_result.status();
+    }
+    partial.result = std::move(decoded_result.value());
+    frame.payload = std::move(partial);
+    return frame;
+  }
+  if (*type == "FINAL") {
+    frame.type = FrameType::kFinal;
+    FinalFrame final_frame;
+    auto id = GetUint(json, "id");
+    auto result = GetObject(json, "result");
+    auto report = GetObject(json, "report");
+    if (!id.ok() || !result.ok() || !report.ok()) {
+      return Missing("id/result/report");
+    }
+    final_frame.id = *id;
+    auto decoded_result = DecodeQueryResult(**result);
+    if (!decoded_result.ok()) {
+      return decoded_result.status();
+    }
+    final_frame.result = std::move(decoded_result.value());
+    auto decoded_report = DecodeReport(**report);
+    if (!decoded_report.ok()) {
+      return decoded_report.status();
+    }
+    final_frame.report = std::move(decoded_report.value());
+    frame.payload = std::move(final_frame);
+    return frame;
+  }
+  if (*type == "ERROR") {
+    frame.type = FrameType::kError;
+    ErrorFrame error;
+    if (const JsonValue* id = json.Find("id"); id != nullptr && id->is_number()) {
+      error.has_id = true;
+      error.id = id->AsUint();
+    }
+    auto code = GetString(json, "code");
+    auto message = GetString(json, "message");
+    if (!code.ok() || !message.ok()) {
+      return Missing("code/message");
+    }
+    error.code = std::move(code.value());
+    error.message = std::move(message.value());
+    frame.payload = std::move(error);
+    return frame;
+  }
+  return Status::Unimplemented("unknown frame type '" + *type + "'");
+}
+
+}  // namespace blink

@@ -1,0 +1,137 @@
+// Wire-protocol message codec for the streaming query server.
+//
+// The normative specification lives in docs/PROTOCOL.md; this header is its
+// implementation. Every frame is one JSON object with a "type" field naming
+// one of the six frame types (HELLO, QUERY, PARTIAL, FINAL, ERROR, CANCEL),
+// carried over the length-prefixed transport of src/server/net.h.
+//
+// Encode* functions produce the serialized JSON payload for one frame;
+// DecodeFrame parses an inbound payload into the tagged Frame union and is
+// shared by both peers (the server decodes HELLO/QUERY/CANCEL, the client
+// decodes HELLO/PARTIAL/FINAL/ERROR — direction is enforced by the session
+// logic, not the codec). Doubles round-trip bit-exactly (src/util/json.h),
+// which is what makes a FINAL frame's answer bit-identical to the in-process
+// BlinkDB::Query result.
+#ifndef BLINKDB_SERVER_PROTOCOL_H_
+#define BLINKDB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/exec/incremental.h"
+#include "src/runtime/query_runtime.h"
+#include "src/util/json.h"
+#include "src/util/status.h"
+
+namespace blink {
+
+// Bumped on any incompatible wire change; HELLO carries it in both
+// directions and the server refuses mismatched majors (docs/PROTOCOL.md
+// "Versioning").
+constexpr int64_t kProtocolVersion = 1;
+
+enum class FrameType { kHello, kQuery, kPartial, kFinal, kError, kCancel };
+
+// Wire name of a frame type ("HELLO", "QUERY", ...).
+const char* FrameTypeName(FrameType type);
+
+// Machine-readable ERROR codes (docs/PROTOCOL.md "Error codes").
+namespace wire_error {
+// The frame was not valid JSON, or lacked required fields. Session survives.
+inline constexpr char kMalformedFrame[] = "MALFORMED_FRAME";
+// "type" named no frame type this protocol version knows.
+inline constexpr char kUnknownType[] = "UNKNOWN_TYPE";
+// A known frame type that is illegal in this direction or session state
+// (e.g. a PARTIAL sent to the server, or a second HELLO).
+inline constexpr char kUnexpectedFrame[] = "UNEXPECTED_FRAME";
+// HELLO version mismatch; the server closes the connection after sending.
+inline constexpr char kUnsupportedProtocol[] = "UNSUPPORTED_PROTOCOL";
+// A QUERY arrived before the HELLO handshake completed.
+inline constexpr char kHandshakeRequired[] = "HANDSHAKE_REQUIRED";
+// A QUERY arrived while this session's previous query was still running.
+inline constexpr char kBusy[] = "BUSY";
+// The engine rejected or failed the query (bad SQL, unknown table, ...);
+// `message` carries the engine status text.
+inline constexpr char kQueryFailed[] = "QUERY_FAILED";
+}  // namespace wire_error
+
+struct HelloFrame {
+  int64_t protocol_version = kProtocolVersion;
+  // Free-form peer description ("blinkdb_cli/0.1", "blinkdb-server/0.5").
+  std::string peer;
+  // Server→client only: queryable table names, so a client can introspect.
+  std::vector<std::string> tables;
+};
+
+struct QueryFrame {
+  // Client-chosen id echoed on every PARTIAL/FINAL/ERROR for this query.
+  uint64_t id = 0;
+  std::string sql;
+};
+
+struct CancelFrame {
+  uint64_t id = 0;
+};
+
+struct PartialFrame {
+  uint64_t id = 0;
+  // Monotonically increasing per query, starting at 1.
+  uint64_t seq = 0;
+  StreamProgress progress;
+  QueryResult result;
+};
+
+struct FinalFrame {
+  uint64_t id = 0;
+  QueryResult result;
+  ExecutionReport report;
+};
+
+struct ErrorFrame {
+  // The offending query id; absent (has_id = false) for session-level errors
+  // such as malformed frames.
+  bool has_id = false;
+  uint64_t id = 0;
+  std::string code;
+  std::string message;
+};
+
+// A decoded inbound frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::variant<HelloFrame, QueryFrame, CancelFrame, PartialFrame, FinalFrame,
+               ErrorFrame>
+      payload;
+};
+
+// --- Encoding (struct → serialized JSON payload) -----------------------------
+
+std::string EncodeHello(const HelloFrame& hello);
+std::string EncodeQuery(const QueryFrame& query);
+std::string EncodeCancel(const CancelFrame& cancel);
+std::string EncodePartial(const PartialFrame& partial);
+std::string EncodeFinal(const FinalFrame& final_frame);
+std::string EncodeError(const ErrorFrame& error);
+
+// --- Decoding ----------------------------------------------------------------
+
+// Parses one frame payload. InvalidArgument covers both JSON syntax errors
+// and structurally invalid frames (missing "type", missing required fields,
+// wrong field types) — the MALFORMED_FRAME case; an unknown "type" string
+// maps to Unimplemented — the UNKNOWN_TYPE case.
+Result<Frame> DecodeFrame(std::string_view payload);
+
+// Building blocks, exposed for tests: answers and reports round-trip through
+// these.
+JsonValue EncodeQueryResult(const QueryResult& result);
+Result<QueryResult> DecodeQueryResult(const JsonValue& json);
+JsonValue EncodeReport(const ExecutionReport& report);
+Result<ExecutionReport> DecodeReport(const JsonValue& json);
+JsonValue EncodeProgress(const StreamProgress& progress);
+Result<StreamProgress> DecodeProgress(const JsonValue& json);
+
+}  // namespace blink
+
+#endif  // BLINKDB_SERVER_PROTOCOL_H_

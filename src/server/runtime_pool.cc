@@ -1,0 +1,44 @@
+#include "src/server/runtime_pool.h"
+
+#include <algorithm>
+
+namespace blink {
+
+RuntimePool::RuntimePool(const SampleStore* store, const ClusterModel* cluster,
+                         const RuntimeConfig& config, size_t size) {
+  const size_t n = std::max<size_t>(1, size);
+  runtimes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    runtimes_.push_back(std::make_unique<QueryRuntime>(store, cluster, config));
+    free_.push_back(runtimes_.back().get());
+  }
+}
+
+RuntimePool::Lease::~Lease() {
+  if (pool_ != nullptr) {
+    pool_->Release(runtime_);
+  }
+}
+
+RuntimePool::Lease RuntimePool::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  free_cv_.wait(lock, [this] { return !free_.empty(); });
+  const QueryRuntime* runtime = free_.back();
+  free_.pop_back();
+  return Lease(this, runtime);
+}
+
+size_t RuntimePool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+void RuntimePool::Release(const QueryRuntime* runtime) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(runtime);
+  }
+  free_cv_.notify_one();
+}
+
+}  // namespace blink

@@ -1,0 +1,73 @@
+// A fixed pool of QueryRuntime instances shared by server sessions.
+//
+// Every session speaks the wire protocol independently, but queries execute
+// on a bounded set of runtimes so N clients cannot spawn N thread pools: a
+// session borrows a runtime for the duration of one query and returns it
+// when the FINAL (or ERROR) frame is on the wire. All runtimes share one
+// catalog / sample store / cluster model — the read-only serving state —
+// while each owns its private scan thread pool, so concurrent queries never
+// contend on executor internals. Acquire blocks when every runtime is busy,
+// which is the server's admission control: excess queries queue in arrival
+// order rather than degrading everyone.
+#ifndef BLINKDB_SERVER_RUNTIME_POOL_H_
+#define BLINKDB_SERVER_RUNTIME_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/runtime/query_runtime.h"
+
+namespace blink {
+
+class RuntimePool {
+ public:
+  // Builds `size` runtimes (at least 1) over the shared serving state.
+  // `store` and `cluster` must outlive the pool.
+  RuntimePool(const SampleStore* store, const ClusterModel* cluster,
+              const RuntimeConfig& config, size_t size);
+
+  // RAII lease: releases the runtime back to the pool on destruction.
+  class Lease {
+   public:
+    Lease(RuntimePool* pool, const QueryRuntime* runtime)
+        : pool_(pool), runtime_(runtime) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), runtime_(other.runtime_) {
+      other.pool_ = nullptr;
+      other.runtime_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();
+
+    const QueryRuntime& runtime() const { return *runtime_; }
+
+   private:
+    RuntimePool* pool_;
+    const QueryRuntime* runtime_;
+  };
+
+  // Blocks until a runtime is free (FIFO within the scheduler's fairness).
+  Lease Acquire();
+
+  size_t size() const { return runtimes_.size(); }
+  // Currently idle runtimes (for tests and introspection).
+  size_t available() const;
+
+ private:
+  friend class Lease;
+  void Release(const QueryRuntime* runtime);
+
+  std::vector<std::unique_ptr<QueryRuntime>> runtimes_;
+  mutable std::mutex mu_;
+  std::condition_variable free_cv_;
+  std::vector<const QueryRuntime*> free_;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_SERVER_RUNTIME_POOL_H_

@@ -1,0 +1,369 @@
+#include "src/server/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "src/sql/parser.h"
+#include "src/util/logging.h"
+
+namespace blink {
+
+// One client connection: the reader thread lives here; queries run on a
+// separate query thread so CANCEL (and malformed-frame ERRORs) can be
+// serviced mid-query.
+class BlinkServer::Session {
+ public:
+  Session(BlinkServer* server, OwnedFd fd)
+      : server_(server), fd_(std::move(fd)) {
+    reader_ = std::thread([this] { Serve(); });
+  }
+
+  ~Session() { Shutdown(); }
+
+  // Unblocks the reader, cancels any in-flight query, joins both threads.
+  void Shutdown() {
+    closing_.store(true);
+    cancel_.store(true);
+    {
+      // Serve()'s exit tail closes the fd under the same lock; never
+      // shutdown() a descriptor another thread may be closing.
+      std::lock_guard<std::mutex> lock(write_mu_);
+      if (fd_.valid()) {
+        ::shutdown(fd_.get(), SHUT_RDWR);
+      }
+    }
+    if (reader_.joinable()) {
+      reader_.join();
+    }
+    JoinQueryThread();
+    fd_.Close();
+  }
+
+  bool finished() const { return finished_.load(); }
+
+ private:
+  void Serve() {
+    for (;;) {
+      auto frame_bytes = ReadFrame(fd_.get());
+      if (!frame_bytes.ok() || !frame_bytes->has_value()) {
+        break;  // EOF, peer reset, or an unsynchronizable framing error
+      }
+      auto frame = DecodeFrame(**frame_bytes);
+      if (!frame.ok()) {
+        ErrorFrame error;
+        error.code = frame.status().code() == StatusCode::kUnimplemented
+                         ? wire_error::kUnknownType
+                         : wire_error::kMalformedFrame;
+        error.message = frame.status().message();
+        // Framing is length-prefixed, so the stream is still in sync: report
+        // and keep serving this session.
+        if (!Send(EncodeError(error))) {
+          break;
+        }
+        continue;
+      }
+      if (!Dispatch(*frame)) {
+        break;
+      }
+    }
+    // Reader gone: no more CANCELs can arrive; stop any in-flight query so
+    // its runtime lease frees up promptly, let it write its terminal frame,
+    // then release the socket right away — a finished session must not hold
+    // its fd until the next accept happens to reap it (EMFILE under
+    // connect/disconnect churn). The Session object itself (and its
+    // terminated threads) is reaped later; only the fd is scarce.
+    cancel_.store(true);
+    JoinQueryThread();
+    {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      write_failed_ = true;  // no writer may touch the closed descriptor
+      if (fd_.valid()) {
+        ::shutdown(fd_.get(), SHUT_RDWR);
+      }
+      fd_.Close();
+    }
+    finished_.store(true);
+  }
+
+  // Returns false to close the session.
+  bool Dispatch(const Frame& frame) {
+    switch (frame.type) {
+      case FrameType::kHello:
+        return OnHello(std::get<HelloFrame>(frame.payload));
+      case FrameType::kQuery:
+        return OnQuery(std::get<QueryFrame>(frame.payload));
+      case FrameType::kCancel:
+        OnCancel(std::get<CancelFrame>(frame.payload));
+        return true;
+      case FrameType::kPartial:
+      case FrameType::kFinal:
+      case FrameType::kError: {
+        ErrorFrame error;
+        error.code = wire_error::kUnexpectedFrame;
+        error.message = std::string(FrameTypeName(frame.type)) +
+                        " frames are server-to-client only";
+        return Send(EncodeError(error));
+      }
+    }
+    return false;
+  }
+
+  bool OnHello(const HelloFrame& hello) {
+    if (greeted_) {
+      // A repeated HELLO is survivable regardless of its contents
+      // (docs/PROTOCOL.md §3.1) — never close an established session over it.
+      ErrorFrame error;
+      error.code = wire_error::kUnexpectedFrame;
+      error.message = "HELLO already exchanged on this session";
+      return Send(EncodeError(error));
+    }
+    if (hello.protocol_version != kProtocolVersion) {
+      ErrorFrame error;
+      error.code = wire_error::kUnsupportedProtocol;
+      error.message = "server speaks protocol_version " +
+                      std::to_string(kProtocolVersion) + ", client sent " +
+                      std::to_string(hello.protocol_version);
+      Send(EncodeError(error));
+      return false;  // incompatible peer: close after reporting
+    }
+    HelloFrame reply;
+    reply.protocol_version = kProtocolVersion;
+    reply.peer = server_->options_.server_name;
+    reply.tables = server_->db_.catalog().TableNames();
+    if (!Send(EncodeHello(reply))) {
+      return false;
+    }
+    greeted_ = true;
+    return true;
+  }
+
+  bool OnQuery(const QueryFrame& query) {
+    if (!greeted_) {
+      ErrorFrame error;
+      error.has_id = true;
+      error.id = query.id;
+      error.code = wire_error::kHandshakeRequired;
+      error.message = "send HELLO before QUERY";
+      return Send(EncodeError(error));
+    }
+    if (query_running_.load()) {
+      ErrorFrame error;
+      error.has_id = true;
+      error.id = query.id;
+      error.code = wire_error::kBusy;
+      error.message = "a query is already running on this session";
+      return Send(EncodeError(error));
+    }
+    JoinQueryThread();  // reap the previous, already-finished query thread
+    cancel_.store(false);
+    active_query_id_.store(query.id);
+    query_running_.store(true);
+    query_thread_ = std::thread([this, query] { RunQuery(query); });
+    return true;
+  }
+
+  void OnCancel(const CancelFrame& cancel) {
+    // Only the active query can be cancelled; a CANCEL racing its FINAL (or
+    // naming a finished/unknown id) is a documented no-op.
+    if (query_running_.load() && active_query_id_.load() == cancel.id) {
+      cancel_.store(true);
+    }
+  }
+
+  // Runs on the query thread: borrow a runtime, execute, stream frames.
+  void RunQuery(const QueryFrame& query) {
+    uint64_t seq = 0;
+    ProgressCallback progress = [this, &query, &seq](const QueryResult& partial,
+                                                     const StreamProgress& p) {
+      if (p.final_batch) {
+        return;  // the terminal answer travels in the FINAL frame instead
+      }
+      PartialFrame frame;
+      frame.id = query.id;
+      frame.seq = ++seq;
+      frame.progress = p;
+      frame.result = partial;
+      const std::string payload = EncodePartial(frame);
+      if (payload.size() > kMaxFrameBytes) {
+        --seq;  // an oversized partial is skipped, not a dead client
+        return;
+      }
+      if (!Send(payload)) {
+        // Client unreachable (or its write timed out): stop scanning for it
+        // (§4.4 — a dead session must not keep consuming blocks).
+        cancel_.store(true);
+      }
+    };
+
+    auto answer = Execute(query.sql, std::move(progress));
+    // Clear the BUSY state before the terminal frame hits the wire: a client
+    // that pipelines its next QUERY right behind our FINAL must not be
+    // rejected (OnQuery joins this thread, so frame order is preserved).
+    query_running_.store(false);
+    if (answer.ok()) {
+      FinalFrame frame;
+      frame.id = query.id;
+      frame.result = std::move(answer.value().result);
+      frame.report = std::move(answer.value().report);
+      const std::string payload = EncodeFinal(frame);
+      if (payload.size() <= kMaxFrameBytes) {
+        Send(payload);
+      } else {
+        // "FINAL or ERROR — never neither" (docs/PROTOCOL.md §2): a result
+        // too large for one frame still terminates the query explicitly.
+        ErrorFrame error;
+        error.has_id = true;
+        error.id = query.id;
+        error.code = wire_error::kQueryFailed;
+        error.message = "result exceeds the frame size limit";
+        Send(EncodeError(error));
+      }
+    } else {
+      ErrorFrame error;
+      error.has_id = true;
+      error.id = query.id;
+      error.code = wire_error::kQueryFailed;
+      error.message = answer.status().ToString();
+      Send(EncodeError(error));
+    }
+  }
+
+  // Parse + resolve against the shared catalog (the same Resolve the
+  // in-process Query path uses), then execute on a leased runtime with this
+  // session's cancel flag threaded into the plan driver.
+  Result<ApproxAnswer> Execute(const std::string& sql, ProgressCallback progress) {
+    auto stmt = ParseSelect(sql);
+    if (!stmt.ok()) {
+      return stmt.status();
+    }
+    auto tables = server_->db_.Resolve(*stmt);
+    if (!tables.ok()) {
+      return tables.status();
+    }
+    RuntimePool::Lease lease = server_->pool_->Acquire();
+    return lease.runtime().Execute(
+        *stmt, tables->fact->name, tables->fact->table, tables->fact->scale_factor,
+        tables->dim != nullptr ? &tables->dim->table : nullptr, std::move(progress),
+        &cancel_);
+  }
+
+  // Serialized frame write; false once the peer is unreachable. A failed
+  // write may have left a frame half-written (e.g. a send timeout partway
+  // through), after which the stream is unsynchronizable — latch the
+  // failure so no later frame is ever appended to the torn one.
+  bool Send(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (closing_.load() || write_failed_) {
+      return false;
+    }
+    if (!WriteFrame(fd_.get(), payload).ok()) {
+      write_failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  void JoinQueryThread() {
+    if (query_thread_.joinable()) {
+      query_thread_.join();
+    }
+  }
+
+  BlinkServer* server_;
+  OwnedFd fd_;
+  std::thread reader_;
+  std::thread query_thread_;
+  std::mutex write_mu_;
+  bool write_failed_ = false;  // guarded by write_mu_
+  bool greeted_ = false;
+  std::atomic<bool> closing_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> query_running_{false};
+  std::atomic<uint64_t> active_query_id_{0};
+  std::atomic<bool> cancel_{false};
+};
+
+BlinkServer::BlinkServer(const BlinkDB& db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+BlinkServer::~BlinkServer() { Stop(); }
+
+Status BlinkServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  pool_ = std::make_unique<RuntimePool>(&db_.samples(), &db_.cluster(),
+                                        options_.runtime,
+                                        options_.max_concurrent_queries);
+  auto listener = ListenTcp(options_.host, options_.port, &port_);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(listener.value());
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  BLINK_LOG(kInfo) << "blinkdb server listening on " << options_.host << ":" << port_;
+  return Status::Ok();
+}
+
+void BlinkServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Unblock accept(), then tear down every session (cancels their queries).
+  ::shutdown(listener_.get(), SHUT_RDWR);
+  listener_.Close();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  sessions.clear();  // ~Session shuts each down and joins its threads
+}
+
+void BlinkServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) {
+        return;
+      }
+      if (errno != EINTR && errno != ECONNABORTED) {
+        // Persistent failure (EMFILE/ENFILE under fd pressure): back off
+        // instead of hot-looping at 100% CPU until fds free up.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.write_timeout_seconds > 0) {
+      timeval timeout{};
+      timeout.tv_sec = options_.write_timeout_seconds;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    }
+    sessions_accepted_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    // Opportunistically reap sessions whose reader already exited, so a
+    // long-lived server does not accumulate dead connections.
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if ((*it)->finished()) {
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    sessions_.push_back(std::make_unique<Session>(this, OwnedFd(fd)));
+  }
+}
+
+}  // namespace blink

@@ -1,0 +1,110 @@
+// Multi-client streaming query server over TCP (docs/PROTOCOL.md).
+//
+// The server turns the in-process progress-callback contract of
+// BlinkDB::Query(sql, progress) into wire frames: every streamed round's
+// combined partial answer becomes a PARTIAL frame (union estimate,
+// achieved_error, blocks_consumed), and the terminal answer becomes a FINAL
+// frame carrying the full ExecutionReport — so an interactive client watches
+// the answer converge in real time, the paper's bounded-error /
+// bounded-response-time promise made visible.
+//
+// Architecture (docs/ARCHITECTURE.md "Serving layer"):
+//
+//   accept thread ──▶ Session per connection (reader thread)
+//                        │  HELLO handshake, frame dispatch
+//                        │  QUERY ──▶ query thread: RuntimePool::Acquire()
+//                        │             └▶ QueryRuntime::Execute(progress, cancel)
+//                        │                  progress → PARTIAL frames
+//                        │                  return   → FINAL (or ERROR) frame
+//                        └─ CANCEL ─▶ flips the session's cancel flag; the
+//                           plan driver stops at the next round boundary and
+//                           the query still ends with FINAL (cancelled=true,
+//                           partial answer, only consumed blocks charged §4.4)
+//
+// Sessions keep their reader thread free while a query runs (that is what
+// makes mid-query CANCEL possible), serialize socket writes behind a mutex
+// (PARTIALs from the query thread, ERRORs from the reader), and survive
+// malformed frames — the length-prefixed transport stays in sync, so the
+// server answers ERROR and keeps serving.
+#ifndef BLINKDB_SERVER_SERVER_H_
+#define BLINKDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/blinkdb.h"
+#include "src/server/net.h"
+#include "src/server/protocol.h"
+#include "src/server/runtime_pool.h"
+
+namespace blink {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port; read the actual one from port() after Start.
+  uint16_t port = 0;
+  std::string server_name = "blinkdb-server/1";
+  // Runtime settings every pooled QueryRuntime is built with. For
+  // bit-identical answers against an in-process BlinkDB::Query, use the same
+  // exec_threads / morsel_rows / scheduling configuration on both sides.
+  RuntimeConfig runtime;
+  // QueryRuntime instances in the shared pool = queries executing
+  // concurrently across all sessions; further queries wait their turn.
+  size_t max_concurrent_queries = 4;
+  // SO_SNDTIMEO on session sockets: a client that stops reading (TCP buffer
+  // full) fails the blocked frame write after this long instead of pinning
+  // the query thread — and its runtime lease — forever. The failed write
+  // flips the session's cancel flag, so the query unwinds at the next round
+  // boundary and the lease frees. 0 disables the timeout.
+  unsigned write_timeout_seconds = 30;
+};
+
+class BlinkServer {
+ public:
+  // `db` is the serving state (catalog + samples + cluster model); it must
+  // outlive the server and must not be mutated while serving.
+  explicit BlinkServer(const BlinkDB& db, ServerOptions options = {});
+  ~BlinkServer();
+
+  BlinkServer(const BlinkServer&) = delete;
+  BlinkServer& operator=(const BlinkServer&) = delete;
+
+  // Binds, listens, and starts the accept thread. Fails if already started
+  // or the address is unavailable.
+  Status Start();
+
+  // Closes the listener and every session, cancels in-flight queries, joins
+  // all threads. Idempotent.
+  void Stop();
+
+  // The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  // Sessions accepted over the server's lifetime (for tests/metrics).
+  size_t sessions_accepted() const { return sessions_accepted_.load(); }
+
+ private:
+  class Session;
+
+  void AcceptLoop();
+
+  const BlinkDB& db_;
+  ServerOptions options_;
+  std::unique_ptr<RuntimePool> pool_;
+  OwnedFd listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> sessions_accepted_{0};
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_SERVER_SERVER_H_

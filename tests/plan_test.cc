@@ -576,5 +576,79 @@ TEST(SchedulerTest, SinglePipelinePlansDegenerateToTheUniformPath) {
   EXPECT_EQ(adaptive->achieved_error, uniform->achieved_error);
 }
 
+// --- Cancellation hook (PlanOptions::cancel) ---------------------------------
+
+TEST(CancelHookTest, CancelStopsThePlanAtARoundBoundary) {
+  const SkewedPlanFixture fx;
+  std::atomic<bool> cancel{false};
+  int rounds = 0;
+  PlanOptions options = fx.MakeOptions(ScheduleMode::kUniform);
+  options.cancel = &cancel;
+  options.progress = [&](const QueryResult&, const StreamProgress& progress) {
+    if (!progress.final_batch && ++rounds == 3) {
+      cancel.store(true);
+    }
+  };
+  auto run = ExecutePlan(fx.MakePlan(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->cancelled);
+  EXPECT_TRUE(run->stopped_early);
+  EXPECT_LT(run->blocks_consumed, run->blocks_total);
+  // batch_blocks = 1 and a uniform round-robin: after 3 rounds each of the
+  // two pipelines holds exactly 3 blocks, and the cancel observed at the
+  // next round boundary adds nothing.
+  ASSERT_EQ(run->pipelines.size(), 2u);
+  EXPECT_EQ(run->pipelines[0].blocks_consumed, 3u);
+  EXPECT_EQ(run->pipelines[1].blocks_consumed, 3u);
+  ASSERT_FALSE(run->result.rows.empty());
+}
+
+// A cancel at round k is indistinguishable from a block budget of the same
+// prefix: the partial answer is a pure function of the consumed prefixes, so
+// the two drives must agree bit-identically. This is the §4.4 contract —
+// cancelled queries are accounted exactly like budget-stopped ones.
+TEST(CancelHookTest, CancelledPrefixIsBitIdenticalToBudgetedPrefix) {
+  const SkewedPlanFixture fx;
+  std::atomic<bool> cancel{false};
+  int rounds = 0;
+  PlanOptions cancel_options = fx.MakeOptions(ScheduleMode::kUniform);
+  cancel_options.cancel = &cancel;
+  cancel_options.progress = [&](const QueryResult&, const StreamProgress& progress) {
+    if (!progress.final_batch && ++rounds == 3) {
+      cancel.store(true);
+    }
+  };
+  auto cancelled = ExecutePlan(fx.MakePlan(), cancel_options);
+  ASSERT_TRUE(cancelled.ok());
+  ASSERT_TRUE(cancelled->cancelled);
+
+  PlanOptions budget_options = fx.MakeOptions(ScheduleMode::kUniform);
+  // Same interleave (per-round re-finalization on), same joint prefix.
+  budget_options.progress = [](const QueryResult&, const StreamProgress&) {};
+  budget_options.budget_pool = cancelled->blocks_consumed;
+  auto budgeted = ExecutePlan(fx.MakePlan(), budget_options);
+  ASSERT_TRUE(budgeted.ok());
+  EXPECT_FALSE(budgeted->cancelled);
+  EXPECT_EQ(budgeted->blocks_consumed, cancelled->blocks_consumed);
+  ASSERT_EQ(budgeted->pipelines.size(), cancelled->pipelines.size());
+  for (size_t i = 0; i < budgeted->pipelines.size(); ++i) {
+    EXPECT_EQ(budgeted->pipelines[i].blocks_consumed,
+              cancelled->pipelines[i].blocks_consumed);
+  }
+  ExpectIdentical(budgeted->result, cancelled->result);
+}
+
+TEST(CancelHookTest, CancelBeforeTheFirstRoundConsumesNothing) {
+  const SkewedPlanFixture fx;
+  std::atomic<bool> cancel{true};  // pre-set: the drive must not scan at all
+  PlanOptions options = fx.MakeOptions(ScheduleMode::kUniform);
+  options.cancel = &cancel;
+  options.progress = [](const QueryResult&, const StreamProgress&) {};
+  auto run = ExecutePlan(fx.MakePlan(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->cancelled);
+  EXPECT_EQ(run->blocks_consumed, 0u);
+}
+
 }  // namespace
 }  // namespace blink

@@ -1,0 +1,652 @@
+// Streaming query server: loopback integration + protocol units.
+//
+//  - Codec: JSON values round-trip bit-exactly (17-digit doubles), every
+//    frame type encodes/decodes, malformed payloads are rejected.
+//  - Serving: N concurrent clients get FINAL answers bit-identical to a
+//    direct in-process BlinkDB::Query under the same runtime settings;
+//    PARTIAL sequences are monotone in blocks_consumed and precede FINAL
+//    for bounded queries; malformed frames draw an ERROR without killing
+//    the session; handshake and BUSY rules hold.
+//  - Cancellation (the §4.4 satellite): CANCEL mid-stream ends the query at
+//    a round boundary with FINAL(cancelled=true), the server keeps serving,
+//    and the cancelled query is charged only for consumed blocks — both
+//    over the wire and at the runtime layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/blinkdb.h"
+#include "src/client/blink_client.h"
+#include "src/server/net.h"
+#include "src/server/protocol.h"
+#include "src/server/runtime_pool.h"
+#include "src/server/server.h"
+#include "src/sql/parser.h"
+#include "src/util/json.h"
+#include "src/workload/conviva.h"
+
+namespace blink {
+namespace {
+
+// Runtime settings shared by the served pool and the direct BlinkDB the
+// answers are compared against — bit-identity requires matching knobs.
+RuntimeConfig ServedConfig() {
+  RuntimeConfig config;
+  config.exec_threads = 2;
+  config.morsel_rows = 256;
+  config.stream_batch_blocks = 4;
+  return config;
+}
+
+BlinkDbOptions ServedDbOptions() {
+  BlinkDbOptions options;
+  options.runtime = ServedConfig();
+  return options;
+}
+
+// One server over one BlinkDB instance, shared by every test (sample
+// building is the expensive part); sessions are cheap and isolated.
+struct ServedFixture {
+  BlinkDB db{ServedDbOptions()};
+  std::unique_ptr<BlinkServer> server;
+
+  static ServedFixture& Get() {
+    static ServedFixture* fixture = new ServedFixture();
+    return *fixture;
+  }
+
+  ServedFixture() {
+    ConvivaConfig data;
+    data.num_rows = 60'000;
+    data.num_cities = 500;
+    data.num_urls = 5'000;
+    EXPECT_TRUE(
+        db.RegisterTable("sessions", GenerateConvivaTable(data), /*scale=*/1e6).ok());
+    PlannerConfig planner;
+    planner.budget_fraction = 0.5;
+    planner.cap_k = 500;
+    planner.max_columns_per_set = 2;
+    planner.uniform_fraction = 0.1;
+    auto plan = db.BuildSamples("sessions", ConvivaTemplates(), planner);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+
+    ServerOptions options;
+    options.runtime = ServedConfig();
+    options.max_concurrent_queries = 4;
+    server = std::make_unique<BlinkServer>(db, options);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  void Connect(BlinkClient& client) {
+    ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  }
+};
+
+void ExpectValueEq(const Value& x, const Value& y) {
+  ASSERT_EQ(x.type(), y.type());
+  EXPECT_EQ(x, y);
+}
+
+// Bit-exact equality of two answers: group values, estimate values and
+// variances, confidence.
+void ExpectIdentical(const QueryResult& x, const QueryResult& y,
+                     const std::string& context) {
+  ASSERT_EQ(x.rows.size(), y.rows.size()) << context;
+  EXPECT_EQ(x.group_names, y.group_names) << context;
+  EXPECT_EQ(x.aggregate_names, y.aggregate_names) << context;
+  EXPECT_EQ(x.confidence, y.confidence) << context;
+  EXPECT_EQ(x.stats.rows_matched, y.stats.rows_matched) << context;
+  for (size_t r = 0; r < x.rows.size(); ++r) {
+    ASSERT_EQ(x.rows[r].group_values.size(), y.rows[r].group_values.size()) << context;
+    for (size_t g = 0; g < x.rows[r].group_values.size(); ++g) {
+      ExpectValueEq(x.rows[r].group_values[g], y.rows[r].group_values[g]);
+    }
+    ASSERT_EQ(x.rows[r].aggregates.size(), y.rows[r].aggregates.size()) << context;
+    for (size_t a = 0; a < x.rows[r].aggregates.size(); ++a) {
+      EXPECT_EQ(x.rows[r].aggregates[a].value, y.rows[r].aggregates[a].value)
+          << context << " row " << r;
+      EXPECT_EQ(x.rows[r].aggregates[a].variance, y.rows[r].aggregates[a].variance)
+          << context << " row " << r;
+    }
+  }
+}
+
+// --- JSON unit tests ---------------------------------------------------------
+
+TEST(JsonTest, DoublesRoundTripBitExactly) {
+  for (double v : {1.0 / 3.0, 1e-17, 123456789.123456789, -2.5e300, 0.0, 42.0}) {
+    JsonValue array = JsonValue::Array();
+    array.Append(v);
+    auto parsed = JsonValue::Parse(array.Serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->items()[0].AsDouble(), v) << v;
+  }
+}
+
+TEST(JsonTest, IntegersKeepFullPrecision) {
+  const int64_t big = (int64_t{1} << 62) + 12345;
+  JsonValue obj = JsonValue::Object();
+  obj.Set("n", big);
+  auto parsed = JsonValue::Parse(obj.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("n")->AsInt(), big);
+}
+
+TEST(JsonTest, StringsEscapeAndUnescape) {
+  const std::string nasty = "quote\" slash\\ newline\n tab\t ctrl\x01 end";
+  JsonValue obj = JsonValue::Object();
+  obj.Set("s", nasty);
+  auto parsed = JsonValue::Parse(obj.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("s")->AsString(), nasty);
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "{\"a\":}", "[1,]", "nope", "{\"a\":1} x",
+                          "\"unterminated", "{\"a\" 1}", "[--3]"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  auto parsed = JsonValue::Parse(
+      R"({"a": [1, 2.5, "x", null, true], "b": {"c": -7}})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("a")->items().size(), 5u);
+  EXPECT_EQ(parsed->Find("b")->Find("c")->AsInt(), -7);
+}
+
+// --- Protocol codec ----------------------------------------------------------
+
+QueryResult SampleResult() {
+  QueryResult result;
+  result.group_names = {"os"};
+  result.aggregate_names = {"COUNT(*)", "AVG(v)"};
+  result.confidence = 0.95;
+  ResultRow row;
+  row.group_values = {Value("android"), };
+  row.aggregates.push_back({1.0 / 3.0, 1e-9});
+  row.aggregates.push_back({42.0, 0.0});
+  result.rows.push_back(row);
+  ResultRow row2;
+  row2.group_values = {Value(int64_t{7})};
+  row2.aggregates.push_back({2.5e300, 17.25});
+  row2.aggregates.push_back({-0.125, 3e-45});
+  result.rows.push_back(row2);
+  result.stats.rows_scanned = 1000;
+  result.stats.rows_matched = 123;
+  result.stats.blocks_scanned = 4;
+  result.stats.block_rows = 256;
+  result.stats.bytes_scanned = 65536.5;
+  return result;
+}
+
+TEST(ProtocolTest, QueryResultRoundTripsBitExactly) {
+  const QueryResult original = SampleResult();
+  auto decoded = DecodeQueryResult(EncodeQueryResult(original));
+  // Encode → serialize → parse → decode, the full wire path.
+  auto reparsed = JsonValue::Parse(EncodeQueryResult(original).Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  decoded = DecodeQueryResult(*reparsed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectIdentical(*decoded, original, "codec round trip");
+  EXPECT_EQ(decoded->stats.rows_scanned, original.stats.rows_scanned);
+  EXPECT_EQ(decoded->stats.bytes_scanned, original.stats.bytes_scanned);
+}
+
+TEST(ProtocolTest, ReportRoundTrips) {
+  ExecutionReport report;
+  report.family = "{city}";
+  report.resolution = 3;
+  report.cap = 500;
+  report.rows_read = 12345;
+  report.blocks_read = 48;
+  report.blocks_reused = 6;
+  report.blocks_consumed = 48;
+  report.stopped_early = true;
+  report.cancelled = true;
+  report.probe_latency = 0.25;
+  report.execution_latency = 1.5;
+  report.total_latency = 1.75;
+  report.projected_error = 0.04;
+  report.achieved_error = 0.031;
+  report.num_subqueries = 2;
+  report.rewrite_fallback = false;
+  report.schedule = ScheduleMode::kAdaptive;
+  report.elp.push_back({1, 1000, 4, 0.1, 0.5, 30.0});
+  PipelineOutcome outcome;
+  outcome.blocks_total = 30;
+  outcome.blocks_consumed = 20;
+  outcome.rows_consumed = 5120;
+  outcome.rows_matched = 77;
+  outcome.reused_probe = false;
+  outcome.scheduled_rounds = 5;
+  outcome.error_contribution = 0.625;
+  report.pipeline_outcomes.push_back(outcome);
+
+  auto reparsed = JsonValue::Parse(EncodeReport(report).Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  auto decoded = DecodeReport(*reparsed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->family, report.family);
+  EXPECT_EQ(decoded->resolution, report.resolution);
+  EXPECT_EQ(decoded->blocks_consumed, report.blocks_consumed);
+  EXPECT_TRUE(decoded->stopped_early);
+  EXPECT_TRUE(decoded->cancelled);
+  EXPECT_EQ(decoded->schedule, ScheduleMode::kAdaptive);
+  EXPECT_EQ(decoded->achieved_error, report.achieved_error);
+  ASSERT_EQ(decoded->elp.size(), 1u);
+  EXPECT_EQ(decoded->elp[0].projected_latency, 0.5);
+  ASSERT_EQ(decoded->pipeline_outcomes.size(), 1u);
+  EXPECT_EQ(decoded->pipeline_outcomes[0].blocks_consumed, 20u);
+  EXPECT_EQ(decoded->pipeline_outcomes[0].error_contribution, 0.625);
+}
+
+TEST(ProtocolTest, EveryFrameTypeRoundTrips) {
+  HelloFrame hello;
+  hello.peer = "test/1";
+  hello.tables = {"sessions", "lineitem"};
+  auto frame = DecodeFrame(EncodeHello(hello));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kHello);
+  EXPECT_EQ(std::get<HelloFrame>(frame->payload).tables.size(), 2u);
+
+  QueryFrame query;
+  query.id = 9;
+  query.sql = "SELECT COUNT(*) FROM t WHERE s = 'x\"y'";
+  frame = DecodeFrame(EncodeQuery(query));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kQuery);
+  EXPECT_EQ(std::get<QueryFrame>(frame->payload).sql, query.sql);
+
+  CancelFrame cancel;
+  cancel.id = 9;
+  frame = DecodeFrame(EncodeCancel(cancel));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kCancel);
+  EXPECT_EQ(std::get<CancelFrame>(frame->payload).id, 9u);
+
+  PartialFrame partial;
+  partial.id = 9;
+  partial.seq = 2;
+  partial.progress.blocks_consumed = 8;
+  partial.progress.blocks_total = 64;
+  partial.progress.achieved_error = 0.07;
+  partial.result = SampleResult();
+  frame = DecodeFrame(EncodePartial(partial));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kPartial);
+  EXPECT_EQ(std::get<PartialFrame>(frame->payload).progress.blocks_consumed, 8u);
+
+  FinalFrame final_frame;
+  final_frame.id = 9;
+  final_frame.result = SampleResult();
+  final_frame.report.family = "uniform";
+  frame = DecodeFrame(EncodeFinal(final_frame));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kFinal);
+  ExpectIdentical(std::get<FinalFrame>(frame->payload).result, final_frame.result,
+                  "FINAL round trip");
+
+  ErrorFrame error;
+  error.has_id = true;
+  error.id = 9;
+  error.code = wire_error::kQueryFailed;
+  error.message = "boom";
+  frame = DecodeFrame(EncodeError(error));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kError);
+  EXPECT_EQ(std::get<ErrorFrame>(frame->payload).code, wire_error::kQueryFailed);
+}
+
+TEST(ProtocolTest, RejectsMalformedFrames) {
+  EXPECT_FALSE(DecodeFrame("not json").ok());
+  EXPECT_FALSE(DecodeFrame("[]").ok());
+  EXPECT_FALSE(DecodeFrame(R"({"no_type": 1})").ok());
+  EXPECT_FALSE(DecodeFrame(R"({"type": "QUERY"})").ok());  // missing id/sql
+  // Counters are [0, 2^63): a negative id must not wrap into a huge uint64.
+  EXPECT_FALSE(DecodeFrame(R"({"type": "CANCEL", "id": -1})").ok());
+  EXPECT_FALSE(DecodeFrame(R"({"type": "QUERY", "id": -7, "sql": "x"})").ok());
+  const auto unknown = DecodeFrame(R"({"type": "BOGUS"})");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kUnimplemented);
+}
+
+// --- RuntimePool -------------------------------------------------------------
+
+TEST(RuntimePoolTest, LeasesBlockAndRelease) {
+  ServedFixture& fx = ServedFixture::Get();
+  RuntimePool pool(&fx.db.samples(), &fx.db.cluster(), ServedConfig(), 2);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.available(), 2u);
+  {
+    auto lease1 = pool.Acquire();
+    auto lease2 = pool.Acquire();
+    EXPECT_EQ(pool.available(), 0u);
+    // A third Acquire would block; verify it completes once a lease frees.
+    std::atomic<bool> acquired{false};
+    std::thread waiter([&pool, &acquired] {
+      auto lease3 = pool.Acquire();
+      acquired.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(acquired.load());
+    {
+      auto release_first = std::move(lease1);
+    }  // lease1 returns to the pool
+    waiter.join();
+    EXPECT_TRUE(acquired.load());
+  }
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+// --- Loopback serving --------------------------------------------------------
+
+constexpr char kBoundedSql[] =
+    "SELECT COUNT(*) FROM sessions WHERE country = 'country_2' "
+    "ERROR WITHIN 1% AT CONFIDENCE 95%";
+constexpr char kGroupedSql[] =
+    "SELECT os, COUNT(*), AVG(sessiontimems) FROM sessions GROUP BY os";
+// A deliberately unreachable bound over a grouped scan: the plan streams
+// every block of the largest resolution — a long, many-round query for the
+// BUSY and cancellation tests.
+constexpr char kLongSql[] =
+    "SELECT city, COUNT(*), AVG(sessiontimems) FROM sessions GROUP BY city "
+    "ERROR WITHIN 0.05% AT CONFIDENCE 95%";
+
+TEST(ServerTest, FinalIsBitIdenticalToInProcessQuery) {
+  ServedFixture& fx = ServedFixture::Get();
+  for (const char* sql : {kBoundedSql, kGroupedSql}) {
+    auto direct = fx.db.Query(sql);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    BlinkClient client;
+    fx.Connect(client);
+    auto outcome = client.Query(sql);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ExpectIdentical(outcome->result, direct->result, sql);
+    EXPECT_EQ(outcome->report.blocks_consumed, direct->report.blocks_consumed) << sql;
+    EXPECT_EQ(outcome->report.family, direct->report.family) << sql;
+    EXPECT_EQ(outcome->report.achieved_error, direct->report.achieved_error) << sql;
+  }
+}
+
+TEST(ServerTest, ConcurrentClientsAllGetIdenticalAnswers) {
+  ServedFixture& fx = ServedFixture::Get();
+  auto direct_bounded = fx.db.Query(kBoundedSql);
+  auto direct_grouped = fx.db.Query(kGroupedSql);
+  ASSERT_TRUE(direct_bounded.ok() && direct_grouped.ok());
+
+  constexpr int kClients = 5;
+  std::vector<Result<QueryOutcome>> bounded(kClients, Status::Internal("unset"));
+  std::vector<Result<QueryOutcome>> grouped(kClients, Status::Internal("unset"));
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&fx, &bounded, &grouped, c] {
+      BlinkClient client;
+      fx.Connect(client);
+      bounded[c] = client.Query(kBoundedSql);
+      grouped[c] = client.Query(kGroupedSql);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(bounded[c].ok()) << bounded[c].status().ToString();
+    ASSERT_TRUE(grouped[c].ok()) << grouped[c].status().ToString();
+    ExpectIdentical(bounded[c]->result, direct_bounded->result,
+                    "client " + std::to_string(c) + " bounded");
+    ExpectIdentical(grouped[c]->result, direct_grouped->result,
+                    "client " + std::to_string(c) + " grouped");
+    EXPECT_EQ(bounded[c]->report.blocks_consumed,
+              direct_bounded->report.blocks_consumed);
+  }
+}
+
+TEST(ServerTest, BoundedQueryStreamsMonotonePartialsBeforeFinal) {
+  ServedFixture& fx = ServedFixture::Get();
+  BlinkClient client;
+  fx.Connect(client);
+  std::vector<StreamProgress> partials;
+  std::vector<uint64_t> seqs;
+  auto outcome = client.Query(kBoundedSql, [&](const PartialFrame& partial) {
+    partials.push_back(partial.progress);
+    seqs.push_back(partial.seq);
+  });
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_GE(outcome->partial_frames, 1u) << "a bounded query must stream";
+  ASSERT_EQ(partials.size(), outcome->partial_frames);
+  for (size_t i = 0; i < partials.size(); ++i) {
+    EXPECT_EQ(seqs[i], i + 1) << "seq numbers are dense from 1";
+    if (i > 0) {
+      EXPECT_GT(partials[i].blocks_consumed, partials[i - 1].blocks_consumed);
+      EXPECT_GE(partials[i].rows_consumed, partials[i - 1].rows_consumed);
+    }
+  }
+  // The final answer consumed at least as much as the last partial saw.
+  EXPECT_GE(outcome->report.blocks_consumed, partials.back().blocks_consumed);
+}
+
+TEST(ServerTest, MalformedFramesDrawErrorWithoutKillingSession) {
+  ServedFixture& fx = ServedFixture::Get();
+  BlinkClient client;
+  fx.Connect(client);
+
+  ASSERT_TRUE(client.SendRaw("this is not json").ok());
+  auto reply = client.ReadOne();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, FrameType::kError);
+  EXPECT_EQ(std::get<ErrorFrame>(reply->payload).code, wire_error::kMalformedFrame);
+
+  ASSERT_TRUE(client.SendRaw(R"({"type": "BOGUS"})").ok());
+  reply = client.ReadOne();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, FrameType::kError);
+  EXPECT_EQ(std::get<ErrorFrame>(reply->payload).code, wire_error::kUnknownType);
+
+  // A well-formed frame that is server-to-client only.
+  FinalFrame bogus_final;
+  ASSERT_TRUE(client.SendRaw(EncodeFinal(bogus_final)).ok());
+  reply = client.ReadOne();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, FrameType::kError);
+  EXPECT_EQ(std::get<ErrorFrame>(reply->payload).code, wire_error::kUnexpectedFrame);
+
+  // The session survived all three: a real query still answers.
+  auto outcome = client.Query(kGroupedSql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->result.rows.empty());
+}
+
+TEST(ServerTest, QueryBeforeHelloIsRejected) {
+  ServedFixture& fx = ServedFixture::Get();
+  auto fd = ConnectTcp("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(fd.ok());
+  QueryFrame query;
+  query.id = 1;
+  query.sql = kGroupedSql;
+  ASSERT_TRUE(WriteFrame(fd->get(), EncodeQuery(query)).ok());
+  auto payload = ReadFrame(fd->get());
+  ASSERT_TRUE(payload.ok());
+  ASSERT_TRUE(payload->has_value());
+  auto frame = DecodeFrame(**payload);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, FrameType::kError);
+  EXPECT_EQ(std::get<ErrorFrame>(frame->payload).code,
+            wire_error::kHandshakeRequired);
+}
+
+TEST(ServerTest, ProtocolVersionMismatchClosesSession) {
+  ServedFixture& fx = ServedFixture::Get();
+  auto fd = ConnectTcp("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(fd.ok());
+  HelloFrame hello;
+  hello.protocol_version = 99;
+  ASSERT_TRUE(WriteFrame(fd->get(), EncodeHello(hello)).ok());
+  auto payload = ReadFrame(fd->get());
+  ASSERT_TRUE(payload.ok());
+  ASSERT_TRUE(payload->has_value());
+  auto frame = DecodeFrame(**payload);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, FrameType::kError);
+  EXPECT_EQ(std::get<ErrorFrame>(frame->payload).code,
+            wire_error::kUnsupportedProtocol);
+  // The server closes after reporting: the next read is a clean EOF.
+  auto eof = ReadFrame(fd->get());
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());
+}
+
+TEST(ServerTest, SecondQueryWhileBusyIsRejected) {
+  ServedFixture& fx = ServedFixture::Get();
+  BlinkClient client;
+  fx.Connect(client);
+  QueryFrame first;
+  first.id = 501;
+  first.sql = kLongSql;  // long scan: the reader dispatches 502 mid-query
+  QueryFrame second;
+  second.id = 502;
+  second.sql = kGroupedSql;
+  ASSERT_TRUE(client.SendRaw(EncodeQuery(first)).ok());
+  ASSERT_TRUE(client.SendRaw(EncodeQuery(second)).ok());
+  // Drain frames until both queries reached a terminal state; the loop
+  // always terminates because every accepted query ends in FINAL or ERROR.
+  bool saw_busy = false;
+  bool first_done = false;
+  bool second_done = false;
+  while (!first_done || !second_done) {
+    auto frame = client.ReadOne();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    if (frame->type == FrameType::kError) {
+      const ErrorFrame& error = std::get<ErrorFrame>(frame->payload);
+      EXPECT_EQ(error.code, wire_error::kBusy);
+      ASSERT_TRUE(error.has_id);
+      EXPECT_EQ(error.id, second.id);
+      saw_busy = true;
+      second_done = true;
+    } else if (frame->type == FrameType::kFinal) {
+      const FinalFrame& final_frame = std::get<FinalFrame>(frame->payload);
+      if (final_frame.id == first.id) {
+        first_done = true;
+      } else if (final_frame.id == second.id) {
+        second_done = true;  // 501 finished before 502 was read: no BUSY
+      }
+    }
+  }
+  EXPECT_TRUE(saw_busy)
+      << "the first query completed before the server read the second QUERY; "
+         "the BUSY rule was never exercised";
+}
+
+// --- Cancellation ------------------------------------------------------------
+
+TEST(ServerTest, CancelMidStreamEndsWithCancelledFinalAndServerKeepsServing) {
+  ServedFixture& fx = ServedFixture::Get();
+
+  // The cancel races the scan by design; retry a few times rather than
+  // depending on scheduler timing. Every attempt must end in a clean FINAL
+  // either way — that is itself part of the contract.
+  bool cancelled_once = false;
+  for (int attempt = 0; attempt < 5 && !cancelled_once; ++attempt) {
+    BlinkClient client;
+    fx.Connect(client);
+    auto outcome = client.Query(kLongSql, [&client](const PartialFrame& partial) {
+      if (partial.seq == 1) {
+        EXPECT_TRUE(client.CancelActive().ok());
+      }
+    });
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (!outcome->report.cancelled) {
+      continue;  // the query finished before the CANCEL landed; retry
+    }
+    cancelled_once = true;
+    // The answer is the partial over the consumed prefix: strictly fewer
+    // blocks than the plan had, and the report says so.
+    ASSERT_EQ(outcome->report.pipeline_outcomes.size(), 1u);
+    const PipelineOutcome& pipe = outcome->report.pipeline_outcomes[0];
+    EXPECT_LT(pipe.blocks_consumed, pipe.blocks_total);
+    EXPECT_TRUE(outcome->report.stopped_early);
+    EXPECT_EQ(outcome->report.blocks_consumed, pipe.blocks_consumed);
+    EXPECT_FALSE(outcome->result.rows.empty());
+
+    // §4.4 regression: the cancelled query is charged for its consumed
+    // prefix only — strictly less than the full (uncancelled) run of the
+    // same query, and blocks_read reflects consumed blocks, not the plan.
+    auto full = fx.db.Query(kLongSql);
+    ASSERT_TRUE(full.ok());
+    EXPECT_LT(outcome->report.blocks_consumed, full->report.blocks_consumed);
+    EXPECT_LT(outcome->report.execution_latency, full->report.execution_latency);
+    EXPECT_EQ(outcome->report.blocks_read, outcome->report.blocks_consumed);
+
+    // The session survives its own cancel...
+    auto next = client.Query(kGroupedSql);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    EXPECT_FALSE(next->report.cancelled);
+  }
+  EXPECT_TRUE(cancelled_once)
+      << "CANCEL never landed mid-stream in 5 attempts; scan too fast?";
+
+  // ...and so does the server as a whole.
+  BlinkClient fresh;
+  fx.Connect(fresh);
+  auto sanity = fresh.Query(kBoundedSql);
+  ASSERT_TRUE(sanity.ok()) << sanity.status().ToString();
+}
+
+TEST(ServerTest, CancelForUnknownQueryIsIgnored) {
+  ServedFixture& fx = ServedFixture::Get();
+  BlinkClient client;
+  fx.Connect(client);
+  CancelFrame cancel;
+  cancel.id = 424242;
+  ASSERT_TRUE(client.SendRaw(EncodeCancel(cancel)).ok());
+  // No ERROR comes back; the session simply keeps working.
+  auto outcome = client.Query(kGroupedSql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->report.cancelled);
+}
+
+// Runtime-layer regression for the same §4.4 rule, without the wire: a
+// cancel flag flipped after the first streamed round must leave the report
+// charged for consumed blocks only.
+TEST(RuntimeCancelTest, CancelReleasesUnconsumedBlocksFromCharging) {
+  ServedFixture& fx = ServedFixture::Get();
+  auto full = fx.db.Query(kLongSql);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full->report.blocks_consumed, 0u);
+
+  std::atomic<bool> cancel{false};
+  uint64_t partials_seen = 0;
+  auto answer = fx.db.Query(
+      kLongSql,
+      [&cancel, &partials_seen](const QueryResult&, const StreamProgress& progress) {
+        if (!progress.final_batch && ++partials_seen == 1) {
+          cancel.store(true);  // flip synchronously: lands at the next round
+        }
+      },
+      &cancel);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->report.cancelled);
+  EXPECT_TRUE(answer->report.stopped_early);
+  EXPECT_LT(answer->report.blocks_consumed, full->report.blocks_consumed);
+  EXPECT_EQ(answer->report.blocks_read, answer->report.blocks_consumed);
+  // The consumed-block charge is what the cluster model bills: strictly
+  // cheaper than the full run's, never the planned total.
+  EXPECT_LT(answer->report.execution_latency, full->report.execution_latency);
+  uint64_t outcome_sum = 0;
+  for (const auto& pipe : answer->report.pipeline_outcomes) {
+    outcome_sum += pipe.blocks_consumed;
+  }
+  EXPECT_EQ(answer->report.blocks_consumed, outcome_sum);
+  // Bit-reproducibility of the cancel point: flipping the flag in the first
+  // callback is synchronous, so the consumed prefix — and therefore the
+  // partial answer — is deterministic.
+  EXPECT_GT(answer->report.blocks_consumed, 0u);
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,118 @@
+// blinkdb_server — demo/stand-alone streaming query server.
+//
+// Boots a BlinkDB instance over the synthetic Conviva-like sessions table
+// (src/workload/conviva.h), builds stratified samples for its template
+// workload, and serves the wire protocol of docs/PROTOCOL.md until killed.
+// Point blinkdb_cli (or any client speaking the protocol) at it:
+//
+//   ./blinkdb_server --port 4411 &
+//   ./blinkdb_cli --port 4411 \
+//       --execute "SELECT COUNT(*) FROM sessions WHERE city = 'city_9' \
+//                  ERROR WITHIN 2% AT CONFIDENCE 95%"
+//
+// Flags:
+//   --host H           listen address           (default 127.0.0.1)
+//   --port P           listen port, 0=ephemeral (default 0)
+//   --port-file PATH   write the bound port here (for scripts; default off)
+//   --rows N           demo table rows          (default 120000)
+//   --threads T        exec threads per runtime (default 2)
+//   --morsel-rows M    block size in rows       (default 512)
+//   --batch-blocks B   streamed round cadence   (default 4)
+//   --pool Q           concurrent queries       (default 4)
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/api/blinkdb.h"
+#include "src/server/server.h"
+#include "src/workload/conviva.h"
+
+namespace {
+
+// `--flag value` lookup; returns `fallback` when absent.
+const char* FlagValue(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blink;
+
+  const std::string host = FlagValue(argc, argv, "--host", "127.0.0.1");
+  const uint16_t port =
+      static_cast<uint16_t>(std::atoi(FlagValue(argc, argv, "--port", "0")));
+  const std::string port_file = FlagValue(argc, argv, "--port-file", "");
+  const uint64_t rows =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--rows", "120000")));
+
+  ServerOptions options;
+  options.host = host;
+  options.port = port;
+  options.runtime.exec_threads =
+      static_cast<size_t>(std::atoi(FlagValue(argc, argv, "--threads", "2")));
+  options.runtime.morsel_rows =
+      static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "--morsel-rows", "512")));
+  options.runtime.stream_batch_blocks =
+      static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "--batch-blocks", "4")));
+  options.max_concurrent_queries =
+      static_cast<size_t>(std::atoi(FlagValue(argc, argv, "--pool", "4")));
+
+  // --- Demo serving state: Conviva-like sessions + its sample families. ----
+  ConvivaConfig data;
+  data.num_rows = rows;
+  data.num_cities = 500;
+  data.num_urls = 5'000;
+  Table sessions = GenerateConvivaTable(data);
+  // Pretend the stand-in is ~1 TB so sampling clearly wins (same convention
+  // as tests/api_test.cc).
+  const double scale =
+      1e12 / (static_cast<double>(rows) * sessions.EstimatedBytesPerRow());
+
+  BlinkDB db;
+  if (Status s = db.RegisterTable("sessions", std::move(sessions), scale); !s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  PlannerConfig planner;
+  planner.budget_fraction = 0.5;
+  planner.cap_k = 500;
+  planner.max_columns_per_set = 2;
+  planner.uniform_fraction = 0.1;
+  auto plan = db.BuildSamples("sessions", ConvivaTemplates(), planner);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "sampling failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built %zu sample families over %llu rows\n", plan->families.size(),
+              static_cast<unsigned long long>(rows));
+
+  BlinkServer server(db, options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", host.c_str(), server.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    if (std::FILE* f = std::fopen(port_file.c_str(), "w"); f != nullptr) {
+      std::fprintf(f, "%u\n", server.port());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write --port-file %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  for (;;) {
+    ::pause();  // serve until killed; the accept thread does the work
+  }
+}
