@@ -5,6 +5,8 @@
 // real construction throughput of this library's family builder.
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/cluster/cluster_model.h"
 #include "src/stats/distributions.h"
@@ -12,6 +14,44 @@
 #include "src/util/rng.h"
 
 using namespace blink;
+
+namespace {
+
+// Guard for the Dictionary::Intern hot path feeding every string append
+// during ingest and sample construction: one hash lookup per call, no
+// temporary std::string on the hit path. A regression to the old
+// find-then-insert double lookup roughly halves this; the floor is set far
+// below healthy throughput so it only trips on a real regression.
+int CheckInternThroughput() {
+  constexpr uint64_t kInterns = 2'000'000;
+  constexpr uint64_t kDistinct = 10'000;
+  std::vector<std::string> pool;
+  pool.reserve(kDistinct);
+  for (uint64_t i = 0; i < kDistinct; ++i) {
+    pool.push_back("value_" + std::to_string(i));
+  }
+  Dictionary dict;
+  Rng rng(7);
+  int64_t checksum = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < kInterns; ++i) {
+    checksum += dict.Intern(pool[rng.NextBounded(kDistinct)]);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double per_sec = static_cast<double>(kInterns) / secs;
+  std::printf("%-28s %14llu %15.3fs %14.3g  (checksum %lld)\n", "dictionary intern",
+              static_cast<unsigned long long>(kInterns), secs, per_sec,
+              static_cast<long long>(checksum));
+  if (per_sec < 1e6) {
+    std::fprintf(stderr, "FAIL: Intern throughput %.3g/s below the 1e6/s floor\n",
+                 per_sec);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main() {
   std::printf("\n==== §5: sample creation costs ====\n");
@@ -31,6 +71,9 @@ int main() {
   // Measured, in-process: rows/second of the actual builder.
   std::printf("\nmeasured in-process construction throughput:\n");
   std::printf("%-28s %14s %16s %14s\n", "builder", "rows", "build time", "rows/s");
+  if (CheckInternThroughput() != 0) {
+    return 1;
+  }
   for (uint64_t rows : {100'000ull, 400'000ull}) {
     Rng rng(3);
     ZipfGenerator zipf(1.3, 10'000);

@@ -2,8 +2,12 @@
 //
 // Measures rows/sec over a synthetic fact table for the row-at-a-time seed
 // path ("scalar"), the vectorized single-thread morsel path, and the N-thread
-// morsel path, at predicate selectivities {0.001, 0.01, 0.1, 1.0}. Emits one
-// JSON object per line for the bench trajectory.
+// morsel path, at predicate selectivities {0.001, 0.01, 0.1, 1.0}, each over
+// raw and compressed block storage. A second section reports the per-column
+// compression ratios and raw-vs-compressed query throughput on the synthetic
+// Conviva sessions table, whose Zipfian low-cardinality columns are the
+// paper-realistic compression case. Emits one JSON object per line for the
+// bench trajectory; the committed snapshot lives at BENCH_scan.json.
 //
 // Usage: bench_scan_throughput [rows] (default 5,000,000)
 
@@ -15,8 +19,10 @@
 
 #include "src/exec/executor.h"
 #include "src/sql/parser.h"
+#include "src/storage/encoded_table.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
+#include "src/workload/conviva.h"
 
 namespace blink {
 namespace {
@@ -71,18 +77,43 @@ RunResult TimeBest(int reps, Fn fn) {
 }
 
 void EmitJson(const char* query_kind, uint64_t rows, double selectivity,
-              const char* mode, size_t threads, const RunResult& run,
-              double scalar_seconds) {
+              const char* mode, const char* storage, size_t threads,
+              const RunResult& run, double scalar_seconds) {
   std::printf(
       "{\"bench\":\"scan_throughput\",\"query\":\"%s\",\"rows\":%llu,"
-      "\"selectivity\":%g,\"mode\":\"%s\",\"threads\":%zu,\"seconds\":%.6f,"
-      "\"rows_per_sec\":%.0f,\"speedup_vs_scalar\":%.2f,\"check\":%.6g}\n",
-      query_kind, static_cast<unsigned long long>(rows), selectivity, mode,
+      "\"selectivity\":%g,\"mode\":\"%s\",\"storage\":\"%s\",\"threads\":%zu,"
+      "\"seconds\":%.6f,\"rows_per_sec\":%.0f,\"speedup_vs_scalar\":%.2f,"
+      "\"check\":%.6g}\n",
+      query_kind, static_cast<unsigned long long>(rows), selectivity, mode, storage,
       threads, run.seconds, static_cast<double>(rows) / run.seconds,
       scalar_seconds / run.seconds, run.check);
   std::fflush(stdout);
 }
 
+// Per-column codec choice and compression ratio of an encoded table.
+void EmitColumnStats(const char* table_name, const Table& table) {
+  const EncodedTable* encoded = table.encoded_blocks();
+  if (encoded == nullptr) {
+    return;
+  }
+  for (size_t c = 0; c < encoded->num_columns(); ++c) {
+    const ColumnCodecStats& stats = encoded->stats(c);
+    std::printf(
+        "{\"bench\":\"scan_compression\",\"table\":\"%s\",\"column\":\"%s\","
+        "\"codec\":\"%s\",\"raw_bytes\":%llu,\"encoded_bytes\":%llu,"
+        "\"ratio\":%.2f,\"encode_seconds\":%.4f,\"decode_seconds\":%.4f}\n",
+        table_name, table.schema().column(c).name.c_str(),
+        BlockCodecName(stats.codec),
+        static_cast<unsigned long long>(stats.raw_bytes),
+        static_cast<unsigned long long>(stats.encoded_bytes), stats.ratio(),
+        stats.encode_seconds, stats.decode_seconds);
+  }
+  std::fflush(stdout);
+}
+
+// Benchmarks one query over `fact` in every mode. When the table carries
+// encoded blocks, each vectorized/parallel mode runs twice — raw storage and
+// compressed storage — distinguished by the "storage" field.
 void BenchQuery(const char* query_kind, const std::string& sql, const Table& fact,
                 int reps) {
   auto stmt = ParseSelect(sql);
@@ -97,45 +128,59 @@ void BenchQuery(const char* query_kind, const std::string& sql, const Table& fac
 
   // Extract the selectivity this query's predicate encodes (for the label
   // only): it is baked into the SQL by the caller via the literal on v.
+  // Non-numeric predicates (Conviva's string equalities) just label 1.0.
   double selectivity = 1.0;
   if (stmt->where.has_value()) {
-    selectivity = stmt->where->children.empty()
-                      ? stmt->where->literal.AsNumeric()
-                      : stmt->where->children[0].literal.AsNumeric();
+    const Value& literal = stmt->where->children.empty()
+                               ? stmt->where->literal
+                               : stmt->where->children[0].literal;
+    if (!literal.is_string()) {
+      selectivity = literal.AsNumeric();
+    }
   }
 
   const RunResult scalar = TimeBest(reps, [&] {
     auto r = ExecuteQueryScalar(*stmt, ds);
     return r.ok() ? first_agg(*r) : -1.0;
   });
-  EmitJson(query_kind, fact.num_rows(), selectivity, "scalar", 1, scalar,
+  EmitJson(query_kind, fact.num_rows(), selectivity, "scalar", "raw", 1, scalar,
            scalar.seconds);
 
-  const RunResult vec1 = TimeBest(reps, [&] {
-    auto r = ExecuteQuery(*stmt, ds);
-    return r.ok() ? first_agg(*r) : -1.0;
-  });
-  EmitJson(query_kind, fact.num_rows(), selectivity, "vectorized", 1, vec1,
-           scalar.seconds);
-
-  for (size_t threads : {2u, 4u, 8u}) {
-    ThreadPool pool(threads);
+  const int storage_modes = fact.encoded_blocks() != nullptr ? 2 : 1;
+  for (int compressed = 0; compressed < storage_modes; ++compressed) {
+    const char* storage = compressed != 0 ? "compressed" : "raw";
     ExecutionOptions options;
-    options.num_threads = threads;
-    options.pool = &pool;
-    const RunResult par = TimeBest(reps, [&] {
+    options.compressed_scan = compressed != 0;
+    const RunResult vec1 = TimeBest(reps, [&] {
       auto r = ExecuteQuery(*stmt, ds, nullptr, options);
       return r.ok() ? first_agg(*r) : -1.0;
     });
-    EmitJson(query_kind, fact.num_rows(), selectivity, "parallel", threads, par,
-             scalar.seconds);
+    EmitJson(query_kind, fact.num_rows(), selectivity, "vectorized", storage, 1,
+             vec1, scalar.seconds);
+
+    for (size_t threads : {2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      options.num_threads = threads;
+      options.pool = &pool;
+      const RunResult par = TimeBest(reps, [&] {
+        auto r = ExecuteQuery(*stmt, ds, nullptr, options);
+        return r.ok() ? first_agg(*r) : -1.0;
+      });
+      EmitJson(query_kind, fact.num_rows(), selectivity, "parallel", storage,
+               threads, par, scalar.seconds);
+    }
   }
 }
 
 void Run(uint64_t rows) {
   std::fprintf(stderr, "building %llu-row table...\n",
                static_cast<unsigned long long>(rows));
-  const Table fact = MakeFact(rows);
+  Table fact = MakeFact(rows);
+  if (Status s = fact.BuildEncoded(BlockEncodeOptions{}); !s.ok()) {
+    std::fprintf(stderr, "encode failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  EmitColumnStats("synthetic", fact);
   const int reps = rows >= 1'000'000 ? 3 : 5;
   for (double selectivity : {0.001, 0.01, 0.1, 1.0}) {
     char sql[256];
@@ -147,6 +192,25 @@ void Run(uint64_t rows) {
   BenchQuery("grouped_sum",
              "SELECT cat, COUNT(*), SUM(v) FROM t WHERE v < 0.1 GROUP BY cat",
              fact, reps);
+
+  // The paper-realistic case: Zipfian low-cardinality Conviva columns.
+  ConvivaConfig config;
+  config.num_rows = rows / 2;
+  std::fprintf(stderr, "building %llu-row conviva table...\n",
+               static_cast<unsigned long long>(config.num_rows));
+  Table conviva = GenerateConvivaTable(config);
+  if (Status s = conviva.BuildEncoded(BlockEncodeOptions{}); !s.ok()) {
+    std::fprintf(stderr, "encode failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  EmitColumnStats("conviva", conviva);
+  BenchQuery("conviva_count",
+             "SELECT COUNT(*) FROM sessions WHERE country = 'country_3'", conviva,
+             reps);
+  BenchQuery("conviva_grouped_avg",
+             "SELECT city, AVG(sessiontimems) FROM sessions "
+             "WHERE endedflag = 1 GROUP BY city",
+             conviva, reps);
 }
 
 }  // namespace

@@ -53,6 +53,23 @@ awk '/^FINAL /{seen_final=1} /^PARTIAL /{if (seen_final) exit 1}' "$SMOKE_OUT" |
 kill "$SERVER_PID" 2>/dev/null || true
 echo "server smoke OK"
 
+echo "== sanitizers: codec + exec under ASan/UBSan =="
+# The compressed scan path is the bit-twiddling hot spot; run its tests (and
+# the execution layers above it) under AddressSanitizer + UBSan. Override the
+# check set with BLINK_SANITIZE=..., or skip with BLINK_SANITIZE=off (e.g. on
+# toolchains without libasan).
+SAN="${BLINK_SANITIZE:-address,undefined}"
+if [ "$SAN" = "off" ]; then
+  echo "BLINK_SANITIZE=off; skipping sanitizer build"
+else
+  cmake -B "$BUILD_DIR-asan" -S . -DBLINK_SANITIZE="$SAN" >/dev/null
+  cmake --build "$BUILD_DIR-asan" -j "$JOBS" --target \
+    codec_test storage_test exec_test parallel_exec_test fuzz_differential_test
+  ctest --test-dir "$BUILD_DIR-asan" --output-on-failure -j "$JOBS" \
+    -R '^(codec_test|storage_test|exec_test|parallel_exec_test|fuzz_differential_test)$'
+  echo "sanitizers clean"
+fi
+
 echo "== docs =="
 scripts/check_docs.sh
 

@@ -37,8 +37,24 @@ Result<SamplePlan> BlinkDB::BuildSamples(const std::string& table_name,
     last_planner_config_ = config;
     last_workload_ = workload;
     last_planned_table_ = table_name;
+    if (entry->compressed) {
+      // Compression is sticky (CompressStorage ran before this build): encode
+      // the freshly built families so scans stay on the compressed path.
+      for (SampleFamily* family : samples_.MutableFamiliesFor(table_name)) {
+        BLINK_RETURN_IF_ERROR(family->EncodeBlocks(entry->encode_options));
+      }
+    }
   }
   return plan;
+}
+
+Status BlinkDB::CompressStorage(const std::string& table_name,
+                                const BlockEncodeOptions& options) {
+  BLINK_RETURN_IF_ERROR(catalog_.CompressTable(table_name, options));
+  for (SampleFamily* family : samples_.MutableFamiliesFor(table_name)) {
+    BLINK_RETURN_IF_ERROR(family->EncodeBlocks(options));
+  }
+  return Status::Ok();
 }
 
 Result<BlinkDB::ResolvedTables> BlinkDB::Resolve(const SelectStatement& stmt) const {
@@ -150,6 +166,9 @@ Result<int> BlinkDB::AppendAndMaintain(const std::string& table_name,
     auto fresh = RebuildFamily(*family, updated->table, options, rng);
     if (!fresh.ok()) {
       return fresh.status();
+    }
+    if (updated->compressed) {
+      BLINK_RETURN_IF_ERROR(fresh->EncodeBlocks(updated->encode_options));
     }
     const bool is_uniform = family->kind() == SampleFamily::Kind::kUniform;
     if (is_uniform) {

@@ -90,9 +90,21 @@ class BlinkDB {
 
   // Ingests new data for a table and refreshes its samples when their
   // distribution drifted (§4.5 maintenance loop). Returns the number of
-  // families rebuilt.
+  // families rebuilt. Rebuilt families are re-encoded when the table is
+  // compressed, so CompressStorage survives maintenance.
   Result<int> AppendAndMaintain(const std::string& table_name, const Table& new_rows,
                                 double drift_threshold = 0.1);
+
+  // Builds compressed columnar block storage for the table AND every sample
+  // family already built on it. Idempotent; call after BuildSamples. The
+  // choice is sticky: families built or rebuilt later (BuildSamples,
+  // AppendAndMaintain, ReplaceTable) are encoded automatically. Scans then
+  // decode blocks into scratch buffers instead of reading raw columns;
+  // answers are bit-identical (every block is verified against the raw
+  // column at encode time) and ExecutionReport::bytes_scanned reflects the
+  // encoded footprint.
+  Status CompressStorage(const std::string& table_name,
+                         const BlockEncodeOptions& options = {});
 
   const Catalog& catalog() const { return catalog_; }
   const SampleStore& samples() const { return samples_; }

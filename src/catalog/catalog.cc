@@ -39,6 +39,21 @@ Status Catalog::ReplaceTable(const std::string& name, Table table) {
     return Status::InvalidArgument("replacement schema differs for '" + name + "'");
   }
   it->second->table = std::move(table);
+  if (it->second->compressed) {
+    BLINK_RETURN_IF_ERROR(it->second->table.BuildEncoded(it->second->encode_options));
+  }
+  return Status::Ok();
+}
+
+Status Catalog::CompressTable(const std::string& name,
+                              const BlockEncodeOptions& options) {
+  const auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  BLINK_RETURN_IF_ERROR(it->second->table.BuildEncoded(options));
+  it->second->compressed = true;
+  it->second->encode_options = options;
   return Status::Ok();
 }
 

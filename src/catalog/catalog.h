@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/storage/encoded_table.h"
 #include "src/storage/table.h"
 #include "src/util/status.h"
 
@@ -23,6 +24,12 @@ struct TableEntry {
   double scale_factor = 1.0;
   // Dimension tables are exact and never sampled (§2.1: they fit in memory).
   bool is_dimension = false;
+  // Compressed block storage is enabled for this table (CompressTable was
+  // called); replacements re-encode with the recorded options, so the choice
+  // is sticky across §4.5 maintenance flows. Per-column codec choices and
+  // ratio/decode-cost stats live on table.encoded_blocks()->stats(col).
+  bool compressed = false;
+  BlockEncodeOptions encode_options;
 
   double logical_bytes() const {
     return static_cast<double>(table.num_rows()) * table.EstimatedBytesPerRow() *
@@ -43,8 +50,14 @@ class Catalog {
   const TableEntry* Find(const std::string& name) const;
 
   // Replaces the contents of an existing table (data arrival / §4.5
-  // maintenance flows); keeps scale factor and flags.
+  // maintenance flows); keeps scale factor and flags. A compressed table is
+  // re-encoded with its recorded options.
   Status ReplaceTable(const std::string& name, Table table);
+
+  // Builds compressed block storage for the table (per-column codec choice at
+  // load time; see src/storage/encoded_table.h) and marks the entry so future
+  // replacements stay compressed.
+  Status CompressTable(const std::string& name, const BlockEncodeOptions& options = {});
 
   // Drops a table; returns whether it existed.
   bool DropTable(const std::string& name);

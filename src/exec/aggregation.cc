@@ -192,6 +192,31 @@ Result<BoundQuery> BindQuery(const SelectStatement& stmt, const Dataset& fact,
       }
     }
   }
+
+  // Collect the fact columns the block path reads, and adopt the table's
+  // compressed storage when it covers the dataset (a table that grew since
+  // encoding reports no encoding; see Table::encoded_blocks).
+  if (bq.where.has_value()) {
+    bq.fact_cols = bq.where->fact_columns();
+  }
+  for (const auto& ref : bq.group_cols) {
+    if (ref.side == TableSide::kFact) {
+      bq.fact_cols.push_back(ref.index);
+    }
+  }
+  for (const auto& bound : bq.aggs) {
+    // COUNT never gathers its argument, so it charges no column bytes.
+    if (bound.agg.func != AggFunc::kCount && bound.arg.side == TableSide::kFact) {
+      bq.fact_cols.push_back(bound.arg.index);
+    }
+  }
+  if (bq.join_fact_col.has_value()) {
+    bq.fact_cols.push_back(*bq.join_fact_col);
+  }
+  std::sort(bq.fact_cols.begin(), bq.fact_cols.end());
+  bq.fact_cols.erase(std::unique(bq.fact_cols.begin(), bq.fact_cols.end()),
+                     bq.fact_cols.end());
+  bq.encoded = table.encoded_blocks();
   return bq;
 }
 
@@ -203,6 +228,18 @@ void ProcessMorsel(const BoundQuery& bq, const Dataset& fact, const Morsel& m,
 
   const uint32_t* strata =
       fact.strata != nullptr ? fact.strata->data() + m.begin : nullptr;
+
+  // Per-block column views for every fact column this query touches: straight
+  // pointers into the raw vectors, or morsel-at-a-time decodes into this
+  // worker's scratch. Downstream (filter, gathers) reads spans either way.
+  if (s.spans.size() < table.num_columns()) {
+    s.spans.resize(table.num_columns());
+  }
+  for (size_t col : bq.fact_cols) {
+    s.spans[col] = bq.encoded != nullptr
+                       ? bq.encoded->DecodeRange(col, m.begin, m.end, s.decode)
+                       : table.BlockSpan(col, m.begin);
+  }
 
   // 0. Scanned-row tally per stratum (whole block, before any filtering): the
   // prefix counts n_h(prefix) that validate estimates over a stopped prefix.
@@ -226,8 +263,9 @@ void ProcessMorsel(const BoundQuery& bq, const Dataset& fact, const Morsel& m,
   std::iota(s.sel.begin(), s.sel.end(), 0u);
   if (joined) {
     s.join_keys.resize(n);
-    table.GatherCellKeys(*bq.join_fact_col, m.begin, s.sel.data(), n,
-                         s.join_keys.data());
+    GatherCellKeysSpan(s.spans[*bq.join_fact_col],
+                       table.schema().column(*bq.join_fact_col).type,
+                       s.sel.data(), n, s.join_keys.data());
     s.dim_rows.resize(n);
     size_t kept = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -244,7 +282,7 @@ void ProcessMorsel(const BoundQuery& bq, const Dataset& fact, const Morsel& m,
 
   // 2. Vectorized predicate: narrow the selection block-at-a-time.
   if (bq.where.has_value()) {
-    bq.where->FilterBlock(m.begin, s.sel, joined ? &s.dim_rows : nullptr,
+    bq.where->FilterBlock(s.spans.data(), s.sel, joined ? &s.dim_rows : nullptr,
                           &s.predicate);
   }
   const size_t cnt = s.sel.size();
@@ -262,8 +300,9 @@ void ProcessMorsel(const BoundQuery& bq, const Dataset& fact, const Morsel& m,
     }
     s.agg_values[a].resize(cnt);
     if (bound.arg.side == TableSide::kFact) {
-      table.GatherNumeric(bound.arg.index, m.begin, s.sel.data(), cnt,
-                          s.agg_values[a].data());
+      GatherNumericSpan(s.spans[bound.arg.index],
+                        table.schema().column(bound.arg.index).type, s.sel.data(),
+                        cnt, s.agg_values[a].data());
     } else {
       for (size_t i = 0; i < cnt; ++i) {
         s.agg_values[a][i] = bq.dim->GetNumeric(bound.arg.index, s.dim_rows[i]);
@@ -332,8 +371,8 @@ void ProcessMorsel(const BoundQuery& bq, const Dataset& fact, const Morsel& m,
     const ColumnRef& ref = bq.group_cols[j];
     s.group_keys[j].resize(cnt);
     if (ref.side == TableSide::kFact) {
-      table.GatherCellKeys(ref.index, m.begin, s.sel.data(), cnt,
-                           s.group_keys[j].data());
+      GatherCellKeysSpan(s.spans[ref.index], table.schema().column(ref.index).type,
+                         s.sel.data(), cnt, s.group_keys[j].data());
     } else {
       for (size_t i = 0; i < cnt; ++i) {
         s.group_keys[j][i] = bq.dim->CellKey(ref.index, s.dim_rows[i]);

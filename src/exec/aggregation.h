@@ -24,6 +24,7 @@
 #include "src/exec/predicate.h"
 #include "src/sql/analyzer.h"
 #include "src/sql/ast.h"
+#include "src/storage/encoded_table.h"
 #include "src/storage/table.h"
 #include "src/util/status.h"
 
@@ -88,6 +89,15 @@ struct BoundAgg {
 struct BoundQuery {
   const Table* table = nullptr;
   const Table* dim = nullptr;
+  // Compressed block storage of the fact table, or null to scan raw columns.
+  // Set by BindQuery when the table carries a current encoding; callers may
+  // null it to force the raw path (ExecutionOptions::compressed_scan=false).
+  // Either way the morsel path reads ColumnSpans, so answers are bit-identical.
+  const EncodedTable* encoded = nullptr;
+  // Fact columns the block path touches (predicate leaves, group columns,
+  // aggregate arguments, join key), sorted unique — the columns ProcessMorsel
+  // prepares spans for, and the columns charged to bytes_scanned/decoded.
+  std::vector<size_t> fact_cols;
   std::vector<ColumnRef> group_cols;
   std::vector<std::string> group_names;
   std::vector<BoundAgg> aggs;
@@ -114,8 +124,9 @@ struct MorselPartial {
   std::vector<double> stratum_scanned;
 };
 
-// Reusable per-worker buffers: selection vector, join side-arrays, and
-// per-column gather targets.
+// Reusable per-worker buffers: selection vector, join side-arrays, per-column
+// gather targets, and the compressed-block decode state. All of it persists
+// across the worker's morsels, so the steady-state scan allocates nothing.
 struct WorkerScratch {
   std::vector<uint32_t> sel;
   std::vector<uint64_t> dim_rows;
@@ -124,6 +135,8 @@ struct WorkerScratch {
   std::vector<std::vector<int64_t>> group_keys;  // one buffer per group column
   std::vector<std::vector<double>> agg_values;   // one buffer per aggregate
   PredicateScratch predicate;                    // OR-union buffers
+  std::vector<ColumnSpan> spans;  // per fact column, rebased every morsel
+  DecodeScratch decode;           // compressed-block scratch buffers
   size_t group_hint = 0;  // groups seen in the previous morsel (reserve hint)
 };
 

@@ -78,6 +78,10 @@ struct ExecutionOptions {
   // threads. Must not be the pool of an enclosing ParallelFor/Wait (the
   // executor waits for its workers).
   ThreadPool* pool = nullptr;
+  // Scan compressed block storage (src/storage/encoded_table.h) when the
+  // fact table carries it; false forces raw column scans. Answers are
+  // bit-identical either way — this is purely a storage-path switch.
+  bool compressed_scan = true;
 };
 
 // Executes `stmt` against `fact` (optionally joining `dim`, which must be an

@@ -42,6 +42,11 @@ struct StreamProgress {
   uint64_t blocks_total = 0;
   uint64_t rows_consumed = 0;
   uint64_t rows_total = 0;
+  // Storage bytes read over the consumed prefix (encoded bytes of the touched
+  // columns on compressed tables) and the logical bytes they decoded to.
+  // Equal on raw storage.
+  double bytes_scanned = 0.0;
+  double bytes_decoded = 0.0;
   // Worst error over the partial answer's groups/aggregates, at the stopping
   // policy's confidence.
   double achieved_error = 0.0;

@@ -4,23 +4,31 @@ namespace blink {
 namespace {
 
 // Compacts `sel` (and the parallel `dim_rows`) down to the positions where
-// keep(i) is true, preserving order.
+// keep(i) is true, preserving order. Branchless: every element is written to
+// the output cursor and the cursor advances by keep(i), so the loop has no
+// data-dependent branch for the compiler to fight (the common pattern for
+// auto-vectorized / branch-predictor-friendly selection compaction).
 template <typename KeepFn>
 void Compact(std::vector<uint32_t>& sel, std::vector<uint64_t>* dim_rows, KeepFn keep) {
+  const size_t n = sel.size();
   size_t out = 0;
-  for (size_t i = 0; i < sel.size(); ++i) {
-    if (keep(i)) {
-      sel[out] = sel[i];
-      if (dim_rows != nullptr) {
-        (*dim_rows)[out] = (*dim_rows)[i];
-      }
-      ++out;
+  if (dim_rows != nullptr) {
+    uint32_t* s = sel.data();
+    uint64_t* d = dim_rows->data();
+    for (size_t i = 0; i < n; ++i) {
+      s[out] = s[i];
+      d[out] = d[i];
+      out += keep(i) ? 1 : 0;
+    }
+    dim_rows->resize(out);
+  } else {
+    uint32_t* s = sel.data();
+    for (size_t i = 0; i < n; ++i) {
+      s[out] = s[i];
+      out += keep(i) ? 1 : 0;
     }
   }
   sel.resize(out);
-  if (dim_rows != nullptr) {
-    dim_rows->resize(out);
-  }
 }
 
 // Dispatches the comparison operator once per block, so the per-row loop is a
@@ -62,6 +70,10 @@ Result<CompiledPredicate> CompiledPredicate::Compile(const Predicate& pred,
     return root.status();
   }
   compiled.max_or_depth_ = compiled.OrDepth(0);
+  std::sort(compiled.fact_columns_.begin(), compiled.fact_columns_.end());
+  compiled.fact_columns_.erase(
+      std::unique(compiled.fact_columns_.begin(), compiled.fact_columns_.end()),
+      compiled.fact_columns_.end());
   return compiled;
 }
 
@@ -104,6 +116,9 @@ Result<size_t> CompiledPredicate::CompileNode(const Predicate& pred, const Table
   node.side = ref->side;
   node.column = ref->index;
   node.op = pred.op;
+  if (ref->side == TableSide::kFact) {
+    fact_columns_.push_back(ref->index);
+  }
   if (ref->type == DataType::kString) {
     if (!pred.literal.is_string()) {
       return Status::InvalidArgument("string column '" + pred.column +
@@ -127,7 +142,7 @@ Result<size_t> CompiledPredicate::CompileNode(const Predicate& pred, const Table
   return my_index;
 }
 
-void CompiledPredicate::FilterNode(size_t node_idx, uint64_t base,
+void CompiledPredicate::FilterNode(size_t node_idx, const ColumnSpan* fact_spans,
                                    std::vector<uint32_t>& sel,
                                    std::vector<uint64_t>* dim_rows,
                                    PredicateScratch& scratch, size_t depth) const {
@@ -138,7 +153,7 @@ void CompiledPredicate::FilterNode(size_t node_idx, uint64_t base,
         if (sel.empty()) {
           return;
         }
-        FilterNode(child, base, sel, dim_rows, scratch, depth);
+        FilterNode(child, fact_spans, sel, dim_rows, scratch, depth);
       }
       return;
     case NodeKind::kOr: {
@@ -159,7 +174,7 @@ void CompiledPredicate::FilterNode(size_t node_idx, uint64_t base,
           level.dim_rows.assign(dim_rows->begin(), dim_rows->end());
           ds = &level.dim_rows;
         }
-        FilterNode(child, base, level.sel, ds, scratch, depth + 1);
+        FilterNode(child, fact_spans, level.sel, ds, scratch, depth + 1);
         size_t pos = 0;
         for (uint32_t off : level.sel) {
           while (sel[pos] != off) {
@@ -173,27 +188,29 @@ void CompiledPredicate::FilterNode(size_t node_idx, uint64_t base,
     }
     case NodeKind::kNumericCompare:
     case NodeKind::kStringCompare:
-      FilterLeaf(node, base, sel, dim_rows);
+      FilterLeaf(node, fact_spans, sel, dim_rows);
       return;
   }
 }
 
-void CompiledPredicate::FilterLeaf(const Node& node, uint64_t base,
+void CompiledPredicate::FilterLeaf(const Node& node, const ColumnSpan* fact_spans,
                                    std::vector<uint32_t>& sel,
                                    std::vector<uint64_t>* dim_rows) const {
+  // Fact-side reads go through the caller's spans (raw or freshly decoded);
+  // dim-side reads stay on the resident dimension table, addressed by the
+  // join-resolved absolute rows.
   const bool fact_side = node.side == TableSide::kFact;
-  const Table& t = fact_side ? *fact_ : *dim_;
   if (node.kind == NodeKind::kStringCompare) {
-    const int32_t* codes = t.CodeData(node.column);
     const int32_t lit = node.code_literal;
     if (fact_side) {
-      const int32_t* data = codes + base;
+      const int32_t* data = fact_spans[node.column].codes;
       if (node.op == CompareOp::kEq) {
         Compact(sel, dim_rows, [&](size_t i) { return data[sel[i]] == lit; });
       } else {
         Compact(sel, dim_rows, [&](size_t i) { return data[sel[i]] != lit; });
       }
     } else {
+      const int32_t* codes = dim_->CodeData(node.column);
       if (node.op == CompareOp::kEq) {
         Compact(sel, dim_rows, [&](size_t i) { return codes[(*dim_rows)[i]] == lit; });
       } else {
@@ -204,24 +221,25 @@ void CompiledPredicate::FilterLeaf(const Node& node, uint64_t base,
   }
   // Numeric leaf: same semantics as the scalar path (values widened to
   // double, compared against the double literal).
+  const Table& t = fact_side ? *fact_ : *dim_;
   const Column& col = t.column(node.column);
   if (col.type == DataType::kInt64) {
-    const int64_t* raw = t.IntData(node.column);
     if (fact_side) {
-      const int64_t* data = raw + base;
+      const int64_t* data = fact_spans[node.column].i64;
       FilterCompare(node.op, node.numeric_literal, sel, dim_rows,
                     [&](size_t i) { return static_cast<double>(data[sel[i]]); });
     } else {
+      const int64_t* raw = t.IntData(node.column);
       FilterCompare(node.op, node.numeric_literal, sel, dim_rows,
                     [&](size_t i) { return static_cast<double>(raw[(*dim_rows)[i]]); });
     }
   } else {
-    const double* raw = t.DoubleData(node.column);
     if (fact_side) {
-      const double* data = raw + base;
+      const double* data = fact_spans[node.column].f64;
       FilterCompare(node.op, node.numeric_literal, sel, dim_rows,
                     [&](size_t i) { return data[sel[i]]; });
     } else {
+      const double* raw = t.DoubleData(node.column);
       FilterCompare(node.op, node.numeric_literal, sel, dim_rows,
                     [&](size_t i) { return raw[(*dim_rows)[i]]; });
     }

@@ -46,14 +46,18 @@ class CompiledPredicate {
     return EvalNode(0, fact_row, dim_row);
   }
 
-  // Vectorized evaluation over the block of fact rows starting at `base`:
-  // filters `sel` (ascending in-block offsets) in place, keeping offsets
-  // whose rows match. `dim_rows`, when non-null, runs parallel to `sel`
-  // (each candidate's join-resolved dimension row) and is compacted
-  // alongside. Equivalent to keeping i iff Matches(base + sel[i],
-  // dim_rows ? (*dim_rows)[i] : 0). Pass a caller-owned `scratch` to reuse
-  // OR-union buffers across blocks (null allocates locally).
-  void FilterBlock(uint64_t base, std::vector<uint32_t>& sel,
+  // Vectorized evaluation over one block of fact rows: filters `sel`
+  // (ascending in-block offsets) in place, keeping offsets whose rows match.
+  // `fact_spans` is indexed by fact column — one base-relative span per
+  // column in fact_columns(), raw (Table::BlockSpan) or decoded
+  // (EncodedTable::DecodeRange); the kernels cannot tell. `dim_rows`, when
+  // non-null, runs parallel to `sel` (each candidate's join-resolved
+  // dimension row) and is compacted alongside; the dimension side always
+  // reads the resident dim table. Equivalent to keeping i iff
+  // Matches(base + sel[i], dim_rows ? (*dim_rows)[i] : 0) where the spans
+  // are based at `base`. Pass a caller-owned `scratch` to reuse OR-union
+  // buffers across blocks (null allocates locally).
+  void FilterBlock(const ColumnSpan* fact_spans, std::vector<uint32_t>& sel,
                    std::vector<uint64_t>* dim_rows,
                    PredicateScratch* scratch = nullptr) const {
     PredicateScratch local;
@@ -61,8 +65,12 @@ class CompiledPredicate {
     if (s.levels.size() < max_or_depth_) {
       s.levels.resize(max_or_depth_);  // recursion never resizes below
     }
-    FilterNode(0, base, sel, dim_rows, s, 0);
+    FilterNode(0, fact_spans, sel, dim_rows, s, 0);
   }
+
+  // Fact-side columns the block path reads (sorted, unique). The caller must
+  // provide a span for each of these in FilterBlock's `fact_spans`.
+  const std::vector<size_t>& fact_columns() const { return fact_columns_; }
 
  private:
   enum class NodeKind { kAnd, kOr, kNumericCompare, kStringCompare };
@@ -80,11 +88,11 @@ class CompiledPredicate {
 
   bool EvalNode(size_t node, uint64_t fact_row, uint64_t dim_row) const;
 
-  void FilterNode(size_t node, uint64_t base, std::vector<uint32_t>& sel,
-                  std::vector<uint64_t>* dim_rows, PredicateScratch& scratch,
-                  size_t depth) const;
-  void FilterLeaf(const Node& node, uint64_t base, std::vector<uint32_t>& sel,
-                  std::vector<uint64_t>* dim_rows) const;
+  void FilterNode(size_t node, const ColumnSpan* fact_spans,
+                  std::vector<uint32_t>& sel, std::vector<uint64_t>* dim_rows,
+                  PredicateScratch& scratch, size_t depth) const;
+  void FilterLeaf(const Node& node, const ColumnSpan* fact_spans,
+                  std::vector<uint32_t>& sel, std::vector<uint64_t>* dim_rows) const;
 
   Result<size_t> CompileNode(const Predicate& pred, const Table& fact, const Table* dim);
   size_t OrDepth(size_t node) const;
@@ -92,6 +100,7 @@ class CompiledPredicate {
   const Table* fact_ = nullptr;
   const Table* dim_ = nullptr;
   std::vector<Node> nodes_;
+  std::vector<size_t> fact_columns_;  // fact-side leaf columns, sorted unique
   size_t max_or_depth_ = 0;  // OR nesting depth; sizes the scratch levels
 };
 

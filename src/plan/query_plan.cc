@@ -16,6 +16,8 @@ StreamProgress ProgressOver(const std::vector<std::unique_ptr<ScanPipeline>>& pi
     p.blocks_total += pipe->blocks_total();
     p.rows_consumed += pipe->rows_consumed();
     p.rows_total += pipe->rows_total();
+    p.bytes_scanned += pipe->bytes_scanned();
+    p.bytes_decoded += pipe->bytes_decoded();
   }
   p.achieved_error = decision.achieved_error;
   p.bound_met = decision.bound_met;
@@ -174,6 +176,8 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
       stats.blocks_consumed = pipe.blocks_consumed();
       stats.rows_consumed = pipe.rows_consumed();
       stats.rows_matched = pipe.rows_matched();
+      stats.bytes_scanned = pipe.bytes_scanned();
+      stats.bytes_decoded = pipe.bytes_decoded();
       stats.reused_probe = pipe.precomputed();
       stats.scheduled_rounds = scheduler.rounds(i);
       stats.error_contribution = i < contributions.size() ? contributions[i] : 0.0;

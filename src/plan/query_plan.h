@@ -94,6 +94,12 @@ struct PipelineOutcome {
   uint64_t blocks_consumed = 0;
   uint64_t rows_consumed = 0;
   uint64_t rows_matched = 0;
+  // Storage bytes the scan read (encoded bytes of the consumed blocks'
+  // touched columns on compressed tables) and the logical bytes those blocks
+  // decoded to. Equal on raw storage; their ratio is the realized compression
+  // win. 0 for reused probes, which scan nothing.
+  double bytes_scanned = 0.0;
+  double bytes_decoded = 0.0;
   bool reused_probe = false;  // §4.4: nothing was scanned, the probe answered
   // Rounds in which the scheduler granted this pipeline blocks (floor rounds
   // included); 0 for precomputed pipelines, which never advance.

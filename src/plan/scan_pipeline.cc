@@ -22,9 +22,19 @@ Status ScanPipeline::Init(PipelineSpec spec, const ExecutionOptions& exec,
     return bound.status();
   }
   bound_ = std::move(bound.value());
+  if (!exec_.compressed_scan) {
+    bound_.encoded = nullptr;  // force the raw span path
+  }
   plan_ = spec_.dataset.PlanMorsels(exec_.morsel_rows);
   stats_.block_rows = plan_.target_rows;
   bytes_per_row_ = bound_.table->EstimatedBytesPerRow();
+  // Logical width of the columns this scan actually reads, for the
+  // bytes_decoded accounting (identical between raw and compressed scans).
+  decoded_bytes_per_row_ = 0.0;
+  for (size_t col : bound_.fact_cols) {
+    decoded_bytes_per_row_ +=
+        bound_.table->schema().column(col).type == DataType::kString ? 4.0 : 8.0;
+  }
 
   if (exact()) {
     // A row prefix of an exact table is not a random sample: estimates over
@@ -118,6 +128,29 @@ void ScanPipeline::Advance(uint64_t blocks) {
   MergePartials(partials, bound_.aggs.size(), groups_, stats_,
                 track_prefix_ ? &prefix_scanned_ : nullptr);
   consumed_ = end;
+}
+
+double ScanPipeline::bytes_decoded() const {
+  if (precomputed()) {
+    return 0.0;  // §4.4 reuse: the probe already paid for these blocks
+  }
+  return static_cast<double>(rows_consumed()) * decoded_bytes_per_row_;
+}
+
+double ScanPipeline::bytes_scanned() const {
+  if (precomputed()) {
+    return 0.0;
+  }
+  if (bound_.encoded == nullptr) {
+    // Raw storage: what the scan reads is exactly the logical column data.
+    return bytes_decoded();
+  }
+  double total = 0.0;
+  const uint64_t rows = rows_consumed();
+  for (size_t col : bound_.fact_cols) {
+    total += static_cast<double>(bound_.encoded->EncodedBytesInPrefix(col, rows));
+  }
+  return total;
 }
 
 Result<QueryResult> ScanPipeline::Snapshot() const {

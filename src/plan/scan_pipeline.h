@@ -109,6 +109,14 @@ class ScanPipeline {
                          : stats_.rows_matched;
   }
 
+  // Storage-layer accounting over the consumed prefix, charged per whole
+  // block like every other block cost. bytes_scanned is what the scan read
+  // from storage (encoded bytes on compressed tables); bytes_decoded is the
+  // logical bytes of the touched columns, identical between raw and
+  // compressed scans. Precomputed (§4.4 reuse) pipelines charge nothing.
+  double bytes_scanned() const;
+  double bytes_decoded() const;
+
   const PipelineSpec& spec() const { return spec_; }
 
  private:
@@ -125,6 +133,7 @@ class ScanPipeline {
   uint64_t min_stop_blocks_ = 0;
   bool track_prefix_ = false;
   double bytes_per_row_ = 0.0;
+  double decoded_bytes_per_row_ = 0.0;  // logical width of the touched columns
 };
 
 }  // namespace blink

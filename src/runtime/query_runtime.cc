@@ -666,6 +666,8 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
     report.rows_read += outcome.rows_consumed;
     report.blocks_read += outcome.blocks_consumed;
     report.blocks_consumed += outcome.blocks_consumed;
+    report.bytes_scanned += outcome.bytes_scanned;
+    report.bytes_decoded += outcome.bytes_decoded;
     report.stopped_early =
         report.stopped_early || outcome.blocks_consumed < outcome.blocks_total;
 
@@ -772,6 +774,8 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
       p.achieved_error = a.report.achieved_error;
       p.bound_met = stmt.bounds.kind == QueryBounds::Kind::kError &&
                     a.report.achieved_error <= stmt.bounds.error;
+      p.bytes_scanned = a.report.bytes_scanned;
+      p.bytes_decoded = a.report.bytes_decoded;
       p.final_batch = true;
       progress(a.result, p);
     }

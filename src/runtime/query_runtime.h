@@ -77,6 +77,10 @@ struct RuntimeConfig {
   // exact block-consumption trace — with static per-pipeline time budgets.
   // Answers under a never-stop drive are bit-identical in both modes.
   ScheduleMode schedule_mode = ScheduleMode::kAdaptive;
+  // Scan compressed block storage on tables that carry it (see
+  // BlinkDB::CompressStorage); false forces raw column scans. Answers and
+  // block-consumption traces are bit-identical either way.
+  bool compressed_scan = true;
 };
 
 // One point of the Error-Latency Profile.
@@ -101,6 +105,12 @@ struct ExecutionReport {
   // stopping rule (or block budgets) ended it. Equals blocks_read for
   // non-streamed paths.
   uint64_t blocks_consumed = 0;
+  // Storage bytes the final scan read (encoded bytes of the consumed blocks'
+  // touched columns when the table is compressed) and the logical bytes they
+  // decoded to — summed across pipelines. Equal on raw storage; the ratio is
+  // the realized compression win at the wire layer.
+  double bytes_scanned = 0.0;
+  double bytes_decoded = 0.0;
   bool stopped_early = false;     // the streamed plan returned before its last block
   // The caller's cancel flag ended the plan at a round boundary; the answer
   // is the partial over the consumed prefixes and — like any early stop —
@@ -263,6 +273,7 @@ class QueryRuntime {
     options.num_threads = std::max<size_t>(1, config_.exec_threads);
     options.morsel_rows = config_.morsel_rows;
     options.pool = pool_.get();
+    options.compressed_scan = config_.compressed_scan;
     return options;
   }
 

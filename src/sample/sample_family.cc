@@ -183,4 +183,8 @@ Dataset SampleFamily::LogicalSample(size_t i) const {
   return d;
 }
 
+Status SampleFamily::EncodeBlocks(const BlockEncodeOptions& options) {
+  return physical_rows_.BuildEncoded(options, &prefix_rows_);
+}
+
 }  // namespace blink

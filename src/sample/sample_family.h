@@ -94,6 +94,12 @@ class SampleFamily {
   // The physical row store (tests / maintenance).
   const Table& physical_table() const { return physical_rows_; }
 
+  // Builds compressed block storage for the physical row store, with block
+  // boundaries cut at the resolution prefixes — the same cut points morsel
+  // carving uses, so every logical sample decodes whole blocks (§4.4 delta
+  // blocks survive compression unchanged).
+  Status EncodeBlocks(const BlockEncodeOptions& options);
+
  private:
   Kind kind_ = Kind::kUniform;
   std::vector<std::string> columns_;

@@ -34,6 +34,20 @@ std::vector<const SampleFamily*> SampleStore::FamiliesFor(
   return out;
 }
 
+std::vector<SampleFamily*> SampleStore::MutableFamiliesFor(
+    const std::string& table_name) {
+  std::vector<SampleFamily*> out;
+  const auto it = families_.find(table_name);
+  if (it == families_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (const auto& family : it->second) {
+    out.push_back(family.get());
+  }
+  return out;
+}
+
 std::vector<const SampleFamily*> SampleStore::CoveringFamilies(
     const std::string& table_name, const std::vector<std::string>& phi) const {
   std::vector<const SampleFamily*> out;

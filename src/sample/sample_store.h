@@ -22,6 +22,10 @@ class SampleStore {
   // registration order. Empty if none.
   std::vector<const SampleFamily*> FamiliesFor(const std::string& table_name) const;
 
+  // Mutable view of the same list, for post-build maintenance that rewrites
+  // family storage in place (e.g. encoding compressed blocks).
+  std::vector<SampleFamily*> MutableFamiliesFor(const std::string& table_name);
+
   // Stratified families whose column set is a SUPERSET of `phi` (the §4.1.1
   // candidate set), sorted by ascending column count so callers can pick the
   // family with the fewest columns first. `phi` must be lower-cased.

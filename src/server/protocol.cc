@@ -50,6 +50,12 @@ bool GetBoolOr(const JsonValue& obj, const char* key, bool fallback) {
   return v != nullptr && v->is_bool() ? v->AsBool() : fallback;
 }
 
+// Optional numeric field: frames from older peers simply lack it.
+double GetDoubleOr(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
+}
+
 Result<const JsonValue*> GetObject(const JsonValue& obj, const char* key) {
   const JsonValue* v = obj.Find(key);
   if (v == nullptr || !v->is_object()) {
@@ -282,6 +288,8 @@ JsonValue EncodeProgress(const StreamProgress& progress) {
   out.Set("rows_total", progress.rows_total);
   out.Set("achieved_error", progress.achieved_error);
   out.Set("bound_met", progress.bound_met);
+  out.Set("bytes_scanned", progress.bytes_scanned);
+  out.Set("bytes_decoded", progress.bytes_decoded);
   return out;
 }
 
@@ -305,6 +313,8 @@ Result<StreamProgress> DecodeProgress(const JsonValue& json) {
   out.rows_total = *rows_total;
   out.achieved_error = *achieved_error;
   out.bound_met = GetBoolOr(json, "bound_met", false);
+  out.bytes_scanned = GetDoubleOr(json, "bytes_scanned", 0.0);
+  out.bytes_decoded = GetDoubleOr(json, "bytes_decoded", 0.0);
   return out;
 }
 
@@ -326,6 +336,8 @@ JsonValue EncodeReport(const ExecutionReport& report) {
   out.Set("achieved_error", report.achieved_error);
   out.Set("num_subqueries", report.num_subqueries);
   out.Set("rewrite_fallback", report.rewrite_fallback);
+  out.Set("bytes_scanned", report.bytes_scanned);
+  out.Set("bytes_decoded", report.bytes_decoded);
   out.Set("schedule", ScheduleModeName(report.schedule));
   JsonValue elp = JsonValue::Array();
   for (const auto& point : report.elp) {
@@ -349,6 +361,8 @@ JsonValue EncodeReport(const ExecutionReport& report) {
     jout.Set("reused_probe", outcome.reused_probe);
     jout.Set("scheduled_rounds", outcome.scheduled_rounds);
     jout.Set("error_contribution", outcome.error_contribution);
+    jout.Set("bytes_scanned", outcome.bytes_scanned);
+    jout.Set("bytes_decoded", outcome.bytes_decoded);
     pipelines.Append(std::move(jout));
   }
   out.Set("pipeline_outcomes", std::move(pipelines));
@@ -399,6 +413,8 @@ Result<ExecutionReport> DecodeReport(const JsonValue& json) {
   out.achieved_error = *achieved_error;
   out.num_subqueries = static_cast<size_t>(*num_subqueries);
   out.rewrite_fallback = GetBoolOr(json, "rewrite_fallback", false);
+  out.bytes_scanned = GetDoubleOr(json, "bytes_scanned", 0.0);
+  out.bytes_decoded = GetDoubleOr(json, "bytes_decoded", 0.0);
   out.schedule = schedule.value() == "adaptive" ? ScheduleMode::kAdaptive
                                                 : ScheduleMode::kUniform;
   if (const JsonValue* elp = json.Find("elp"); elp != nullptr && elp->is_array()) {
@@ -450,6 +466,8 @@ Result<ExecutionReport> DecodeReport(const JsonValue& json) {
       outcome.reused_probe = GetBoolOr(jout, "reused_probe", false);
       outcome.scheduled_rounds = *rounds;
       outcome.error_contribution = *contribution;
+      outcome.bytes_scanned = GetDoubleOr(jout, "bytes_scanned", 0.0);
+      outcome.bytes_decoded = GetDoubleOr(jout, "bytes_decoded", 0.0);
       out.pipeline_outcomes.push_back(outcome);
     }
   }

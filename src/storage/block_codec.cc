@@ -1,0 +1,666 @@
+#include "src/storage/block_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+#include <unordered_map>
+
+namespace blink {
+namespace {
+
+// Dictionary blocks cap their distinct-value count so packed indices stay at
+// most 16 bits; blocks with more distinct values fall back to raw.
+constexpr size_t kMaxDictEntries = 1u << 16;
+
+// --- Bit streams -------------------------------------------------------------
+// MSB-first bit packing over a byte buffer. The writer runs once at load; the
+// reader is the scan hot path, so it refills a 64-bit accumulator and serves
+// reads as shifts.
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::string& out) : out_(&out) {}
+
+  // Appends the low `bits` bits of `value`, MSB-first. bits <= 64.
+  void WriteBits(uint64_t value, uint32_t bits) {
+    if (bits > 32) {
+      WriteChunk(value >> 32, bits - 32);
+      WriteChunk(value, 32);
+      return;
+    }
+    WriteChunk(value, bits);
+  }
+
+  // Flushes any buffered partial byte (zero-padded).
+  void Finish() {
+    if (nbits_ > 0) {
+      out_->push_back(static_cast<char>(buf_ >> 56));
+      buf_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+ private:
+  void WriteChunk(uint64_t value, uint32_t bits) {  // bits <= 32
+    if (bits == 0) {
+      return;
+    }
+    value &= bits == 32 ? 0xffffffffULL : ((1ULL << bits) - 1);
+    buf_ |= value << (64 - nbits_ - bits);
+    nbits_ += bits;
+    while (nbits_ >= 8) {
+      out_->push_back(static_cast<char>(buf_ >> 56));
+      buf_ <<= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  std::string* out_;
+  uint64_t buf_ = 0;    // pending bits, left-aligned
+  uint32_t nbits_ = 0;  // < 8 between calls
+};
+
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  // Reads `bits` bits MSB-first; past-the-end reads return zero bits and set
+  // failed().
+  uint64_t ReadBits(uint32_t bits) {
+    if (bits > 32) {
+      const uint64_t hi = ReadChunk(bits - 32);
+      return (hi << 32) | ReadChunk(32);
+    }
+    return ReadChunk(bits);
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  uint64_t ReadChunk(uint32_t bits) {  // bits <= 32
+    if (bits == 0) {
+      return 0;
+    }
+    if (avail_ < bits) {
+      Refill();
+      if (avail_ < bits) {
+        failed_ = true;
+        const uint64_t r = buf_ >> (64 - bits);
+        buf_ = 0;
+        avail_ = 0;
+        return r;
+      }
+    }
+    const uint64_t r = buf_ >> (64 - bits);
+    buf_ <<= bits;
+    avail_ -= bits;
+    return r;
+  }
+
+  void Refill() {
+    while (avail_ <= 56 && pos_ < size_) {
+      buf_ |= static_cast<uint64_t>(data_[pos_++]) << (56 - avail_);
+      avail_ += 8;
+    }
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint64_t buf_ = 0;    // unread bits, left-aligned
+  uint32_t avail_ = 0;
+  bool failed_ = false;
+};
+
+// --- Lane helpers ------------------------------------------------------------
+// All codecs operate on unsigned lanes: arithmetic wraps (defined behavior,
+// sanitizer-clean) and reconstructs exactly, and doubles travel as their bit
+// patterns so every payload — NaN included — survives bitwise.
+
+inline uint32_t BitWidth(uint64_t x) {
+  return x == 0 ? 0 : 64 - static_cast<uint32_t>(__builtin_clzll(x));
+}
+
+inline uint64_t ZigZag(uint64_t u) {
+  // Signed interpretation of the wrapped difference, folded to small unsigned.
+  const uint64_t sign = u >> 63;
+  return (u << 1) ^ (0 - sign);
+}
+
+inline uint64_t UnZigZag(uint64_t z) { return (z >> 1) ^ (0 - (z & 1)); }
+
+template <typename T>
+inline uint64_t Lane(T v) {
+  return static_cast<uint64_t>(static_cast<std::make_unsigned_t<T>>(v));
+}
+
+inline uint64_t LaneOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// --- Gorilla XOR (64-bit lanes; the DOUBLE codec) ---------------------------
+
+void EncodeGorilla(const uint64_t* v, size_t n, std::string& out) {
+  BitWriter w(out);
+  if (n == 0) {
+    return;
+  }
+  w.WriteBits(v[0], 64);
+  uint64_t prev = v[0];
+  uint32_t win_lead = 65;  // invalid: forces a fresh '11' window first
+  uint32_t win_len = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t x = prev ^ v[i];
+    prev = v[i];
+    if (x == 0) {
+      w.WriteBits(0, 1);
+      continue;
+    }
+    uint32_t lead = static_cast<uint32_t>(__builtin_clzll(x));
+    if (lead > 31) {
+      lead = 31;  // 5-bit field; extra zeros ride inside the meaningful bits
+    }
+    const uint32_t trail = static_cast<uint32_t>(__builtin_ctzll(x));
+    const uint32_t len = 64 - lead - trail;
+    if (win_lead <= 64 && lead >= win_lead && trail >= 64 - win_lead - win_len) {
+      // '10': the previous window still covers the meaningful bits.
+      w.WriteBits(0b10, 2);
+      w.WriteBits(x >> (64 - win_lead - win_len), win_len);
+    } else {
+      // '11': new window — 5 bits leading zeros, 6 bits length-1, then bits.
+      w.WriteBits(0b11, 2);
+      w.WriteBits(lead, 5);
+      w.WriteBits(len - 1, 6);
+      w.WriteBits(x >> trail, len);
+      win_lead = lead;
+      win_len = len;
+    }
+  }
+  w.Finish();
+}
+
+bool DecodeGorilla(const uint8_t* data, size_t size, size_t n, uint64_t* out) {
+  if (n == 0) {
+    return true;
+  }
+  BitReader r(data, size);
+  uint64_t prev = r.ReadBits(64);
+  out[0] = prev;
+  uint32_t win_lead = 0, win_len = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (r.ReadBits(1) == 0) {
+      out[i] = prev;
+      continue;
+    }
+    if (r.ReadBits(1) == 1) {
+      win_lead = static_cast<uint32_t>(r.ReadBits(5));
+      win_len = static_cast<uint32_t>(r.ReadBits(6)) + 1;
+    }
+    if (win_len == 0 || win_lead + win_len > 64) {
+      return false;  // '10' before any window, or corrupt window
+    }
+    prev ^= r.ReadBits(win_len) << (64 - win_lead - win_len);
+    out[i] = prev;
+  }
+  return !r.failed();
+}
+
+// --- Delta-of-delta (64-bit lanes; the INT64 codec) -------------------------
+
+void EncodeDeltaDelta(const uint64_t* v, size_t n, std::string& out) {
+  BitWriter w(out);
+  if (n == 0) {
+    return;
+  }
+  w.WriteBits(v[0], 64);
+  uint64_t prev = v[0];
+  uint64_t prev_delta = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t delta = v[i] - prev;
+    const uint64_t z = ZigZag(delta - prev_delta);
+    prev = v[i];
+    prev_delta = delta;
+    if (z == 0) {
+      w.WriteBits(0, 1);
+    } else if (z < (1ULL << 7)) {
+      w.WriteBits(0b10, 2);
+      w.WriteBits(z, 7);
+    } else if (z < (1ULL << 9)) {
+      w.WriteBits(0b110, 3);
+      w.WriteBits(z, 9);
+    } else if (z < (1ULL << 12)) {
+      w.WriteBits(0b1110, 4);
+      w.WriteBits(z, 12);
+    } else if (z < (1ULL << 32)) {
+      w.WriteBits(0b11110, 5);
+      w.WriteBits(z, 32);
+    } else {
+      w.WriteBits(0b11111, 5);
+      w.WriteBits(z, 64);
+    }
+  }
+  w.Finish();
+}
+
+bool DecodeDeltaDelta(const uint8_t* data, size_t size, size_t n, uint64_t* out) {
+  if (n == 0) {
+    return true;
+  }
+  BitReader r(data, size);
+  uint64_t prev = r.ReadBits(64);
+  out[0] = prev;
+  uint64_t prev_delta = 0;
+  for (size_t i = 1; i < n; ++i) {
+    uint64_t z = 0;
+    if (r.ReadBits(1) == 1) {
+      if (r.ReadBits(1) == 0) {
+        z = r.ReadBits(7);
+      } else if (r.ReadBits(1) == 0) {
+        z = r.ReadBits(9);
+      } else if (r.ReadBits(1) == 0) {
+        z = r.ReadBits(12);
+      } else if (r.ReadBits(1) == 0) {
+        z = r.ReadBits(32);
+      } else {
+        z = r.ReadBits(64);
+      }
+    }
+    prev_delta += UnZigZag(z);
+    prev += prev_delta;
+    out[i] = prev;
+  }
+  return !r.failed();
+}
+
+// --- Dictionary (per-block values + byte-packed indices) ---------------------
+
+template <typename T>
+bool EncodeDict(const T* v, size_t n, std::string& out) {
+  constexpr uint32_t kLane = sizeof(T) * 8;
+  std::unordered_map<T, uint32_t> index;
+  std::vector<T> values;
+  index.reserve(256);
+  for (size_t i = 0; i < n; ++i) {
+    const auto [it, inserted] =
+        index.emplace(v[i], static_cast<uint32_t>(values.size()));
+    (void)it;
+    if (inserted) {
+      values.push_back(v[i]);
+      if (values.size() > kMaxDictEntries) {
+        return false;
+      }
+    }
+  }
+  BitWriter w(out);
+  w.WriteBits(values.size(), 32);
+  for (T value : values) {
+    w.WriteBits(Lane(value), kLane);
+  }
+  // Indices are byte-aligned (8-bit up to 256 entries, 16-bit beyond, none
+  // for a constant block): a couple of sub-byte bits of extra ratio are not
+  // worth giving up the word-at-a-time decode gather.
+  if (values.size() > 1) {
+    const uint32_t width = values.size() <= 256 ? 8 : 16;
+    for (size_t i = 0; i < n; ++i) {
+      w.WriteBits(index.find(v[i])->second, width);
+    }
+  }
+  w.Finish();
+  return true;
+}
+
+template <typename T>
+bool DecodeDict(const uint8_t* data, size_t size, size_t n, T* out,
+                CodecScratch& scratch) {
+  constexpr size_t kEntry = sizeof(T);
+  if (size < 4) {
+    return false;
+  }
+  // Header and dictionary are whole bytes (32-bit count, then count lanes of
+  // 8·sizeof(T) bits), so the packed index stream always starts byte-aligned —
+  // which is what lets the hot loop below unpack with plain word loads.
+  const uint64_t count = (static_cast<uint64_t>(data[0]) << 24) |
+                         (static_cast<uint64_t>(data[1]) << 16) |
+                         (static_cast<uint64_t>(data[2]) << 8) | data[3];
+  if (count > kMaxDictEntries || (count == 0 && n > 0)) {
+    return false;
+  }
+  if (size < 4 + count * kEntry) {
+    return false;
+  }
+  scratch.dict.resize(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* p = data + 4 + i * kEntry;
+    uint64_t v = 0;
+    for (size_t b = 0; b < kEntry; ++b) {
+      v = (v << 8) | p[b];
+    }
+    scratch.dict[i] = v;
+  }
+  if (n == 0) {
+    return true;
+  }
+  const uint64_t* dict = scratch.dict.data();
+  if (count == 1) {  // constant block: no index section
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<T>(dict[0]);
+    }
+    return true;
+  }
+  const size_t idx_start = 4 + static_cast<size_t>(count) * kEntry;
+  const uint8_t* idx = data + idx_start;
+  if (count <= 256) {
+    // Scan hot path: byte index → dictionary gather. Validation runs as a
+    // separate max-reduction so the gather loop stays branch-free.
+    if (size < idx_start + n) {
+      return false;
+    }
+    uint32_t max_idx = 0;
+    for (size_t i = 0; i < n; ++i) {
+      max_idx = std::max<uint32_t>(max_idx, idx[i]);
+    }
+    if (max_idx >= count) {
+      return false;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<T>(dict[idx[i]]);
+    }
+    return true;
+  }
+  // 16-bit big-endian indices.
+  if (size < idx_start + 2 * n) {
+    return false;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v = (static_cast<uint32_t>(idx[2 * i]) << 8) | idx[2 * i + 1];
+    if (v >= count) {
+      return false;
+    }
+    out[i] = static_cast<T>(dict[v]);
+  }
+  return true;
+}
+
+// --- Run length --------------------------------------------------------------
+// Runs compare and store raw lanes, so double payloads run-group by bit
+// pattern (-0.0 and 0.0 are distinct runs; equal-bit NaNs group together).
+
+template <typename LoadFn>
+void EncodeRleLanes(size_t n, uint32_t lane_bits, LoadFn load, std::string& out) {
+  BitWriter w(out);
+  uint64_t runs = 0;
+  for (size_t i = 0; i < n;) {
+    const uint64_t value = load(i);
+    size_t j = i + 1;
+    while (j < n && load(j) == value) {
+      ++j;
+    }
+    ++runs;
+    i = j;
+  }
+  w.WriteBits(runs, 32);
+  for (size_t i = 0; i < n;) {
+    const uint64_t value = load(i);
+    size_t j = i + 1;
+    while (j < n && load(j) == value) {
+      ++j;
+    }
+    const uint64_t len = j - i;
+    w.WriteBits(value, lane_bits);
+    if (len <= 64) {
+      w.WriteBits(0, 1);
+      w.WriteBits(len - 1, 6);
+    } else {
+      w.WriteBits(1, 1);
+      w.WriteBits(len - 1, 32);  // blocks are far below 2^32 rows
+    }
+    i = j;
+  }
+  w.Finish();
+}
+
+template <typename StoreFn>
+bool DecodeRleLanes(const uint8_t* data, size_t size, size_t n, uint32_t lane_bits,
+                    StoreFn store) {
+  BitReader r(data, size);
+  const uint64_t runs = r.ReadBits(32);
+  size_t pos = 0;
+  for (uint64_t run = 0; run < runs; ++run) {
+    const uint64_t value = r.ReadBits(lane_bits);
+    const uint64_t len =
+        (r.ReadBits(1) == 0 ? r.ReadBits(6) : r.ReadBits(32)) + 1;
+    if (len > n - pos) {
+      return false;
+    }
+    store(pos, len, value);
+    pos += len;
+  }
+  return pos == n && !r.failed();
+}
+
+// --- Raw passthrough ---------------------------------------------------------
+
+template <typename T>
+void AppendRaw(const T* values, size_t n, std::string& out) {
+  out.push_back(static_cast<char>(BlockCodec::kRaw));
+  const size_t start = out.size();
+  out.resize(start + n * sizeof(T));
+  if (n > 0) {
+    std::memcpy(&out[start], values, n * sizeof(T));
+  }
+}
+
+template <typename T>
+bool DecodeRaw(const uint8_t* data, size_t size, size_t n, T* out) {
+  // EncodedTable pads blocks to alignment boundaries, so up to 7 trailing
+  // bytes beyond the exact payload are legitimate; anything else is corrupt.
+  if (size < n * sizeof(T) || size > n * sizeof(T) + 7) {
+    return false;
+  }
+  if (n > 0) {
+    std::memcpy(out, data, n * sizeof(T));
+  }
+  return true;
+}
+
+// Commits `payload` under `codec` if the attempt succeeded and beats raw;
+// otherwise writes the block raw.
+template <typename T>
+void Commit(BlockCodec codec, bool ok, const std::string& payload, const T* values,
+            size_t n, std::string& out) {
+  if (ok && payload.size() < n * sizeof(T)) {
+    out.push_back(static_cast<char>(codec));
+    out.append(payload);
+    return;
+  }
+  AppendRaw(values, n, out);
+}
+
+}  // namespace
+
+const char* BlockCodecName(BlockCodec codec) {
+  switch (codec) {
+    case BlockCodec::kRaw:
+      return "raw";
+    case BlockCodec::kGorilla:
+      return "gorilla";
+    case BlockCodec::kDeltaDelta:
+      return "delta2";
+    case BlockCodec::kDict:
+      return "dict";
+    case BlockCodec::kRle:
+      return "rle";
+  }
+  return "unknown";
+}
+
+void EncodeBlockInt64(BlockCodec codec, const int64_t* values, size_t n,
+                      std::string& out) {
+  std::string payload;
+  bool ok = true;
+  switch (codec) {
+    case BlockCodec::kDeltaDelta: {
+      std::vector<uint64_t> lanes(n);
+      for (size_t i = 0; i < n; ++i) {
+        lanes[i] = Lane(values[i]);
+      }
+      EncodeDeltaDelta(lanes.data(), n, payload);
+      break;
+    }
+    case BlockCodec::kDict:
+      ok = EncodeDict(values, n, payload);
+      break;
+    case BlockCodec::kRle:
+      EncodeRleLanes(n, 64, [&](size_t i) { return Lane(values[i]); }, payload);
+      break;
+    default:
+      ok = false;  // kRaw or unsupported pairing
+      break;
+  }
+  Commit(codec, ok, payload, values, n, out);
+}
+
+void EncodeBlockDouble(BlockCodec codec, const double* values, size_t n,
+                       std::string& out) {
+  std::string payload;
+  bool ok = true;
+  switch (codec) {
+    case BlockCodec::kGorilla: {
+      std::vector<uint64_t> lanes(n);
+      if (n > 0) {
+        std::memcpy(lanes.data(), values, n * sizeof(double));
+      }
+      EncodeGorilla(lanes.data(), n, payload);
+      break;
+    }
+    case BlockCodec::kRle:
+      EncodeRleLanes(n, 64, [&](size_t i) { return LaneOf(values[i]); }, payload);
+      break;
+    default:
+      ok = false;
+      break;
+  }
+  Commit(codec, ok, payload, values, n, out);
+}
+
+void EncodeBlockCodes(BlockCodec codec, const int32_t* values, size_t n,
+                      std::string& out) {
+  std::string payload;
+  bool ok = true;
+  switch (codec) {
+    case BlockCodec::kDict:
+      ok = EncodeDict(values, n, payload);
+      break;
+    case BlockCodec::kRle:
+      EncodeRleLanes(n, 32, [&](size_t i) { return Lane(values[i]); }, payload);
+      break;
+    default:
+      ok = false;
+      break;
+  }
+  Commit(codec, ok, payload, values, n, out);
+}
+
+bool DecodeBlockInt64(const uint8_t* data, size_t size, size_t n, int64_t* out,
+                      CodecScratch& scratch) {
+  if (size == 0) {
+    return n == 0;
+  }
+  const BlockCodec codec = static_cast<BlockCodec>(data[0]);
+  const uint8_t* payload = data + 1;
+  const size_t psize = size - 1;
+  switch (codec) {
+    case BlockCodec::kRaw:
+      return DecodeRaw(payload, psize, n, out);
+    case BlockCodec::kDeltaDelta: {
+      // Decode lanes in place: int64 and uint64 share size; write via cast.
+      std::vector<uint64_t>& tmp = scratch.dict;
+      tmp.resize(n);
+      if (!DecodeDeltaDelta(payload, psize, n, tmp.data())) {
+        return false;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<int64_t>(tmp[i]);
+      }
+      return true;
+    }
+    case BlockCodec::kDict:
+      return DecodeDict(payload, psize, n, out, scratch);
+    case BlockCodec::kRle:
+      return DecodeRleLanes(payload, psize, n, 64,
+                            [&](size_t pos, uint64_t len, uint64_t value) {
+                              const int64_t v = static_cast<int64_t>(value);
+                              for (uint64_t k = 0; k < len; ++k) {
+                                out[pos + k] = v;
+                              }
+                            });
+    default:
+      return false;
+  }
+}
+
+bool DecodeBlockDouble(const uint8_t* data, size_t size, size_t n, double* out,
+                       CodecScratch& scratch) {
+  if (size == 0) {
+    return n == 0;
+  }
+  const BlockCodec codec = static_cast<BlockCodec>(data[0]);
+  const uint8_t* payload = data + 1;
+  const size_t psize = size - 1;
+  switch (codec) {
+    case BlockCodec::kRaw:
+      return DecodeRaw(payload, psize, n, out);
+    case BlockCodec::kGorilla: {
+      std::vector<uint64_t>& tmp = scratch.dict;
+      tmp.resize(n);
+      if (!DecodeGorilla(payload, psize, n, tmp.data())) {
+        return false;
+      }
+      if (n > 0) {
+        std::memcpy(out, tmp.data(), n * sizeof(double));
+      }
+      return true;
+    }
+    case BlockCodec::kRle:
+      return DecodeRleLanes(payload, psize, n, 64,
+                            [&](size_t pos, uint64_t len, uint64_t value) {
+                              // Byte-copy the pattern: no FP register touches
+                              // the payload, so NaN bits survive exactly.
+                              for (uint64_t k = 0; k < len; ++k) {
+                                std::memcpy(&out[pos + k], &value, sizeof(double));
+                              }
+                            });
+    default:
+      return false;
+  }
+}
+
+bool DecodeBlockCodes(const uint8_t* data, size_t size, size_t n, int32_t* out,
+                      CodecScratch& scratch) {
+  if (size == 0) {
+    return n == 0;
+  }
+  const BlockCodec codec = static_cast<BlockCodec>(data[0]);
+  const uint8_t* payload = data + 1;
+  const size_t psize = size - 1;
+  switch (codec) {
+    case BlockCodec::kRaw:
+      return DecodeRaw(payload, psize, n, out);
+    case BlockCodec::kDict:
+      return DecodeDict(payload, psize, n, out, scratch);
+    case BlockCodec::kRle:
+      return DecodeRleLanes(payload, psize, n, 32,
+                            [&](size_t pos, uint64_t len, uint64_t value) {
+                              const int32_t v = static_cast<int32_t>(value);
+                              for (uint64_t k = 0; k < len; ++k) {
+                                out[pos + k] = v;
+                              }
+                            });
+    default:
+      return false;
+  }
+}
+
+}  // namespace blink

@@ -1,0 +1,68 @@
+// Per-block column codecs.
+//
+// Every encoded block is self-describing: one codec byte followed by the
+// codec's payload. Encoders take the codec as a *request* — whenever the
+// requested codec cannot represent the block (dictionary overflow) or would
+// not beat raw storage for it, the block is written as kRaw instead, so
+// encoded data never exceeds raw size by more than the one-byte header per
+// block, and incompressible blocks decode as a straight memcpy.
+//
+// All codecs are lossless at the bit level (doubles travel as their 64-bit
+// patterns, so NaN payloads, signed zeros, infinities and denormals survive
+// round trips exactly), which is what lets the compressed scan path promise
+// bit-identical query answers to the raw path.
+#ifndef BLINKDB_STORAGE_BLOCK_CODEC_H_
+#define BLINKDB_STORAGE_BLOCK_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blink {
+
+enum class BlockCodec : uint8_t {
+  // memcpy passthrough; the decode fast path and the universal fallback.
+  kRaw = 0,
+  // Gorilla-style XOR of consecutive 64-bit patterns with leading/trailing
+  // zero windows (Facebook's time-series float codec). DOUBLE columns.
+  kGorilla = 1,
+  // Delta-of-delta with Gorilla timestamp bit buckets, zigzag-coded. INT64
+  // (ids, timestamps, near-arithmetic sequences).
+  kDeltaDelta = 2,
+  // Per-block value dictionary + byte-packed indices. Low-cardinality INT64
+  // and string-code columns.
+  kDict = 3,
+  // Run-length (value, run) pairs. Sorted / constant-heavy columns.
+  kRle = 4,
+};
+
+const char* BlockCodecName(BlockCodec codec);
+
+// Reusable decode buffers (the per-block dictionary); one per worker, so
+// steady-state decode allocates nothing.
+struct CodecScratch {
+  std::vector<uint64_t> dict;
+};
+
+// Appends one self-describing encoded block ([codec byte][payload]) for
+// values[0..n) to `out`. Unsupported codec/type pairings fall back to kRaw.
+void EncodeBlockInt64(BlockCodec codec, const int64_t* values, size_t n,
+                      std::string& out);
+void EncodeBlockDouble(BlockCodec codec, const double* values, size_t n,
+                       std::string& out);
+void EncodeBlockCodes(BlockCodec codec, const int32_t* values, size_t n,
+                      std::string& out);
+
+// Decodes one block produced by the matching encoder with the same n.
+// Returns false on malformed input; never fails on encoder output.
+bool DecodeBlockInt64(const uint8_t* data, size_t size, size_t n, int64_t* out,
+                      CodecScratch& scratch);
+bool DecodeBlockDouble(const uint8_t* data, size_t size, size_t n, double* out,
+                       CodecScratch& scratch);
+bool DecodeBlockCodes(const uint8_t* data, size_t size, size_t n, int32_t* out,
+                      CodecScratch& scratch);
+
+}  // namespace blink
+
+#endif  // BLINKDB_STORAGE_BLOCK_CODEC_H_

@@ -1,0 +1,77 @@
+// Base-relative column block views.
+//
+// A ColumnSpan is what the scan kernels read: element i is the value of row
+// (block base + i) of one column. Spans come either straight from the raw
+// column vectors (pointer + base offset, zero copy) or from a morsel-at-a-time
+// decode into a worker's scratch buffer (src/storage/encoded_table.h); the
+// predicate and aggregation kernels cannot tell the difference, which is what
+// makes compressed and raw scans bit-identical by construction.
+#ifndef BLINKDB_STORAGE_COLUMN_SPAN_H_
+#define BLINKDB_STORAGE_COLUMN_SPAN_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/storage/schema.h"
+
+namespace blink {
+
+// Read-only view of one column over one block of rows. Exactly one payload
+// pointer is set, per the column's type.
+struct ColumnSpan {
+  const int64_t* i64 = nullptr;    // kInt64
+  const double* f64 = nullptr;     // kDouble
+  const int32_t* codes = nullptr;  // kString (dictionary codes)
+};
+
+// Gathers the numeric values of span elements sel[0..count) into out. The
+// type dispatch happens once per block; the loops are tight gathers.
+inline void GatherNumericSpan(const ColumnSpan& span, DataType type, const uint32_t* sel,
+                              size_t count, double* out) {
+  if (type == DataType::kInt64) {
+    const int64_t* data = span.i64;
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = static_cast<double>(data[sel[i]]);
+    }
+    return;
+  }
+  const double* data = span.f64;
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = data[sel[i]];
+  }
+}
+
+// Gathers canonical cell keys — the int value, the string code, or the bit
+// pattern of the double (Table::CellKey) — of elements sel[0..count) into out.
+inline void GatherCellKeysSpan(const ColumnSpan& span, DataType type, const uint32_t* sel,
+                               size_t count, int64_t* out) {
+  switch (type) {
+    case DataType::kInt64: {
+      const int64_t* data = span.i64;
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = data[sel[i]];
+      }
+      return;
+    }
+    case DataType::kString: {
+      const int32_t* data = span.codes;
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = data[sel[i]];
+      }
+      return;
+    }
+    case DataType::kDouble: {
+      const double* data = span.f64;
+      for (size_t i = 0; i < count; ++i) {
+        int64_t bits;
+        std::memcpy(&bits, &data[sel[i]], sizeof(bits));
+        out[i] = bits;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace blink
+
+#endif  // BLINKDB_STORAGE_COLUMN_SPAN_H_

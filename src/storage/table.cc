@@ -3,21 +3,25 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/storage/encoded_table.h"
+
 namespace blink {
 
 int32_t Dictionary::Intern(std::string_view s) {
-  auto it = index_.find(std::string(s));
+  auto it = index_.find(s);
   if (it != index_.end()) {
     return it->second;
   }
   const int32_t code = static_cast<int32_t>(strings_.size());
+  // The deque gives the stored string a stable address, so the index can key
+  // a view into it.
   strings_.emplace_back(s);
-  index_.emplace(strings_.back(), code);
+  index_.emplace(std::string_view(strings_.back()), code);
   return code;
 }
 
 int32_t Dictionary::Find(std::string_view s) const {
-  auto it = index_.find(std::string(s));
+  auto it = index_.find(s);
   if (it == index_.end()) {
     return -1;
   }
@@ -164,6 +168,40 @@ void Table::GatherCellKeys(size_t col, uint64_t base, const uint32_t* sel, size_
       return;
     }
   }
+}
+
+ColumnSpan Table::BlockSpan(size_t col, uint64_t base) const {
+  const Column& c = columns_[col];
+  ColumnSpan span;
+  switch (c.type) {
+    case DataType::kInt64:
+      span.i64 = c.ints.data() + base;
+      break;
+    case DataType::kDouble:
+      span.f64 = c.doubles.data() + base;
+      break;
+    case DataType::kString:
+      span.codes = c.codes.data() + base;
+      break;
+  }
+  return span;
+}
+
+Status Table::BuildEncoded(const BlockEncodeOptions& options,
+                           const std::vector<uint64_t>* prefix_boundaries) {
+  auto encoded = EncodedTable::Encode(*this, options, prefix_boundaries);
+  BLINK_RETURN_IF_ERROR(encoded.status());
+  encoded_ = std::move(encoded).value();
+  return Status::Ok();
+}
+
+const EncodedTable* Table::encoded_blocks() const {
+  // A table that grew since encoding silently drops back to raw scans rather
+  // than serving a stale (shorter) encoding.
+  if (encoded_ == nullptr || encoded_->num_rows() != num_rows_) {
+    return nullptr;
+  }
+  return encoded_.get();
 }
 
 Value Table::GetValue(size_t col, uint64_t row) const {

@@ -6,19 +6,27 @@
 #define BLINKDB_STORAGE_TABLE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/storage/column_span.h"
 #include "src/storage/schema.h"
 #include "src/storage/value.h"
 #include "src/util/status.h"
 
 namespace blink {
 
-// A per-column string dictionary: code <-> string.
+class EncodedTable;
+struct BlockEncodeOptions;
+
+// A per-column string dictionary: code <-> string. Strings live in a deque
+// (stable addresses across growth) and the hash index keys string_views into
+// it, so Intern never materializes a temporary std::string — one hash lookup,
+// zero allocation on the hit path that dominates ingest.
 class Dictionary {
  public:
   // Returns the code for `s`, inserting it if new.
@@ -30,8 +38,8 @@ class Dictionary {
   size_t size() const { return strings_.size(); }
 
  private:
-  std::vector<std::string> strings_;
-  std::unordered_map<std::string, int32_t> index_;
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, int32_t> index_;
 };
 
 // One typed column. Exactly one of the payload vectors is active, per `type`.
@@ -98,6 +106,21 @@ class Table {
   void GatherCellKeys(size_t col, uint64_t base, const uint32_t* sel, size_t count,
                       int64_t* out) const;
 
+  // Base-relative view of one column's raw storage starting at row `base` —
+  // the zero-copy counterpart of EncodedTable::DecodeRange.
+  ColumnSpan BlockSpan(size_t col, uint64_t base) const;
+
+  // Builds (or rebuilds) the compressed block representation of this table;
+  // see src/storage/encoded_table.h. `prefix_boundaries` must match the scan
+  // carving's cut points for this table (a sample family passes its
+  // resolution sizes).
+  Status BuildEncoded(const BlockEncodeOptions& options,
+                      const std::vector<uint64_t>* prefix_boundaries = nullptr);
+
+  // The compressed representation, or nullptr if BuildEncoded was never
+  // called (or rows were appended since — appends invalidate it).
+  const EncodedTable* encoded_blocks() const;
+
   // Generic (slow) accessor, for result printing and tests.
   Value GetValue(size_t col, uint64_t row) const;
 
@@ -119,6 +142,7 @@ class Table {
   Schema schema_;
   std::vector<Column> columns_;
   uint64_t num_rows_ = 0;
+  std::shared_ptr<const EncodedTable> encoded_;  // null until BuildEncoded
 };
 
 // Encodes the composite key of a row over a fixed set of columns. Used for

@@ -1,0 +1,334 @@
+// Property tests for the per-block column codecs (src/storage/block_codec.h)
+// and the encoded-table layer above them (src/storage/encoded_table.h).
+//
+// The contract under test is the one the compressed scan path relies on:
+// every codec round-trips every block BIT-exactly (doubles compared by their
+// 64-bit patterns, so NaN payloads, signed zeros, infinities and denormals
+// count), and never inflates a block beyond raw size plus the one-byte
+// header.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/storage/block_codec.h"
+#include "src/storage/encoded_table.h"
+#include "src/storage/table.h"
+#include "src/util/rng.h"
+
+namespace blink {
+namespace {
+
+constexpr BlockCodec kInt64Codecs[] = {BlockCodec::kRaw, BlockCodec::kDeltaDelta,
+                                       BlockCodec::kDict, BlockCodec::kRle};
+constexpr BlockCodec kDoubleCodecs[] = {BlockCodec::kRaw, BlockCodec::kGorilla,
+                                        BlockCodec::kRle};
+constexpr BlockCodec kCodeCodecs[] = {BlockCodec::kRaw, BlockCodec::kDict,
+                                      BlockCodec::kRle};
+
+// Round-trips `values` through every int64-capable codec and checks equality
+// and the size bound (payload < raw, or raw fallback: exactly raw + 1).
+void CheckInt64(const std::vector<int64_t>& values) {
+  CodecScratch scratch;
+  for (BlockCodec codec : kInt64Codecs) {
+    std::string blob;
+    EncodeBlockInt64(codec, values.data(), values.size(), blob);
+    ASSERT_LE(blob.size(), 1 + values.size() * sizeof(int64_t))
+        << BlockCodecName(codec);
+    std::vector<int64_t> out(values.size(), ~int64_t{0});
+    ASSERT_TRUE(DecodeBlockInt64(reinterpret_cast<const uint8_t*>(blob.data()),
+                                 blob.size(), values.size(), out.data(), scratch))
+        << BlockCodecName(codec);
+    EXPECT_EQ(out, values) << BlockCodecName(codec);
+  }
+}
+
+// Same for doubles; equality is on bit patterns, not operator== (NaN != NaN,
+// -0.0 == 0.0 — both would hide codec bugs).
+void CheckDouble(const std::vector<double>& values) {
+  CodecScratch scratch;
+  for (BlockCodec codec : kDoubleCodecs) {
+    std::string blob;
+    EncodeBlockDouble(codec, values.data(), values.size(), blob);
+    ASSERT_LE(blob.size(), 1 + values.size() * sizeof(double))
+        << BlockCodecName(codec);
+    std::vector<double> out(values.size(), 12345.6789);
+    ASSERT_TRUE(DecodeBlockDouble(reinterpret_cast<const uint8_t*>(blob.data()),
+                                  blob.size(), values.size(), out.data(), scratch))
+        << BlockCodecName(codec);
+    if (!values.empty()) {
+      EXPECT_EQ(std::memcmp(out.data(), values.data(),
+                            values.size() * sizeof(double)),
+                0)
+          << BlockCodecName(codec);
+    }
+  }
+}
+
+void CheckCodes(const std::vector<int32_t>& values) {
+  CodecScratch scratch;
+  for (BlockCodec codec : kCodeCodecs) {
+    std::string blob;
+    EncodeBlockCodes(codec, values.data(), values.size(), blob);
+    ASSERT_LE(blob.size(), 1 + values.size() * sizeof(int32_t))
+        << BlockCodecName(codec);
+    std::vector<int32_t> out(values.size(), -7);
+    ASSERT_TRUE(DecodeBlockCodes(reinterpret_cast<const uint8_t*>(blob.data()),
+                                 blob.size(), values.size(), out.data(), scratch))
+        << BlockCodecName(codec);
+    EXPECT_EQ(out, values) << BlockCodecName(codec);
+  }
+}
+
+double FromBits(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+TEST(BlockCodecTest, Int64RandomRoundTrips) {
+  Rng rng(0xc0dec1ULL);
+  std::vector<int64_t> values(1000);
+  for (auto& v : values) {
+    v = static_cast<int64_t>(rng.NextUint64());
+  }
+  CheckInt64(values);
+}
+
+TEST(BlockCodecTest, Int64EdgeShapes) {
+  CheckInt64({});                                       // empty block
+  CheckInt64({42});                                     // single value
+  CheckInt64(std::vector<int64_t>(4096, -3));           // single run
+  CheckInt64({std::numeric_limits<int64_t>::min(),      // extreme deltas
+              std::numeric_limits<int64_t>::max(),
+              std::numeric_limits<int64_t>::min(), 0, -1, 1});
+  std::vector<int64_t> monotone(4096);
+  for (size_t i = 0; i < monotone.size(); ++i) {
+    monotone[i] = 1'700'000'000 + static_cast<int64_t>(i) * 30;  // timestamps
+  }
+  CheckInt64(monotone);
+  std::vector<int64_t> distinct(4096);
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    distinct[i] = static_cast<int64_t>(i * 2654435761u);  // all distinct
+  }
+  CheckInt64(distinct);
+}
+
+TEST(BlockCodecTest, DoubleRandomRoundTrips) {
+  Rng rng(0xc0dec2ULL);
+  std::vector<double> values(1000);
+  for (auto& v : values) {
+    v = rng.NextDouble() * 1e6 - 5e5;
+  }
+  CheckDouble(values);
+}
+
+TEST(BlockCodecTest, DoubleSpecialBitPatterns) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double snan_payload = FromBits(0x7ff0000000c0ffeeULL);  // NaN payload
+  const double neg_nan = FromBits(0xfff8000000000001ULL);
+  const double denormal = std::numeric_limits<double>::denorm_min();
+  const double inf = std::numeric_limits<double>::infinity();
+  CheckDouble({qnan, snan_payload, neg_nan, -0.0, 0.0, denormal, -denormal, inf,
+               -inf, std::numeric_limits<double>::max(),
+               std::numeric_limits<double>::min(), 1.0, -1.0});
+  CheckDouble({});                               // empty block
+  CheckDouble({-0.0});                           // single value
+  CheckDouble(std::vector<double>(4096, qnan));  // NaN run: RLE on bit patterns
+  CheckDouble(std::vector<double>(4096, 98.6));  // constant run
+}
+
+TEST(BlockCodecTest, DoubleSlowlyVaryingCompressesWithGorilla) {
+  // Sensor-style series: quantized steps keep consecutive bit patterns close
+  // (small XOR, long leading/trailing zero runs). Full-precision noise in
+  // the low mantissa bits is genuinely incompressible and NOT this case.
+  std::vector<double> series(4096);
+  double v = 250.0;
+  Rng rng(0xc0dec3ULL);
+  for (auto& x : series) {
+    v += (static_cast<double>(rng.NextBounded(17)) - 8.0) / 64.0;
+    x = v;
+  }
+  std::string blob;
+  EncodeBlockDouble(BlockCodec::kGorilla, series.data(), series.size(), blob);
+  EXPECT_LT(blob.size(), series.size() * sizeof(double) / 2)
+      << "Gorilla should at least halve a slowly-varying series";
+  CheckDouble(series);
+}
+
+TEST(BlockCodecTest, CodesRoundTripAndDictCompresses) {
+  CheckCodes({});
+  CheckCodes({0});
+  CheckCodes(std::vector<int32_t>(4096, 17));
+  Rng rng(0xc0dec4ULL);
+  std::vector<int32_t> low_card(4096);
+  for (auto& c : low_card) {
+    c = static_cast<int32_t>(rng.NextBounded(8));  // 3-bit dictionary indices
+  }
+  CheckCodes(low_card);
+  std::string blob;
+  EncodeBlockCodes(BlockCodec::kDict, low_card.data(), low_card.size(), blob);
+  EXPECT_LT(blob.size(), low_card.size() * sizeof(int32_t) / 3)
+      << "8 distinct values pack at one byte per index";
+}
+
+TEST(BlockCodecTest, DictOverflowFallsBackToRaw) {
+  // More than 2^16 distinct values cannot be dictionary-coded; the encoder
+  // must fall back to a raw block rather than fail.
+  std::vector<int64_t> values(70'000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i);
+  }
+  std::string blob;
+  EncodeBlockInt64(BlockCodec::kDict, values.data(), values.size(), blob);
+  ASSERT_FALSE(blob.empty());
+  EXPECT_EQ(static_cast<BlockCodec>(blob[0]), BlockCodec::kRaw);
+  CodecScratch scratch;
+  std::vector<int64_t> out(values.size());
+  ASSERT_TRUE(DecodeBlockInt64(reinterpret_cast<const uint8_t*>(blob.data()),
+                               blob.size(), values.size(), out.data(), scratch));
+  EXPECT_EQ(out, values);
+}
+
+TEST(BlockCodecTest, DecodeRejectsTruncatedBlocks) {
+  std::vector<int64_t> values(256);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i * i);
+  }
+  CodecScratch scratch;
+  std::vector<int64_t> out(values.size());
+  for (BlockCodec codec : kInt64Codecs) {
+    std::string blob;
+    EncodeBlockInt64(codec, values.data(), values.size(), blob);
+    // Empty input and header-only input must fail cleanly, not crash.
+    EXPECT_FALSE(DecodeBlockInt64(nullptr, 0, values.size(), out.data(), scratch));
+    EXPECT_FALSE(DecodeBlockInt64(reinterpret_cast<const uint8_t*>(blob.data()), 1,
+                                  values.size(), out.data(), scratch))
+        << BlockCodecName(codec);
+  }
+}
+
+// --- EncodedTable ------------------------------------------------------------
+
+Table MixedTable(uint64_t rows) {
+  Table t(Schema({{"city", DataType::kString},
+                  {"latency", DataType::kDouble},
+                  {"ts", DataType::kInt64}}));
+  Rng rng(0xe9c0dedULL);
+  t.Reserve(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    t.AppendString(0, "city_" + std::to_string(rng.NextBounded(20)));
+    t.AppendDouble(1, 40.0 + rng.NextDouble() * 5.0);
+    t.AppendInt(2, 1'700'000'000 + static_cast<int64_t>(r) * 7);
+    t.CommitRow();
+  }
+  return t;
+}
+
+TEST(EncodedTableTest, DecodeRangeMatchesRawForMisalignedRanges) {
+  const uint64_t rows = 10'000;
+  Table t = MixedTable(rows);
+  BlockEncodeOptions options;
+  options.block_rows = 1024;
+  auto encoded = EncodedTable::Encode(t, options);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  const EncodedTable& et = **encoded;
+  EXPECT_EQ(et.num_rows(), rows);
+
+  DecodeScratch scratch;
+  // Ranges chosen to start/stop mid-block and straddle block boundaries.
+  const std::pair<uint64_t, uint64_t> ranges[] = {
+      {0, rows}, {0, 1}, {511, 513}, {1000, 1100}, {1023, 1025},
+      {3000, 9999}, {rows - 1, rows}};
+  for (const auto& [begin, end] : ranges) {
+    const ColumnSpan city = et.DecodeRange(0, begin, end, scratch);
+    const ColumnSpan lat = et.DecodeRange(1, begin, end, scratch);
+    const ColumnSpan ts = et.DecodeRange(2, begin, end, scratch);
+    for (uint64_t r = begin; r < end; ++r) {
+      const uint64_t i = r - begin;
+      ASSERT_EQ(city.codes[i], t.GetStringCode(0, r)) << "row " << r;
+      ASSERT_EQ(std::memcmp(&lat.f64[i], t.DoubleData(1) + r, sizeof(double)), 0)
+          << "row " << r;
+      ASSERT_EQ(ts.i64[i], t.GetInt(2, r)) << "row " << r;
+    }
+  }
+}
+
+TEST(EncodedTableTest, LowCardinalityColumnsCompressAtLeastThreefold) {
+  Table t = MixedTable(50'000);
+  ASSERT_TRUE(t.BuildEncoded(BlockEncodeOptions{}).ok());
+  const EncodedTable* et = t.encoded_blocks();
+  ASSERT_NE(et, nullptr);
+  // city: 20 distinct codes; ts: fixed-stride timestamps. Both must beat 3x.
+  EXPECT_GT(et->stats(0).ratio(), 3.0) << BlockCodecName(et->stats(0).codec);
+  EXPECT_GT(et->stats(2).ratio(), 3.0) << BlockCodecName(et->stats(2).codec);
+  // Encoded never exceeds raw + the 8-byte-aligned header per block (codec
+  // byte plus alignment padding), any column.
+  for (size_t c = 0; c < et->num_columns(); ++c) {
+    EXPECT_LE(et->stats(c).encoded_bytes,
+              et->stats(c).raw_bytes + 8 * et->num_blocks() + 7);
+  }
+}
+
+TEST(EncodedTableTest, PrefixBoundariesCutBlocksAndChargeWholeBlocks) {
+  const uint64_t rows = 10'000;
+  Table t = MixedTable(rows);
+  const std::vector<uint64_t> prefixes = {100, 1000, rows};
+  BlockEncodeOptions options;
+  options.block_rows = 512;
+  auto encoded = EncodedTable::Encode(t, options, &prefixes);
+  ASSERT_TRUE(encoded.ok());
+  const EncodedTable& et = **encoded;
+  // bytes(100 rows) < bytes(1000 rows) < bytes(all): prefixes decode without
+  // pulling blocks past their boundary.
+  const uint64_t b100 = et.TotalEncodedBytesInPrefix(100);
+  const uint64_t b1000 = et.TotalEncodedBytesInPrefix(1000);
+  const uint64_t ball = et.TotalEncodedBytesInPrefix(rows);
+  EXPECT_LT(b100, b1000);
+  EXPECT_LT(b1000, ball);
+  // Whole-block charging: a prefix mid-block costs the same as its block end.
+  EXPECT_EQ(et.EncodedBytesInPrefix(0, 50), et.EncodedBytesInPrefix(0, 100));
+}
+
+TEST(EncodedTableTest, StaleAfterAppendUntilRebuilt) {
+  Table t = MixedTable(1000);
+  ASSERT_TRUE(t.BuildEncoded(BlockEncodeOptions{}).ok());
+  ASSERT_NE(t.encoded_blocks(), nullptr);
+  t.AppendString(0, "city_new");
+  t.AppendDouble(1, 1.0);
+  t.AppendInt(2, 2);
+  t.CommitRow();
+  EXPECT_EQ(t.encoded_blocks(), nullptr) << "appended rows must invalidate";
+  ASSERT_TRUE(t.BuildEncoded(BlockEncodeOptions{}).ok());
+  ASSERT_NE(t.encoded_blocks(), nullptr);
+  EXPECT_EQ(t.encoded_blocks()->num_rows(), 1001u);
+}
+
+// --- Dictionary (the Intern fast path feeding AppendString) ------------------
+
+TEST(DictionaryTest, InternAndFindAgree) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Find("absent"), -1);
+  const int32_t a = dict.Intern("alpha");
+  const int32_t b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a) << "re-intern must hit, not duplicate";
+  EXPECT_EQ(dict.Find("alpha"), a);
+  EXPECT_EQ(dict.Find("beta"), b);
+  EXPECT_EQ(dict.At(a), "alpha");
+  EXPECT_EQ(dict.At(b), "beta");
+  EXPECT_EQ(dict.size(), 2u);
+  // The index keys views into the deque; growth must not invalidate them.
+  for (int i = 0; i < 10'000; ++i) {
+    dict.Intern("entry_" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.Find("alpha"), a);
+  EXPECT_EQ(dict.Find("entry_9999"), dict.Intern("entry_9999"));
+  EXPECT_EQ(dict.size(), 10'002u);
+}
+
+}  // namespace
+}  // namespace blink

@@ -329,6 +329,91 @@ TEST(FuzzDifferentialTest, StoppedAnswersHonorTheBound) {
       << "adaptive scheduling never broke lockstep; reallocation untested";
 }
 
+// --- Compressed vs raw storage: same answers, same traces --------------------
+//
+// Codec-layer round trips are bit-exact (tests/codec_test.cc) and carving is
+// storage-independent, so flipping compressed_scan must change NOTHING the
+// engine reports except bytes_scanned: answers bit-identical, per-pipeline
+// block traces identical, bytes_decoded identical.
+
+TEST(FuzzDifferentialTest, CompressedScanIsBitIdenticalToRaw) {
+  Fixture fx;  // non-const: its storage gets encoded in place
+  BlockEncodeOptions encode;
+  encode.block_rows = 1024;
+  for (SampleFamily* family : fx.store.MutableFamiliesFor("t")) {
+    ASSERT_TRUE(family->EncodeBlocks(encode).ok());
+  }
+  ASSERT_TRUE(fx.fact.BuildEncoded(encode).ok());
+
+  Rng rng(86'420);
+  int compressed_wins = 0;
+  for (int q = 0; q < 6; ++q) {
+    // Mix never-stop drives with reachable bounds: early stopping is driven
+    // by achieved error, which must match, so stopped traces must match too.
+    // The last query is pinned to the dict-encodable columns (a: 10 distinct,
+    // s: 12 distinct) so at least one run must exercise a real compression win
+    // regardless of what the random mix happens to touch.
+    const bool never_stop = q % 2 == 0;
+    const std::string sql =
+        q == 5 ? "SELECT s, COUNT(*) FROM t WHERE a = 3 GROUP BY s"
+                 " ERROR WITHIN 0.0000001% AT CONFIDENCE 95%"
+               : RandomQuery(rng, /*allow_quantile=*/never_stop) +
+                     (never_stop ? " ERROR WITHIN 0.0000001% AT CONFIDENCE 95%"
+                                 : " ERROR WITHIN 8% AT CONFIDENCE 95%");
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    for (size_t threads : {1u, 2u, 7u}) {
+      for (uint32_t morsel_rows : {64u, 1024u, 4096u}) {
+        RuntimeConfig config =
+            StreamingConfig(ScheduleMode::kAdaptive, threads, morsel_rows, 3);
+        config.compressed_scan = false;
+        const ApproxAnswer raw = fx.MustExecute(*stmt, config);
+        config.compressed_scan = true;
+        const ApproxAnswer compressed = fx.MustExecute(*stmt, config);
+        const std::string context = sql + " [threads=" + std::to_string(threads) +
+                                    " morsel=" + std::to_string(morsel_rows) + "]";
+        ExpectIdentical(compressed.result, raw.result, context);
+        EXPECT_EQ(compressed.report.stopped_early, raw.report.stopped_early)
+            << context;
+        ASSERT_EQ(compressed.report.pipeline_outcomes.size(),
+                  raw.report.pipeline_outcomes.size())
+            << context;
+        for (size_t p = 0; p < raw.report.pipeline_outcomes.size(); ++p) {
+          const PipelineOutcome& r = raw.report.pipeline_outcomes[p];
+          const PipelineOutcome& c = compressed.report.pipeline_outcomes[p];
+          const std::string at = context + " pipeline " + std::to_string(p);
+          EXPECT_EQ(c.blocks_total, r.blocks_total) << at;
+          EXPECT_EQ(c.blocks_consumed, r.blocks_consumed) << at;
+          EXPECT_EQ(c.rows_consumed, r.rows_consumed) << at;
+          EXPECT_EQ(c.rows_matched, r.rows_matched) << at;
+          EXPECT_EQ(c.bytes_decoded, r.bytes_decoded) << at;
+          // Raw storage reports physical == logical; §4.4 reuse charges 0.
+          EXPECT_TRUE(r.bytes_scanned == r.bytes_decoded ||
+                      (r.reused_probe && r.bytes_scanned == 0.0))
+              << at;
+        }
+        EXPECT_EQ(compressed.report.bytes_decoded, raw.report.bytes_decoded)
+            << context;
+        if (raw.report.bytes_decoded > 0.0) {
+          // Incompressible columns cost at most the 8-byte aligned header
+          // per block over raw; a query touching only those may exceed
+          // logical size by that sliver — proportionally at scale, plus a
+          // fixed few hundred bytes of headers on tiny prefix scans.
+          EXPECT_LE(compressed.report.bytes_scanned,
+                    raw.report.bytes_decoded * 1.01 + 256.0)
+              << context;
+          EXPECT_GT(compressed.report.bytes_scanned, 0.0) << context;
+          if (compressed.report.bytes_scanned < 0.5 * raw.report.bytes_decoded) {
+            ++compressed_wins;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(compressed_wins, 0)
+      << "no query ever scanned a column the codecs actually shrank";
+}
+
 // --- WITHIN n SECONDS: pooled budgets keep the accounting consistent ---------
 
 TEST(FuzzDifferentialTest, TimeBoundedRunsKeepConsistentAccounting) {

@@ -216,6 +216,8 @@ TEST(ProtocolTest, ReportRoundTrips) {
   report.achieved_error = 0.031;
   report.num_subqueries = 2;
   report.rewrite_fallback = false;
+  report.bytes_scanned = 9211.5;
+  report.bytes_decoded = 40960.0;
   report.schedule = ScheduleMode::kAdaptive;
   report.elp.push_back({1, 1000, 4, 0.1, 0.5, 30.0});
   PipelineOutcome outcome;
@@ -226,6 +228,8 @@ TEST(ProtocolTest, ReportRoundTrips) {
   outcome.reused_probe = false;
   outcome.scheduled_rounds = 5;
   outcome.error_contribution = 0.625;
+  outcome.bytes_scanned = 9211.5;
+  outcome.bytes_decoded = 40960.0;
   report.pipeline_outcomes.push_back(outcome);
 
   auto reparsed = JsonValue::Parse(EncodeReport(report).Serialize());
@@ -244,6 +248,32 @@ TEST(ProtocolTest, ReportRoundTrips) {
   ASSERT_EQ(decoded->pipeline_outcomes.size(), 1u);
   EXPECT_EQ(decoded->pipeline_outcomes[0].blocks_consumed, 20u);
   EXPECT_EQ(decoded->pipeline_outcomes[0].error_contribution, 0.625);
+  EXPECT_EQ(decoded->bytes_scanned, 9211.5);
+  EXPECT_EQ(decoded->bytes_decoded, 40960.0);
+  EXPECT_EQ(decoded->pipeline_outcomes[0].bytes_scanned, 9211.5);
+  EXPECT_EQ(decoded->pipeline_outcomes[0].bytes_decoded, 40960.0);
+}
+
+// Frames from a pre-bytes-accounting peer lack bytes_scanned/bytes_decoded;
+// decoding must default them to 0 rather than fail (additive evolution, §5).
+TEST(ProtocolTest, ReportWithoutBytesFieldsDecodesToZero) {
+  ExecutionReport report;
+  report.family = "uniform";
+  report.bytes_scanned = 123.0;
+  report.bytes_decoded = 456.0;
+  const JsonValue encoded = EncodeReport(report);
+  JsonValue stripped = JsonValue::Object();
+  for (const auto& [key, value] : encoded.members()) {
+    if (key != "bytes_scanned" && key != "bytes_decoded") {
+      stripped.Set(key, value);
+    }
+  }
+  auto reparsed = JsonValue::Parse(stripped.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  auto decoded = DecodeReport(*reparsed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->bytes_scanned, 0.0);
+  EXPECT_EQ(decoded->bytes_decoded, 0.0);
 }
 
 TEST(ProtocolTest, EveryFrameTypeRoundTrips) {

@@ -6,9 +6,8 @@
 // Point blinkdb_cli (or any client speaking the protocol) at it:
 //
 //   ./blinkdb_server --port 4411 &
-//   ./blinkdb_cli --port 4411 \
-//       --execute "SELECT COUNT(*) FROM sessions WHERE city = 'city_9' \
-//                  ERROR WITHIN 2% AT CONFIDENCE 95%"
+//   ./blinkdb_cli --port 4411 --execute "SELECT COUNT(*) FROM sessions
+//       WHERE city = 'city_9' ERROR WITHIN 2% AT CONFIDENCE 95%"
 //
 // Flags:
 //   --host H           listen address           (default 127.0.0.1)
@@ -94,6 +93,10 @@ int main(int argc, char** argv) {
   }
   std::printf("built %zu sample families over %llu rows\n", plan->families.size(),
               static_cast<unsigned long long>(rows));
+  if (Status s = db.CompressStorage("sessions"); !s.ok()) {
+    std::fprintf(stderr, "compression failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
 
   BlinkServer server(db, options);
   if (Status s = server.Start(); !s.ok()) {
