@@ -26,6 +26,31 @@ echo "== bench smoke: adaptive pipeline scheduling =="
 # 2M-row run is where the >=20% blocks-saved target is measured).
 "$BUILD_DIR"/bench_adaptive 200000
 
+echo "== bench smoke: operate-on-compressed dict predicate =="
+# Small-row run of the scan-throughput bench. The filter-only dict-index
+# path must not lose to decode-then-filter on the pinned dict-win query
+# (steady-state it wins ~2x; the 0.9 factor absorbs small-run noise).
+BENCH_OUT="$(mktemp)"
+"$BUILD_DIR"/bench_scan_throughput 400000 >"$BENCH_OUT"
+awk -F'[:,]' '
+  /"query":"dict_filter_count"/ && /"mode":"vectorized"/ && /"threads":1[,}]/ {
+    for (i = 1; i <= NF; ++i) {
+      if ($i ~ /"storage"/) storage = $(i + 1);
+      if ($i ~ /"rows_per_sec"/) rps = $(i + 1) + 0;
+    }
+    gsub(/"/, "", storage);
+    rate[storage] = rps;
+  }
+  END {
+    if (!("compressed" in rate) || !("compressed_decode" in rate)) {
+      print "bench emitted no dict_filter_count compressed modes"; exit 2;
+    }
+    printf "dict_filter_count 1-thread: views %.0f rows/s vs decode %.0f rows/s\n",
+           rate["compressed"], rate["compressed_decode"];
+    exit (rate["compressed"] >= 0.9 * rate["compressed_decode"]) ? 0 : 1;
+  }' "$BENCH_OUT" || { echo "dict-index path lost to the decode path"; exit 1; }
+rm -f "$BENCH_OUT"
+
 echo "== server smoke: streaming partials over the wire =="
 # Boot the demo server on an ephemeral port, run one bounded query through
 # blinkdb_cli, and require that at least one PARTIAL frame precedes FINAL —

@@ -196,26 +196,44 @@ Result<BoundQuery> BindQuery(const SelectStatement& stmt, const Dataset& fact,
   // Collect the fact columns the block path reads, and adopt the table's
   // compressed storage when it covers the dataset (a table that grew since
   // encoding reports no encoding; see Table::encoded_blocks).
-  if (bq.where.has_value()) {
-    bq.fact_cols = bq.where->fact_columns();
-  }
+  //
+  // Gathered columns — grouping, aggregate arguments, the join key — need
+  // materialized rows; columns only the predicate reads do not, which is what
+  // lets the compressed scan serve them as encoded views.
+  std::vector<size_t> gathered;
   for (const auto& ref : bq.group_cols) {
     if (ref.side == TableSide::kFact) {
-      bq.fact_cols.push_back(ref.index);
+      gathered.push_back(ref.index);
     }
   }
   for (const auto& bound : bq.aggs) {
     // COUNT never gathers its argument, so it charges no column bytes.
     if (bound.agg.func != AggFunc::kCount && bound.arg.side == TableSide::kFact) {
-      bq.fact_cols.push_back(bound.arg.index);
+      gathered.push_back(bound.arg.index);
     }
   }
   if (bq.join_fact_col.has_value()) {
-    bq.fact_cols.push_back(*bq.join_fact_col);
+    gathered.push_back(*bq.join_fact_col);
   }
+  std::sort(gathered.begin(), gathered.end());
+  gathered.erase(std::unique(gathered.begin(), gathered.end()), gathered.end());
+
+  if (bq.where.has_value()) {
+    bq.fact_cols = bq.where->fact_columns();
+  }
+  bq.fact_cols.insert(bq.fact_cols.end(), gathered.begin(), gathered.end());
   std::sort(bq.fact_cols.begin(), bq.fact_cols.end());
   bq.fact_cols.erase(std::unique(bq.fact_cols.begin(), bq.fact_cols.end()),
                      bq.fact_cols.end());
+  // fact_cols is predicate ∪ gathered, so anything not gathered is read by
+  // the predicate alone.
+  bq.fact_col_filter_only.assign(bq.fact_cols.size(), 0);
+  for (size_t i = 0; i < bq.fact_cols.size(); ++i) {
+    bq.fact_col_filter_only[i] =
+        std::binary_search(gathered.begin(), gathered.end(), bq.fact_cols[i])
+            ? 0
+            : 1;
+  }
   bq.encoded = table.encoded_blocks();
   return bq;
 }
@@ -230,15 +248,27 @@ void ProcessMorsel(const BoundQuery& bq, const Dataset& fact, const Morsel& m,
       fact.strata != nullptr ? fact.strata->data() + m.begin : nullptr;
 
   // Per-block column views for every fact column this query touches: straight
-  // pointers into the raw vectors, or morsel-at-a-time decodes into this
-  // worker's scratch. Downstream (filter, gathers) reads spans either way.
+  // pointers into the raw vectors, morsel-at-a-time decodes into this
+  // worker's scratch, or — for filter-only columns of compressed storage —
+  // encoded views the predicate evaluates without decoding. Each decoded span
+  // charges its logical bytes; encoded views charge nothing, which is what
+  // makes bytes_decoded mean "bytes actually materialized".
   if (s.spans.size() < table.num_columns()) {
     s.spans.resize(table.num_columns());
   }
-  for (size_t col : bq.fact_cols) {
-    s.spans[col] = bq.encoded != nullptr
-                       ? bq.encoded->DecodeRange(col, m.begin, m.end, s.decode)
-                       : table.BlockSpan(col, m.begin);
+  for (size_t i = 0; i < bq.fact_cols.size(); ++i) {
+    const size_t col = bq.fact_cols[i];
+    const bool filter_only =
+        bq.use_encoded_views && bq.fact_col_filter_only[i] != 0;
+    s.spans[col] =
+        bq.encoded != nullptr
+            ? bq.encoded->DecodeRange(col, m.begin, m.end, s.decode, filter_only)
+            : table.BlockSpan(col, m.begin);
+    if (s.spans[col].encoding == SpanEncoding::kDecoded) {
+      const double width =
+          table.schema().column(col).type == DataType::kString ? 4.0 : 8.0;
+      out.bytes_decoded += static_cast<double>(n) * width;
+    }
   }
 
   // 0. Scanned-row tally per stratum (whole block, before any filtering): the

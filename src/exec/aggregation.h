@@ -98,6 +98,15 @@ struct BoundQuery {
   // aggregate arguments, join key), sorted unique — the columns ProcessMorsel
   // prepares spans for, and the columns charged to bytes_scanned/decoded.
   std::vector<size_t> fact_cols;
+  // Parallel to fact_cols: nonzero when the scan reads the column ONLY
+  // through the predicate (never gathers it for grouping, aggregation, or
+  // the join key). Such columns may be served as encoded views
+  // (SpanEncoding::kDictIndex / kRleRuns) instead of decoded rows.
+  std::vector<uint8_t> fact_col_filter_only;
+  // Master switch for those views. ScanPipeline clears it when
+  // ExecutionOptions::filter_encoded_views is off (the forced-decode
+  // differential arm); answers are bit-identical either way.
+  bool use_encoded_views = true;
   std::vector<ColumnRef> group_cols;
   std::vector<std::string> group_names;
   std::vector<BoundAgg> aggs;
@@ -117,6 +126,11 @@ Result<BoundQuery> BindQuery(const SelectStatement& stmt, const Dataset& fact,
 struct MorselPartial {
   GroupMap groups;
   uint64_t rows_matched = 0;
+  // Logical bytes this block's scan materialized: rows × width summed over
+  // the touched columns that were served decoded (raw spans included).
+  // Columns served as encoded views charge nothing — the whole point of the
+  // filter-only fast path is that their rows never exist.
+  double bytes_decoded = 0.0;
   // Rows of the block per stratum — all scanned rows, not just matches —
   // filled only when the caller asked ProcessMorsel to count them. Folded
   // into the running prefix counts n_h(prefix) that make a stopped block

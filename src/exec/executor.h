@@ -82,6 +82,12 @@ struct ExecutionOptions {
   // fact table carries it; false forces raw column scans. Answers are
   // bit-identical either way — this is purely a storage-path switch.
   bool compressed_scan = true;
+  // On compressed scans, serve filter-only columns as encoded views (dict
+  // indices / RLE runs) that the predicate evaluates without decoding; false
+  // forces the decode-into-scratch path for them. Like compressed_scan this
+  // is a pure storage-path switch — answers and block traces are
+  // bit-identical either way — kept as a differential-test arm.
+  bool filter_encoded_views = true;
 };
 
 // Executes `stmt` against `fact` (optionally joining `dim`, which must be an

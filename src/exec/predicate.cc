@@ -1,5 +1,7 @@
 #include "src/exec/predicate.h"
 
+#include <cstring>
+
 namespace blink {
 namespace {
 
@@ -188,20 +190,38 @@ void CompiledPredicate::FilterNode(size_t node_idx, const ColumnSpan* fact_spans
     }
     case NodeKind::kNumericCompare:
     case NodeKind::kStringCompare:
-      FilterLeaf(node, fact_spans, sel, dim_rows);
+      FilterLeaf(node, fact_spans, sel, dim_rows, scratch);
       return;
   }
 }
 
 void CompiledPredicate::FilterLeaf(const Node& node, const ColumnSpan* fact_spans,
                                    std::vector<uint32_t>& sel,
-                                   std::vector<uint64_t>* dim_rows) const {
+                                   std::vector<uint64_t>* dim_rows,
+                                   PredicateScratch& scratch) const {
   // Fact-side reads go through the caller's spans (raw or freshly decoded);
   // dim-side reads stay on the resident dimension table, addressed by the
   // join-resolved absolute rows.
   const bool fact_side = node.side == TableSide::kFact;
+  if (fact_side &&
+      fact_spans[node.column].encoding != SpanEncoding::kDecoded) {
+    FilterEncodedLeaf(node, fact_spans[node.column], sel, dim_rows, scratch);
+    return;
+  }
   if (node.kind == NodeKind::kStringCompare) {
     const int32_t lit = node.code_literal;
+    if (lit < 0) {
+      // Literal absent from the table's dictionary: no stored code can equal
+      // it, so the block resolves without reading a row (kEq keeps nothing,
+      // kNe keeps everything).
+      if (node.op == CompareOp::kEq) {
+        sel.clear();
+        if (dim_rows != nullptr) {
+          dim_rows->clear();
+        }
+      }
+      return;
+    }
     if (fact_side) {
       const int32_t* data = fact_spans[node.column].codes;
       if (node.op == CompareOp::kEq) {
@@ -244,6 +264,104 @@ void CompiledPredicate::FilterLeaf(const Node& node, const ColumnSpan* fact_span
                     [&](size_t i) { return raw[(*dim_rows)[i]]; });
     }
   }
+}
+
+bool CompiledPredicate::LaneMatches(const Node& node, DataType type, uint64_t lane) {
+  if (node.kind == NodeKind::kStringCompare) {
+    // String lanes are the column's global dictionary codes (dict blocks add
+    // a per-block index layer on top, but the lanes themselves are codes), so
+    // the translation is a straight code comparison. code_literal == -1
+    // (absent literal) matches no lane, which empties or preserves the whole
+    // block below.
+    const int32_t code = static_cast<int32_t>(lane);
+    return node.op == CompareOp::kEq ? code == node.code_literal
+                                     : code != node.code_literal;
+  }
+  // Numeric lanes carry the stored bits: int64 values or double bit patterns.
+  // Widen exactly like the decoded path so keep decisions are bit-identical.
+  double v;
+  if (type == DataType::kInt64) {
+    v = static_cast<double>(static_cast<int64_t>(lane));
+  } else {
+    std::memcpy(&v, &lane, sizeof(v));
+  }
+  switch (node.op) {
+    case CompareOp::kEq:
+      return v == node.numeric_literal;
+    case CompareOp::kNe:
+      return v != node.numeric_literal;
+    case CompareOp::kLt:
+      return v < node.numeric_literal;
+    case CompareOp::kLe:
+      return v <= node.numeric_literal;
+    case CompareOp::kGt:
+      return v > node.numeric_literal;
+    case CompareOp::kGe:
+      return v >= node.numeric_literal;
+  }
+  return false;
+}
+
+void CompiledPredicate::FilterEncodedLeaf(const Node& node, const ColumnSpan& span,
+                                          std::vector<uint32_t>& sel,
+                                          std::vector<uint64_t>* dim_rows,
+                                          PredicateScratch& scratch) const {
+  const DataType type = fact_->schema().column(node.column).type;
+  // Translate the literal once per block: one keep flag per dictionary entry
+  // (or per run). A block holds at most 2^16 distinct lanes, so this pass is
+  // tiny next to the row loop it replaces.
+  const bool dict = span.encoding == SpanEncoding::kDictIndex;
+  const size_t lanes = dict ? span.dict_size : span.num_runs;
+  const uint64_t* values = dict ? span.dict : span.run_values;
+  std::vector<uint8_t>& match = scratch.lane_match;
+  match.resize(lanes);
+  size_t matched = 0;
+  for (size_t e = 0; e < lanes; ++e) {
+    const bool m = LaneMatches(node, type, values[e]);
+    match[e] = m ? 1 : 0;
+    matched += m ? 1 : 0;
+  }
+  // All-or-nothing translations short-circuit the block without touching a
+  // single index: constant blocks always land here, and so does the absent
+  // string literal (code_literal == -1 matches no lane under kEq and every
+  // lane under kNe).
+  if (matched == lanes) {
+    return;
+  }
+  if (matched == 0) {
+    sel.clear();
+    if (dim_rows != nullptr) {
+      dim_rows->clear();
+    }
+    return;
+  }
+  const uint8_t* bits = match.data();
+  if (dict) {
+    // Packed-index kernel: keep(i) is a 1- or 2-byte index load plus a flag
+    // lookup — no value ever materializes.
+    const uint8_t* idx = span.dict_idx;
+    if (span.dict_width == 1) {
+      Compact(sel, dim_rows, [&](size_t i) { return bits[idx[sel[i]]] != 0; });
+    } else {
+      Compact(sel, dim_rows, [&](size_t i) {
+        const size_t o = static_cast<size_t>(sel[i]) * 2;
+        return bits[(static_cast<uint32_t>(idx[o]) << 8) | idx[o + 1]] != 0;
+      });
+    }
+    return;
+  }
+  // Run kernel: `sel` ascends, so a single forward cursor resolves each
+  // offset's covering run; keep(i) is one flag lookup per row plus one
+  // cursor step per run boundary.
+  const uint32_t* ends = span.run_ends;
+  size_t run = 0;
+  Compact(sel, dim_rows, [&](size_t i) {
+    const uint32_t off = span.rle_base + sel[i];
+    while (off >= ends[run]) {
+      ++run;
+    }
+    return bits[run] != 0;
+  });
 }
 
 bool CompiledPredicate::EvalNode(size_t node_idx, uint64_t fact_row, uint64_t dim_row) const {

@@ -32,6 +32,9 @@ struct PredicateScratch {
     std::vector<uint64_t> dim_rows;
   };
   std::vector<Level> levels;
+  // Per-block literal translation for encoded-view leaves: one keep flag per
+  // dictionary entry (or RLE run), rebuilt by each leaf, reused across blocks.
+  std::vector<uint8_t> lane_match;
 };
 
 class CompiledPredicate {
@@ -49,8 +52,10 @@ class CompiledPredicate {
   // Vectorized evaluation over one block of fact rows: filters `sel`
   // (ascending in-block offsets) in place, keeping offsets whose rows match.
   // `fact_spans` is indexed by fact column — one base-relative span per
-  // column in fact_columns(), raw (Table::BlockSpan) or decoded
-  // (EncodedTable::DecodeRange); the kernels cannot tell. `dim_rows`, when
+  // column in fact_columns(), raw (Table::BlockSpan), decoded
+  // (EncodedTable::DecodeRange), or an encoded view (filter-only columns of
+  // compressed storage; evaluated directly over dict indices / RLE runs with
+  // identical keep decisions, so answers stay bit-identical). `dim_rows`, when
   // non-null, runs parallel to `sel` (each candidate's join-resolved
   // dimension row) and is compacted alongside; the dimension side always
   // reads the resident dim table. Equivalent to keeping i iff
@@ -92,7 +97,18 @@ class CompiledPredicate {
                   std::vector<uint32_t>& sel, std::vector<uint64_t>* dim_rows,
                   PredicateScratch& scratch, size_t depth) const;
   void FilterLeaf(const Node& node, const ColumnSpan* fact_spans,
-                  std::vector<uint32_t>& sel, std::vector<uint64_t>* dim_rows) const;
+                  std::vector<uint32_t>& sel, std::vector<uint64_t>* dim_rows,
+                  PredicateScratch& scratch) const;
+  // Leaf evaluation over an encoded view (SpanEncoding::kDictIndex/kRleRuns):
+  // translate the literal into per-entry (or per-run) keep flags once, then
+  // filter by packed-index lookup / run cursor without decoding a row.
+  void FilterEncodedLeaf(const Node& node, const ColumnSpan& span,
+                         std::vector<uint32_t>& sel,
+                         std::vector<uint64_t>* dim_rows,
+                         PredicateScratch& scratch) const;
+  // Whether the leaf's comparison holds for a stored value lane, exactly as
+  // the decoded path would see it after materialization.
+  static bool LaneMatches(const Node& node, DataType type, uint64_t lane);
 
   Result<size_t> CompileNode(const Predicate& pred, const Table& fact, const Table* dim);
   size_t OrDepth(size_t node) const;

@@ -25,16 +25,9 @@ Status ScanPipeline::Init(PipelineSpec spec, const ExecutionOptions& exec,
   if (!exec_.compressed_scan) {
     bound_.encoded = nullptr;  // force the raw span path
   }
+  bound_.use_encoded_views = exec_.filter_encoded_views;
   plan_ = spec_.dataset.PlanMorsels(exec_.morsel_rows);
   stats_.block_rows = plan_.target_rows;
-  bytes_per_row_ = bound_.table->EstimatedBytesPerRow();
-  // Logical width of the columns this scan actually reads, for the
-  // bytes_decoded accounting (identical between raw and compressed scans).
-  decoded_bytes_per_row_ = 0.0;
-  for (size_t col : bound_.fact_cols) {
-    decoded_bytes_per_row_ +=
-        bound_.table->schema().column(col).type == DataType::kString ? 4.0 : 8.0;
-  }
 
   if (exact()) {
     // A row prefix of an exact table is not a random sample: estimates over
@@ -82,7 +75,14 @@ void ScanPipeline::Advance(uint64_t blocks) {
   }
   uint64_t end = std::min(consumed_ + blocks, blocks_total());
   if (spec_.max_blocks > 0) {
-    end = std::min(end, std::max<uint64_t>(spec_.max_blocks, 1));
+    end = std::min(end, spec_.max_blocks);
+  }
+  if (end <= consumed_) {
+    // Unreachable today: complete() already bounds consumed_ by both
+    // blocks_total() and max_blocks, and Init fixes max_blocks for good. The
+    // guard makes the invariant local — a budget shrunk between rounds
+    // degrades to a no-op instead of underflowing `count` below.
+    return;
   }
   const size_t count = static_cast<size_t>(end - consumed_);
   std::vector<MorselPartial> partials(count);
@@ -125,6 +125,9 @@ void ScanPipeline::Advance(uint64_t blocks) {
       }
     }
   }
+  for (const MorselPartial& partial : partials) {
+    bytes_decoded_ += partial.bytes_decoded;
+  }
   MergePartials(partials, bound_.aggs.size(), groups_, stats_,
                 track_prefix_ ? &prefix_scanned_ : nullptr);
   consumed_ = end;
@@ -134,7 +137,7 @@ double ScanPipeline::bytes_decoded() const {
   if (precomputed()) {
     return 0.0;  // §4.4 reuse: the probe already paid for these blocks
   }
-  return static_cast<double>(rows_consumed()) * decoded_bytes_per_row_;
+  return bytes_decoded_;
 }
 
 double ScanPipeline::bytes_scanned() const {
@@ -165,7 +168,10 @@ Result<QueryResult> ScanPipeline::Snapshot() const {
   ScanStats stats = stats_;
   stats.rows_scanned = rows_consumed();
   stats.blocks_scanned = consumed_;
-  stats.bytes_scanned = static_cast<double>(stats.rows_scanned) * bytes_per_row_;
+  // One accounting: the same per-column sum bytes_scanned() reports
+  // everywhere else (encoded bytes on compressed storage, logical bytes on
+  // raw), so PARTIAL/FINAL frames agree with StreamProgress.
+  stats.bytes_scanned = bytes_scanned();
   return Finalize(spec_.stmt, spec_.dataset, bound_, groups_, stats,
                   whole || !track_prefix_ ? nullptr : &prefix_scanned_);
 }

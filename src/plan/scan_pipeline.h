@@ -112,8 +112,11 @@ class ScanPipeline {
   // Storage-layer accounting over the consumed prefix, charged per whole
   // block like every other block cost. bytes_scanned is what the scan read
   // from storage (encoded bytes on compressed tables); bytes_decoded is the
-  // logical bytes of the touched columns, identical between raw and
-  // compressed scans. Precomputed (§4.4 reuse) pipelines charge nothing.
+  // logical bytes the scan actually materialized — equal to rows × width of
+  // the touched columns on raw storage, smaller on compressed scans whose
+  // filter-only columns stay encoded. Precomputed (§4.4 reuse) pipelines
+  // charge nothing. Snapshot() reports the same bytes_scanned value, so
+  // PARTIAL/FINAL frames and this accessor can never disagree.
   double bytes_scanned() const;
   double bytes_decoded() const;
 
@@ -132,8 +135,7 @@ class ScanPipeline {
   uint64_t min_stop_rows_ = 0;
   uint64_t min_stop_blocks_ = 0;
   bool track_prefix_ = false;
-  double bytes_per_row_ = 0.0;
-  double decoded_bytes_per_row_ = 0.0;  // logical width of the touched columns
+  double bytes_decoded_ = 0.0;  // logical bytes materialized so far
 };
 
 }  // namespace blink

@@ -81,6 +81,12 @@ struct RuntimeConfig {
   // BlinkDB::CompressStorage); false forces raw column scans. Answers and
   // block-consumption traces are bit-identical either way.
   bool compressed_scan = true;
+  // On compressed scans, evaluate predicates directly over encoded views
+  // (dict indices / RLE runs) of filter-only columns instead of decoding
+  // them; false forces the decode path. Answers and block-consumption traces
+  // are bit-identical either way — a differential-test arm, like
+  // compressed_scan.
+  bool filter_encoded_views = true;
 };
 
 // One point of the Error-Latency Profile.
@@ -274,6 +280,7 @@ class QueryRuntime {
     options.morsel_rows = config_.morsel_rows;
     options.pool = pool_.get();
     options.compressed_scan = config_.compressed_scan;
+    options.filter_encoded_views = config_.filter_encoded_views;
     return options;
   }
 

@@ -663,4 +663,72 @@ bool DecodeBlockCodes(const uint8_t* data, size_t size, size_t n, int32_t* out,
   }
 }
 
+bool ParseDictIndexView(const uint8_t* data, size_t size, size_t n,
+                        size_t lane_bytes, std::vector<uint64_t>& dict_lanes,
+                        const uint8_t** idx, uint32_t* width) {
+  if (size == 0 || static_cast<BlockCodec>(data[0]) != BlockCodec::kDict) {
+    return false;
+  }
+  const uint8_t* p = data + 1;
+  const size_t psize = size - 1;
+  if (psize < 4) {
+    return false;
+  }
+  const uint64_t count = (static_cast<uint64_t>(p[0]) << 24) |
+                         (static_cast<uint64_t>(p[1]) << 16) |
+                         (static_cast<uint64_t>(p[2]) << 8) | p[3];
+  if (count > kMaxDictEntries || (count == 0 && n > 0) ||
+      psize < 4 + count * lane_bytes) {
+    return false;
+  }
+  dict_lanes.resize(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* lane = p + 4 + i * lane_bytes;
+    uint64_t v = 0;
+    for (size_t b = 0; b < lane_bytes; ++b) {
+      v = (v << 8) | lane[b];
+    }
+    dict_lanes[i] = v;
+  }
+  if (count <= 1) {  // constant (or empty) block: no index section
+    *idx = nullptr;
+    *width = 0;
+    return true;
+  }
+  const size_t idx_start = 4 + static_cast<size_t>(count) * lane_bytes;
+  *width = count <= 256 ? 1 : 2;
+  if (psize < idx_start + *width * n) {
+    return false;
+  }
+  *idx = p + idx_start;
+  return true;
+}
+
+bool ParseRleRunView(const uint8_t* data, size_t size, size_t n,
+                     uint32_t lane_bits, std::vector<uint64_t>& values,
+                     std::vector<uint32_t>& ends) {
+  if (size == 0 || static_cast<BlockCodec>(data[0]) != BlockCodec::kRle) {
+    return false;
+  }
+  BitReader r(data + 1, size - 1);
+  const uint64_t runs = r.ReadBits(32);
+  values.clear();
+  ends.clear();
+  values.reserve(static_cast<size_t>(runs));
+  ends.reserve(static_cast<size_t>(runs));
+  uint64_t pos = 0;
+  for (uint64_t run = 0; run < runs; ++run) {
+    const uint64_t value = r.ReadBits(lane_bits);
+    const uint64_t len =
+        (r.ReadBits(1) == 0 ? r.ReadBits(6) : r.ReadBits(32)) + 1;
+    if (len > n - pos) {
+      return false;
+    }
+    pos += len;
+    values.push_back(value);
+    ends.push_back(static_cast<uint32_t>(pos));
+  }
+  return pos == n && !r.failed();
+}
+
 }  // namespace blink

@@ -63,6 +63,29 @@ bool DecodeBlockDouble(const uint8_t* data, size_t size, size_t n, double* out,
 bool DecodeBlockCodes(const uint8_t* data, size_t size, size_t n, int32_t* out,
                       CodecScratch& scratch);
 
+// Zero-decode views over encoded blocks, for operate-on-compressed predicate
+// evaluation (the filter-only fast path of EncodedTable::DecodeRange). Both
+// take a whole self-describing block ([codec byte][payload][pad]) of n rows
+// and expose its compressed structure without materializing any row.
+//
+// Packed-index view of a kDict block: `dict_lanes` receives the block
+// dictionary as value lanes (the same big-endian lanes DecodeDict gathers
+// from), `idx` the byte-packed index stream (null for a constant block), and
+// `width` the packed entry size in bytes (1, 2, or 0 for constant).
+// `lane_bytes` is sizeof the column's element type (4 for string codes, 8
+// otherwise). Returns false unless the block is a well-formed kDict block.
+bool ParseDictIndexView(const uint8_t* data, size_t size, size_t n,
+                        size_t lane_bytes, std::vector<uint64_t>& dict_lanes,
+                        const uint8_t** idx, uint32_t* width);
+
+// Run view of a kRle block: values[r] / ends[r] receive each run's value lane
+// and exclusive end offset (ends.back() == n). `lane_bits` is the column's
+// lane width in bits (32 for string codes, 64 otherwise). Returns false
+// unless the block is a well-formed kRle block covering exactly n rows.
+bool ParseRleRunView(const uint8_t* data, size_t size, size_t n,
+                     uint32_t lane_bits, std::vector<uint64_t>& values,
+                     std::vector<uint32_t>& ends);
+
 }  // namespace blink
 
 #endif  // BLINKDB_STORAGE_BLOCK_CODEC_H_

@@ -16,12 +16,49 @@
 
 namespace blink {
 
-// Read-only view of one column over one block of rows. Exactly one payload
-// pointer is set, per the column's type.
+// How a span presents its rows to the kernels.
+enum class SpanEncoding : uint8_t {
+  // Decoded (or raw) values: one of i64/f64/codes is set. The only encoding
+  // the gather kernels accept — columns a query aggregates, groups by, or
+  // joins on are always served decoded.
+  kDecoded = 0,
+  // Filter-only view of a dict-coded block: byte-packed dictionary indices
+  // plus the block's value lanes. Predicates translate their literal into
+  // the block's index space once and compare 8/16-bit indices directly.
+  kDictIndex,
+  // Filter-only view of an RLE-coded block: (value lane, exclusive end) runs.
+  // Predicates decide once per run instead of once per row.
+  kRleRuns,
+};
+
+// Read-only view of one column over one block of rows. For kDecoded exactly
+// one payload pointer is set, per the column's type; the encoded variants
+// carry the block's compressed representation instead (served only to the
+// predicate, never to gathers — see EncodedTable::DecodeRange).
 struct ColumnSpan {
   const int64_t* i64 = nullptr;    // kInt64
   const double* f64 = nullptr;     // kDouble
   const int32_t* codes = nullptr;  // kString (dictionary codes)
+
+  SpanEncoding encoding = SpanEncoding::kDecoded;
+
+  // kDictIndex. Element i's dictionary slot is dict_idx[i] (dict_width == 1)
+  // or big-endian dict_idx[2i..2i+1] (dict_width == 2); a constant block
+  // (dict_size == 1) has no index stream and dict_width == 0. dict[slot] is
+  // the value lane: the int64 bits, the double bit pattern, or the
+  // zero-extended string code — exactly what the block stores.
+  const uint8_t* dict_idx = nullptr;  // pre-advanced to element 0
+  const uint64_t* dict = nullptr;
+  uint32_t dict_width = 0;  // bytes per packed index: 1, 2, or 0 (constant)
+  uint32_t dict_size = 0;
+
+  // kRleRuns. Run r holds value lane run_values[r] and covers block-relative
+  // rows [run_ends[r-1], run_ends[r]); element i of the span is
+  // block-relative row rle_base + i.
+  const uint64_t* run_values = nullptr;
+  const uint32_t* run_ends = nullptr;
+  uint32_t num_runs = 0;
+  uint32_t rle_base = 0;
 };
 
 // Gathers the numeric values of span elements sel[0..count) into out. The

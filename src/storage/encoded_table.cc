@@ -188,7 +188,8 @@ size_t EncodedTable::BlockOf(uint64_t row) const {
 }
 
 ColumnSpan EncodedTable::DecodeRange(size_t col, uint64_t begin, uint64_t end,
-                                     DecodeScratch& scratch) const {
+                                     DecodeScratch& scratch,
+                                     bool filter_only) const {
   assert(col < columns_.size() && begin < end && end <= num_rows_);
   if (scratch.columns.size() < columns_.size()) {
     scratch.columns.resize(columns_.size());
@@ -196,6 +197,55 @@ ColumnSpan EncodedTable::DecodeRange(size_t col, uint64_t begin, uint64_t end,
   ColumnDecodeScratch& cs = scratch.columns[col];
   const size_t b0 = BlockOf(begin);
   const size_t b1 = BlockOf(end - 1) + 1;
+  // Operate-on-compressed fast path: a filter-only range inside one dict- or
+  // RLE-coded block is served as an encoded view — packed dictionary indices
+  // or a run list — and never decoded to rows. The predicate kernels evaluate
+  // it directly; the parsed block structure (dictionary lanes / runs) is
+  // cached per column so a block-per-morsel scan parses each block once.
+  if (filter_only && b1 - b0 == 1) {
+    const EncodedColumn& ec = columns_[col];
+    if (cs.view_block != b0) {
+      const uint8_t* block =
+          reinterpret_cast<const uint8_t*>(ec.data.data()) + ec.offsets[b0];
+      const size_t size = ec.offsets[b0 + 1] - ec.offsets[b0];
+      const size_t rows = static_cast<size_t>(starts_[b0 + 1] - starts_[b0]);
+      const size_t lane_bytes =
+          ec.type == DataType::kString ? sizeof(int32_t) : sizeof(int64_t);
+      cs.view_kind = static_cast<uint8_t>(SpanEncoding::kDecoded);
+      cs.view_idx = nullptr;
+      cs.view_width = 0;
+      if (ParseDictIndexView(block, size, rows, lane_bytes, cs.view_lanes,
+                             &cs.view_idx, &cs.view_width)) {
+        cs.view_kind = static_cast<uint8_t>(SpanEncoding::kDictIndex);
+      } else if (ParseRleRunView(block, size, rows,
+                                 static_cast<uint32_t>(lane_bytes * 8),
+                                 cs.view_lanes, cs.view_run_ends)) {
+        cs.view_kind = static_cast<uint8_t>(SpanEncoding::kRleRuns);
+      }
+      cs.view_block = b0;
+    }
+    const size_t at = static_cast<size_t>(begin - starts_[b0]);
+    if (cs.view_kind == static_cast<uint8_t>(SpanEncoding::kDictIndex)) {
+      ColumnSpan span;
+      span.encoding = SpanEncoding::kDictIndex;
+      span.dict = cs.view_lanes.data();
+      span.dict_size = static_cast<uint32_t>(cs.view_lanes.size());
+      span.dict_width = cs.view_width;
+      span.dict_idx =
+          cs.view_width > 0 ? cs.view_idx + at * cs.view_width : nullptr;
+      return span;
+    }
+    if (cs.view_kind == static_cast<uint8_t>(SpanEncoding::kRleRuns)) {
+      ColumnSpan span;
+      span.encoding = SpanEncoding::kRleRuns;
+      span.run_values = cs.view_lanes.data();
+      span.run_ends = cs.view_run_ends.data();
+      span.num_runs = static_cast<uint32_t>(cs.view_run_ends.size());
+      span.rle_base = static_cast<uint32_t>(at);
+      return span;
+    }
+    // Raw/Gorilla/delta2 block: no encoded view; serve it decoded below.
+  }
   // Zero-copy fast path: a range inside one raw block reads the encoded
   // payload in place (the encoder aligns every payload to 8 bytes for exactly
   // this reinterpret). This is the steady state for raw columns whenever the

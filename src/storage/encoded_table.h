@@ -70,6 +70,16 @@ struct ColumnDecodeScratch {
   std::vector<double> f64;
   std::vector<int32_t> codes;
   CodecScratch codec;
+  // Encoded-view cache for the filter-only fast path: which block's parsed
+  // structure sits in the view buffers, and as what. view_kind holds a
+  // SpanEncoding; kDecoded records "this block has no encoded view" so raw/
+  // Gorilla/delta blocks are not re-probed every morsel.
+  uint64_t view_block = UINT64_MAX;
+  uint8_t view_kind = 0;              // SpanEncoding of the cached view
+  uint32_t view_width = 0;            // dict: packed bytes per index
+  const uint8_t* view_idx = nullptr;  // dict: packed index stream
+  std::vector<uint64_t> view_lanes;   // dict lanes, or RLE run value lanes
+  std::vector<uint32_t> view_run_ends;  // RLE: exclusive run end offsets
 };
 
 // One worker's decode state across all columns. Reused morsel to morsel, so
@@ -98,8 +108,16 @@ class EncodedTable {
   // block range is cached in the scratch: re-reading any subrange of the
   // last-decoded blocks is free, so a morsel-per-block layout decodes each
   // block exactly once per scan.
+  //
+  // `filter_only` marks a column only the predicate reads (never gathered for
+  // grouping, aggregation, or the join key). When the range sits inside one
+  // dict- or RLE-coded block, such a column is served as an encoded view
+  // (SpanEncoding::kDictIndex / kRleRuns) instead of decoded rows — the
+  // operate-on-compressed fast path. Ranges that straddle blocks and blocks
+  // under any other codec fall back to the decode path, so callers always get
+  // a span the predicate kernels accept.
   ColumnSpan DecodeRange(size_t col, uint64_t begin, uint64_t end,
-                         DecodeScratch& scratch) const;
+                         DecodeScratch& scratch, bool filter_only = false) const;
 
   // Stored (encoded) bytes of the blocks covering rows [0, rows) of `col` —
   // the wire-layer bytes_scanned accounting. Blocks are charged whole, like

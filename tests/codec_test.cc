@@ -257,6 +257,101 @@ TEST(EncodedTableTest, DecodeRangeMatchesRawForMisalignedRanges) {
   }
 }
 
+TEST(EncodedTableTest, FilterOnlyDecodeRangeServesEncodedViews) {
+  // city: 20 random codes -> kDict. seg: long runs of random values -> kRle
+  // (runs beat dict's byte-per-row indices and wreck delta-delta at every run
+  // boundary). noise: random mantissas -> kRaw (Gorilla can't save 10%).
+  const uint64_t rows = 8'192;
+  Table t(Schema({{"city", DataType::kString},
+                  {"seg", DataType::kInt64},
+                  {"noise", DataType::kDouble}}));
+  t.Reserve(rows);
+  Rng rng(0xf117e2ULL);
+  int64_t seg_value = 0;
+  uint64_t seg_left = 0;
+  for (uint64_t r = 0; r < rows; ++r) {
+    if (seg_left == 0) {
+      seg_left = 1'000 + rng.NextBounded(1'000);
+      seg_value = static_cast<int64_t>(rng.NextBounded(1'000'000'000'000ULL));
+    }
+    --seg_left;
+    t.AppendString(0, "city_" + std::to_string(rng.NextBounded(20)));
+    t.AppendInt(1, seg_value);
+    t.AppendDouble(2, rng.NextDouble());
+    t.CommitRow();
+  }
+  BlockEncodeOptions options;
+  options.block_rows = 1024;
+  auto encoded = EncodedTable::Encode(t, options);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  const EncodedTable& et = **encoded;
+  ASSERT_EQ(et.stats(0).codec, BlockCodec::kDict);
+  ASSERT_EQ(et.stats(1).codec, BlockCodec::kRle);
+  ASSERT_EQ(et.stats(2).codec, BlockCodec::kRaw);
+
+  DecodeScratch scratch;
+  // Single-block filter-only ranges: dict blocks come back as packed-index
+  // views, RLE blocks as run views. Element i of either is row begin + i.
+  const std::pair<uint64_t, uint64_t> ranges[] = {
+      {0, 1024}, {100, 612}, {1024, 2048}, {4096 + 7, 4096 + 1019},
+      {rows - 1024, rows}};
+  for (const auto& [begin, end] : ranges) {
+    const uint64_t block_start = begin / 1024 * 1024;
+    const ColumnSpan city =
+        et.DecodeRange(0, begin, end, scratch, /*filter_only=*/true);
+    ASSERT_EQ(city.encoding, SpanEncoding::kDictIndex);
+    ASSERT_NE(city.dict, nullptr);
+    ASSERT_GT(city.dict_size, 1u);
+    ASSERT_EQ(city.dict_width, 1u);  // 20 distinct values: 8-bit indices
+    for (uint64_t r = begin; r < end; ++r) {
+      const uint32_t slot = city.dict_idx[r - begin];
+      ASSERT_LT(slot, city.dict_size);
+      // The value lane of a string block is the global dictionary code.
+      ASSERT_EQ(static_cast<int32_t>(city.dict[slot]), t.GetStringCode(0, r))
+          << "row " << r;
+    }
+    const ColumnSpan seg =
+        et.DecodeRange(1, begin, end, scratch, /*filter_only=*/true);
+    ASSERT_EQ(seg.encoding, SpanEncoding::kRleRuns);
+    ASSERT_GT(seg.num_runs, 0u);
+    ASSERT_EQ(seg.rle_base, static_cast<uint32_t>(begin - block_start));
+    uint32_t run = 0;
+    for (uint64_t r = begin; r < end; ++r) {
+      const uint32_t off = seg.rle_base + static_cast<uint32_t>(r - begin);
+      while (off >= seg.run_ends[run]) {
+        ++run;
+        ASSERT_LT(run, seg.num_runs);
+      }
+      ASSERT_EQ(static_cast<int64_t>(seg.run_values[run]), t.GetInt(1, r))
+          << "row " << r;
+    }
+    // Codecs with no index/run structure decode exactly as before.
+    const ColumnSpan noise =
+        et.DecodeRange(2, begin, end, scratch, /*filter_only=*/true);
+    EXPECT_EQ(noise.encoding, SpanEncoding::kDecoded);
+    ASSERT_NE(noise.f64, nullptr);
+    for (uint64_t r = begin; r < end; ++r) {
+      ASSERT_EQ(std::memcmp(&noise.f64[r - begin], t.DoubleData(2) + r,
+                            sizeof(double)),
+                0)
+          << "row " << r;
+    }
+  }
+  // Gather callers never see a view: without filter_only the same dict block
+  // decodes to codes...
+  const ColumnSpan decoded_city = et.DecodeRange(0, 0, 1024, scratch);
+  EXPECT_EQ(decoded_city.encoding, SpanEncoding::kDecoded);
+  ASSERT_NE(decoded_city.codes, nullptr);
+  // ...and a range straddling blocks falls back to decode even filter-only.
+  const ColumnSpan straddle =
+      et.DecodeRange(0, 1000, 1100, scratch, /*filter_only=*/true);
+  EXPECT_EQ(straddle.encoding, SpanEncoding::kDecoded);
+  ASSERT_NE(straddle.codes, nullptr);
+  for (uint64_t r = 1000; r < 1100; ++r) {
+    ASSERT_EQ(straddle.codes[r - 1000], t.GetStringCode(0, r)) << "row " << r;
+  }
+}
+
 TEST(EncodedTableTest, LowCardinalityColumnsCompressAtLeastThreefold) {
   Table t = MixedTable(50'000);
   ASSERT_TRUE(t.BuildEncoded(BlockEncodeOptions{}).ok());

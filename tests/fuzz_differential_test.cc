@@ -332,9 +332,13 @@ TEST(FuzzDifferentialTest, StoppedAnswersHonorTheBound) {
 // --- Compressed vs raw storage: same answers, same traces --------------------
 //
 // Codec-layer round trips are bit-exact (tests/codec_test.cc) and carving is
-// storage-independent, so flipping compressed_scan must change NOTHING the
-// engine reports except bytes_scanned: answers bit-identical, per-pipeline
-// block traces identical, bytes_decoded identical.
+// storage-independent, so flipping compressed_scan — and, on compressed
+// scans, flipping filter_encoded_views between decode-then-filter and
+// operate-on-dict-indices — must change NOTHING the engine reports except
+// the bytes accounting: answers bit-identical, per-pipeline block traces
+// identical. bytes_decoded is identical between raw and the forced-decode
+// arm, and may only shrink (never grow) when filter-only columns stay
+// encoded.
 
 TEST(FuzzDifferentialTest, CompressedScanIsBitIdenticalToRaw) {
   Fixture fx;  // non-const: its storage gets encoded in place
@@ -347,6 +351,7 @@ TEST(FuzzDifferentialTest, CompressedScanIsBitIdenticalToRaw) {
 
   Rng rng(86'420);
   int compressed_wins = 0;
+  int views_skipped_decode = 0;
   for (int q = 0; q < 6; ++q) {
     // Mix never-stop drives with reachable bounds: early stopping is driven
     // by achieved error, which must match, so stopped traces must match too.
@@ -369,41 +374,57 @@ TEST(FuzzDifferentialTest, CompressedScanIsBitIdenticalToRaw) {
         config.compressed_scan = false;
         const ApproxAnswer raw = fx.MustExecute(*stmt, config);
         config.compressed_scan = true;
-        const ApproxAnswer compressed = fx.MustExecute(*stmt, config);
+        config.filter_encoded_views = false;  // decode-then-filter arm
+        const ApproxAnswer decoded = fx.MustExecute(*stmt, config);
+        config.filter_encoded_views = true;  // operate-on-indices arm
+        const ApproxAnswer views = fx.MustExecute(*stmt, config);
         const std::string context = sql + " [threads=" + std::to_string(threads) +
                                     " morsel=" + std::to_string(morsel_rows) + "]";
-        ExpectIdentical(compressed.result, raw.result, context);
-        EXPECT_EQ(compressed.report.stopped_early, raw.report.stopped_early)
-            << context;
-        ASSERT_EQ(compressed.report.pipeline_outcomes.size(),
-                  raw.report.pipeline_outcomes.size())
-            << context;
-        for (size_t p = 0; p < raw.report.pipeline_outcomes.size(); ++p) {
-          const PipelineOutcome& r = raw.report.pipeline_outcomes[p];
-          const PipelineOutcome& c = compressed.report.pipeline_outcomes[p];
-          const std::string at = context + " pipeline " + std::to_string(p);
-          EXPECT_EQ(c.blocks_total, r.blocks_total) << at;
-          EXPECT_EQ(c.blocks_consumed, r.blocks_consumed) << at;
-          EXPECT_EQ(c.rows_consumed, r.rows_consumed) << at;
-          EXPECT_EQ(c.rows_matched, r.rows_matched) << at;
-          EXPECT_EQ(c.bytes_decoded, r.bytes_decoded) << at;
-          // Raw storage reports physical == logical; §4.4 reuse charges 0.
-          EXPECT_TRUE(r.bytes_scanned == r.bytes_decoded ||
-                      (r.reused_probe && r.bytes_scanned == 0.0))
-              << at;
+        ExpectIdentical(decoded.result, raw.result, context + " decode");
+        ExpectIdentical(views.result, raw.result, context + " views");
+        for (const ApproxAnswer* compressed : {&decoded, &views}) {
+          EXPECT_EQ(compressed->report.stopped_early, raw.report.stopped_early)
+              << context;
+          ASSERT_EQ(compressed->report.pipeline_outcomes.size(),
+                    raw.report.pipeline_outcomes.size())
+              << context;
+          for (size_t p = 0; p < raw.report.pipeline_outcomes.size(); ++p) {
+            const PipelineOutcome& r = raw.report.pipeline_outcomes[p];
+            const PipelineOutcome& c = compressed->report.pipeline_outcomes[p];
+            const std::string at = context + " pipeline " + std::to_string(p);
+            EXPECT_EQ(c.blocks_total, r.blocks_total) << at;
+            EXPECT_EQ(c.blocks_consumed, r.blocks_consumed) << at;
+            EXPECT_EQ(c.rows_consumed, r.rows_consumed) << at;
+            EXPECT_EQ(c.rows_matched, r.rows_matched) << at;
+            // Raw storage reports physical == logical; §4.4 reuse charges 0.
+            EXPECT_TRUE(r.bytes_scanned == r.bytes_decoded ||
+                        (r.reused_probe && r.bytes_scanned == 0.0))
+                << at;
+          }
         }
-        EXPECT_EQ(compressed.report.bytes_decoded, raw.report.bytes_decoded)
+        // Forced decode materializes every touched column, exactly like raw.
+        EXPECT_EQ(decoded.report.bytes_decoded, raw.report.bytes_decoded)
             << context;
+        // Encoded views read the same physical bytes but materialize at most
+        // as much — strictly less whenever a filter-only column stayed
+        // encoded (the pinned dict query guarantees at least one such run).
+        EXPECT_EQ(views.report.bytes_scanned, decoded.report.bytes_scanned)
+            << context;
+        EXPECT_LE(views.report.bytes_decoded, decoded.report.bytes_decoded)
+            << context;
+        if (views.report.bytes_decoded < decoded.report.bytes_decoded) {
+          ++views_skipped_decode;
+        }
         if (raw.report.bytes_decoded > 0.0) {
           // Incompressible columns cost at most the 8-byte aligned header
           // per block over raw; a query touching only those may exceed
           // logical size by that sliver — proportionally at scale, plus a
           // fixed few hundred bytes of headers on tiny prefix scans.
-          EXPECT_LE(compressed.report.bytes_scanned,
+          EXPECT_LE(decoded.report.bytes_scanned,
                     raw.report.bytes_decoded * 1.01 + 256.0)
               << context;
-          EXPECT_GT(compressed.report.bytes_scanned, 0.0) << context;
-          if (compressed.report.bytes_scanned < 0.5 * raw.report.bytes_decoded) {
+          EXPECT_GT(decoded.report.bytes_scanned, 0.0) << context;
+          if (decoded.report.bytes_scanned < 0.5 * raw.report.bytes_decoded) {
             ++compressed_wins;
           }
         }
@@ -412,6 +433,8 @@ TEST(FuzzDifferentialTest, CompressedScanIsBitIdenticalToRaw) {
   }
   EXPECT_GT(compressed_wins, 0)
       << "no query ever scanned a column the codecs actually shrank";
+  EXPECT_GT(views_skipped_decode, 0)
+      << "no query ever served a filter-only column as an encoded view";
 }
 
 // --- WITHIN n SECONDS: pooled budgets keep the accounting consistent ---------

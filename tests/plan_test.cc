@@ -5,6 +5,7 @@
 // tie-breaking, single-pipeline degeneration).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "src/sample/sample_family.h"
 #include "src/sample/sample_store.h"
 #include "src/sql/parser.h"
+#include "src/storage/encoded_table.h"
 #include "src/util/rng.h"
 
 namespace blink {
@@ -109,6 +111,110 @@ TEST(ScanPipelineTest, BudgetStopsAtWholeBlocks) {
   EXPECT_GE(pipe.blocks_consumed(), 6u);  // floored at the smallest resolution
   const MorselPlan plan = ds.PlanMorsels(256);
   EXPECT_EQ(pipe.rows_consumed(), plan.morsels[pipe.blocks_consumed() - 1].end);
+}
+
+TEST(ScanPipelineTest, AdvancePastBudgetIsANoOp) {
+  const Table fact = MakeFact();
+  Rng rng(9);
+  SampleFamilyOptions options;
+  options.uniform_fraction = 0.5;
+  auto family = SampleFamily::BuildUniform(fact, options, rng);
+  ASSERT_TRUE(family.ok());
+  const Dataset ds = family->LogicalSample(0);
+
+  auto stmt = ParseSelect("SELECT SUM(v) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  ExecutionOptions exec;
+  exec.morsel_rows = 256;
+  PipelineSpec spec;
+  spec.stmt = *stmt;
+  spec.dataset = ds;
+  spec.max_blocks = 6;
+  ScanPipeline pipe;
+  ASSERT_TRUE(pipe.Init(std::move(spec), exec, /*may_stop_early=*/true).ok());
+  const uint64_t budget = std::max<uint64_t>(6, pipe.min_stop_blocks());
+  // Consume in small rounds: each grows by at most the asked-for blocks and
+  // never crosses the clamped budget.
+  uint64_t prev = 0;
+  while (!pipe.complete()) {
+    pipe.Advance(2);
+    EXPECT_GE(pipe.blocks_consumed(), prev);
+    EXPECT_LE(pipe.blocks_consumed(), prev + 2);
+    EXPECT_LE(pipe.blocks_consumed(), budget);
+    prev = pipe.blocks_consumed();
+  }
+  EXPECT_EQ(pipe.blocks_consumed(), budget);
+  auto before = pipe.Snapshot();
+  ASSERT_TRUE(before.ok());
+  const double bytes = pipe.bytes_scanned();
+  // Once the budget is exhausted every further Advance — any size — is a
+  // no-op: consumption, accounting, and the snapshot all stay frozen.
+  pipe.Advance(0);
+  pipe.Advance(1);
+  pipe.Advance(1'000'000);
+  EXPECT_EQ(pipe.blocks_consumed(), budget);
+  EXPECT_EQ(pipe.bytes_scanned(), bytes);
+  auto after = pipe.Snapshot();
+  ASSERT_TRUE(after.ok());
+  ExpectIdentical(*after, *before);
+}
+
+TEST(ScanPipelineTest, SnapshotBytesScannedMatchesPipelineAccounting) {
+  Table fact = MakeFact();
+  ASSERT_TRUE(fact.BuildEncoded(BlockEncodeOptions{}).ok());
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM t WHERE s = 's_3'");
+  ASSERT_TRUE(stmt.ok());
+  ExecutionOptions exec;
+  exec.morsel_rows = 512;
+  PipelineSpec spec;
+  spec.stmt = *stmt;
+  spec.dataset = Dataset::Exact(fact);
+  ScanPipeline pipe;
+  ASSERT_TRUE(pipe.Init(std::move(spec), exec, /*may_stop_early=*/false).ok());
+  pipe.Advance(7);  // partial prefix: the PARTIAL-frame case
+  ASSERT_GT(pipe.rows_consumed(), 0u);
+  auto partial = pipe.Snapshot();
+  ASSERT_TRUE(partial.ok());
+  // The regression: Snapshot() recomputed bytes as rows x estimated width,
+  // which disagrees with the encoded-bytes sum on compressed storage. There
+  // is one accounting now — the snapshot reports the pipeline's own.
+  EXPECT_DOUBLE_EQ(partial->stats.bytes_scanned, pipe.bytes_scanned());
+  const EncodedTable* et = fact.encoded_blocks();
+  ASSERT_NE(et, nullptr);
+  // The only touched column is the filter's `s` (column 2): bytes_scanned is
+  // its encoded prefix, far below the old whole-row formula.
+  EXPECT_DOUBLE_EQ(
+      pipe.bytes_scanned(),
+      static_cast<double>(et->EncodedBytesInPrefix(2, pipe.rows_consumed())));
+  EXPECT_LT(partial->stats.bytes_scanned,
+            static_cast<double>(pipe.rows_consumed()) * fact.EstimatedBytesPerRow());
+  // `s` is filter-only and dict-coded, and 512-row morsels stay inside the
+  // 4096-row blocks: it is served as an encoded view, never materialized.
+  EXPECT_EQ(pipe.bytes_decoded(), 0.0);
+
+  while (!pipe.complete()) {
+    pipe.Advance(64);
+  }
+  auto final_snap = pipe.Snapshot();
+  ASSERT_TRUE(final_snap.ok());
+  EXPECT_DOUBLE_EQ(final_snap->stats.bytes_scanned, pipe.bytes_scanned());
+
+  // Raw storage: the same single accounting, where scanned == decoded ==
+  // logical bytes of the touched columns (one 4-byte string column here).
+  ExecutionOptions raw_exec = exec;
+  raw_exec.compressed_scan = false;
+  PipelineSpec raw_spec;
+  raw_spec.stmt = *stmt;
+  raw_spec.dataset = Dataset::Exact(fact);
+  ScanPipeline raw_pipe;
+  ASSERT_TRUE(raw_pipe.Init(std::move(raw_spec), raw_exec, false).ok());
+  raw_pipe.Advance(7);
+  auto raw_snap = raw_pipe.Snapshot();
+  ASSERT_TRUE(raw_snap.ok());
+  EXPECT_DOUBLE_EQ(raw_snap->stats.bytes_scanned, raw_pipe.bytes_scanned());
+  EXPECT_DOUBLE_EQ(raw_pipe.bytes_scanned(), raw_pipe.bytes_decoded());
+  EXPECT_DOUBLE_EQ(raw_pipe.bytes_decoded(),
+                   static_cast<double>(raw_pipe.rows_consumed()) * 4.0);
 }
 
 TEST(ScanPipelineTest, PrecomputedPipelineIsBornComplete) {

@@ -5,6 +5,7 @@
 #include "src/runtime/query_runtime.h"
 #include "src/sql/parser.h"
 #include "src/stats/distributions.h"
+#include "src/storage/encoded_table.h"
 #include "src/util/rng.h"
 
 namespace blink {
@@ -172,6 +173,51 @@ TEST(RuntimeTest, TimeBoundRespectsBudget) {
   const auto slow = fx.MustExecute(
       "SELECT AVG(sessiontime) FROM sessions WHERE city = 'city_1' WITHIN 30 SECONDS");
   EXPECT_GE(slow.report.rows_read, fast.report.rows_read);
+}
+
+TEST(RuntimeTest, StreamedPartialFramesAgreeWithProgressBytes) {
+  Fixture fx;
+  BlockEncodeOptions encode;
+  for (SampleFamily* family : fx.store.MutableFamiliesFor("sessions")) {
+    ASSERT_TRUE(family->EncodeBlocks(encode).ok());
+  }
+  ASSERT_TRUE(fx.fact.BuildEncoded(encode).ok());
+  // Conjunctive -> single-pipeline plan: every PARTIAL's embedded stats must
+  // carry the same bytes_scanned the StreamProgress side reports (the
+  // split-brain regression was the snapshot recomputing bytes from rows x
+  // estimated width while progress summed encoded bytes). The unreachable
+  // error bound drives the stream through the whole scan.
+  auto stmt = ParseSelect(
+      "SELECT AVG(sessiontime) FROM sessions WHERE city = 'city_1' "
+      "ERROR WITHIN 0.0000001% AT CONFIDENCE 95%");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  for (const bool compressed : {false, true}) {
+    RuntimeConfig config;
+    config.streaming = true;
+    config.stream_batch_blocks = 2;
+    config.morsel_rows = 512;
+    config.compressed_scan = compressed;
+    int frames = 0;
+    double last_scanned = -1.0;
+    auto progress = [&](const QueryResult& partial, const StreamProgress& p) {
+      ++frames;
+      EXPECT_DOUBLE_EQ(partial.stats.bytes_scanned, p.bytes_scanned);
+      EXPECT_GE(p.bytes_scanned, last_scanned);  // monotone across rounds
+      last_scanned = p.bytes_scanned;
+      if (!compressed) {
+        // Raw storage reads exactly what it materializes.
+        EXPECT_DOUBLE_EQ(p.bytes_scanned, p.bytes_decoded);
+      }
+      if (p.rows_consumed > 0) {
+        EXPECT_GT(p.bytes_scanned, 0.0);
+      }
+    };
+    auto answer =
+        fx.Runtime(config).Execute(*stmt, "sessions", fx.fact, fx.scale,
+                                   nullptr, progress);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_GT(frames, 1) << "compressed=" << compressed;
+  }
 }
 
 TEST(RuntimeTest, ElpIsMonotone) {
