@@ -1,0 +1,449 @@
+// Closed-loop serving benchmark for the answer cache + deadline-aware
+// admission queue, over the real TCP server (src/server/) and wire client
+// (src/client/) — loopback sockets, JSON frames, the whole serving path.
+//
+// Four sections, one JSON line each (committed snapshot: BENCH_serve.json):
+//
+//   hit     Cold latency of each working-set query vs the latency of serving
+//           it again from the answer cache (stored FINAL, zero blocks). The
+//           cold numbers come from a cache-disabled server over the SAME
+//           BlinkDB, so the comparison isolates the cache.
+//   resume  A coarse-bound query seeds the cache; a tighter re-ask resumes
+//           from the snapshot prefix and is charged only the delta — compare
+//           its consumed blocks against the same tight query served cold.
+//   load    Closed-loop sweep: C clients in {1, 2, 4, 8} hammer a Zipf-ish
+//           working set for a fixed window. Reports throughput, p50/p99
+//           latency, hit/resume rates, queue time, and bound violations
+//           (achieved_error > effective bound on a FINAL that met its scan).
+//   shed    Overload: many clients against a 1-runtime server with a short
+//           queue. The admission ladder widens 1% asks to 2% / 5% / 10%
+//           before bouncing BUSY; reports the served-bound histogram, BUSY
+//           count, and p99 — bounded because widened queries finish sooner.
+//
+// Usage: bench_serve [rows] (default 200,000)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/blinkdb.h"
+#include "src/client/blink_client.h"
+#include "src/server/server.h"
+#include "src/workload/conviva.h"
+
+namespace blink {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Runtime knobs shared by every server in the bench (and therefore by the
+// cold reference numbers): what matters is that they are identical across
+// the cached / uncached servers being compared.
+RuntimeConfig ServedConfig() {
+  RuntimeConfig config;
+  config.exec_threads = 2;
+  config.morsel_rows = 256;
+  config.stream_batch_blocks = 4;
+  return config;
+}
+
+// One completed (or bounced) request, as the client saw it.
+struct Record {
+  double ms = 0.0;
+  double queue_ms = 0.0;
+  double achieved = 0.0;
+  double bound = 0.0;  // effective (possibly widened) error bound
+  std::string cache;   // "hit" / "resume" / "miss" / "" (no cache)
+  uint64_t blocks_consumed = 0;
+  uint64_t blocks_reused = 0;
+  uint64_t partials = 0;
+  bool stopped_early = false;
+  bool busy = false;
+  bool deadline_shed = false;
+  bool failed = false;
+};
+
+Record RunOne(BlinkClient& client, const std::string& sql) {
+  Record rec;
+  const double t0 = Now();
+  auto outcome = client.Query(sql);
+  rec.ms = (Now() - t0) * 1e3;
+  if (!outcome.ok()) {
+    const std::string what = outcome.status().ToString();
+    rec.busy = what.find("BUSY") != std::string::npos;
+    rec.deadline_shed = what.find("DEADLINE_EXCEEDED") != std::string::npos;
+    rec.failed = !rec.busy && !rec.deadline_shed;
+    return rec;
+  }
+  const ExecutionReport& report = outcome->report;
+  rec.queue_ms = report.queue_latency * 1e3;
+  rec.achieved = report.achieved_error;
+  rec.bound = report.effective_error_bound;
+  rec.cache = report.cache;
+  rec.blocks_consumed = report.blocks_consumed;
+  rec.blocks_reused = report.blocks_reused;
+  rec.partials = outcome->partial_frames;
+  rec.stopped_early = report.stopped_early;
+  return rec;
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[idx];
+}
+
+// The benchmark working set: repeated interactive asks over the Conviva-like
+// sessions table, all bounded (the cacheable shape). The first four are the
+// "hot" queries the load sweep repeats most.
+std::vector<std::string> WorkingSet() {
+  return {
+      "SELECT COUNT(*) FROM sessions WHERE country = 'country_3' "
+      "ERROR WITHIN 1% AT CONFIDENCE 95%",
+      "SELECT COUNT(*), AVG(sessiontimems) FROM sessions WHERE endedflag = 1 "
+      "ERROR WITHIN 1% AT CONFIDENCE 95%",
+      "SELECT country, COUNT(*) FROM sessions WHERE endedflag = 1 "
+      "GROUP BY country ERROR WITHIN 2% AT CONFIDENCE 95%",
+      "SELECT SUM(sessiontimems) FROM sessions WHERE country = 'country_1' "
+      "ERROR WITHIN 2% AT CONFIDENCE 95%",
+      "SELECT COUNT(*) FROM sessions WHERE city = 'city_7' "
+      "ERROR WITHIN 5% AT CONFIDENCE 95%",
+      "SELECT AVG(sessiontimems) FROM sessions WHERE country = 'country_5' "
+      "ERROR WITHIN 2% AT CONFIDENCE 95%",
+      "SELECT COUNT(*) FROM sessions WHERE endedflag = 0 "
+      "ERROR WITHIN 1% AT CONFIDENCE 95%",
+      "SELECT country, AVG(sessiontimems) FROM sessions WHERE endedflag = 0 "
+      "GROUP BY country ERROR WITHIN 2% AT CONFIDENCE 95%",
+  };
+}
+
+struct Served {
+  BlinkDB db;
+  std::unique_ptr<BlinkServer> server;
+
+  explicit Served(uint64_t rows) {
+    ConvivaConfig data;
+    data.num_rows = rows;
+    data.num_cities = 500;
+    data.num_urls = 5'000;
+    if (!db.RegisterTable("sessions", GenerateConvivaTable(data), /*scale=*/1e6)
+             .ok()) {
+      std::abort();
+    }
+    PlannerConfig planner;
+    planner.budget_fraction = 0.5;
+    planner.cap_k = 500;
+    planner.max_columns_per_set = 2;
+    planner.uniform_fraction = 0.1;
+    if (!db.BuildSamples("sessions", ConvivaTemplates(), planner).ok()) {
+      std::abort();
+    }
+  }
+
+  void Start(size_t pool, size_t cache_entries, size_t queue_depth,
+             double deadline_seconds = 0.0) {
+    if (server != nullptr) {
+      server->Stop();
+    }
+    ServerOptions options;
+    options.runtime = ServedConfig();
+    options.max_concurrent_queries = pool;
+    options.answer_cache_entries = cache_entries;
+    options.admission.queue_depth = queue_depth;
+    options.admission.deadline_seconds = deadline_seconds;
+    server = std::make_unique<BlinkServer>(db, options);
+    if (!server->Start().ok()) {
+      std::abort();
+    }
+  }
+
+  void Connect(BlinkClient& client) {
+    if (!client.Connect("127.0.0.1", server->port()).ok()) {
+      std::abort();
+    }
+  }
+};
+
+// --- Section 1: cold vs cache hit -------------------------------------------
+
+void BenchHits(Served& served, const std::vector<std::string>& queries) {
+  // Cold numbers from a cache-free server: every repetition re-executes.
+  served.Start(/*pool=*/4, /*cache_entries=*/0, /*queue_depth=*/32);
+  std::vector<double> cold_ms_per_query;
+  std::vector<uint64_t> cold_blocks;
+  {
+    BlinkClient client;
+    served.Connect(client);
+    for (const std::string& sql : queries) {
+      std::vector<double> times;
+      Record rec;
+      for (int rep = 0; rep < 5; ++rep) {
+        rec = RunOne(client, sql);
+        times.push_back(rec.ms);
+      }
+      cold_ms_per_query.push_back(Percentile(times, 0.5));
+      cold_blocks.push_back(rec.blocks_consumed);
+    }
+  }
+
+  served.Start(/*pool=*/4, /*cache_entries=*/256, /*queue_depth=*/32);
+  BlinkClient client;
+  served.Connect(client);
+  std::vector<double> hit_p50_all;
+  std::vector<double> speedups;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const Record first = RunOne(client, queries[q]);  // seeds the cache
+    std::vector<double> hit_ms;
+    Record hit;
+    for (int rep = 0; rep < 50; ++rep) {
+      hit = RunOne(client, queries[q]);
+      hit_ms.push_back(hit.ms);
+    }
+    const double hit_p50 = Percentile(hit_ms, 0.5);
+    std::printf(
+        "{\"bench\":\"serve\",\"section\":\"hit\",\"query\":%zu,"
+        "\"cold_p50_ms\":%.3f,\"cold_blocks\":%llu,\"seed_cache\":\"%s\","
+        "\"hit_p50_ms\":%.3f,\"hit_p99_ms\":%.3f,\"speedup_p50\":%.1f,"
+        "\"hit_cache\":\"%s\",\"hit_blocks_consumed\":%llu,"
+        "\"hit_blocks_reused\":%llu,\"hit_partials\":%llu}\n",
+        q, cold_ms_per_query[q],
+        static_cast<unsigned long long>(cold_blocks[q]), first.cache.c_str(),
+        hit_p50, Percentile(hit_ms, 0.99), cold_ms_per_query[q] / hit_p50,
+        hit.cache.c_str(), static_cast<unsigned long long>(hit.blocks_consumed),
+        static_cast<unsigned long long>(hit.blocks_reused),
+        static_cast<unsigned long long>(hit.partials));
+    std::fflush(stdout);
+    hit_p50_all.push_back(hit_p50);
+    speedups.push_back(cold_ms_per_query[q] / hit_p50);
+  }
+  // The aggregate is the headline: time to serve the whole working set cold
+  // vs from cache. Per-query speedups range widely because some queries are
+  // already near the wire floor cold (a good stratified sample IS fast — the
+  // cache can only shave the scan, not the round trip).
+  double cold_sum = 0.0, hit_sum = 0.0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    cold_sum += cold_ms_per_query[q];
+    hit_sum += hit_p50_all[q];
+  }
+  std::printf(
+      "{\"bench\":\"serve\",\"section\":\"hit_summary\","
+      "\"cold_p50_ms_median\":%.3f,\"hit_p50_ms_median\":%.3f,"
+      "\"speedup_aggregate\":%.1f,\"speedup_median\":%.1f,"
+      "\"speedup_min\":%.1f,\"speedup_max\":%.1f}\n",
+      Percentile(cold_ms_per_query, 0.5), Percentile(hit_p50_all, 0.5),
+      cold_sum / hit_sum, Percentile(speedups, 0.5),
+      *std::min_element(speedups.begin(), speedups.end()),
+      *std::max_element(speedups.begin(), speedups.end()));
+  std::fflush(stdout);
+}
+
+// --- Section 2: coarse seed, tighter re-ask resumes --------------------------
+
+void BenchResume(Served& served) {
+  const std::string base =
+      "SELECT COUNT(*) FROM sessions WHERE country = 'country_3'";
+  const std::string coarse = base + " ERROR WITHIN 10% AT CONFIDENCE 95%";
+  const std::string tight = base + " ERROR WITHIN 1% AT CONFIDENCE 95%";
+
+  served.Start(/*pool=*/4, /*cache_entries=*/0, /*queue_depth=*/32);
+  Record cold_tight;
+  {
+    BlinkClient client;
+    served.Connect(client);
+    cold_tight = RunOne(client, tight);
+  }
+
+  served.Start(/*pool=*/4, /*cache_entries=*/256, /*queue_depth=*/32);
+  BlinkClient client;
+  served.Connect(client);
+  const Record seed = RunOne(client, coarse);
+  const Record resumed = RunOne(client, tight);
+  std::printf(
+      "{\"bench\":\"serve\",\"section\":\"resume\","
+      "\"coarse_blocks\":%llu,\"cold_tight_blocks\":%llu,"
+      "\"resume_cache\":\"%s\",\"resume_blocks_consumed\":%llu,"
+      "\"resume_blocks_reused\":%llu,\"resume_ms\":%.3f,"
+      "\"cold_tight_ms\":%.3f,\"achieved\":%.6f,\"bound\":%.6f}\n",
+      static_cast<unsigned long long>(seed.blocks_consumed),
+      static_cast<unsigned long long>(cold_tight.blocks_consumed),
+      resumed.cache.c_str(),
+      static_cast<unsigned long long>(resumed.blocks_consumed),
+      static_cast<unsigned long long>(resumed.blocks_reused), resumed.ms,
+      cold_tight.ms, resumed.achieved, resumed.bound);
+  std::fflush(stdout);
+}
+
+// --- Section 3: closed-loop load sweep ---------------------------------------
+
+void BenchLoad(Served& served, const std::vector<std::string>& queries,
+               double window_seconds) {
+  served.Start(/*pool=*/4, /*cache_entries=*/256, /*queue_depth=*/32);
+  for (size_t clients : {1u, 2u, 4u, 8u}) {
+    std::vector<std::vector<Record>> per_client(clients);
+    std::vector<std::thread> threads;
+    const double until = Now() + window_seconds;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        BlinkClient client;
+        served.Connect(client);
+        // Zipf-ish repetition: 80% of asks come from the 4 hot queries, so
+        // repeats pile up and the cache earns its keep; seed differs per
+        // client so the cold misses interleave.
+        uint64_t state = 0x9e3779b97f4a7c15ull * (c + 1);
+        while (Now() < until) {
+          state = state * 6364136223846793005ull + 1442695040888963407ull;
+          const uint64_t roll = (state >> 33) % 10;
+          const size_t pick = roll < 8 ? (state >> 13) % 4
+                                       : 4 + (state >> 13) % (queries.size() - 4);
+          per_client[c].push_back(RunOne(client, queries[pick]));
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+
+    std::vector<double> latencies;
+    double queue_sum = 0.0, achieved_sum = 0.0;
+    size_t hits = 0, resumes = 0, misses = 0, busy = 0, violations = 0, n = 0;
+    for (const auto& records : per_client) {
+      for (const Record& rec : records) {
+        if (rec.busy) {
+          ++busy;
+          continue;
+        }
+        if (rec.failed || rec.deadline_shed) {
+          continue;
+        }
+        ++n;
+        latencies.push_back(rec.ms);
+        queue_sum += rec.queue_ms;
+        achieved_sum += rec.achieved;
+        hits += rec.cache == "hit";
+        resumes += rec.cache == "resume";
+        misses += rec.cache == "miss";
+        // A bound violation only counts when the scan stopped on the bound;
+        // an exhausted dataset reports its best achievable error.
+        violations += rec.stopped_early && rec.achieved > rec.bound;
+      }
+    }
+    std::printf(
+        "{\"bench\":\"serve\",\"section\":\"load\",\"clients\":%zu,"
+        "\"window_s\":%.1f,\"requests\":%zu,\"throughput_qps\":%.0f,"
+        "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"hit_rate\":%.3f,"
+        "\"resume_rate\":%.3f,\"miss_rate\":%.3f,\"mean_queue_ms\":%.3f,"
+        "\"mean_achieved_err\":%.5f,\"bound_violations\":%zu,\"busy\":%zu}\n",
+        clients, window_seconds, n, static_cast<double>(n) / window_seconds,
+        Percentile(latencies, 0.5), Percentile(latencies, 0.99),
+        static_cast<double>(hits) / static_cast<double>(n),
+        static_cast<double>(resumes) / static_cast<double>(n),
+        static_cast<double>(misses) / static_cast<double>(n),
+        queue_sum / static_cast<double>(n),
+        achieved_sum / static_cast<double>(n), violations, busy);
+    std::fflush(stdout);
+  }
+}
+
+// --- Section 4: overload + the shed ladder -----------------------------------
+
+void BenchShed(Served& served, double window_seconds) {
+  // One runtime, short queue, 10 ms queue deadline: with 12 closed-loop
+  // clients the queue stays deep, so most admitted queries pop at rung 2 or
+  // 3 of the default ladder {2%, 5%, 10%}, stale tickets shed at the
+  // deadline, and the rest bounce BUSY. The 1% ask is what gets widened.
+  served.Start(/*pool=*/1, /*cache_entries=*/0, /*queue_depth=*/8,
+               /*deadline_seconds=*/0.01);
+  const std::string sql =
+      "SELECT COUNT(*), AVG(sessiontimems) FROM sessions WHERE endedflag = 1 "
+      "ERROR WITHIN 1% AT CONFIDENCE 95%";
+  const size_t clients = 12;
+  std::vector<std::vector<Record>> per_client(clients);
+  std::vector<std::thread> threads;
+  const double until = Now() + window_seconds;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      BlinkClient client;
+      served.Connect(client);
+      while (Now() < until) {
+        per_client[c].push_back(RunOne(client, sql));
+        if (per_client[c].back().busy) {
+          // A real client backs off a BUSY instead of hammering the accept
+          // path; 2 ms keeps the queue saturated without a reject storm.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  std::vector<double> latencies;
+  size_t at_1 = 0, at_2 = 0, at_5 = 0, at_10 = 0;
+  size_t busy = 0, shed = 0, violations = 0, n = 0;
+  for (const auto& records : per_client) {
+    for (const Record& rec : records) {
+      if (rec.busy) {
+        ++busy;
+        continue;
+      }
+      if (rec.deadline_shed) {
+        ++shed;
+        continue;
+      }
+      if (rec.failed) {
+        continue;
+      }
+      ++n;
+      latencies.push_back(rec.ms);
+      at_1 += rec.bound <= 0.0101;
+      at_2 += rec.bound > 0.0101 && rec.bound <= 0.0201;
+      at_5 += rec.bound > 0.0201 && rec.bound <= 0.0501;
+      at_10 += rec.bound > 0.0501;
+      violations += rec.stopped_early && rec.achieved > rec.bound;
+    }
+  }
+  const AdmissionStats stats = served.server->admission_stats();
+  std::printf(
+      "{\"bench\":\"serve\",\"section\":\"shed\",\"clients\":%zu,"
+      "\"window_s\":%.1f,\"served\":%zu,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+      "\"served_at_1pct\":%zu,\"served_at_2pct\":%zu,\"served_at_5pct\":%zu,"
+      "\"served_at_10pct\":%zu,\"widened\":%llu,\"busy\":%zu,"
+      "\"deadline_shed\":%zu,\"bound_violations\":%zu}\n",
+      clients, window_seconds, n, Percentile(latencies, 0.5),
+      Percentile(latencies, 0.99), at_1, at_2, at_5, at_10,
+      static_cast<unsigned long long>(stats.widened), busy, shed, violations);
+  std::fflush(stdout);
+}
+
+void Run(uint64_t rows) {
+  std::fprintf(stderr, "building %llu-row sessions table + samples...\n",
+               static_cast<unsigned long long>(rows));
+  Served served(rows);
+  const std::vector<std::string> queries = WorkingSet();
+  BenchHits(served, queries);
+  BenchResume(served);
+  BenchLoad(served, queries, /*window_seconds=*/1.5);
+  BenchShed(served, /*window_seconds=*/1.5);
+  served.server->Stop();
+}
+
+}  // namespace
+}  // namespace blink
+
+int main(int argc, char** argv) {
+  const uint64_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+  blink::Run(rows);
+  return 0;
+}

@@ -57,12 +57,13 @@ echo "== server smoke: streaming partials over the wire =="
 # the wire contract of docs/PROTOCOL.md, end to end.
 PORT_FILE="$(mktemp)"
 SMOKE_OUT="$(mktemp)"
+SMOKE_OUT2="$(mktemp)"
 # Default 120k-row demo table: large enough that the streamed resolution
 # spans several 4-block rounds (smaller tables can resolve entirely from the
 # §4.4 probe prefix and legitimately skip PARTIALs).
 "$BUILD_DIR"/blinkdb_server --port-file "$PORT_FILE" >/dev/null 2>&1 &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$PORT_FILE" "$SMOKE_OUT"' EXIT
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$PORT_FILE" "$SMOKE_OUT" "$SMOKE_OUT2"' EXIT
 for _ in $(seq 1 100); do
   [ -s "$PORT_FILE" ] && break
   sleep 0.2
@@ -75,8 +76,23 @@ grep -q '^PARTIAL #' "$SMOKE_OUT" || { echo "no PARTIAL frame before FINAL"; exi
 grep -q '^FINAL ' "$SMOKE_OUT" || { echo "no FINAL frame"; exit 1; }
 awk '/^FINAL /{seen_final=1} /^PARTIAL /{if (seen_final) exit 1}' "$SMOKE_OUT" ||
   { echo "a PARTIAL arrived after FINAL"; exit 1; }
-kill "$SERVER_PID" 2>/dev/null || true
 echo "server smoke OK"
+
+echo "== server smoke: repeated bounded query hits the answer cache =="
+# The same bounded query again, on the still-warm server: the answer cache
+# must serve the stored FINAL — no streaming, zero blocks consumed this run,
+# and a rendered answer byte-identical to the cold run's.
+"$BUILD_DIR"/blinkdb_cli --port "$(cat "$PORT_FILE")" --execute \
+  "SELECT COUNT(*) FROM sessions WHERE city = 'city_9' ERROR WITHIN 1% AT CONFIDENCE 95%" \
+  | tee "$SMOKE_OUT2"
+grep -q ' cache=hit' "$SMOKE_OUT2" || { echo "repeat query did not hit the answer cache"; exit 1; }
+grep -q ' blocks=0/' "$SMOKE_OUT2" || { echo "cache hit consumed blocks"; exit 1; }
+! grep -q '^PARTIAL #' "$SMOKE_OUT2" || { echo "a cache hit streamed PARTIALs"; exit 1; }
+diff <(sed -n '/^FINAL /,$p' "$SMOKE_OUT" | tail -n +2) \
+     <(sed -n '/^FINAL /,$p' "$SMOKE_OUT2" | tail -n +2) >/dev/null ||
+  { echo "cache-hit answer differs from the cold answer"; exit 1; }
+kill "$SERVER_PID" 2>/dev/null || true
+echo "cache smoke OK"
 
 echo "== sanitizers: codec + exec under ASan/UBSan =="
 # The compressed scan path is the bit-twiddling hot spot; run its tests (and
@@ -93,6 +109,22 @@ else
   ctest --test-dir "$BUILD_DIR-asan" --output-on-failure -j "$JOBS" \
     -R '^(codec_test|storage_test|exec_test|parallel_exec_test|fuzz_differential_test)$'
   echo "sanitizers clean"
+fi
+
+echo "== sanitizers: server + cache + admission under TSan =="
+# The admission queue, answer cache, and morsel executor are the concurrency
+# hot spots this layer added; run their tests under ThreadSanitizer in a
+# separate build tree. Shares the BLINK_SANITIZE=off escape hatch for
+# toolchains without libtsan.
+if [ "$SAN" = "off" ]; then
+  echo "BLINK_SANITIZE=off; skipping TSan build"
+else
+  cmake -B "$BUILD_DIR-tsan" -S . -DBLINK_SANITIZE=thread >/dev/null
+  cmake --build "$BUILD_DIR-tsan" -j "$JOBS" --target \
+    server_test answer_cache_test cache_resume_test parallel_exec_test
+  ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure -j "$JOBS" \
+    -R '^(server_test|answer_cache_test|cache_resume_test|parallel_exec_test)$'
+  echo "tsan clean"
 fi
 
 echo "== docs =="

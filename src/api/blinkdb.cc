@@ -34,6 +34,9 @@ Result<SamplePlan> BlinkDB::BuildSamples(const std::string& table_name,
   }
   auto plan = PlanAndBuildSamples(entry->table, table_name, workload, config, samples_);
   if (plan.ok()) {
+    // New families change which snapshots are valid even though the table
+    // contents did not: invalidate cached answers keyed on the old generation.
+    catalog_.BumpGeneration(table_name);
     last_planner_config_ = config;
     last_workload_ = workload;
     last_planned_table_ = table_name;

@@ -42,6 +42,7 @@ Status Catalog::ReplaceTable(const std::string& name, Table table) {
   if (it->second->compressed) {
     BLINK_RETURN_IF_ERROR(it->second->table.BuildEncoded(it->second->encode_options));
   }
+  ++it->second->generation;
   return Status::Ok();
 }
 
@@ -54,7 +55,16 @@ Status Catalog::CompressTable(const std::string& name,
   BLINK_RETURN_IF_ERROR(it->second->table.BuildEncoded(options));
   it->second->compressed = true;
   it->second->encode_options = options;
+  ++it->second->generation;
   return Status::Ok();
+}
+
+uint64_t Catalog::BumpGeneration(const std::string& name) {
+  const auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    return 0;
+  }
+  return ++it->second->generation;
 }
 
 bool Catalog::DropTable(const std::string& name) {

@@ -30,6 +30,12 @@ struct TableEntry {
   // ratio/decode-cost stats live on table.encoded_blocks()->stats(col).
   bool compressed = false;
   BlockEncodeOptions encode_options;
+  // Monotonic mutation counter: bumped on every change to what a query over
+  // this table could observe — the table contents (ReplaceTable), its block
+  // encoding (CompressTable), and its sample families (BumpGeneration from
+  // BuildSamples / AppendAndMaintain). The answer cache keys on it, so a
+  // snapshot taken before any mutation can never be served after one.
+  uint64_t generation = 0;
 
   double logical_bytes() const {
     return static_cast<double>(table.num_rows()) * table.EstimatedBytesPerRow() *
@@ -58,6 +64,11 @@ class Catalog {
   // load time; see src/storage/encoded_table.h) and marks the entry so future
   // replacements stay compressed.
   Status CompressTable(const std::string& name, const BlockEncodeOptions& options = {});
+
+  // Advances the table's generation without touching its contents — for
+  // mutations that live outside the catalog but change query answers (sample
+  // family builds/rebuilds). Returns the new generation, 0 if absent.
+  uint64_t BumpGeneration(const std::string& name);
 
   // Drops a table; returns whether it existed.
   bool DropTable(const std::string& name);

@@ -52,6 +52,10 @@ struct StreamProgress {
   double achieved_error = 0.0;
   bool bound_met = false;    // the error target (if any) is met
   bool final_batch = false;  // no further callbacks will follow
+  // Answer-cache outcome of the execution streaming these partials ("resume"
+  // or "miss"; hits never stream). Empty when no cache is consulted — the
+  // plan driver itself never sets it, the runtime stamps it.
+  std::string cache;
 };
 
 // Invoked after every batch with the partial answer over the consumed prefix.

@@ -186,6 +186,9 @@ Result<PlanResult> ExecutePlan(const QueryPlan& plan, const PlanOptions& options
       out.blocks_total += stats.blocks_total;
       out.rows_consumed += stats.rows_consumed;
       out.stopped_early = out.stopped_early || !pipe.exhausted();
+      if (options.export_state) {
+        out.states.push_back(pipe.ExportState());
+      }
     }
     if (evaluated) {
       out.bound_met = decision.bound_met;

@@ -85,6 +85,10 @@ struct PlanOptions {
   // plans driven as a single maximal batch (never-stop, no progress) are not
   // interruptible mid-scan. The flag is only read, never cleared.
   const std::atomic<bool>* cancel = nullptr;
+  // Export each pipeline's consumed-prefix state into PlanResult::states on
+  // return, for the cross-query answer cache. Off by default: exporting
+  // copies the running accumulators once per pipeline.
+  bool export_state = false;
 };
 
 // Per-pipeline outcome, for the runtime's §4.4/latency accounting and the
@@ -127,6 +131,10 @@ struct PlanResult {
   // Worst error of `result` at the policy confidence (max over
   // groups/aggregates), computed whenever a stop was possible.
   double achieved_error = 0.0;
+  // One entry per pipeline when PlanOptions::export_state was set (empty
+  // otherwise); null entries for pipelines with nothing to export
+  // (precomputed / exact — see ScanPipeline::ExportState).
+  std::vector<std::shared_ptr<const PipelineSnapshot>> states;
 };
 
 // Drives `plan` to completion (or to a joint stop). Pipelines are

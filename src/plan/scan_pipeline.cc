@@ -66,7 +66,52 @@ Status ScanPipeline::Init(PipelineSpec spec, const ExecutionOptions& exec,
       1, std::min<size_t>(exec_.num_threads, static_cast<size_t>(std::max<uint64_t>(
                                                  1, blocks_total()))));
   scratches_.resize(workers);
+
+  if (spec_.resume != nullptr) {
+    const PipelineSnapshot& snap = *spec_.resume;
+    if (precomputed() || exact()) {
+      return Status::InvalidArgument(
+          "resume snapshots apply only to streamed sample scans");
+    }
+    if (snap.rows_total != n || snap.morsel_rows != exec_.morsel_rows) {
+      return Status::InvalidArgument(
+          "resume snapshot was taken over a different scan decomposition");
+    }
+    if (snap.consumed > blocks_total()) {
+      return Status::InvalidArgument("resume snapshot exceeds the block plan");
+    }
+    if (track_prefix_ && !snap.track_prefix && snap.consumed != blocks_total()) {
+      // A never-stop scan keeps no n_h(prefix) tallies; its partial state
+      // cannot seed a scan that may stop early — unless it is complete, in
+      // which case finalization uses the dataset's own counts anyway.
+      return Status::InvalidArgument("resume snapshot lacks prefix tallies");
+    }
+    groups_ = snap.groups;
+    stats_ = snap.stats;
+    stats_.block_rows = plan_.target_rows;
+    prefix_scanned_ = snap.prefix_scanned;
+    consumed_ = snap.consumed;
+    bytes_decoded_ = snap.bytes_decoded;
+  }
   return Status::Ok();
+}
+
+std::shared_ptr<const PipelineSnapshot> ScanPipeline::ExportState() const {
+  if (precomputed() || exact()) {
+    return nullptr;
+  }
+  auto snap = std::make_shared<PipelineSnapshot>();
+  snap->consumed = consumed_;
+  snap->rows_consumed = rows_consumed();
+  snap->rows_total = rows_total();
+  snap->morsel_rows = exec_.morsel_rows;
+  snap->track_prefix = track_prefix_;
+  snap->groups = groups_;
+  snap->stats = stats_;
+  snap->prefix_scanned = prefix_scanned_;
+  snap->bytes_scanned = bytes_scanned();
+  snap->bytes_decoded = bytes_decoded_;
+  return snap;
 }
 
 void ScanPipeline::Advance(uint64_t blocks) {

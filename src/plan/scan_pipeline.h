@@ -14,6 +14,7 @@
 #define BLINKDB_PLAN_SCAN_PIPELINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -25,6 +26,25 @@
 #include "src/util/status.h"
 
 namespace blink {
+
+// The consumed-prefix state of one pipeline, exported for cross-query reuse
+// (the answer cache, generalizing §4.4 reuse across queries). Because the
+// running accumulators depend only on the consumed block count — never on
+// threads or schedule — restoring a snapshot and advancing is bit-identical
+// to a cold scan that consumed the same prefix. Plain values, freely
+// copyable; shared immutably via shared_ptr once exported.
+struct PipelineSnapshot {
+  uint64_t consumed = 0;       // blocks of the prefix the state covers
+  uint64_t rows_consumed = 0;  // rows of that prefix (reuse accounting)
+  uint64_t rows_total = 0;     // dataset rows when taken (decomposition guard)
+  uint32_t morsel_rows = 0;    // requested morsel size (decomposition guard)
+  bool track_prefix = false;   // whether prefix_scanned tallies were kept
+  exec_internal::GroupMap groups;
+  ScanStats stats;
+  std::vector<double> prefix_scanned;  // n_h(prefix) per stratum
+  double bytes_scanned = 0.0;  // storage bytes the prefix read
+  double bytes_decoded = 0.0;  // logical bytes the prefix materialized
+};
 
 // What one pipeline scans and how far it is allowed to go.
 struct PipelineSpec {
@@ -41,6 +61,13 @@ struct PipelineSpec {
   // answer (the planner's escalated probe already scanned exactly this
   // dataset) — the driver never advances it and snapshots return the value.
   std::optional<QueryResult> precomputed;
+  // Cross-query resume: when set, Init seeds the pipeline with this
+  // consumed-prefix state instead of starting at block 0, and the scan
+  // streams on from there. The snapshot must have been exported from a
+  // pipeline over the same dataset decomposition (same rows, same morsel
+  // size); Init rejects mismatches. Mutually exclusive with `precomputed`
+  // and with exact datasets.
+  std::shared_ptr<const PipelineSnapshot> resume;
 };
 
 class ScanPipeline {
@@ -66,6 +93,12 @@ class ScanPipeline {
   // one-shot executor by construction); stopped prefixes finalize against the
   // tallied n_h(prefix).
   Result<QueryResult> Snapshot() const;
+
+  // Exports the consumed-prefix state for cross-query reuse via
+  // PipelineSpec::resume. Null for precomputed (§4.4 probe reuse carries its
+  // own answer) and exact pipelines (prefixes of unshuffled tables are not
+  // resumable samples). The returned state is an independent copy.
+  std::shared_ptr<const PipelineSnapshot> ExportState() const;
 
   // The scan has nothing left to do: every block consumed, the block budget
   // exhausted, or a precomputed (§4.4) answer stands in for the scan.

@@ -415,6 +415,8 @@ Result<QueryRuntime::PipelinePlan> QueryRuntime::PlanOnFamily(
     double scale_factor, const Table* dim) const {
   PipelinePlan plan;
   plan.family_name = FamilyName(family);
+  plan.family_uniform = family.kind() == SampleFamily::Kind::kUniform;
+  plan.family_columns = family.columns();
   plan.probe_latency = choice.selection_probe_latency;
 
   // --- Probe: smallest resolution, escalating while too few rows match -----
@@ -536,12 +538,14 @@ Result<QueryRuntime::PipelinePlan> QueryRuntime::PlanOnFamily(
     // §4.4: the probe answer is the answer; the pipeline is born complete.
     plan.spec.dataset = family.LogicalSample(chosen);
     plan.spec.precomputed = std::move(probe_result);
+    plan.scan_resolution = chosen;
   } else if (stream_error) {
     // Stream the LARGEST resolution: prefix order passes through every
     // smaller resolution on the way, so the scan lands exactly where the
     // bound is met — below the projected resolution when the ELP overshot,
     // beyond it (automatic escalation) when it undershot.
     plan.spec.dataset = family.LogicalSample(0);
+    plan.scan_resolution = 0;
     plan.streamed = true;
   } else if (stream_time) {
     // Stream the chosen resolution under the block budget the remaining time
@@ -554,9 +558,11 @@ Result<QueryRuntime::PipelinePlan> QueryRuntime::PlanOnFamily(
         stmt.bounds.time_seconds - plan.probe_latency,
         config_.reuse_intermediate ? probe_rows : 0);
     plan.spec.max_blocks = plan.budget_blocks;
+    plan.scan_resolution = chosen;
     plan.streamed = true;
   } else {
     plan.spec.dataset = family.LogicalSample(chosen);
+    plan.scan_resolution = chosen;
   }
   plan.dataset = plan.spec.dataset;
   return plan;
@@ -587,7 +593,8 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
                                            std::vector<PipelinePlan> plans,
                                            double scale_factor,
                                            const ProgressCallback& progress,
-                                           const std::atomic<bool>* cancel) const {
+                                           const std::atomic<bool>* cancel,
+                                           CacheRequest* cache_req) const {
   const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
                                 ? stmt.bounds.confidence
                                 : config_.default_confidence;
@@ -596,6 +603,32 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   for (const auto& p : plans) {
     any_streamed = any_streamed || p.streamed;
     max_probe_latency = std::max(max_probe_latency, p.probe_latency);
+  }
+
+  // What can be cached: streamed-capable answers over samples. Time bounds
+  // are excluded (their block budgets depend on the clock, not the data) and
+  // so are exact pipelines (prefixes of unshuffled tables don't resume).
+  bool cacheable = cache_req != nullptr && cache_req->cache != nullptr &&
+                   config_.streaming && stmt.bounds.kind != QueryBounds::Kind::kTime;
+  for (const auto& p : plans) {
+    cacheable = cacheable && !p.spec.dataset.is_exact();
+  }
+  // Capture what the entry needs before the specs are moved into the plan.
+  std::vector<CachedPipeline> cached_pipes;
+  if (cacheable) {
+    cached_pipes.reserve(plans.size());
+    for (const auto& p : plans) {
+      CachedPipeline cp;
+      cp.stmt = p.spec.stmt;
+      cp.is_uniform = p.family_uniform;
+      cp.family_columns = p.family_columns;
+      cp.family_name = p.family_name;
+      cp.resolution = p.scan_resolution;
+      if (p.spec.precomputed.has_value()) {
+        cp.precomputed = std::make_shared<QueryResult>(*p.spec.precomputed);
+      }
+      cached_pipes.push_back(std::move(cp));
+    }
   }
 
   PlanOptions options;
@@ -626,6 +659,8 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
     }
   }
 
+  options.export_state = cacheable;
+
   QueryPlan plan;
   plan.pipelines.reserve(plans.size());
   for (auto& p : plans) {
@@ -645,6 +680,11 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   report.num_subqueries = plans.size();
   report.schedule = config_.schedule_mode;
   report.cancelled = run->cancelled;
+  report.effective_error_bound =
+      stmt.bounds.kind == QueryBounds::Kind::kError ? stmt.bounds.error : 0.0;
+  if (cache_req != nullptr && cache_req->cache != nullptr) {
+    report.cache = CacheOutcomeName(cache_req->outcome);
+  }
   if (plans.size() == 1) {
     const PipelinePlan& p = plans.front();
     report.family = p.family_name;
@@ -657,19 +697,38 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   }
 
   double max_pipeline_total = 0.0;
+  // Full consumed-prefix totals (pre-discount): what a cache entry records,
+  // since a resumed-from entry's prefix covers the earlier queries' blocks.
+  uint64_t full_blocks_consumed = 0;
+  uint64_t full_rows_consumed = 0;
   std::vector<QueryWorkload> charged;  // per-pipeline consumed-block workloads
   charged.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
     const PipelinePlan& p = plans[i];
-    const PipelineOutcome& outcome = run->pipelines[i];
+    PipelineOutcome& outcome = run->pipelines[i];
     report.probe_latency += p.probe_latency;
+    full_blocks_consumed += outcome.blocks_consumed;
+    full_rows_consumed += outcome.rows_consumed;
+    // Early-stop is a property of the FULL consumed prefix, so judge it
+    // before any resume discount shrinks the counts.
+    report.stopped_early =
+        report.stopped_early || outcome.blocks_consumed < outcome.blocks_total;
+    if (p.resume_blocks > 0) {
+      // Cross-query reuse: the cached prefix was scanned by an earlier query.
+      // Credit it like a §4.4 probe prefix — this run consumed (and is
+      // charged for) only the delta beyond the snapshot.
+      const uint64_t reused = std::min(outcome.blocks_consumed, p.resume_blocks);
+      report.blocks_reused += reused;
+      outcome.blocks_consumed -= reused;
+      outcome.rows_consumed -= std::min(outcome.rows_consumed, p.resume_rows);
+      outcome.bytes_scanned = std::max(0.0, outcome.bytes_scanned - p.resume_bytes_scanned);
+      outcome.bytes_decoded = std::max(0.0, outcome.bytes_decoded - p.resume_bytes_decoded);
+    }
     report.rows_read += outcome.rows_consumed;
     report.blocks_read += outcome.blocks_consumed;
     report.blocks_consumed += outcome.blocks_consumed;
     report.bytes_scanned += outcome.bytes_scanned;
     report.bytes_decoded += outcome.bytes_decoded;
-    report.stopped_early =
-        report.stopped_early || outcome.blocks_consumed < outcome.blocks_total;
 
     double exec_latency = 0.0;
     if (outcome.reused_probe) {
@@ -705,7 +764,135 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   QueryResult result = std::move(run->result);
   result.confidence = confidence;
   report.achieved_error = ReportedError(result, stmt.bounds, confidence);
+
+  // --- Cache insertion --------------------------------------------------------
+  // A cancelled drive is not inserted: its report semantics (cancelled=true)
+  // would leak into later hits. Resumed runs DO insert — the refreshed entry
+  // supersedes the shorter prefix under the same key.
+  if (cacheable && !run->cancelled) {
+    bool complete = true;
+    bool have_snapshot = false;
+    bool consistent = run->states.size() == cached_pipes.size();
+    for (size_t i = 0; consistent && i < cached_pipes.size(); ++i) {
+      const PipelineOutcome& outcome = report.pipeline_outcomes[i];
+      // "Complete" gates the serve-regardless-of-bound hit path, so it must
+      // mean "no tighter answer exists": the scan covered the family's
+      // MAXIMAL logical sample end to end. A probe answer (reused_probe) or
+      // full scan over a coarser resolution is complete for its own dataset,
+      // but a re-execution could still tighten it by streaming resolution 0.
+      complete = complete && plans[i].scan_resolution == 0 &&
+                 (outcome.reused_probe ||
+                  outcome.blocks_consumed + plans[i].resume_blocks >=
+                      outcome.blocks_total);
+      cached_pipes[i].snapshot = run->states[i];
+      if (cached_pipes[i].snapshot != nullptr) {
+        have_snapshot = true;
+      } else if (cached_pipes[i].precomputed == nullptr) {
+        consistent = false;  // nothing reusable for this pipeline
+      }
+    }
+    if (consistent) {
+      auto entry = std::make_shared<CacheEntry>();
+      entry->result = result;
+      entry->result_confidence = confidence;
+      entry->complete = complete;
+      entry->resumable = have_snapshot;
+      entry->blocks_consumed = full_blocks_consumed;
+      entry->blocks_total = 0;
+      for (const PipelineOutcome& outcome : report.pipeline_outcomes) {
+        entry->blocks_total += outcome.blocks_total;
+      }
+      entry->rows_consumed = full_rows_consumed;
+      entry->family = report.family;
+      entry->resolution = report.resolution;
+      entry->cap = report.cap;
+      entry->projected_error = report.projected_error;
+      entry->num_subqueries = report.num_subqueries;
+      entry->rewrite_fallback = cache_req->rewrite_fallback;
+      entry->pipelines = std::move(cached_pipes);
+      cache_req->cache->Insert(cache_req->key, std::move(entry));
+    }
+  }
   return ApproxAnswer{std::move(result), std::move(report)};
+}
+
+std::optional<std::vector<QueryRuntime::PipelinePlan>> QueryRuntime::PlanResumeFromCache(
+    const SelectStatement& stmt, const std::string& table_name,
+    const CacheEntry& entry) const {
+  std::vector<PipelinePlan> plans;
+  plans.reserve(entry.pipelines.size());
+  for (const CachedPipeline& cp : entry.pipelines) {
+    const SampleFamily* family =
+        cp.is_uniform ? store_->UniformFamily(table_name)
+                      : store_->FindStratified(table_name, cp.family_columns);
+    if (family == nullptr || cp.resolution >= family->num_resolutions()) {
+      return std::nullopt;  // family dropped or reshaped since the entry
+    }
+    PipelinePlan plan;
+    plan.family_name = cp.family_name;
+    plan.family_uniform = cp.is_uniform;
+    plan.family_columns = cp.family_columns;
+    plan.resolution = cp.resolution;
+    plan.scan_resolution = cp.resolution;
+    plan.cap = family->resolution(cp.resolution).cap;
+    plan.projected_error = entry.projected_error;
+    plan.spec.stmt = cp.stmt;
+    // The cached sub-statement's shape matches by key construction; only the
+    // bound may differ — the incoming query's governs this run.
+    plan.spec.stmt.bounds = stmt.bounds;
+    plan.spec.dataset = family->LogicalSample(cp.resolution);
+    plan.dataset = plan.spec.dataset;
+    if (cp.resolution != 0) {
+      // The stored scan ran a coarser resolution than the maximal sample. A
+      // tighter bound must escalate past it, and only the cold planner (ELP
+      // probes) knows how — run cold rather than resume into a dead end.
+      return std::nullopt;
+    }
+    if (cp.precomputed != nullptr) {
+      plan.spec.precomputed = *cp.precomputed;
+    } else {
+      if (cp.snapshot == nullptr ||
+          cp.snapshot->rows_total != plan.spec.dataset.NumRows() ||
+          cp.snapshot->morsel_rows != config_.morsel_rows) {
+        return std::nullopt;  // decomposition changed: snapshot unusable
+      }
+      plan.spec.resume = cp.snapshot;
+      plan.resume_blocks = cp.snapshot->consumed;
+      plan.resume_rows = cp.snapshot->rows_consumed;
+      plan.resume_bytes_scanned = cp.snapshot->bytes_scanned;
+      plan.resume_bytes_decoded = cp.snapshot->bytes_decoded;
+      plan.streamed =
+          config_.streaming && stmt.bounds.kind == QueryBounds::Kind::kError;
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+ApproxAnswer QueryRuntime::ServeCacheHit(const SelectStatement& stmt,
+                                         const std::shared_ptr<const CacheEntry>& entry,
+                                         double achieved_error) const {
+  ApproxAnswer answer;
+  answer.result = entry->result;
+  answer.result.confidence = stmt.bounds.kind == QueryBounds::Kind::kError
+                                 ? stmt.bounds.confidence
+                                 : config_.default_confidence;
+  ExecutionReport& report = answer.report;
+  report.family = entry->family;
+  report.resolution = entry->resolution;
+  report.cap = entry->cap;
+  report.projected_error = entry->projected_error;
+  report.num_subqueries = entry->num_subqueries;
+  report.schedule = config_.schedule_mode;
+  // Zero work this run: nothing read, nothing charged. The entry's consumed
+  // prefix is credited as reused blocks, the cross-query form of §4.4.
+  report.blocks_reused = entry->blocks_consumed;
+  report.stopped_early = !entry->complete;
+  report.achieved_error = achieved_error;
+  report.effective_error_bound =
+      stmt.bounds.kind == QueryBounds::Kind::kError ? stmt.bounds.error : 0.0;
+  report.cache = CacheOutcomeName(CacheOutcome::kHit);
+  return answer;
 }
 
 Result<ApproxAnswer> QueryRuntime::RunUnion(const SelectStatement& stmt,
@@ -714,7 +901,8 @@ Result<ApproxAnswer> QueryRuntime::RunUnion(const SelectStatement& stmt,
                                             const Table* dim,
                                             std::vector<Predicate> disjuncts,
                                             const ProgressCallback& progress,
-                                            const std::atomic<bool>* cancel) const {
+                                            const std::atomic<bool>* cancel,
+                                            CacheRequest* cache_req) const {
   // One pipeline per conjunctive disjunct, each bound to its best-covering
   // dataset (§4.1.2). AVG recombination needs a COUNT column, so every
   // subquery gets the helper before family selection probes it — the probes
@@ -741,7 +929,7 @@ Result<ApproxAnswer> QueryRuntime::RunUnion(const SelectStatement& stmt,
     }
     plans.push_back(std::move(pipeline.value()));
   }
-  return RunPlan(stmt, std::move(plans), scale_factor, progress, cancel);
+  return RunPlan(stmt, std::move(plans), scale_factor, progress, cancel, cache_req);
 }
 
 Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
@@ -749,7 +937,14 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
                                            const Table& fact, double scale_factor,
                                            const Table* dim,
                                            ProgressCallback progress,
-                                           const std::atomic<bool>* cancel) const {
+                                           const std::atomic<bool>* cancel,
+                                           const CacheContext& cache_ctx) const {
+  // Declared ahead of the progress wrappers so they can stamp the cache
+  // outcome into every StreamProgress (by-reference capture; the outcome is
+  // settled before the first partial can fire).
+  CacheRequest cache_req;
+  CacheRequest* cache_reqp = nullptr;
+
   // The callback contract promises a terminal final_batch invocation for
   // every successful query. The plan driver fires it on every path it
   // drives; the synthetic completion below is a safety net for any path
@@ -757,9 +952,15 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
   bool progress_fired = false;
   ProgressCallback wrapped;
   if (progress) {
-    wrapped = [&progress, &progress_fired](const QueryResult& partial,
-                                           const StreamProgress& p) {
+    wrapped = [&progress, &progress_fired, &cache_reqp](const QueryResult& partial,
+                                                        const StreamProgress& p) {
       progress_fired = true;
+      if (cache_reqp != nullptr) {
+        StreamProgress stamped = p;
+        stamped.cache = CacheOutcomeName(cache_reqp->outcome);
+        progress(partial, stamped);
+        return;
+      }
       progress(partial, p);
     };
   }
@@ -777,10 +978,65 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
       p.bytes_scanned = a.report.bytes_scanned;
       p.bytes_decoded = a.report.bytes_decoded;
       p.final_batch = true;
+      p.cache = a.report.cache;
       progress(a.result, p);
     }
     return answer;
   };
+
+  // --- Answer cache: hit / resume / miss ------------------------------------
+  // Time-bounded queries are never cached (their budgets depend on the
+  // clock); with no cache configured this block is a no-op and the code path
+  // below is byte-for-byte the pre-cache behavior.
+  std::shared_ptr<const CacheEntry> resume_entry;
+  if (cache_ctx.cache != nullptr && config_.streaming &&
+      stmt.bounds.kind != QueryBounds::Kind::kTime) {
+    cache_req.cache = cache_ctx.cache;
+    cache_req.key = AnswerCacheKey(stmt, cache_ctx.table_generation,
+                                   config_.morsel_rows, config_.compressed_scan,
+                                   config_.filter_encoded_views);
+    cache_reqp = &cache_req;
+    if (auto entry = cache_ctx.cache->Lookup(cache_req.key)) {
+      const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
+                                    ? stmt.bounds.confidence
+                                    : config_.default_confidence;
+      const double err = ReportedError(entry->result, stmt.bounds, confidence);
+      const bool meets = stmt.bounds.kind == QueryBounds::Kind::kError &&
+                         err <= stmt.bounds.error;
+      if (meets || entry->complete) {
+        // The cached answer already satisfies this query — or its scan is
+        // complete, so re-executing could not tighten it. Serve the stored
+        // FINAL: zero blocks consumed, microsecond latency.
+        cache_ctx.cache->RecordOutcome(CacheOutcome::kHit);
+        ApproxAnswer hit = ServeCacheHit(stmt, entry, err);
+        hit.report.rewrite_fallback = entry->rewrite_fallback;
+        return finish(std::move(hit));
+      }
+      if (entry->resumable) {
+        resume_entry = std::move(entry);
+      }
+    }
+  }
+  if (resume_entry != nullptr) {
+    if (auto resumed = PlanResumeFromCache(stmt, table_name, *resume_entry)) {
+      // Near-miss: the cached error is wider than the incoming bound. Seed
+      // the pipelines with the snapshots and stream on from the cached
+      // prefix — strictly fewer blocks than a cold run, same answer bits.
+      cache_req.outcome = CacheOutcome::kResume;
+      cache_req.rewrite_fallback = resume_entry->rewrite_fallback;
+      cache_ctx.cache->RecordOutcome(CacheOutcome::kResume);
+      auto answer =
+          RunPlan(stmt, std::move(*resumed), scale_factor, wrapped, cancel, cache_reqp);
+      if (answer.ok()) {
+        answer.value().report.rewrite_fallback = resume_entry->rewrite_fallback;
+      }
+      return finish(std::move(answer));
+    }
+    resume_entry.reset();  // store changed under the entry: run cold
+  }
+  if (cache_reqp != nullptr) {
+    cache_ctx.cache->RecordOutcome(CacheOutcome::kMiss);
+  }
 
   // Disjunctive WHERE with no single covering family: rewrite as a union of
   // conjunctive subqueries (§4.1.2). Quantiles cannot be recombined across
@@ -807,7 +1063,7 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
         DedupDisjuncts(*disjuncts);
         if (disjuncts->size() > 1) {
           return finish(RunUnion(stmt, table_name, fact, scale_factor, dim,
-                                 std::move(*disjuncts), wrapped, cancel));
+                                 std::move(*disjuncts), wrapped, cancel, cache_reqp));
         }
         // Every disjunct was identical (e.g. `x = 1 OR x = 1`): the query is
         // really conjunctive; running the lone disjunct as a plain query
@@ -835,7 +1091,9 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
     }
     plans.push_back(std::move(pipeline.value()));
   }
-  auto answer = RunPlan(*effective, std::move(plans), scale_factor, wrapped, cancel);
+  cache_req.rewrite_fallback = rewrite_fallback;
+  auto answer =
+      RunPlan(*effective, std::move(plans), scale_factor, wrapped, cancel, cache_reqp);
   if (answer.ok()) {
     answer.value().report.rewrite_fallback = rewrite_fallback;
   }

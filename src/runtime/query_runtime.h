@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/answer_cache.h"
 #include "src/cluster/cluster_model.h"
 #include "src/exec/executor.h"
 #include "src/exec/incremental.h"
@@ -125,6 +126,20 @@ struct ExecutionReport {
   double probe_latency = 0.0;     // simulated seconds spent building the ELP
   double execution_latency = 0.0; // simulated seconds of the final run
   double total_latency = 0.0;
+  // Real (wall-clock) seconds the query waited in the server's admission
+  // queue before a runtime picked it up; 0 for in-process execution. Kept
+  // separate from execution_latency so bench numbers decompose into queueing
+  // vs work.
+  double queue_latency = 0.0;
+  // The error bound this execution actually honored: the query's own bound,
+  // or the widened rung the server's load-shedding ladder substituted under
+  // pressure. 0 for non-error-bounded queries. achieved_error <= this bound
+  // whenever stopping succeeded.
+  double effective_error_bound = 0.0;
+  // Answer-cache outcome: "hit" (stored FINAL served, zero blocks), "resume"
+  // (streaming continued from a cached prefix), "miss" (cold execution), or
+  // "" when no cache is configured.
+  std::string cache;
   double projected_error = 0.0;
   double achieved_error = 0.0;    // self-reported relative error of the answer
   std::vector<ElpPoint> elp;
@@ -147,6 +162,16 @@ struct ApproxAnswer {
   ExecutionReport report;
 };
 
+// Optional answer-cache hookup for one Execute call. Null `cache` (the
+// default) is exactly the pre-cache code path — no key is built, no lookup
+// happens, the block-consumption trace is untouched. `table_generation` is
+// the fact table's catalog generation; it keys the cache so mutated tables
+// never serve stale snapshots.
+struct CacheContext {
+  AnswerCache* cache = nullptr;
+  uint64_t table_generation = 0;
+};
+
 class QueryRuntime {
  public:
   QueryRuntime(const SampleStore* store, const ClusterModel* cluster,
@@ -167,11 +192,16 @@ class QueryRuntime {
   // boundaries: once true, the plan returns its best partial answer with
   // ExecutionReport::cancelled set, and the cluster model is charged only
   // for the blocks actually consumed (the §4.4 early-stopping rule).
+  // `cache_ctx`, when it carries a cache, consults it before planning: a hit
+  // whose achieved error meets the bound returns the stored FINAL with zero
+  // blocks consumed, a near-miss resumes streaming from the cached prefix,
+  // and a miss executes cold and inserts the exported pipeline state.
   Result<ApproxAnswer> Execute(const SelectStatement& stmt, const std::string& table_name,
                                const Table& fact, double scale_factor,
                                const Table* dim = nullptr,
                                ProgressCallback progress = {},
-                               const std::atomic<bool>* cancel = nullptr) const;
+                               const std::atomic<bool>* cancel = nullptr,
+                               const CacheContext& cache_ctx = {}) const;
 
  private:
   struct FamilyChoice {
@@ -190,6 +220,14 @@ class QueryRuntime {
     Dataset dataset;               // copy of spec.dataset, for charging
     std::string family_name;
     size_t resolution = 0;         // chosen resolution (0 for exact)
+    // The LogicalSample index spec.dataset actually is (streamed error-bound
+    // scans run resolution 0 regardless of the chosen/reported resolution);
+    // what a cache entry must record to rebuild the dataset at resume.
+    size_t scan_resolution = 0;
+    // Family identity for cache entries (re-looked-up in the store at
+    // resume): uniform flag + the stratified family's column set.
+    bool family_uniform = false;
+    std::vector<std::string> family_columns;
     uint64_t cap = 0;
     std::vector<ElpPoint> elp;
     double probe_latency = 0.0;    // selection share + own escalation chain
@@ -202,6 +240,27 @@ class QueryRuntime {
     // pipeline's static spec.max_blocks cap; under adaptive scheduling the
     // union's budgets merge into one shared pool the scheduler drains.
     uint64_t budget_blocks = 0;
+    // Cross-query resume (answer cache): the prefix the pipeline was seeded
+    // with via PipelineSpec::resume. The pipeline's outcome still covers the
+    // FULL consumed prefix (that is what makes resumed answers bit-identical
+    // to cold ones); RunPlan subtracts these so the report charges — and
+    // counts — only this run's delta, crediting the prefix as reused blocks.
+    uint64_t resume_blocks = 0;
+    uint64_t resume_rows = 0;
+    double resume_bytes_scanned = 0.0;
+    double resume_bytes_decoded = 0.0;
+  };
+
+  // How RunPlan talks to the answer cache for one execution: the outcome to
+  // stamp into the report, and — for miss/resume outcomes — the key under
+  // which to insert the run's exported state afterwards.
+  struct CacheRequest {
+    AnswerCache* cache = nullptr;
+    std::string key;
+    CacheOutcome outcome = CacheOutcome::kMiss;
+    // Report flag the entry must reproduce on a hit (the cached execution ran
+    // the abandoned-rewrite path).
+    bool rewrite_fallback = false;
   };
 
   // §4.1.1: pick a family for a conjunctive column set. Probes every
@@ -233,7 +292,22 @@ class QueryRuntime {
   Result<ApproxAnswer> RunPlan(const SelectStatement& stmt,
                                std::vector<PipelinePlan> plans, double scale_factor,
                                const ProgressCallback& progress,
-                               const std::atomic<bool>* cancel) const;
+                               const std::atomic<bool>* cancel,
+                               CacheRequest* cache_req = nullptr) const;
+
+  // Rebuilds the pipeline plans of a cached entry so RunPlan resumes
+  // streaming from the snapshots instead of block 0. Nullopt when the entry
+  // no longer matches the store (family dropped or rebuilt with a different
+  // decomposition) — the caller then falls back to cold execution.
+  std::optional<std::vector<PipelinePlan>> PlanResumeFromCache(
+      const SelectStatement& stmt, const std::string& table_name,
+      const CacheEntry& entry) const;
+
+  // Serves a FINAL straight from a cache entry: zero blocks consumed, the
+  // entry's consumed blocks credited as reused.
+  ApproxAnswer ServeCacheHit(const SelectStatement& stmt,
+                             const std::shared_ptr<const CacheEntry>& entry,
+                             double achieved_error) const;
 
   // §4.1.2: plan construction for the union-of-conjunctive-subqueries path.
   Result<ApproxAnswer> RunUnion(const SelectStatement& stmt,
@@ -241,7 +315,8 @@ class QueryRuntime {
                                 double scale_factor, const Table* dim,
                                 std::vector<Predicate> disjuncts,
                                 const ProgressCallback& progress,
-                                const std::atomic<bool>* cancel) const;
+                                const std::atomic<bool>* cancel,
+                                CacheRequest* cache_req = nullptr) const;
 
   // Workload of scanning `ds` minus its first `skip_prefix_rows` rows
   // (a sample-prefix boundary, so the skip is whole blocks). Bytes and block

@@ -56,6 +56,13 @@ double GetDoubleOr(const JsonValue& obj, const char* key, double fallback) {
   return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
 }
 
+// Optional string field, same contract as GetDoubleOr.
+std::string GetStringOr(const JsonValue& obj, const char* key,
+                        const char* fallback) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : std::string(fallback);
+}
+
 Result<const JsonValue*> GetObject(const JsonValue& obj, const char* key) {
   const JsonValue* v = obj.Find(key);
   if (v == nullptr || !v->is_object()) {
@@ -332,6 +339,9 @@ JsonValue EncodeReport(const ExecutionReport& report) {
   out.Set("probe_latency", report.probe_latency);
   out.Set("execution_latency", report.execution_latency);
   out.Set("total_latency", report.total_latency);
+  out.Set("queue_latency", report.queue_latency);
+  out.Set("effective_error_bound", report.effective_error_bound);
+  out.Set("cache", report.cache);
   out.Set("projected_error", report.projected_error);
   out.Set("achieved_error", report.achieved_error);
   out.Set("num_subqueries", report.num_subqueries);
@@ -415,6 +425,9 @@ Result<ExecutionReport> DecodeReport(const JsonValue& json) {
   out.rewrite_fallback = GetBoolOr(json, "rewrite_fallback", false);
   out.bytes_scanned = GetDoubleOr(json, "bytes_scanned", 0.0);
   out.bytes_decoded = GetDoubleOr(json, "bytes_decoded", 0.0);
+  out.queue_latency = GetDoubleOr(json, "queue_latency", 0.0);
+  out.effective_error_bound = GetDoubleOr(json, "effective_error_bound", 0.0);
+  out.cache = GetStringOr(json, "cache", "");
   out.schedule = schedule.value() == "adaptive" ? ScheduleMode::kAdaptive
                                                 : ScheduleMode::kUniform;
   if (const JsonValue* elp = json.Find("elp"); elp != nullptr && elp->is_array()) {
@@ -501,6 +514,9 @@ std::string EncodePartial(const PartialFrame& partial) {
   JsonValue out = Envelope(FrameType::kPartial);
   out.Set("id", partial.id);
   out.Set("seq", partial.seq);
+  out.Set("queue_ms", partial.queue_ms);
+  out.Set("cache", partial.cache);
+  out.Set("effective_bound", partial.effective_bound);
   out.Set("progress", EncodeProgress(partial.progress));
   out.Set("result", EncodeQueryResult(partial.result));
   return out.Serialize();
@@ -597,6 +613,9 @@ Result<Frame> DecodeFrame(std::string_view payload) {
     }
     partial.id = *id;
     partial.seq = *seq;
+    partial.queue_ms = GetDoubleOr(json, "queue_ms", 0.0);
+    partial.cache = GetStringOr(json, "cache", "");
+    partial.effective_bound = GetDoubleOr(json, "effective_bound", 0.0);
     auto decoded_progress = DecodeProgress(**progress);
     if (!decoded_progress.ok()) {
       return decoded_progress.status();

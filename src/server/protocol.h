@@ -50,8 +50,13 @@ inline constexpr char kUnexpectedFrame[] = "UNEXPECTED_FRAME";
 inline constexpr char kUnsupportedProtocol[] = "UNSUPPORTED_PROTOCOL";
 // A QUERY arrived before the HELLO handshake completed.
 inline constexpr char kHandshakeRequired[] = "HANDSHAKE_REQUIRED";
-// A QUERY arrived while this session's previous query was still running.
+// The server's admission queue is full; retry later (possibly with a wider
+// bound). Before this PR the server also used BUSY for a second QUERY on a
+// busy session — those now queue (docs/PROTOCOL.md §2).
 inline constexpr char kBusy[] = "BUSY";
+// The query waited in the admission queue past the server's deadline and was
+// shed without executing.
+inline constexpr char kDeadlineExceeded[] = "DEADLINE_EXCEEDED";
 // The engine rejected or failed the query (bad SQL, unknown table, ...);
 // `message` carries the engine status text.
 inline constexpr char kQueryFailed[] = "QUERY_FAILED";
@@ -79,6 +84,17 @@ struct PartialFrame {
   uint64_t id = 0;
   // Monotonically increasing per query, starting at 1.
   uint64_t seq = 0;
+  // Real milliseconds the query waited in the server's admission queue
+  // before execution began (0 when it ran immediately).
+  double queue_ms = 0.0;
+  // Answer-cache outcome of the execution streaming this partial ("resume"
+  // or "miss"; cache hits skip streaming entirely). Empty when the server
+  // runs without a cache. Decoders default absent fields (older servers).
+  std::string cache;
+  // The error bound the execution is honoring: the query's own, or the
+  // widened rung the load-shedding ladder substituted. 0 for non-error
+  // bounds.
+  double effective_bound = 0.0;
   StreamProgress progress;
   QueryResult result;
 };

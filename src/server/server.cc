@@ -7,6 +7,9 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <unordered_map>
 #include <utility>
 
 #include "src/sql/parser.h"
@@ -14,22 +17,24 @@
 
 namespace blink {
 
-// One client connection: the reader thread lives here; queries run on a
-// separate query thread so CANCEL (and malformed-frame ERRORs) can be
-// serviced mid-query.
+// One client connection: the reader thread lives here; queries are submitted
+// to the server's admission queue and execute on its worker threads, so
+// CANCEL (and malformed-frame ERRORs) can be serviced mid-query and several
+// queries from one session may be in flight (queued or running) at once.
 class BlinkServer::Session {
  public:
-  Session(BlinkServer* server, OwnedFd fd)
-      : server_(server), fd_(std::move(fd)) {
+  Session(BlinkServer* server, OwnedFd fd, uint64_t id)
+      : server_(server), fd_(std::move(fd)), id_(id) {
     reader_ = std::thread([this] { Serve(); });
   }
 
   ~Session() { Shutdown(); }
 
-  // Unblocks the reader, cancels any in-flight query, joins both threads.
+  // Unblocks the reader, cancels every in-flight query, waits for their
+  // terminal frames, joins the reader.
   void Shutdown() {
     closing_.store(true);
-    cancel_.store(true);
+    CancelAllQueries();
     {
       // Serve()'s exit tail closes the fd under the same lock; never
       // shutdown() a descriptor another thread may be closing.
@@ -41,7 +46,7 @@ class BlinkServer::Session {
     if (reader_.joinable()) {
       reader_.join();
     }
-    JoinQueryThread();
+    AwaitQueries();
     fd_.Close();
   }
 
@@ -72,14 +77,14 @@ class BlinkServer::Session {
         break;
       }
     }
-    // Reader gone: no more CANCELs can arrive; stop any in-flight query so
-    // its runtime lease frees up promptly, let it write its terminal frame,
-    // then release the socket right away — a finished session must not hold
-    // its fd until the next accept happens to reap it (EMFILE under
-    // connect/disconnect churn). The Session object itself (and its
-    // terminated threads) is reaped later; only the fd is scarce.
-    cancel_.store(true);
-    JoinQueryThread();
+    // Reader gone: no more CANCELs can arrive; stop the in-flight queries so
+    // their admission workers free up promptly, let them write their
+    // terminal frames, then release the socket right away — a finished
+    // session must not hold its fd until the next accept happens to reap it
+    // (EMFILE under connect/disconnect churn). The Session object itself
+    // (and its terminated reader) is reaped later; only the fd is scarce.
+    CancelAllQueries();
+    AwaitQueries();
     {
       std::lock_guard<std::mutex> lock(write_mu_);
       write_failed_ = true;  // no writer may touch the closed descriptor
@@ -152,61 +157,130 @@ class BlinkServer::Session {
       error.message = "send HELLO before QUERY";
       return Send(EncodeError(error));
     }
-    if (query_running_.load()) {
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      if (jobs_.count(query.id) != 0) {
+        lock.unlock();
+        // Ids name queries on the wire (CANCEL, frame routing); a duplicate
+        // while the first is in flight would be ambiguous.
+        ErrorFrame error;
+        error.has_id = true;
+        error.id = query.id;
+        error.code = wire_error::kBusy;
+        error.message = "query id is already in flight on this session";
+        return Send(EncodeError(error));
+      }
+      jobs_.emplace(query.id, cancel);
+      ++outstanding_;
+    }
+    const bool admitted = server_->admission_->Submit(
+        id_,
+        [this, query, cancel](const QueryRuntime& runtime,
+                              const AdmissionController::Decision& decision) {
+          RunQuery(query, runtime, decision, cancel.get());
+          FinishJob(query.id);
+        },
+        [this, query](const char* code, const std::string& message) {
+          // Shed without executing (deadline, or shutdown drain): the query
+          // still gets its terminal frame.
+          ErrorFrame error;
+          error.has_id = true;
+          error.id = query.id;
+          error.code = code;
+          error.message = message;
+          Send(EncodeError(error));
+          FinishJob(query.id);
+        });
+    if (!admitted) {
+      FinishJob(query.id);
       ErrorFrame error;
       error.has_id = true;
       error.id = query.id;
       error.code = wire_error::kBusy;
-      error.message = "a query is already running on this session";
+      error.message = "admission queue is full";
       return Send(EncodeError(error));
     }
-    JoinQueryThread();  // reap the previous, already-finished query thread
-    cancel_.store(false);
-    active_query_id_.store(query.id);
-    query_running_.store(true);
-    query_thread_ = std::thread([this, query] { RunQuery(query); });
     return true;
   }
 
   void OnCancel(const CancelFrame& cancel) {
-    // Only the active query can be cancelled; a CANCEL racing its FINAL (or
-    // naming a finished/unknown id) is a documented no-op.
-    if (query_running_.load() && active_query_id_.load() == cancel.id) {
-      cancel_.store(true);
+    // Queued and running queries alike; a CANCEL racing its FINAL (or naming
+    // a finished/unknown id) is a documented no-op.
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(cancel.id);
+    if (it != jobs_.end()) {
+      it->second->store(true);
     }
   }
 
-  // Runs on the query thread: borrow a runtime, execute, stream frames.
-  void RunQuery(const QueryFrame& query) {
+  // Runs on an admission worker thread: parse, resolve, apply the shed
+  // decision, execute on the worker's runtime, stream frames.
+  void RunQuery(const QueryFrame& query, const QueryRuntime& runtime,
+                const AdmissionController::Decision& decision,
+                std::atomic<bool>* cancel) {
     uint64_t seq = 0;
-    ProgressCallback progress = [this, &query, &seq](const QueryResult& partial,
-                                                     const StreamProgress& p) {
-      if (p.final_batch) {
-        return;  // the terminal answer travels in the FINAL frame instead
-      }
-      PartialFrame frame;
-      frame.id = query.id;
-      frame.seq = ++seq;
-      frame.progress = p;
-      frame.result = partial;
-      const std::string payload = EncodePartial(frame);
-      if (payload.size() > kMaxFrameBytes) {
-        --seq;  // an oversized partial is skipped, not a dead client
-        return;
-      }
-      if (!Send(payload)) {
-        // Client unreachable (or its write timed out): stop scanning for it
-        // (§4.4 — a dead session must not keep consuming blocks).
-        cancel_.store(true);
-      }
-    };
+    const double queue_ms = decision.queue_seconds * 1000.0;
+    double effective_bound = 0.0;
 
-    auto answer = Execute(query.sql, std::move(progress));
-    // Clear the BUSY state before the terminal frame hits the wire: a client
-    // that pipelines its next QUERY right behind our FINAL must not be
-    // rejected (OnQuery joins this thread, so frame order is preserved).
-    query_running_.store(false);
+    auto answer = [&]() -> Result<ApproxAnswer> {
+      auto stmt = ParseSelect(query.sql);
+      if (!stmt.ok()) {
+        return stmt.status();
+      }
+      auto tables = server_->db_.Resolve(*stmt);
+      if (!tables.ok()) {
+        return tables.status();
+      }
+      // Load shedding: under queue pressure a relative error bound widens to
+      // the ladder rung (never narrows) — a coarser answer now instead of
+      // BUSY. Absolute bounds are column-scaled, so the relative ladder
+      // cannot be compared against them and leaves them untouched.
+      if (decision.shed_bound > 0.0 &&
+          stmt->bounds.kind == QueryBounds::Kind::kError && stmt->bounds.relative) {
+        stmt->bounds.error = std::max(stmt->bounds.error, decision.shed_bound);
+      }
+      if (stmt->bounds.kind == QueryBounds::Kind::kError) {
+        effective_bound = stmt->bounds.error;
+      }
+      ProgressCallback progress = [this, &query, &seq, queue_ms, &effective_bound,
+                                   cancel](const QueryResult& partial,
+                                           const StreamProgress& p) {
+        if (p.final_batch) {
+          return;  // the terminal answer travels in the FINAL frame instead
+        }
+        PartialFrame frame;
+        frame.id = query.id;
+        frame.seq = ++seq;
+        frame.queue_ms = queue_ms;
+        frame.cache = p.cache;
+        frame.effective_bound = effective_bound;
+        frame.progress = p;
+        frame.result = partial;
+        const std::string payload = EncodePartial(frame);
+        if (payload.size() > kMaxFrameBytes) {
+          --seq;  // an oversized partial is skipped, not a dead client
+          return;
+        }
+        if (!Send(payload)) {
+          // Client unreachable (or its write timed out): stop scanning for
+          // it (§4.4 — a dead session must not keep consuming blocks).
+          cancel->store(true);
+        }
+      };
+      CacheContext cache_ctx;
+      if (server_->cache_ != nullptr) {
+        cache_ctx.cache = server_->cache_.get();
+        cache_ctx.table_generation = tables->fact->generation;
+      }
+      return runtime.Execute(
+          *stmt, tables->fact->name, tables->fact->table, tables->fact->scale_factor,
+          tables->dim != nullptr ? &tables->dim->table : nullptr, std::move(progress),
+          cancel, cache_ctx);
+    }();
+
     if (answer.ok()) {
+      answer.value().report.queue_latency = decision.queue_seconds;
       FinalFrame frame;
       frame.id = query.id;
       frame.result = std::move(answer.value().result);
@@ -234,25 +308,6 @@ class BlinkServer::Session {
     }
   }
 
-  // Parse + resolve against the shared catalog (the same Resolve the
-  // in-process Query path uses), then execute on a leased runtime with this
-  // session's cancel flag threaded into the plan driver.
-  Result<ApproxAnswer> Execute(const std::string& sql, ProgressCallback progress) {
-    auto stmt = ParseSelect(sql);
-    if (!stmt.ok()) {
-      return stmt.status();
-    }
-    auto tables = server_->db_.Resolve(*stmt);
-    if (!tables.ok()) {
-      return tables.status();
-    }
-    RuntimePool::Lease lease = server_->pool_->Acquire();
-    return lease.runtime().Execute(
-        *stmt, tables->fact->name, tables->fact->table, tables->fact->scale_factor,
-        tables->dim != nullptr ? &tables->dim->table : nullptr, std::move(progress),
-        &cancel_);
-  }
-
   // Serialized frame write; false once the peer is unreachable. A failed
   // write may have left a frame half-written (e.g. a send timeout partway
   // through), after which the stream is unsynchronizable — latch the
@@ -269,24 +324,44 @@ class BlinkServer::Session {
     return true;
   }
 
-  void JoinQueryThread() {
-    if (query_thread_.joinable()) {
-      query_thread_.join();
+  // A submitted query reached its terminal frame (FINAL, ERROR, or shed).
+  void FinishJob(uint64_t id) {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.erase(id);
+    --outstanding_;
+    jobs_cv_.notify_all();
+  }
+
+  void CancelAllQueries() {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (auto& [id, flag] : jobs_) {
+      flag->store(true);
     }
+  }
+
+  // Blocks until every submitted query has produced its terminal frame. The
+  // admission workers outlive the sessions (BlinkServer member order), so
+  // queued tickets always drain.
+  void AwaitQueries() {
+    std::unique_lock<std::mutex> lock(jobs_mu_);
+    jobs_cv_.wait(lock, [this] { return outstanding_ == 0; });
   }
 
   BlinkServer* server_;
   OwnedFd fd_;
+  const uint64_t id_;  // fairness identity in the admission queue
   std::thread reader_;
-  std::thread query_thread_;
   std::mutex write_mu_;
   bool write_failed_ = false;  // guarded by write_mu_
   bool greeted_ = false;
   std::atomic<bool> closing_{false};
   std::atomic<bool> finished_{false};
-  std::atomic<bool> query_running_{false};
-  std::atomic<uint64_t> active_query_id_{0};
-  std::atomic<bool> cancel_{false};
+  // In-flight queries (queued or running) by id, each with its own cancel
+  // flag threaded into the plan driver.
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> jobs_;
+  size_t outstanding_ = 0;  // guarded by jobs_mu_
 };
 
 BlinkServer::BlinkServer(const BlinkDB& db, ServerOptions options)
@@ -298,9 +373,12 @@ Status BlinkServer::Start() {
   if (running_.load()) {
     return Status::FailedPrecondition("server already started");
   }
-  pool_ = std::make_unique<RuntimePool>(&db_.samples(), &db_.cluster(),
-                                        options_.runtime,
-                                        options_.max_concurrent_queries);
+  if (options_.answer_cache_entries > 0) {
+    cache_ = std::make_unique<AnswerCache>(options_.answer_cache_entries);
+  }
+  admission_ = std::make_unique<AdmissionController>(
+      &db_.samples(), &db_.cluster(), options_.runtime,
+      options_.max_concurrent_queries, options_.admission);
   auto listener = ListenTcp(options_.host, options_.port, &port_);
   if (!listener.ok()) {
     return listener.status();
@@ -316,18 +394,21 @@ void BlinkServer::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  // Unblock accept(), then tear down every session (cancels their queries).
+  // Unblock accept() and join the acceptor BEFORE closing the descriptor:
+  // AcceptLoop reads listener_ until it exits, and close() would also free
+  // the fd slot for reuse while accept() still references it.
   ::shutdown(listener_.get(), SHUT_RDWR);
-  listener_.Close();
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  listener_.Close();
   std::vector<std::unique_ptr<Session>> sessions;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions.swap(sessions_);
   }
-  sessions.clear();  // ~Session shuts each down and joins its threads
+  sessions.clear();  // ~Session shuts each down and drains its queries
+  admission_.reset();  // after the sessions: they wait on its workers
 }
 
 void BlinkServer::AcceptLoop() {
@@ -351,7 +432,7 @@ void BlinkServer::AcceptLoop() {
       timeout.tv_sec = options_.write_timeout_seconds;
       ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
     }
-    sessions_accepted_.fetch_add(1);
+    const uint64_t session_id = sessions_accepted_.fetch_add(1) + 1;
     std::lock_guard<std::mutex> lock(sessions_mu_);
     // Opportunistically reap sessions whose reader already exited, so a
     // long-lived server does not accumulate dead connections.
@@ -362,7 +443,7 @@ void BlinkServer::AcceptLoop() {
         ++it;
       }
     }
-    sessions_.push_back(std::make_unique<Session>(this, OwnedFd(fd)));
+    sessions_.push_back(std::make_unique<Session>(this, OwnedFd(fd), session_id));
   }
 }
 

@@ -12,20 +12,25 @@
 //
 //   accept thread ──▶ Session per connection (reader thread)
 //                        │  HELLO handshake, frame dispatch
-//                        │  QUERY ──▶ query thread: RuntimePool::Acquire()
-//                        │             └▶ QueryRuntime::Execute(progress, cancel)
+//                        │  QUERY ──▶ AdmissionController::Submit (bounded
+//                        │            FIFO; BUSY only when the queue is full)
+//                        │             └▶ admission worker: answer cache
+//                        │                lookup, then QueryRuntime::Execute
 //                        │                  progress → PARTIAL frames
 //                        │                  return   → FINAL (or ERROR) frame
-//                        └─ CANCEL ─▶ flips the session's cancel flag; the
+//                        └─ CANCEL ─▶ flips that query's cancel flag; the
 //                           plan driver stops at the next round boundary and
 //                           the query still ends with FINAL (cancelled=true,
 //                           partial answer, only consumed blocks charged §4.4)
 //
-// Sessions keep their reader thread free while a query runs (that is what
+// Sessions keep their reader thread free while queries run (that is what
 // makes mid-query CANCEL possible), serialize socket writes behind a mutex
-// (PARTIALs from the query thread, ERRORs from the reader), and survive
+// (PARTIALs from the admission workers, ERRORs from the reader), and survive
 // malformed frames — the length-prefixed transport stays in sync, so the
-// server answers ERROR and keeps serving.
+// server answers ERROR and keeps serving. Repeated bounded queries are
+// served from the shared AnswerCache (hit: stored FINAL, zero blocks;
+// near-miss: streaming resumes from the cached prefix), and overload widens
+// error bounds down the shed ladder before any query is rejected.
 #ifndef BLINKDB_SERVER_SERVER_H_
 #define BLINKDB_SERVER_SERVER_H_
 
@@ -38,9 +43,10 @@
 #include <vector>
 
 #include "src/api/blinkdb.h"
+#include "src/cache/answer_cache.h"
+#include "src/server/admission.h"
 #include "src/server/net.h"
 #include "src/server/protocol.h"
-#include "src/server/runtime_pool.h"
 
 namespace blink {
 
@@ -54,8 +60,16 @@ struct ServerOptions {
   // exec_threads / morsel_rows / scheduling configuration on both sides.
   RuntimeConfig runtime;
   // QueryRuntime instances in the shared pool = queries executing
-  // concurrently across all sessions; further queries wait their turn.
+  // concurrently across all sessions; further queries wait their turn in the
+  // admission queue.
   size_t max_concurrent_queries = 4;
+  // Deadline-aware admission queue (src/server/admission.h): waiting depth,
+  // queue deadline, and the load-shedding ladder of widened error bounds.
+  // BUSY is answered only when the queue itself is full.
+  AdmissionOptions admission;
+  // Answer-cache entries shared by every runtime in the pool; 0 disables
+  // caching (every query executes cold, the pre-cache behavior).
+  size_t answer_cache_entries = 256;
   // SO_SNDTIMEO on session sockets: a client that stops reading (TCP buffer
   // full) fails the blocked frame write after this long instead of pinning
   // the query thread — and its runtime lease — forever. The failed write
@@ -88,6 +102,15 @@ class BlinkServer {
   // Sessions accepted over the server's lifetime (for tests/metrics).
   size_t sessions_accepted() const { return sessions_accepted_.load(); }
 
+  // Answer-cache counters (null stats when caching is disabled).
+  AnswerCacheStats cache_stats() const {
+    return cache_ != nullptr ? cache_->stats() : AnswerCacheStats{};
+  }
+  // Admission-queue counters (valid after Start).
+  AdmissionStats admission_stats() const {
+    return admission_ != nullptr ? admission_->stats() : AdmissionStats{};
+  }
+
  private:
   class Session;
 
@@ -95,7 +118,11 @@ class BlinkServer {
 
   const BlinkDB& db_;
   ServerOptions options_;
-  std::unique_ptr<RuntimePool> pool_;
+  // Destruction order matters: sessions_ (declared last) is destroyed first,
+  // and session teardown waits on queries the admission workers are still
+  // driving — so admission_ must outlive sessions_.
+  std::unique_ptr<AnswerCache> cache_;
+  std::unique_ptr<AdmissionController> admission_;
   OwnedFd listener_;
   uint16_t port_ = 0;
   std::thread accept_thread_;

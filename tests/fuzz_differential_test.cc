@@ -38,91 +38,13 @@
 #include "src/sample/sample_store.h"
 #include "src/sql/parser.h"
 #include "src/util/rng.h"
+#include "tests/query_gen.h"
 
 namespace blink {
 namespace {
 
-constexpr uint64_t kRows = 16'000;
-
-Table MakeFact() {
-  Table t(Schema({{"a", DataType::kInt64},
-                  {"v", DataType::kDouble},
-                  {"s", DataType::kString},
-                  {"u", DataType::kDouble}}));
-  t.Reserve(kRows);
-  Rng rng(62'003);
-  for (uint64_t i = 0; i < kRows; ++i) {
-    t.AppendInt(0, static_cast<int64_t>(rng.NextBounded(10)));
-    t.AppendDouble(1, rng.NextDouble() * 100.0);
-    t.AppendString(2, "s_" + std::to_string(rng.NextBounded(12)));
-    t.AppendDouble(3, rng.NextDouble());
-    t.CommitRow();
-  }
-  return t;
-}
-
-std::string RandomLeaf(Rng& rng) {
-  static const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
-  switch (rng.NextBounded(4)) {
-    case 0:
-      return "a " + std::string(ops[rng.NextBounded(6)]) + " " +
-             std::to_string(rng.NextBounded(10));
-    case 1: {
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "v %s %.4f", ops[rng.NextBounded(6)],
-                    rng.NextDouble() * 100.0);
-      return buf;
-    }
-    case 2: {
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "u %s %.4f", rng.NextBernoulli(0.5) ? "<" : ">",
-                    rng.NextDouble());
-      return buf;
-    }
-    default:
-      return "s " + std::string(rng.NextBernoulli(0.5) ? "=" : "!=") + " 's_" +
-             std::to_string(rng.NextBounded(12)) + "'";
-  }
-}
-
-// Up to `max_disjuncts` disjuncts, each a conjunction of 1-2 leaves.
-std::string RandomPredicate(Rng& rng, uint64_t max_disjuncts) {
-  const uint64_t disjuncts = 1 + rng.NextBounded(max_disjuncts);
-  std::string sql;
-  for (uint64_t d = 0; d < disjuncts; ++d) {
-    if (d > 0) {
-      sql += " OR ";
-    }
-    if (rng.NextBernoulli(0.3)) {
-      sql += "(" + RandomLeaf(rng) + " AND " + RandomLeaf(rng) + ")";
-    } else {
-      sql += RandomLeaf(rng);
-    }
-  }
-  return sql;
-}
-
-std::string RandomQuery(Rng& rng, bool allow_quantile) {
-  static const char* aggs[] = {"COUNT(*)", "SUM(v)", "AVG(v)", "MEDIAN(v)"};
-  static const char* groups[] = {"", "s", "a"};
-  const std::string group = groups[rng.NextBounded(3)];
-  std::string sql = "SELECT ";
-  if (!group.empty()) {
-    sql += group + ", ";
-  }
-  const int num_aggs = 1 + static_cast<int>(rng.NextBounded(3));
-  for (int i = 0; i < num_aggs; ++i) {
-    if (i > 0) {
-      sql += ", ";
-    }
-    sql += aggs[rng.NextBounded(allow_quantile ? 4 : 3)];
-  }
-  sql += " FROM t WHERE " + RandomPredicate(rng, 4);
-  if (!group.empty()) {
-    sql += " GROUP BY " + group;
-  }
-  return sql;
-}
+using testgen::MakeFact;
+using testgen::RandomQuery;
 
 void ExpectValueEq(const Value& x, const Value& y, const std::string& context) {
   ASSERT_EQ(x.is_string(), y.is_string()) << context;

@@ -6,7 +6,14 @@
 //    direct in-process BlinkDB::Query under the same runtime settings;
 //    PARTIAL sequences are monotone in blocks_consumed and precede FINAL
 //    for bounded queries; malformed frames draw an ERROR without killing
-//    the session; handshake and BUSY rules hold.
+//    the session; handshake rules hold.
+//  - Admission: a second query queues (FIFO) instead of bouncing; BUSY is
+//    reserved for a full queue (and duplicate in-flight ids); the shed
+//    ladder widens bounds under backlog; stale tickets shed at the
+//    deadline; fairness prefers clients with nothing running.
+//  - Answer cache (over the wire, on its own cache-enabled server): a
+//    repeated bounded query is a hit — zero blocks, bit-identical FINAL —
+//    and a tighter re-ask resumes from the cached prefix.
 //  - Cancellation (the §4.4 satellite): CANCEL mid-stream ends the query at
 //    a round boundary with FINAL(cancelled=true), the server keeps serving,
 //    and the cancelled query is charged only for consumed blocks — both
@@ -15,12 +22,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/api/blinkdb.h"
 #include "src/client/blink_client.h"
+#include "src/server/admission.h"
 #include "src/server/net.h"
 #include "src/server/protocol.h"
 #include "src/server/runtime_pool.h"
@@ -55,8 +64,11 @@ struct ServedFixture {
   std::unique_ptr<BlinkServer> server;
 
   static ServedFixture& Get() {
-    static ServedFixture* fixture = new ServedFixture();
-    return *fixture;
+    // A real static (not a leaked pointer): the destructor stops the server
+    // at process exit, joining every session reader — TSan's thread-leak
+    // check runs over this binary in scripts/check.sh.
+    static ServedFixture fixture;
+    return fixture;
   }
 
   ServedFixture() {
@@ -77,6 +89,11 @@ struct ServedFixture {
     ServerOptions options;
     options.runtime = ServedConfig();
     options.max_concurrent_queries = 4;
+    // The answer cache is OFF here on purpose: these tests pin the cold
+    // execution path (every query consumes blocks, every bounded query
+    // streams) — the documented no-cache behavior. Cache serving gets its
+    // own server below (CachedServedFixture).
+    options.answer_cache_entries = 0;
     server = std::make_unique<BlinkServer>(db, options);
     EXPECT_TRUE(server->Start().ok());
   }
@@ -373,6 +390,164 @@ TEST(RuntimePoolTest, LeasesBlockAndRelease) {
   EXPECT_EQ(pool.available(), 2u);
 }
 
+// --- AdmissionController -----------------------------------------------------
+
+using Decision = AdmissionController::Decision;
+
+// With the only worker parked on a latch and the queue filled to depth, the
+// backlog drains through descending shed rungs — the most-pressured pops are
+// widened the most — and a submit past depth is rejected outright.
+TEST(AdmissionControllerTest, QueuePressureWidensBoundsThenRejects) {
+  ServedFixture& fx = ServedFixture::Get();
+  AdmissionOptions options;
+  options.queue_depth = 4;  // ladder {2%,5%,10%}: backlog 3 → rung 2, 2 → 1, 1 → 0
+  AdmissionController admission(&fx.db.samples(), &fx.db.cluster(), ServedConfig(),
+                                /*workers=*/1, options);
+  auto ignore_shed = [](const char*, const std::string&) {};
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  ASSERT_TRUE(admission.Submit(
+      1,
+      [&started, released](const QueryRuntime&, const Decision&) {
+        started.set_value();
+        released.wait();
+      },
+      ignore_shed));
+  started.get_future().wait();  // the worker now holds the pool's only runtime
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::vector<Decision> decisions;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(admission.Submit(
+        1,
+        [&mu, &done_cv, &decisions](const QueryRuntime&, const Decision& decision) {
+          std::lock_guard<std::mutex> lock(mu);
+          decisions.push_back(decision);
+          done_cv.notify_all();
+        },
+        ignore_shed));
+  }
+  EXPECT_EQ(admission.waiting(), 4u);
+  // Depth exhausted and no idle worker: the fifth waiter is bounced.
+  EXPECT_FALSE(
+      admission.Submit(1, [](const QueryRuntime&, const Decision&) {}, ignore_shed));
+
+  release.set_value();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&decisions] { return decisions.size() == 4; });
+  }
+  // One worker drains FIFO; each rung is the occupancy band of what is still
+  // waiting after the pop: backlog 3, 2, 1, 0 → rungs 2, 1, 0, 0.
+  EXPECT_EQ(decisions[0].shed_rung, 2u);
+  EXPECT_EQ(decisions[0].shed_bound, 0.05);
+  EXPECT_EQ(decisions[1].shed_rung, 1u);
+  EXPECT_EQ(decisions[1].shed_bound, 0.02);
+  EXPECT_EQ(decisions[2].shed_rung, 0u);
+  EXPECT_EQ(decisions[3].shed_rung, 0u);
+  for (const Decision& decision : decisions) {
+    EXPECT_GT(decision.queue_seconds, 0.0);
+  }
+  const AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 5u);
+  EXPECT_EQ(stats.widened, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.deadline_shed, 0u);
+}
+
+// A ticket that outwaits the deadline is shed at pop time with
+// DEADLINE_EXCEEDED — its work callback never runs.
+TEST(AdmissionControllerTest, DeadlineShedsStaleTicketsAtPop) {
+  ServedFixture& fx = ServedFixture::Get();
+  AdmissionOptions options;
+  options.queue_depth = 4;
+  options.deadline_seconds = 0.01;
+  AdmissionController admission(&fx.db.samples(), &fx.db.cluster(), ServedConfig(),
+                                /*workers=*/1, options);
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  ASSERT_TRUE(admission.Submit(
+      1,
+      [&started, released](const QueryRuntime&, const Decision&) {
+        started.set_value();
+        released.wait();
+      },
+      [](const char*, const std::string&) {}));
+  started.get_future().wait();
+
+  std::promise<std::string> shed_code;
+  std::atomic<bool> executed{false};
+  ASSERT_TRUE(admission.Submit(
+      1, [&executed](const QueryRuntime&, const Decision&) { executed.store(true); },
+      [&shed_code](const char* code, const std::string&) {
+        shed_code.set_value(code);
+      }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // let it go stale
+  release.set_value();
+  EXPECT_EQ(shed_code.get_future().get(), wire_error::kDeadlineExceeded);
+  EXPECT_FALSE(executed.load());
+  EXPECT_EQ(admission.stats().deadline_shed, 1u);
+}
+
+// Client 1 saturates both workers and queues a third ticket; client 2 queues
+// one behind it. When a worker frees while client 1 still runs elsewhere,
+// the younger client-2 ticket jumps the older client-1 one — and the skipped
+// ticket still runs afterwards via the FIFO fallback.
+TEST(AdmissionControllerTest, FairnessPrefersClientsWithNothingRunning) {
+  ServedFixture& fx = ServedFixture::Get();
+  AdmissionOptions options;
+  options.queue_depth = 4;
+  AdmissionController admission(&fx.db.samples(), &fx.db.cluster(), ServedConfig(),
+                                /*workers=*/2, options);
+  auto ignore_shed = [](const char*, const std::string&) {};
+  std::promise<void> started1, started2, release1, release2;
+  std::shared_future<void> released1(release1.get_future());
+  std::shared_future<void> released2(release2.get_future());
+  ASSERT_TRUE(admission.Submit(
+      1,
+      [&started1, released1](const QueryRuntime&, const Decision&) {
+        started1.set_value();
+        released1.wait();
+      },
+      ignore_shed));
+  ASSERT_TRUE(admission.Submit(
+      1,
+      [&started2, released2](const QueryRuntime&, const Decision&) {
+        started2.set_value();
+        released2.wait();
+      },
+      ignore_shed));
+  started1.get_future().wait();
+  started2.get_future().wait();
+
+  std::mutex mu;
+  std::vector<uint64_t> order;
+  std::promise<void> drained;
+  auto record = [&mu, &order, &drained](uint64_t client) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(client);
+    if (order.size() == 2) {
+      drained.set_value();
+    }
+  };
+  ASSERT_TRUE(admission.Submit(
+      1, [&record](const QueryRuntime&, const Decision&) { record(1); }, ignore_shed));
+  ASSERT_TRUE(admission.Submit(
+      2, [&record](const QueryRuntime&, const Decision&) { record(2); }, ignore_shed));
+  ASSERT_EQ(admission.waiting(), 2u);
+
+  release1.set_value();  // one worker frees; client 1 still holds the other
+  drained.get_future().wait();
+  release2.set_value();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 1u);
+}
+
 // --- Loopback serving --------------------------------------------------------
 
 constexpr char kBoundedSql[] =
@@ -531,15 +706,72 @@ TEST(ServerTest, ProtocolVersionMismatchClosesSession) {
   EXPECT_FALSE(eof->has_value());
 }
 
-TEST(ServerTest, SecondQueryWhileBusyIsRejected) {
+// The old immediate BUSY bounce is gone: with one runtime taken and queue
+// room available, a second query waits its turn in the admission queue and
+// completes — strictly after the first (one worker is FIFO), with the real
+// wait surfaced as queue_latency in its report.
+TEST(ServerTest, SecondQueryQueuesAndCompletesInOrder) {
   ServedFixture& fx = ServedFixture::Get();
+  ServerOptions options;
+  options.runtime = ServedConfig();
+  options.max_concurrent_queries = 1;
+  options.admission.queue_depth = 16;
+  options.answer_cache_entries = 0;
+  BlinkServer server(fx.db, options);
+  ASSERT_TRUE(server.Start().ok());
   BlinkClient client;
-  fx.Connect(client);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
   QueryFrame first;
-  first.id = 501;
-  first.sql = kLongSql;  // long scan: the reader dispatches 502 mid-query
+  first.id = 601;
+  first.sql = kLongSql;  // long scan: 602 must wait for the only runtime
   QueryFrame second;
-  second.id = 502;
+  second.id = 602;
+  second.sql = kGroupedSql;
+  ASSERT_TRUE(client.SendRaw(EncodeQuery(first)).ok());
+  ASSERT_TRUE(client.SendRaw(EncodeQuery(second)).ok());
+  bool first_done = false;
+  bool second_done = false;
+  while (!first_done || !second_done) {
+    auto frame = client.ReadOne();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_NE(frame->type, FrameType::kError) << "a queued query is never bounced";
+    if (frame->type != FrameType::kFinal) {
+      continue;
+    }
+    const FinalFrame& final_frame = std::get<FinalFrame>(frame->payload);
+    if (final_frame.id == first.id) {
+      EXPECT_FALSE(second_done) << "one worker serves FIFO: 601 finishes first";
+      first_done = true;
+    } else if (final_frame.id == second.id) {
+      EXPECT_TRUE(first_done);
+      // The wait was real, and the report decomposes it from execution time.
+      EXPECT_GT(final_frame.report.queue_latency, 0.0);
+      second_done = true;
+    }
+  }
+}
+
+// BUSY is reserved for a full admission queue. queue_depth = 0 restores the
+// pre-queue bounce: the single runtime is taken, there is no waiting room,
+// so the second query is rejected immediately.
+TEST(ServerTest, QueueFullDrawsBusy) {
+  ServedFixture& fx = ServedFixture::Get();
+  ServerOptions options;
+  options.runtime = ServedConfig();
+  options.max_concurrent_queries = 1;
+  options.admission.queue_depth = 0;
+  options.answer_cache_entries = 0;
+  BlinkServer server(fx.db, options);
+  ASSERT_TRUE(server.Start().ok());
+  BlinkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  QueryFrame first;
+  first.id = 611;
+  first.sql = kLongSql;  // long scan: still running when 612 arrives
+  QueryFrame second;
+  second.id = 612;
   second.sql = kGroupedSql;
   ASSERT_TRUE(client.SendRaw(EncodeQuery(first)).ok());
   ASSERT_TRUE(client.SendRaw(EncodeQuery(second)).ok());
@@ -563,13 +795,148 @@ TEST(ServerTest, SecondQueryWhileBusyIsRejected) {
       if (final_frame.id == first.id) {
         first_done = true;
       } else if (final_frame.id == second.id) {
-        second_done = true;  // 501 finished before 502 was read: no BUSY
+        second_done = true;  // 611 finished before 612 was read: no BUSY
       }
     }
   }
   EXPECT_TRUE(saw_busy)
       << "the first query completed before the server read the second QUERY; "
-         "the BUSY rule was never exercised";
+         "the queue-full rule was never exercised";
+  EXPECT_GE(server.admission_stats().rejected, 1u);
+}
+
+// Ids name queries on the wire (CANCEL routing): reusing an id while the
+// first query is still in flight is ambiguous and draws BUSY, without
+// disturbing the running query.
+TEST(ServerTest, DuplicateInFlightQueryIdDrawsBusy) {
+  ServedFixture& fx = ServedFixture::Get();
+  BlinkClient client;
+  fx.Connect(client);
+  QueryFrame first;
+  first.id = 700;
+  first.sql = kLongSql;
+  QueryFrame duplicate;
+  duplicate.id = 700;
+  duplicate.sql = kGroupedSql;
+  ASSERT_TRUE(client.SendRaw(EncodeQuery(first)).ok());
+  ASSERT_TRUE(client.SendRaw(EncodeQuery(duplicate)).ok());
+  bool saw_busy = false;
+  bool saw_final = false;
+  while (!saw_final) {
+    auto frame = client.ReadOne();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    if (frame->type == FrameType::kError) {
+      EXPECT_EQ(std::get<ErrorFrame>(frame->payload).code, wire_error::kBusy);
+      saw_busy = true;
+    } else if (frame->type == FrameType::kFinal) {
+      EXPECT_EQ(std::get<FinalFrame>(frame->payload).id, first.id);
+      saw_final = true;
+    }
+  }
+  EXPECT_TRUE(saw_busy) << "the duplicate id was accepted while 700 was in flight";
+}
+
+// --- Answer cache over the wire ----------------------------------------------
+
+// A second server over the same serving state with the answer cache ON (the
+// shared fixture disables it so the cold-path assertions above stay valid).
+struct CachedServedFixture {
+  std::unique_ptr<BlinkServer> server;
+
+  static CachedServedFixture& Get() {
+    // Constructed after (so destroyed before) the ServedFixture whose db it
+    // borrows; a real static so its server joins its threads at exit.
+    static CachedServedFixture fixture;
+    return fixture;
+  }
+
+  CachedServedFixture() {
+    ServerOptions options;
+    options.runtime = ServedConfig();
+    options.max_concurrent_queries = 4;
+    options.answer_cache_entries = 64;
+    server = std::make_unique<BlinkServer>(ServedFixture::Get().db, options);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  void Connect(BlinkClient& client) {
+    ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  }
+};
+
+TEST(ServerCacheTest, RepeatedBoundedQueryHitsWithZeroBlocksBitIdentically) {
+  CachedServedFixture& fx = CachedServedFixture::Get();
+  BlinkClient client;
+  fx.Connect(client);
+
+  std::vector<PartialFrame> cold_partials;
+  auto cold = client.Query(kBoundedSql, [&cold_partials](const PartialFrame& partial) {
+    cold_partials.push_back(partial);
+  });
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->report.cache, "miss");
+  EXPECT_GT(cold->report.blocks_consumed, 0u);
+  ASSERT_GE(cold_partials.size(), 1u) << "the cold run streams";
+  for (const PartialFrame& partial : cold_partials) {
+    EXPECT_EQ(partial.cache, "miss");
+    EXPECT_EQ(partial.effective_bound, 0.01);  // the statement's own bound
+  }
+
+  uint64_t hit_partials = 0;
+  auto hit = client.Query(kBoundedSql, [&hit_partials](const PartialFrame&) {
+    ++hit_partials;
+  });
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_EQ(hit->report.cache, "hit");
+  EXPECT_EQ(hit->report.blocks_consumed, 0u);  // no scan at all
+  EXPECT_EQ(hit->report.rows_read, 0u);
+  EXPECT_EQ(hit->report.blocks_reused, cold->report.blocks_consumed);
+  EXPECT_EQ(hit_partials, 0u) << "a hit answers in one FINAL frame";
+  ExpectIdentical(hit->result, cold->result, "cache hit");
+  EXPECT_EQ(hit->report.achieved_error, cold->report.achieved_error);
+  EXPECT_EQ(hit->report.family, cold->report.family);
+  EXPECT_GE(fx.server->cache_stats().hits, 1u);
+}
+
+// Bound-independence: the cache key omits the bound, so a tighter re-ask of
+// the same query resumes scanning from the cached prefix — and lands on the
+// same bits a cold tight-bound run produces, because the consumed prefix is
+// a deterministic function of block count alone.
+TEST(ServerCacheTest, TighterBoundResumesFromCachedPrefix) {
+  CachedServedFixture& fx = CachedServedFixture::Get();
+  constexpr char kCoarseSql[] =
+      "SELECT COUNT(*) FROM sessions WHERE country = 'country_3' "
+      "ERROR WITHIN 10% AT CONFIDENCE 95%";
+  constexpr char kTightSql[] =
+      "SELECT COUNT(*) FROM sessions WHERE country = 'country_3' "
+      "ERROR WITHIN 1% AT CONFIDENCE 95%";
+  auto direct = ServedFixture::Get().db.Query(kTightSql);  // cold, cache-free
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  BlinkClient client;
+  fx.Connect(client);
+  auto coarse = client.Query(kCoarseSql);
+  ASSERT_TRUE(coarse.ok()) << coarse.status().ToString();
+  EXPECT_EQ(coarse->report.cache, "miss");
+  ASSERT_GT(coarse->report.blocks_consumed, 0u);
+  ASSERT_LT(coarse->report.blocks_consumed, direct->report.blocks_consumed)
+      << "the coarse bound must stop earlier for the resume to have work left";
+
+  std::vector<PartialFrame> partials;
+  auto resumed = client.Query(kTightSql, [&partials](const PartialFrame& partial) {
+    partials.push_back(partial);
+  });
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->report.cache, "resume");
+  for (const PartialFrame& partial : partials) {
+    EXPECT_EQ(partial.cache, "resume");
+  }
+  // Strictly fewer blocks this run; the reused prefix is credited.
+  EXPECT_LT(resumed->report.blocks_consumed, direct->report.blocks_consumed);
+  EXPECT_GE(resumed->report.blocks_reused, coarse->report.blocks_consumed);
+  // Restore-then-advance lands on the cold run's bits exactly.
+  ExpectIdentical(resumed->result, direct->result, "resume vs cold");
+  EXPECT_EQ(resumed->report.achieved_error, direct->report.achieved_error);
 }
 
 // --- Cancellation ------------------------------------------------------------

@@ -55,12 +55,27 @@ bool RunQuery(blink::BlinkClient& client, const std::string& sql) {
     return false;
   }
   const ExecutionReport& report = outcome->report;
-  std::printf("FINAL family=%s blocks=%llu/%llu error=%.2f%% latency=%s%s%s\n",
+  // Queueing vs work decompose: queue_latency is real wall time spent in the
+  // server's admission queue, total_latency the modeled execution time.
+  std::string annotations;
+  if (!report.cache.empty()) {
+    annotations += " cache=" + report.cache;
+  }
+  if (report.queue_latency > 0.0) {
+    annotations += " queued=" + HumanSeconds(report.queue_latency);
+  }
+  if (report.effective_error_bound > 0.0) {
+    char bound[32];
+    std::snprintf(bound, sizeof(bound), " bound=%.2f%%",
+                  100.0 * report.effective_error_bound);
+    annotations += bound;
+  }
+  std::printf("FINAL family=%s blocks=%llu/%llu error=%.2f%% exec=%s%s%s%s\n",
               report.family.c_str(),
               static_cast<unsigned long long>(report.blocks_consumed),
               static_cast<unsigned long long>(report.blocks_read),
               100.0 * report.achieved_error,
-              HumanSeconds(report.total_latency).c_str(),
+              HumanSeconds(report.execution_latency).c_str(), annotations.c_str(),
               report.stopped_early ? " (stopped early)" : "",
               report.cancelled ? " (cancelled)" : "");
   std::printf("%s", outcome->result.ToString().c_str());

@@ -18,6 +18,11 @@
 //   --morsel-rows M    block size in rows       (default 512)
 //   --batch-blocks B   streamed round cadence   (default 4)
 //   --pool Q           concurrent queries       (default 4)
+//   --queue-depth D    admission queue slots beyond the running queries;
+//                      BUSY only once the queue is full (default 16)
+//   --deadline S       shed queries that queued longer than S seconds,
+//                      0=never (default 0)
+//   --cache N          answer-cache entries, 0=disable (default 256)
 #include <unistd.h>
 
 #include <cstdio>
@@ -64,6 +69,12 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "--batch-blocks", "4")));
   options.max_concurrent_queries =
       static_cast<size_t>(std::atoi(FlagValue(argc, argv, "--pool", "4")));
+  options.admission.queue_depth =
+      static_cast<size_t>(std::atoi(FlagValue(argc, argv, "--queue-depth", "16")));
+  options.admission.deadline_seconds =
+      std::atof(FlagValue(argc, argv, "--deadline", "0"));
+  options.answer_cache_entries =
+      static_cast<size_t>(std::atoi(FlagValue(argc, argv, "--cache", "256")));
 
   // --- Demo serving state: Conviva-like sessions + its sample families. ----
   ConvivaConfig data;
