@@ -1,0 +1,137 @@
+// Scatter/gather overhead of the distributed coordinator vs a single
+// whole-table server answering the same bounded queries.
+//
+// Boots N shard workers in-process (each holding one row stripe of the demo
+// table, docs/ARCHITECTURE.md "Distributed scatter/gather") plus one
+// whole-table server, and runs the same bounded queries through (a) the
+// coordinator scattering to the N workers and (b) a direct client session to
+// the single server. The JSON reports, per query and per arm: wall time,
+// blocks consumed (the unit the cluster model charges), gathered rounds, and
+// achieved error. The coordinator's block total is expected to land near the
+// single server's — sharding changes where blocks live, not how many a bound
+// needs — while wall time carries the scatter/gather round trips.
+//
+// Usage: bench_coord [rows] [shards] (default 120,000 rows, 2 shards)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/blink_client.h"
+#include "src/coord/coordinator.h"
+#include "src/server/server.h"
+#include "src/workload/demo_db.h"
+
+namespace blink {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+int Run(uint64_t rows, uint64_t shards) {
+  RuntimeConfig runtime;
+  runtime.exec_threads = 2;
+  runtime.morsel_rows = 512;
+  runtime.stream_batch_blocks = 4;
+
+  // N shard workers plus one whole-table server over the same demo data.
+  std::vector<std::unique_ptr<BlinkDB>> dbs;
+  std::vector<std::unique_ptr<BlinkServer>> servers;
+  CoordinatorOptions coord_options;
+  for (uint64_t i = 0; i <= shards; ++i) {
+    const bool whole = i == shards;
+    DemoDbOptions demo;
+    demo.rows = rows;
+    demo.shard_index = whole ? 0 : i;
+    demo.shard_count = whole ? 0 : shards;
+    dbs.push_back(std::make_unique<BlinkDB>());
+    if (Status s = BuildConvivaDemo(*dbs.back(), demo); !s.ok()) {
+      std::fprintf(stderr, "demo build failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    ServerOptions options;
+    options.runtime = runtime;
+    options.shard_index = demo.shard_index;
+    options.shard_count = demo.shard_count;
+    servers.push_back(std::make_unique<BlinkServer>(*dbs.back(), options));
+    if (Status s = servers.back()->Start(); !s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!whole) {
+      coord_options.workers.push_back({"127.0.0.1", servers.back()->port()});
+    }
+  }
+  Coordinator coordinator(coord_options);
+  BlinkClient single;
+  if (Status s = single.Connect("127.0.0.1", servers.back()->port(), "bench_coord/1");
+      !s.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::pair<const char*, const char*>> queries = {
+      {"count_city",
+       "SELECT COUNT(*) FROM sessions WHERE city = 'city_9' "
+       "ERROR WITHIN 2% AT CONFIDENCE 95%"},
+      {"avg_bitrate",
+       "SELECT AVG(bitrate) FROM sessions WHERE city = 'city_9' "
+       "ERROR WITHIN 5% AT CONFIDENCE 95%"},
+      {"grouped_count",
+       "SELECT os, COUNT(*) FROM sessions GROUP BY os "
+       "ERROR WITHIN 5% AT CONFIDENCE 95%"},
+  };
+
+  for (const auto& [name, sql] : queries) {
+    uint64_t rounds = 0;
+    auto started = std::chrono::steady_clock::now();
+    auto scattered = coordinator.Execute(
+        sql, [&rounds](const QueryResult&, const StreamProgress& p) {
+          rounds += p.final_batch ? 0 : 1;
+        });
+    const double coord_ms = MillisSince(started);
+    if (!scattered.ok()) {
+      std::fprintf(stderr, "scatter failed: %s\n", scattered.status().ToString().c_str());
+      return 1;
+    }
+    started = std::chrono::steady_clock::now();
+    auto direct = single.Query(sql);
+    const double single_ms = MillisSince(started);
+    if (!direct.ok()) {
+      std::fprintf(stderr, "direct failed: %s\n", direct.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "{\"bench\":\"coord\",\"query\":\"%s\",\"rows\":%llu,\"shards\":%llu,"
+        "\"coord_ms\":%.2f,\"coord_blocks\":%llu,\"coord_rounds\":%llu,"
+        "\"coord_error\":%.5f,\"single_ms\":%.2f,\"single_blocks\":%llu,"
+        "\"single_error\":%.5f}\n",
+        name, static_cast<unsigned long long>(rows),
+        static_cast<unsigned long long>(shards), coord_ms,
+        static_cast<unsigned long long>(scattered->report.blocks_consumed),
+        static_cast<unsigned long long>(rounds), scattered->report.achieved_error,
+        single_ms, static_cast<unsigned long long>(direct->report.blocks_consumed),
+        direct->report.achieved_error);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace blink
+
+int main(int argc, char** argv) {
+  const uint64_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120'000;
+  const uint64_t shards = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+  if (rows == 0 || shards == 0) {
+    std::fprintf(stderr, "usage: bench_coord [rows] [shards]\n");
+    return 2;
+  }
+  return blink::Run(rows, shards);
+}

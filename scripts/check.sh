@@ -94,6 +94,40 @@ diff <(sed -n '/^FINAL /,$p' "$SMOKE_OUT" | tail -n +2) \
 kill "$SERVER_PID" 2>/dev/null || true
 echo "cache smoke OK"
 
+echo "== coordinator smoke: 2-shard scatter/gather bit-identity =="
+# Boot two shard workers (each holding one row stripe of the same demo
+# table), scatter one bounded query through blinkdb_coord, and require the
+# combined answer to be bit-identical (%.17g) to the in-process reference
+# rebuilt from the recorded per-shard consumed prefixes — the distributed
+# acceptance bar of docs/ARCHITECTURE.md "Distributed scatter/gather".
+W0_PORT_FILE="$(mktemp)"
+W1_PORT_FILE="$(mktemp)"
+COORD_OUT="$(mktemp)"
+"$BUILD_DIR"/blinkdb_server --rows 30000 --shard-index 0 --shard-count 2 \
+  --port-file "$W0_PORT_FILE" >/dev/null 2>&1 &
+W0_PID=$!
+"$BUILD_DIR"/blinkdb_server --rows 30000 --shard-index 1 --shard-count 2 \
+  --port-file "$W1_PORT_FILE" >/dev/null 2>&1 &
+W1_PID=$!
+trap 'kill "$SERVER_PID" "$W0_PID" "$W1_PID" 2>/dev/null || true;
+      rm -f "$PORT_FILE" "$SMOKE_OUT" "$SMOKE_OUT2" \
+            "$W0_PORT_FILE" "$W1_PORT_FILE" "$COORD_OUT"' EXIT
+for _ in $(seq 1 100); do
+  [ -s "$W0_PORT_FILE" ] && [ -s "$W1_PORT_FILE" ] && break
+  sleep 0.2
+done
+[ -s "$W0_PORT_FILE" ] && [ -s "$W1_PORT_FILE" ] ||
+  { echo "shard workers never wrote their ports"; exit 1; }
+"$BUILD_DIR"/blinkdb_coord \
+  --workers "127.0.0.1:$(cat "$W0_PORT_FILE"),127.0.0.1:$(cat "$W1_PORT_FILE")" \
+  --rows 30000 --selfcheck --query \
+  "SELECT AVG(bitrate) FROM sessions WHERE city = 'city_9' ERROR WITHIN 5% AT CONFIDENCE 95%" \
+  | tee "$COORD_OUT"
+grep -q '^selfcheck: OK' "$COORD_OUT" ||
+  { echo "distributed answer not bit-identical to the in-process reference"; exit 1; }
+kill "$W0_PID" "$W1_PID" 2>/dev/null || true
+echo "coordinator smoke OK"
+
 echo "== sanitizers: codec + exec under ASan/UBSan =="
 # The compressed scan path is the bit-twiddling hot spot; run its tests (and
 # the execution layers above it) under AddressSanitizer + UBSan. Override the

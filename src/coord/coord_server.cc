@@ -1,0 +1,220 @@
+#include "src/coord/coord_server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+#include <variant>
+
+#include "src/server/protocol.h"
+
+namespace blink {
+
+// One client connection: a reader thread that dispatches frames, plus at
+// most one in-flight scattered query on its own thread (which is what lets
+// the reader service CANCEL mid-scatter; the coordinator checks the flag at
+// every round boundary).
+struct CoordServer::Session {
+  CoordServer* server = nullptr;
+  OwnedFd fd;
+  std::thread reader;
+  std::mutex write_mu;
+  std::thread query_thread;
+  std::atomic<bool> query_active{false};
+  std::atomic<uint64_t> active_id{0};
+  std::atomic<bool> cancel{false};
+  bool greeted = false;
+
+  ~Session() {
+    cancel.store(true);
+    if (fd.valid()) {
+      // shutdown (not close) wakes a reader blocked in recv; the fd itself
+      // closes after both threads are joined and cannot touch it anymore.
+      ::shutdown(fd.get(), SHUT_RDWR);
+    }
+    if (query_thread.joinable()) {
+      query_thread.join();
+    }
+    if (reader.joinable()) {
+      reader.join();
+    }
+    fd.Close();
+  }
+
+  bool Send(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    return WriteFrame(fd.get(), payload).ok();
+  }
+};
+
+CoordServer::CoordServer(CoordinatorOptions coordinator, CoordServerOptions options)
+    : options_(std::move(options)), coordinator_(std::move(coordinator)) {}
+
+CoordServer::~CoordServer() { Stop(); }
+
+Status CoordServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("coord server already started");
+  }
+  auto tables = coordinator_.FetchTables();
+  if (!tables.ok()) {
+    return tables.status();
+  }
+  tables_ = std::move(*tables);
+  auto listener = ListenTcp(options_.host, options_.port, &port_);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(*listener);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void CoordServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (listener_.valid()) {
+    ::shutdown(listener_.get(), SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  listener_.Close();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.clear();  // ~Session cancels, closes, and joins
+}
+
+void CoordServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (running_.load()) {
+        continue;
+      }
+      break;
+    }
+    auto session = std::make_unique<Session>();
+    session->server = this;
+    session->fd = OwnedFd(fd);
+    Session* raw = session.get();
+    session->reader = std::thread([this, raw] { ServeSession(raw); });
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void CoordServer::ServeSession(Session* session) {
+  for (;;) {
+    auto payload = ReadFrame(session->fd.get());
+    if (!payload.ok() || !payload->has_value()) {
+      break;  // EOF, teardown, or an untrustworthy stream
+    }
+    auto frame = DecodeFrame(**payload);
+    if (!frame.ok()) {
+      ErrorFrame error;
+      error.code = frame.status().code() == StatusCode::kUnimplemented
+                       ? wire_error::kUnknownType
+                       : wire_error::kMalformedFrame;
+      error.message = frame.status().ToString();
+      if (!session->Send(EncodeError(error))) {
+        break;
+      }
+      continue;
+    }
+    switch (frame->type) {
+      case FrameType::kHello: {
+        HelloFrame reply;
+        reply.peer = options_.server_name;
+        reply.tables = tables_;
+        session->greeted = true;
+        if (!session->Send(EncodeHello(reply))) {
+          return;
+        }
+        break;
+      }
+      case FrameType::kQuery: {
+        const QueryFrame query = std::get<QueryFrame>(frame->payload);
+        ErrorFrame error;
+        error.has_id = true;
+        error.id = query.id;
+        if (!session->greeted) {
+          error.code = wire_error::kHandshakeRequired;
+          error.message = "send HELLO before QUERY";
+          session->Send(EncodeError(error));
+          break;
+        }
+        if (session->query_active.load()) {
+          error.code = wire_error::kBusy;
+          error.message = "a scattered query is already in flight on this session";
+          session->Send(EncodeError(error));
+          break;
+        }
+        if (session->query_thread.joinable()) {
+          session->query_thread.join();  // previous query fully done
+        }
+        session->cancel.store(false);
+        session->active_id.store(query.id);
+        session->query_active.store(true);
+        session->query_thread = std::thread([this, session, query] {
+          uint64_t seq = 0;
+          ProgressCallback progress = [session, &query, &seq](
+                                          const QueryResult& partial,
+                                          const StreamProgress& p) {
+            if (p.final_batch) {
+              return;  // the FINAL frame carries the terminal answer
+            }
+            PartialFrame frame_out;
+            frame_out.id = query.id;
+            frame_out.seq = ++seq;
+            frame_out.progress = p;
+            frame_out.result = partial;
+            if (!session->Send(EncodePartial(frame_out))) {
+              session->cancel.store(true);
+            }
+          };
+          Result<ApproxAnswer> answer = [&] {
+            std::lock_guard<std::mutex> lock(execute_mu_);
+            return coordinator_.Execute(query.sql, std::move(progress),
+                                        &session->cancel);
+          }();
+          if (answer.ok()) {
+            FinalFrame final_frame;
+            final_frame.id = query.id;
+            final_frame.result = std::move(answer->result);
+            final_frame.report = std::move(answer->report);
+            session->Send(EncodeFinal(final_frame));
+          } else {
+            ErrorFrame err;
+            err.has_id = true;
+            err.id = query.id;
+            err.code = wire_error::kQueryFailed;
+            err.message = answer.status().ToString();
+            session->Send(EncodeError(err));
+          }
+          session->query_active.store(false);
+        });
+        break;
+      }
+      case FrameType::kCancel: {
+        const auto& cancel = std::get<CancelFrame>(frame->payload);
+        if (session->query_active.load() && session->active_id.load() == cancel.id) {
+          session->cancel.store(true);
+        }
+        break;
+      }
+      default: {
+        ErrorFrame error;
+        error.code = wire_error::kUnexpectedFrame;
+        error.message = std::string(FrameTypeName(frame->type)) +
+                        " is not a client frame for a coordinator";
+        if (!session->Send(EncodeError(error))) {
+          return;
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace blink

@@ -1,0 +1,168 @@
+#include "src/coord/remote_shard.h"
+
+#include <utility>
+
+namespace blink {
+
+Status RemoteShard::Connect(const std::string& host, uint16_t port,
+                            uint64_t expect_index, uint64_t expect_count) {
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  fd_ = std::move(*fd);
+  HelloFrame hello;
+  hello.peer = "blinkdb-coord/1";
+  BLINK_RETURN_IF_ERROR(WriteFrame(fd_.get(), EncodeHello(hello)));
+  auto payload = ReadFrame(fd_.get());
+  if (!payload.ok()) {
+    fd_.Close();
+    return payload.status();
+  }
+  if (!payload->has_value()) {
+    fd_.Close();
+    return Status::Internal("worker closed the connection during HELLO");
+  }
+  auto frame = DecodeFrame(**payload);
+  if (!frame.ok()) {
+    fd_.Close();
+    return frame.status();
+  }
+  if (frame->type != FrameType::kHello) {
+    fd_.Close();
+    return Status::Internal(std::string("expected HELLO, got ") +
+                            FrameTypeName(frame->type));
+  }
+  hello_ = std::get<HelloFrame>(frame->payload);
+  if (expect_count > 0 && (hello_.shard_index != expect_index ||
+                           hello_.shard_count != expect_count)) {
+    fd_.Close();
+    return Status::FailedPrecondition(
+        "worker announced shard " + std::to_string(hello_.shard_index) + "/" +
+        std::to_string(hello_.shard_count) + ", expected " +
+        std::to_string(expect_index) + "/" + std::to_string(expect_count));
+  }
+  return Status::Ok();
+}
+
+Status RemoteShard::StartQuery(uint64_t id, const std::string& sql,
+                               uint64_t round_blocks, uint64_t grant_blocks,
+                               double confidence) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("shard is not connected");
+  }
+  query_id_ = id;
+  granted_ = grant_blocks;
+  paced_ = round_blocks > 0;
+  finished_ = false;
+  snapshot_.reset();
+  progress_ = StreamProgress{};
+  final_report_ = ExecutionReport{};
+  fault_.clear();
+  QueryFrame query;
+  query.id = id;
+  query.sql = sql;
+  query.round_blocks = round_blocks;
+  query.grant_blocks = grant_blocks;
+  query.confidence = confidence;
+  return WriteFrame(fd_.get(), EncodeQuery(query));
+}
+
+Status RemoteShard::Grant(uint64_t blocks) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("shard is not connected");
+  }
+  if (blocks > granted_) {
+    granted_ = blocks;
+  }
+  GrantFrame grant;
+  grant.id = query_id_;
+  grant.blocks = blocks;
+  return WriteFrame(fd_.get(), EncodeGrant(grant));
+}
+
+Status RemoteShard::Cancel() {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("shard is not connected");
+  }
+  CancelFrame cancel;
+  cancel.id = query_id_;
+  return WriteFrame(fd_.get(), EncodeCancel(cancel));
+}
+
+Result<RemoteShard::PumpState> RemoteShard::Pump(double deadline_seconds) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("shard is not connected");
+  }
+  BLINK_RETURN_IF_ERROR(SetRecvTimeout(fd_.get(), deadline_seconds));
+  for (;;) {
+    auto payload = ReadFrame(fd_.get());
+    if (!payload.ok()) {
+      // kDeadlineExceeded is the straggler case, anything else (kDataLoss,
+      // transport errors) a hard failure; both untrust the stream.
+      fault_ = payload.status().ToString();
+      fd_.Close();
+      return payload.status().code() == StatusCode::kDeadlineExceeded
+                 ? PumpState::kStalled
+                 : PumpState::kFailed;
+    }
+    if (!payload->has_value()) {
+      fault_ = "worker closed the connection mid-query";
+      fd_.Close();
+      return PumpState::kFailed;
+    }
+    auto frame = DecodeFrame(**payload);
+    if (!frame.ok()) {
+      fault_ = frame.status().ToString();
+      fd_.Close();
+      return PumpState::kFailed;
+    }
+    switch (frame->type) {
+      case FrameType::kPartial: {
+        auto& partial = std::get<PartialFrame>(frame->payload);
+        if (partial.id != query_id_) {
+          continue;  // stale frame of a previous query on this connection
+        }
+        snapshot_ = std::move(partial.result);
+        progress_ = partial.progress;
+        if (progress_.blocks_consumed >= progress_.blocks_total) {
+          continue;  // dataset exhausted: the FINAL is already in flight
+        }
+        if (paced_ && progress_.blocks_consumed >= granted_) {
+          return PumpState::kPaused;  // worker is waiting at its grant gate
+        }
+        continue;  // mid-grant partial (multi-pipeline rounds); keep reading
+      }
+      case FrameType::kFinal: {
+        auto& final_frame = std::get<FinalFrame>(frame->payload);
+        if (final_frame.id != query_id_) {
+          continue;
+        }
+        snapshot_ = std::move(final_frame.result);
+        final_report_ = std::move(final_frame.report);
+        progress_.blocks_consumed = final_report_.blocks_consumed;
+        progress_.rows_consumed = final_report_.rows_read;
+        progress_.bytes_scanned = final_report_.bytes_scanned;
+        progress_.bytes_decoded = final_report_.bytes_decoded;
+        progress_.achieved_error = final_report_.achieved_error;
+        finished_ = true;
+        return PumpState::kFinished;
+      }
+      case FrameType::kError: {
+        const auto& error = std::get<ErrorFrame>(frame->payload);
+        fault_ = error.code + ": " + error.message;
+        fd_.Close();
+        return PumpState::kFailed;
+      }
+      default:
+        // A worker never legitimately sends HELLO/QUERY/CANCEL/GRANT
+        // mid-query; treat the stream as corrupt.
+        fault_ = std::string("unexpected ") + FrameTypeName(frame->type) +
+                 " frame from worker";
+        fd_.Close();
+        return PumpState::kFailed;
+    }
+  }
+}
+
+}  // namespace blink

@@ -1,0 +1,99 @@
+// Coordinator-side handle for one worker shard (docs/PROTOCOL.md "Paced
+// execution", docs/ARCHITECTURE.md "Distributed scatter/gather").
+//
+// A RemoteShard owns the TCP connection to one blinkdb_server worker playing
+// shard role i-of-N, and exposes the coordinator's view of one scattered
+// query: start it paced (round_blocks per round, cumulative grant), pump the
+// worker's frames until it pauses at its grant / finishes / fails / stalls
+// past the round deadline, raise the grant, cancel. The handle tracks the
+// worker's last combinable snapshot (the per-shard partial the cross-shard
+// union combiner folds) and the consumed-prefix progress behind it, so a
+// shard that dies or stalls can be finalized at that snapshot — a valid
+// block-prefix answer (PR 5 cancel invariant) — instead of blocking the
+// query.
+#ifndef BLINKDB_COORD_REMOTE_SHARD_H_
+#define BLINKDB_COORD_REMOTE_SHARD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/server/net.h"
+#include "src/server/protocol.h"
+
+namespace blink {
+
+class RemoteShard {
+ public:
+  RemoteShard() = default;
+  RemoteShard(const RemoteShard&) = delete;
+  RemoteShard& operator=(const RemoteShard&) = delete;
+  RemoteShard(RemoteShard&&) = default;
+  RemoteShard& operator=(RemoteShard&&) = default;
+
+  // Connects and performs the HELLO handshake, validating the worker's
+  // announced shard role: expect_count == 0 accepts any role; otherwise the
+  // worker must announce exactly (expect_index, expect_count) — scattering
+  // to a mis-sharded worker would double- or under-count strata.
+  Status Connect(const std::string& host, uint16_t port, uint64_t expect_index,
+                 uint64_t expect_count);
+
+  bool connected() const { return fd_.valid(); }
+  const HelloFrame& hello() const { return hello_; }
+
+  // Sends the scattered QUERY. round_blocks > 0 is the paced form (the
+  // worker streams rounds and pauses at its cumulative grant); 0 is a
+  // classic one-shot scatter (unbounded queries).
+  Status StartQuery(uint64_t id, const std::string& sql, uint64_t round_blocks,
+                    uint64_t grant_blocks, double confidence);
+
+  // Raises the worker's cumulative block grant (monotonic on the worker).
+  Status Grant(uint64_t blocks);
+
+  // Requests cancellation; the worker answers with a FINAL frozen at its
+  // consumed prefix, bit-identical to its last PARTIAL.
+  Status Cancel();
+
+  enum class PumpState {
+    kPaused,    // worker sent the PARTIAL for its grant and is waiting
+    kFinished,  // FINAL arrived (data exhausted, or the post-CANCEL freeze)
+    kFailed,    // ERROR frame, connection drop, or stream corruption
+    kStalled,   // no frame within the deadline (straggler)
+  };
+
+  // Reads frames until the worker pauses at its grant, finishes, fails, or
+  // exceeds `deadline_seconds` without producing a frame. Updates the
+  // snapshot on every PARTIAL. kFailed/kStalled close the connection (after
+  // a timeout or mid-frame drop the stream cannot be trusted to re-sync);
+  // the snapshot survives for degraded finalization.
+  Result<PumpState> Pump(double deadline_seconds);
+
+  // The worker's latest combinable partial answer (last PARTIAL, or the
+  // FINAL once finished). Nullopt until the first frame with a result.
+  const std::optional<QueryResult>& snapshot() const { return snapshot_; }
+  const StreamProgress& progress() const { return progress_; }
+  // FINAL-only payload (valid once Pump returned kFinished).
+  const ExecutionReport& final_report() const { return final_report_; }
+  bool finished() const { return finished_; }
+  // Terminal failure/stall detail for per-shard attribution in the report.
+  const std::string& fault() const { return fault_; }
+  uint64_t granted() const { return granted_; }
+
+  void Close() { fd_.Close(); }
+
+ private:
+  OwnedFd fd_;
+  HelloFrame hello_;
+  uint64_t query_id_ = 0;
+  uint64_t granted_ = 0;
+  bool paced_ = false;
+  bool finished_ = false;
+  std::optional<QueryResult> snapshot_;
+  StreamProgress progress_;
+  ExecutionReport final_report_;
+  std::string fault_;
+};
+
+}  // namespace blink
+
+#endif  // BLINKDB_COORD_REMOTE_SHARD_H_

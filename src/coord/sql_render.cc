@@ -1,0 +1,139 @@
+#include "src/coord/sql_render.h"
+
+#include <cstdio>
+#include <string>
+
+namespace blink {
+namespace {
+
+std::string RenderPredicate(const Predicate& pred) {
+  switch (pred.kind) {
+    case Predicate::Kind::kCompare: {
+      std::string lit;
+      if (pred.literal.is_string()) {
+        lit = RenderSqlString(pred.literal.AsString());
+      } else if (pred.literal.is_double()) {
+        lit = RenderSqlDouble(pred.literal.AsDouble());
+      } else {
+        lit = std::to_string(pred.literal.AsInt());
+      }
+      return pred.column + " " + CompareOpName(pred.op) + " " + lit;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      const char* sep = pred.kind == Predicate::Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < pred.children.size(); ++i) {
+        if (i > 0) {
+          out += sep;
+        }
+        out += RenderPredicate(pred.children[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RenderSqlDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s = buf;
+  if (s.find('e') == std::string::npos && s.find('E') == std::string::npos) {
+    return s;
+  }
+  // %.17g chose exponent form, which the lexer rejects. Print the exact
+  // fixed-point decimal expansion instead: 1074 fractional digits cover the
+  // smallest denormal, and strtod's correct rounding maps the (exact)
+  // expansion back to the same double.
+  std::string big(1200, '\0');
+  const int n = std::snprintf(big.data(), big.size(), "%.1074f", v);
+  big.resize(static_cast<size_t>(n));
+  const size_t dot = big.find('.');
+  size_t last = big.find_last_not_of('0');
+  if (last == dot) {
+    ++last;  // keep one fractional digit: "2." does not lex, "2.0" does
+  }
+  big.resize(last + 1);
+  return big;
+}
+
+std::string RenderSqlString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+std::string RenderSelect(const SelectStatement& stmt) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    const auto& item = stmt.items[i];
+    if (item.is_aggregate) {
+      out += AggFuncName(item.agg.func);
+      out += "(";
+      if (item.agg.count_star) {
+        out += "*";
+      } else {
+        out += item.agg.column;
+        if (item.agg.func == AggFunc::kQuantile) {
+          out += ", " + RenderSqlDouble(item.agg.quantile_p);
+        }
+      }
+      out += ")";
+    } else {
+      out += item.column;
+    }
+    if (!item.alias.empty()) {
+      out += " AS " + item.alias;
+    }
+  }
+  out += " FROM " + stmt.table;
+  if (stmt.join.has_value()) {
+    out += " JOIN " + stmt.join->table + " ON " + stmt.join->left_column + " = " +
+           stmt.join->right_column;
+  }
+  if (stmt.where.has_value()) {
+    out += " WHERE " + RenderPredicate(*stmt.where);
+  }
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += stmt.group_by[i];
+    }
+  }
+  if (stmt.having.has_value()) {
+    out += " HAVING " + RenderPredicate(*stmt.having);
+  }
+  switch (stmt.bounds.kind) {
+    case QueryBounds::Kind::kNone:
+      break;
+    case QueryBounds::Kind::kError:
+      out += " ERROR WITHIN " +
+             RenderSqlDouble(stmt.bounds.error * (stmt.bounds.relative ? 100.0 : 1.0)) +
+             (stmt.bounds.relative ? "%" : "") + " AT CONFIDENCE " +
+             RenderSqlDouble(stmt.bounds.confidence * 100.0) + "%";
+      break;
+    case QueryBounds::Kind::kTime:
+      out += " WITHIN " + RenderSqlDouble(stmt.bounds.time_seconds) + " SECONDS";
+      break;
+  }
+  return out;
+}
+
+}  // namespace blink

@@ -1,0 +1,37 @@
+// Faithful SQL rendering for coordinator → worker scatter.
+//
+// The coordinator re-issues a parsed SelectStatement to its workers over the
+// wire as SQL text, so the rendering must round-trip EXACTLY through the
+// dialect's lexer/parser: double literals are printed with enough digits to
+// reproduce the same bit pattern after the worker's strtod (and never in
+// exponent form, which the lexer does not accept), and string literals
+// escape embedded quotes with the '' convention. SelectStatement::ToString
+// is a human-readable rendering (6-digit doubles, no quote escaping) and is
+// NOT safe for this; this module is.
+#ifndef BLINKDB_COORD_SQL_RENDER_H_
+#define BLINKDB_COORD_SQL_RENDER_H_
+
+#include <string>
+
+#include "src/sql/ast.h"
+
+namespace blink {
+
+// `v` rendered so the SQL lexer's strtod reproduces it bit-exactly: %.17g
+// when that stays in plain decimal, else the exact fixed-point expansion
+// (every finite double has one). `v` must be finite and non-negative — the
+// dialect has no unary minus, so a parsed statement cannot carry either.
+std::string RenderSqlDouble(double v);
+
+// 'quoted' with embedded quotes doubled ('' — the lexer's escape).
+std::string RenderSqlString(const std::string& s);
+
+// Renders `stmt` as SQL text that re-parses to an equivalent statement with
+// bit-identical literals. Bounds clauses (ERROR WITHIN / WITHIN n SECONDS)
+// are rendered too when present; the coordinator strips bounds from worker
+// statements before calling this.
+std::string RenderSelect(const SelectStatement& stmt);
+
+}  // namespace blink
+
+#endif  // BLINKDB_COORD_SQL_RENDER_H_

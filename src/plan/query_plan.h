@@ -115,6 +115,11 @@ struct PipelineOutcome {
   // stop, exact answers, and drives that never materialized per-round
   // partials (a bare uniform budget with no error target or progress).
   double error_contribution = 0.0;
+  // Distributed execution only (src/coord/): the shard behind this pipeline
+  // failed or stalled mid-query and was finalized at its last valid consumed
+  // prefix, so the combined answer carries a wider CI than a fault-free run
+  // would. Always false for in-process plans.
+  bool degraded = false;
 };
 
 struct PlanResult {

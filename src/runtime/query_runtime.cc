@@ -594,7 +594,8 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
                                            double scale_factor,
                                            const ProgressCallback& progress,
                                            const std::atomic<bool>* cancel,
-                                           CacheRequest* cache_req) const {
+                                           CacheRequest* cache_req,
+                                           uint32_t batch_blocks_override) const {
   const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
                                 ? stmt.bounds.confidence
                                 : config_.default_confidence;
@@ -635,7 +636,10 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
   options.exec = ExecOpts();
   // Non-streamed plans drive each pipeline as one maximal batch: the
   // never-stop one-shot fast path (and exactly one progress callback).
-  options.batch_blocks = any_streamed ? config_.stream_batch_blocks : 0;
+  options.batch_blocks = any_streamed ? (batch_blocks_override > 0
+                                             ? batch_blocks_override
+                                             : config_.stream_batch_blocks)
+                                      : 0;
   options.policy = PolicyFor(stmt, any_streamed);
   options.progress = progress;
   options.cancel = cancel;
@@ -902,7 +906,8 @@ Result<ApproxAnswer> QueryRuntime::RunUnion(const SelectStatement& stmt,
                                             std::vector<Predicate> disjuncts,
                                             const ProgressCallback& progress,
                                             const std::atomic<bool>* cancel,
-                                            CacheRequest* cache_req) const {
+                                            CacheRequest* cache_req,
+                                            uint32_t batch_blocks_override) const {
   // One pipeline per conjunctive disjunct, each bound to its best-covering
   // dataset (§4.1.2). AVG recombination needs a COUNT column, so every
   // subquery gets the helper before family selection probes it — the probes
@@ -929,7 +934,8 @@ Result<ApproxAnswer> QueryRuntime::RunUnion(const SelectStatement& stmt,
     }
     plans.push_back(std::move(pipeline.value()));
   }
-  return RunPlan(stmt, std::move(plans), scale_factor, progress, cancel, cache_req);
+  return RunPlan(stmt, std::move(plans), scale_factor, progress, cancel, cache_req,
+                 batch_blocks_override);
 }
 
 Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
@@ -938,7 +944,8 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
                                            const Table* dim,
                                            ProgressCallback progress,
                                            const std::atomic<bool>* cancel,
-                                           const CacheContext& cache_ctx) const {
+                                           const CacheContext& cache_ctx,
+                                           uint32_t batch_blocks_override) const {
   // Declared ahead of the progress wrappers so they can stamp the cache
   // outcome into every StreamProgress (by-reference capture; the outcome is
   // settled before the first partial can fire).
@@ -1025,8 +1032,8 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
       cache_req.outcome = CacheOutcome::kResume;
       cache_req.rewrite_fallback = resume_entry->rewrite_fallback;
       cache_ctx.cache->RecordOutcome(CacheOutcome::kResume);
-      auto answer =
-          RunPlan(stmt, std::move(*resumed), scale_factor, wrapped, cancel, cache_reqp);
+      auto answer = RunPlan(stmt, std::move(*resumed), scale_factor, wrapped,
+                            cancel, cache_reqp, batch_blocks_override);
       if (answer.ok()) {
         answer.value().report.rewrite_fallback = resume_entry->rewrite_fallback;
       }
@@ -1063,7 +1070,8 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
         DedupDisjuncts(*disjuncts);
         if (disjuncts->size() > 1) {
           return finish(RunUnion(stmt, table_name, fact, scale_factor, dim,
-                                 std::move(*disjuncts), wrapped, cancel, cache_reqp));
+                                 std::move(*disjuncts), wrapped, cancel, cache_reqp,
+                                 batch_blocks_override));
         }
         // Every disjunct was identical (e.g. `x = 1 OR x = 1`): the query is
         // really conjunctive; running the lone disjunct as a plain query
@@ -1092,8 +1100,8 @@ Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,
     plans.push_back(std::move(pipeline.value()));
   }
   cache_req.rewrite_fallback = rewrite_fallback;
-  auto answer =
-      RunPlan(*effective, std::move(plans), scale_factor, wrapped, cancel, cache_reqp);
+  auto answer = RunPlan(*effective, std::move(plans), scale_factor, wrapped,
+                        cancel, cache_reqp, batch_blocks_override);
   if (answer.ok()) {
     answer.value().report.rewrite_fallback = rewrite_fallback;
   }

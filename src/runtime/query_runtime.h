@@ -196,12 +196,18 @@ class QueryRuntime {
   // whose achieved error meets the bound returns the stored FINAL with zero
   // blocks consumed, a near-miss resumes streaming from the cached prefix,
   // and a miss executes cold and inserts the exported pipeline state.
+  // `batch_blocks_override`, when nonzero, replaces
+  // RuntimeConfig::stream_batch_blocks for this call alone — the per-round
+  // block share of streamed pipelines. Distributed workers use it so the
+  // coordinator's round size controls the worker's round cadence (and hence
+  // where pause points land) without reconfiguring the shared runtime pool.
   Result<ApproxAnswer> Execute(const SelectStatement& stmt, const std::string& table_name,
                                const Table& fact, double scale_factor,
                                const Table* dim = nullptr,
                                ProgressCallback progress = {},
                                const std::atomic<bool>* cancel = nullptr,
-                               const CacheContext& cache_ctx = {}) const;
+                               const CacheContext& cache_ctx = {},
+                               uint32_t batch_blocks_override = 0) const;
 
  private:
   struct FamilyChoice {
@@ -293,7 +299,8 @@ class QueryRuntime {
                                std::vector<PipelinePlan> plans, double scale_factor,
                                const ProgressCallback& progress,
                                const std::atomic<bool>* cancel,
-                               CacheRequest* cache_req = nullptr) const;
+                               CacheRequest* cache_req = nullptr,
+                               uint32_t batch_blocks_override = 0) const;
 
   // Rebuilds the pipeline plans of a cached entry so RunPlan resumes
   // streaming from the snapshots instead of block 0. Nullopt when the entry
@@ -316,7 +323,8 @@ class QueryRuntime {
                                 std::vector<Predicate> disjuncts,
                                 const ProgressCallback& progress,
                                 const std::atomic<bool>* cancel,
-                                CacheRequest* cache_req = nullptr) const;
+                                CacheRequest* cache_req = nullptr,
+                                uint32_t batch_blocks_override = 0) const;
 
   // Workload of scanning `ds` minus its first `skip_prefix_rows` rows
   // (a sample-prefix boundary, so the skip is whole blocks). Bytes and block

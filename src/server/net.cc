@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -36,7 +37,11 @@ Status WriteAll(int fd, const char* data, size_t len) {
 }
 
 // Full read with EINTR retry. Returns the byte count read, which is short
-// only at EOF.
+// only at EOF. A receive timeout armed via SetRecvTimeout surfaces as
+// kDeadlineExceeded. A timeout while blocked on the FIRST byte of a frame
+// leaves the stream synchronized (nothing was consumed) and reading may
+// resume; one that fires mid-frame loses the consumed bytes, so callers that
+// keep reading afterwards will see the remainder as garbage frames.
 Result<size_t> ReadAll(int fd, char* data, size_t len) {
   size_t got = 0;
   while (got < len) {
@@ -44,6 +49,9 @@ Result<size_t> ReadAll(int fd, char* data, size_t len) {
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv timed out");
       }
       return Status::Internal(Errno("recv"));
     }
@@ -142,6 +150,21 @@ Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port) {
   return last;
 }
 
+Status SetRecvTimeout(int fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) {
+      tv.tv_usec = 1;  // "tiny but armed", not "disabled"
+    }
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(Errno("setsockopt(SO_RCVTIMEO)"));
+  }
+  return Status::Ok();
+}
+
 Status WriteFrame(int fd, std::string_view payload) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");
@@ -164,7 +187,7 @@ Result<std::optional<std::string>> ReadFrame(int fd, uint32_t max_bytes) {
     return std::optional<std::string>{};  // clean EOF between frames
   }
   if (*got < sizeof(header)) {
-    return Status::Internal("connection closed mid-frame header");
+    return Status::DataLoss("truncated frame: connection closed mid-frame header");
   }
   const uint32_t n = (static_cast<uint32_t>(static_cast<unsigned char>(header[0])) << 24) |
                      (static_cast<uint32_t>(static_cast<unsigned char>(header[1])) << 16) |
@@ -181,7 +204,7 @@ Result<std::optional<std::string>> ReadFrame(int fd, uint32_t max_bytes) {
     return got.status();
   }
   if (*got < n) {
-    return Status::Internal("connection closed mid-frame payload");
+    return Status::DataLoss("truncated frame: connection closed mid-frame payload");
   }
   return std::optional<std::string>(std::move(payload));
 }

@@ -51,6 +51,12 @@ Result<OwnedFd> ListenTcp(const std::string& host, uint16_t port,
 // Connects to `host:port` (blocking).
 Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port);
 
+// Arms (or, with seconds <= 0, disarms) a receive timeout on `fd` via
+// SO_RCVTIMEO. While armed, a blocked ReadFrame returns
+// StatusCode::kDeadlineExceeded instead of waiting forever. Sub-second
+// granularity is supported (the fraction maps to microseconds).
+Status SetRecvTimeout(int fd, double seconds);
+
 // Writes one length-prefixed frame (loops over partial writes; EPIPE and
 // friends surface as a Status error, never a signal).
 Status WriteFrame(int fd, std::string_view payload);

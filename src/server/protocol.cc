@@ -50,6 +50,20 @@ bool GetBoolOr(const JsonValue& obj, const char* key, bool fallback) {
   return v != nullptr && v->is_bool() ? v->AsBool() : fallback;
 }
 
+// Optional counter field: frames from older peers simply lack it. Applies
+// the same [0, 2^63) range check as GetUint; out-of-range falls back.
+uint64_t GetUintOr(const JsonValue& obj, const char* key, uint64_t fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return fallback;
+  }
+  const double d = v->AsDouble();
+  if (d < 0 || d >= 9223372036854775808.0 /* 2^63 */) {
+    return fallback;
+  }
+  return v->AsUint();
+}
+
 // Optional numeric field: frames from older peers simply lack it.
 double GetDoubleOr(const JsonValue& obj, const char* key, double fallback) {
   const JsonValue* v = obj.Find(key);
@@ -158,6 +172,8 @@ const char* FrameTypeName(FrameType type) {
       return "ERROR";
     case FrameType::kCancel:
       return "CANCEL";
+    case FrameType::kGrant:
+      return "GRANT";
   }
   return "UNKNOWN";
 }
@@ -373,6 +389,9 @@ JsonValue EncodeReport(const ExecutionReport& report) {
     jout.Set("error_contribution", outcome.error_contribution);
     jout.Set("bytes_scanned", outcome.bytes_scanned);
     jout.Set("bytes_decoded", outcome.bytes_decoded);
+    if (outcome.degraded) {
+      jout.Set("degraded", outcome.degraded);
+    }
     pipelines.Append(std::move(jout));
   }
   out.Set("pipeline_outcomes", std::move(pipelines));
@@ -481,6 +500,7 @@ Result<ExecutionReport> DecodeReport(const JsonValue& json) {
       outcome.error_contribution = *contribution;
       outcome.bytes_scanned = GetDoubleOr(jout, "bytes_scanned", 0.0);
       outcome.bytes_decoded = GetDoubleOr(jout, "bytes_decoded", 0.0);
+      outcome.degraded = GetBoolOr(jout, "degraded", false);
       out.pipeline_outcomes.push_back(outcome);
     }
   }
@@ -494,6 +514,10 @@ std::string EncodeHello(const HelloFrame& hello) {
   if (!hello.tables.empty()) {
     out.Set("tables", EncodeStringArray(hello.tables));
   }
+  if (hello.shard_count > 0) {
+    out.Set("shard_index", hello.shard_index);
+    out.Set("shard_count", hello.shard_count);
+  }
   return out.Serialize();
 }
 
@@ -501,12 +525,30 @@ std::string EncodeQuery(const QueryFrame& query) {
   JsonValue out = Envelope(FrameType::kQuery);
   out.Set("id", query.id);
   out.Set("sql", query.sql);
+  // Pacing fields are emitted only when set, so classic clients' frames are
+  // byte-identical to protocol v1 before this extension.
+  if (query.round_blocks > 0) {
+    out.Set("round_blocks", query.round_blocks);
+  }
+  if (query.grant_blocks > 0) {
+    out.Set("grant_blocks", query.grant_blocks);
+  }
+  if (query.confidence > 0) {
+    out.Set("confidence", query.confidence);
+  }
   return out.Serialize();
 }
 
 std::string EncodeCancel(const CancelFrame& cancel) {
   JsonValue out = Envelope(FrameType::kCancel);
   out.Set("id", cancel.id);
+  return out.Serialize();
+}
+
+std::string EncodeGrant(const GrantFrame& grant) {
+  JsonValue out = Envelope(FrameType::kGrant);
+  out.Set("id", grant.id);
+  out.Set("blocks", grant.blocks);
   return out.Serialize();
 }
 
@@ -574,6 +616,8 @@ Result<Frame> DecodeFrame(std::string_view payload) {
       }
       hello.tables = std::move(names.value());
     }
+    hello.shard_index = GetUintOr(json, "shard_index", 0);
+    hello.shard_count = GetUintOr(json, "shard_count", 0);
     frame.payload = std::move(hello);
     return frame;
   }
@@ -587,6 +631,9 @@ Result<Frame> DecodeFrame(std::string_view payload) {
     }
     query.id = *id;
     query.sql = std::move(sql.value());
+    query.round_blocks = GetUintOr(json, "round_blocks", 0);
+    query.grant_blocks = GetUintOr(json, "grant_blocks", 0);
+    query.confidence = GetDoubleOr(json, "confidence", 0.0);
     frame.payload = std::move(query);
     return frame;
   }
@@ -599,6 +646,19 @@ Result<Frame> DecodeFrame(std::string_view payload) {
     }
     cancel.id = *id;
     frame.payload = cancel;
+    return frame;
+  }
+  if (*type == "GRANT") {
+    frame.type = FrameType::kGrant;
+    GrantFrame grant;
+    auto id = GetUint(json, "id");
+    auto blocks = GetUint(json, "blocks");
+    if (!id.ok() || !blocks.ok()) {
+      return Missing("id/blocks");
+    }
+    grant.id = *id;
+    grant.blocks = *blocks;
+    frame.payload = grant;
     return frame;
   }
   if (*type == "PARTIAL") {

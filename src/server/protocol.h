@@ -2,8 +2,8 @@
 //
 // The normative specification lives in docs/PROTOCOL.md; this header is its
 // implementation. Every frame is one JSON object with a "type" field naming
-// one of the six frame types (HELLO, QUERY, PARTIAL, FINAL, ERROR, CANCEL),
-// carried over the length-prefixed transport of src/server/net.h.
+// one of the frame types (HELLO, QUERY, PARTIAL, FINAL, ERROR, CANCEL,
+// GRANT), carried over the length-prefixed transport of src/server/net.h.
 //
 // Encode* functions produce the serialized JSON payload for one frame;
 // DecodeFrame parses an inbound payload into the tagged Frame union and is
@@ -32,7 +32,7 @@ namespace blink {
 // "Versioning").
 constexpr int64_t kProtocolVersion = 1;
 
-enum class FrameType { kHello, kQuery, kPartial, kFinal, kError, kCancel };
+enum class FrameType { kHello, kQuery, kPartial, kFinal, kError, kCancel, kGrant };
 
 // Wire name of a frame type ("HELLO", "QUERY", ...).
 const char* FrameTypeName(FrameType type);
@@ -68,16 +68,40 @@ struct HelloFrame {
   std::string peer;
   // Server→client only: queryable table names, so a client can introspect.
   std::vector<std::string> tables;
+  // Server→client only, optional: the shard role of this server. A worker
+  // holding shard i of N announces shard_index = i, shard_count = N; a
+  // non-sharded server omits both (shard_count 0 on the wire = "whole
+  // table"). The coordinator validates these before scattering.
+  uint64_t shard_index = 0;
+  uint64_t shard_count = 0;
 };
 
 struct QueryFrame {
   // Client-chosen id echoed on every PARTIAL/FINAL/ERROR for this query.
   uint64_t id = 0;
   std::string sql;
+  // Optional pacing fields (docs/PROTOCOL.md "Paced execution"); all-zero
+  // means the classic self-stopping execution. When round_blocks > 0 the
+  // server streams in rounds of that many blocks, never self-stops on an
+  // error bound, and pauses after consuming its cumulative grant
+  // (grant_blocks initially, extended by GRANT frames) until granted more
+  // or cancelled. `confidence` sets the CI level of streamed estimates
+  // (0 = server default).
+  uint64_t round_blocks = 0;
+  uint64_t grant_blocks = 0;
+  double confidence = 0.0;
 };
 
 struct CancelFrame {
   uint64_t id = 0;
+};
+
+// Client→server: raises query `id`'s cumulative block budget to `blocks`
+// (monotonic: a grant below the current budget is a no-op). Only meaningful
+// for paced queries; unknown ids are ignored (the query may have finished).
+struct GrantFrame {
+  uint64_t id = 0;
+  uint64_t blocks = 0;
 };
 
 struct PartialFrame {
@@ -118,7 +142,7 @@ struct ErrorFrame {
 struct Frame {
   FrameType type = FrameType::kError;
   std::variant<HelloFrame, QueryFrame, CancelFrame, PartialFrame, FinalFrame,
-               ErrorFrame>
+               ErrorFrame, GrantFrame>
       payload;
 };
 
@@ -127,6 +151,7 @@ struct Frame {
 std::string EncodeHello(const HelloFrame& hello);
 std::string EncodeQuery(const QueryFrame& query);
 std::string EncodeCancel(const CancelFrame& cancel);
+std::string EncodeGrant(const GrantFrame& grant);
 std::string EncodePartial(const PartialFrame& partial);
 std::string EncodeFinal(const FinalFrame& final_frame);
 std::string EncodeError(const ErrorFrame& error);

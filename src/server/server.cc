@@ -5,9 +5,11 @@
 #include <sys/socket.h>
 #include <sys/time.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -23,6 +25,20 @@ namespace blink {
 // queries from one session may be in flight (queued or running) at once.
 class BlinkServer::Session {
  public:
+  // One in-flight query: the cancel flag the plan driver polls, plus — for
+  // paced (round_blocks > 0) queries — the grant gate. The execution thread
+  // pauses on `cv` after each streamed round once it has consumed its
+  // cumulative `granted` blocks; GRANT frames raise the budget (monotonic)
+  // and CANCEL / session teardown wake the gate so a paused query always
+  // unwinds to its FINAL.
+  struct Job {
+    std::atomic<bool> cancel{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    uint64_t granted = 0;  // guarded by mu
+    bool paced = false;
+  };
+
   Session(BlinkServer* server, OwnedFd fd, uint64_t id)
       : server_(server), fd_(std::move(fd)), id_(id) {
     reader_ = std::thread([this] { Serve(); });
@@ -54,8 +70,21 @@ class BlinkServer::Session {
 
  private:
   void Serve() {
+    // Idle-timeout the reader: SO_RCVTIMEO bounds every blocked recv, and a
+    // timeout that fires while the session has no queries in flight closes
+    // it — a half-open client must not pin this thread forever.
+    if (server_->options_.idle_read_timeout_seconds > 0) {
+      SetRecvTimeout(fd_.get(), server_->options_.idle_read_timeout_seconds);
+    }
     for (;;) {
       auto frame_bytes = ReadFrame(fd_.get());
+      if (!frame_bytes.ok() &&
+          frame_bytes.status().code() == StatusCode::kDeadlineExceeded) {
+        if (HasOutstanding()) {
+          continue;  // quiet client waiting on its FINAL: re-arm and keep reading
+        }
+        break;  // idle past the deadline: close the session
+      }
       if (!frame_bytes.ok() || !frame_bytes->has_value()) {
         break;  // EOF, peer reset, or an unsynchronizable framing error
       }
@@ -106,6 +135,9 @@ class BlinkServer::Session {
       case FrameType::kCancel:
         OnCancel(std::get<CancelFrame>(frame.payload));
         return true;
+      case FrameType::kGrant:
+        OnGrant(std::get<GrantFrame>(frame.payload));
+        return true;
       case FrameType::kPartial:
       case FrameType::kFinal:
       case FrameType::kError: {
@@ -141,6 +173,8 @@ class BlinkServer::Session {
     reply.protocol_version = kProtocolVersion;
     reply.peer = server_->options_.server_name;
     reply.tables = server_->db_.catalog().TableNames();
+    reply.shard_index = server_->options_.shard_index;
+    reply.shard_count = server_->options_.shard_count;
     if (!Send(EncodeHello(reply))) {
       return false;
     }
@@ -157,7 +191,9 @@ class BlinkServer::Session {
       error.message = "send HELLO before QUERY";
       return Send(EncodeError(error));
     }
-    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    auto job = std::make_shared<Job>();
+    job->paced = query.round_blocks > 0;
+    job->granted = query.grant_blocks;
     {
       std::unique_lock<std::mutex> lock(jobs_mu_);
       if (jobs_.count(query.id) != 0) {
@@ -171,14 +207,14 @@ class BlinkServer::Session {
         error.message = "query id is already in flight on this session";
         return Send(EncodeError(error));
       }
-      jobs_.emplace(query.id, cancel);
+      jobs_.emplace(query.id, job);
       ++outstanding_;
     }
     const bool admitted = server_->admission_->Submit(
         id_,
-        [this, query, cancel](const QueryRuntime& runtime,
-                              const AdmissionController::Decision& decision) {
-          RunQuery(query, runtime, decision, cancel.get());
+        [this, query, job](const QueryRuntime& runtime,
+                           const AdmissionController::Decision& decision) {
+          RunQuery(query, runtime, decision, job.get());
           FinishJob(query.id);
         },
         [this, query](const char* code, const std::string& message) {
@@ -206,22 +242,41 @@ class BlinkServer::Session {
 
   void OnCancel(const CancelFrame& cancel) {
     // Queued and running queries alike; a CANCEL racing its FINAL (or naming
-    // a finished/unknown id) is a documented no-op.
+    // a finished/unknown id) is a documented no-op. The grant-gate notify
+    // wakes a paused paced query so it unwinds to its FINAL immediately.
     std::lock_guard<std::mutex> lock(jobs_mu_);
     auto it = jobs_.find(cancel.id);
     if (it != jobs_.end()) {
-      it->second->store(true);
+      it->second->cancel.store(true);
+      it->second->cv.notify_all();
+    }
+  }
+
+  void OnGrant(const GrantFrame& grant) {
+    // Raises the query's cumulative block budget (monotonic — a stale or
+    // smaller grant is a no-op). Unknown ids are ignored: the query may have
+    // finished, and GRANT/FINAL races are inherent (docs/PROTOCOL.md).
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(grant.id);
+    if (it != jobs_.end()) {
+      Job& job = *it->second;
+      {
+        std::lock_guard<std::mutex> job_lock(job.mu);
+        job.granted = std::max(job.granted, grant.blocks);
+      }
+      job.cv.notify_all();
     }
   }
 
   // Runs on an admission worker thread: parse, resolve, apply the shed
   // decision, execute on the worker's runtime, stream frames.
   void RunQuery(const QueryFrame& query, const QueryRuntime& runtime,
-                const AdmissionController::Decision& decision,
-                std::atomic<bool>* cancel) {
+                const AdmissionController::Decision& decision, Job* job) {
     uint64_t seq = 0;
     const double queue_ms = decision.queue_seconds * 1000.0;
     double effective_bound = 0.0;
+    const bool paced = job->paced;
+    std::atomic<bool>* cancel = &job->cancel;
 
     auto answer = [&]() -> Result<ApproxAnswer> {
       auto stmt = ParseSelect(query.sql);
@@ -232,20 +287,36 @@ class BlinkServer::Session {
       if (!tables.ok()) {
         return tables.status();
       }
+      if (paced) {
+        // Paced (coordinator-driven) execution: the worker streams its
+        // largest resolution in coordinator-sized rounds and never
+        // self-stops — a target error of 0 disables the stopping rule, so
+        // the grant gate below is the only pacing. The coordinator owns the
+        // joint stopping decision across shards (§4.3); any bound clause in
+        // the scattered SQL was already stripped by it.
+        stmt->bounds.kind = QueryBounds::Kind::kError;
+        stmt->bounds.error = 0.0;
+        stmt->bounds.relative = true;
+        stmt->bounds.confidence =
+            query.confidence > 0 ? query.confidence
+                                 : server_->options_.runtime.default_confidence;
+      }
       // Load shedding: under queue pressure a relative error bound widens to
       // the ladder rung (never narrows) — a coarser answer now instead of
       // BUSY. Absolute bounds are column-scaled, so the relative ladder
-      // cannot be compared against them and leaves them untouched.
-      if (decision.shed_bound > 0.0 &&
+      // cannot be compared against them and leaves them untouched. Paced
+      // queries are exempt: widening their 0 target would make the worker
+      // self-stop and break the coordinator's pacing contract.
+      if (!paced && decision.shed_bound > 0.0 &&
           stmt->bounds.kind == QueryBounds::Kind::kError && stmt->bounds.relative) {
         stmt->bounds.error = std::max(stmt->bounds.error, decision.shed_bound);
       }
-      if (stmt->bounds.kind == QueryBounds::Kind::kError) {
+      if (!paced && stmt->bounds.kind == QueryBounds::Kind::kError) {
         effective_bound = stmt->bounds.error;
       }
       ProgressCallback progress = [this, &query, &seq, queue_ms, &effective_bound,
-                                   cancel](const QueryResult& partial,
-                                           const StreamProgress& p) {
+                                   paced, job, cancel](const QueryResult& partial,
+                                                       const StreamProgress& p) {
         if (p.final_batch) {
           return;  // the terminal answer travels in the FINAL frame instead
         }
@@ -267,16 +338,39 @@ class BlinkServer::Session {
           // it (§4.4 — a dead session must not keep consuming blocks).
           cancel->store(true);
         }
+        if (paced) {
+          // Grant gate: pause after the PARTIAL is on the wire once the
+          // cumulative grant is consumed. GRANT raises the budget, CANCEL
+          // (or teardown) wakes the gate with cancel set, and the driver
+          // then finalizes the consumed prefix as a valid answer — the
+          // paused worker never holds its FINAL hostage.
+          std::unique_lock<std::mutex> gate(job->mu);
+          job->cv.wait(gate, [job, &p] {
+            // A worker that consumed its whole dataset must not pause — the
+            // driver is about to emit its FINAL and there is nothing left for
+            // a further grant to buy.
+            return p.blocks_consumed >= p.blocks_total ||
+                   job->granted > p.blocks_consumed || job->cancel.load();
+          });
+        }
       };
       CacheContext cache_ctx;
-      if (server_->cache_ != nullptr) {
+      // Paced executions bypass the answer cache: their artificial 0-error
+      // bound must neither be served from a stored FINAL (the coordinator
+      // needs fresh per-round pacing) nor inserted (it would poison the key
+      // space with never-satisfiable bounds).
+      if (!paced && server_->cache_ != nullptr) {
         cache_ctx.cache = server_->cache_.get();
         cache_ctx.table_generation = tables->fact->generation;
       }
+      const uint32_t batch_override =
+          paced ? static_cast<uint32_t>(std::min<uint64_t>(
+                      query.round_blocks, std::numeric_limits<uint32_t>::max()))
+                : 0;
       return runtime.Execute(
           *stmt, tables->fact->name, tables->fact->table, tables->fact->scale_factor,
           tables->dim != nullptr ? &tables->dim->table : nullptr, std::move(progress),
-          cancel, cache_ctx);
+          cancel, cache_ctx, batch_override);
     }();
 
     if (answer.ok()) {
@@ -334,9 +428,15 @@ class BlinkServer::Session {
 
   void CancelAllQueries() {
     std::lock_guard<std::mutex> lock(jobs_mu_);
-    for (auto& [id, flag] : jobs_) {
-      flag->store(true);
+    for (auto& [id, job] : jobs_) {
+      job->cancel.store(true);
+      job->cv.notify_all();  // wake paced queries paused on their grant gate
     }
+  }
+
+  bool HasOutstanding() {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    return outstanding_ != 0;
   }
 
   // Blocks until every submitted query has produced its terminal frame. The
@@ -357,10 +457,11 @@ class BlinkServer::Session {
   std::atomic<bool> closing_{false};
   std::atomic<bool> finished_{false};
   // In-flight queries (queued or running) by id, each with its own cancel
-  // flag threaded into the plan driver.
+  // flag threaded into the plan driver and — for paced queries — the grant
+  // gate its execution waits on between rounds.
   std::mutex jobs_mu_;
   std::condition_variable jobs_cv_;
-  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> jobs_;
+  std::unordered_map<uint64_t, std::shared_ptr<Job>> jobs_;
   size_t outstanding_ = 0;  // guarded by jobs_mu_
 };
 

@@ -76,6 +76,19 @@ struct ServerOptions {
   // flips the session's cancel flag, so the query unwinds at the next round
   // boundary and the lease frees. 0 disables the timeout.
   unsigned write_timeout_seconds = 30;
+  // Idle read timeout (SO_RCVTIMEO on session sockets): a session whose
+  // client sends nothing for this long while it has no queries in flight is
+  // closed, reclaiming the reader thread a half-open client would otherwise
+  // pin forever. While queries are in flight the timeout only re-arms — a
+  // quiet client legitimately waits on its FINAL. 0 disables. Sub-second
+  // values are honored (tests use fractions).
+  double idle_read_timeout_seconds = 0.0;
+  // Shard role announced in the HELLO reply: a worker holding shard
+  // `shard_index` of `shard_count` (each a stratified row slice whose sample
+  // families are valid block prefixes). shard_count 0 = whole table, the
+  // non-distributed default. See docs/PROTOCOL.md "Shard role".
+  uint64_t shard_index = 0;
+  uint64_t shard_count = 0;
 };
 
 class BlinkServer {

@@ -132,8 +132,11 @@ Status ValidateQuery(const SelectStatement& stmt, const Schema& fact, const Sche
 
   switch (stmt.bounds.kind) {
     case QueryBounds::Kind::kError:
-      if (stmt.bounds.error <= 0.0) {
-        return Status::InvalidArgument("error bound must be positive");
+      // 0 is allowed: an unattainable bound that runs the plan to block
+      // exhaustion. The distributed coordinator scatters exactly that to
+      // pace workers without a worker-local stopping rule.
+      if (stmt.bounds.error < 0.0) {
+        return Status::InvalidArgument("error bound must be non-negative");
       }
       if (stmt.bounds.confidence <= 0.0 || stmt.bounds.confidence >= 1.0) {
         return Status::InvalidArgument("confidence must be in (0,1)");

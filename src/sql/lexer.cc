@@ -1,6 +1,7 @@
 #include "src/sql/lexer.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 #include "src/util/string_util.h"
@@ -44,7 +45,21 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
       }
       tok.type = TokenType::kNumber;
       tok.text = std::string(sql.substr(i, j - i));
-      tok.number = std::strtod(tok.text.c_str(), nullptr);
+      // strtod must consume the whole scanned token ("1.2.3" parses as 1.2
+      // with a dangling ".3") and stay finite (overflow returns HUGE_VAL) —
+      // a silently truncated or infinite literal would change the query's
+      // meaning, not fail it. Underflow to 0/denormal is representable and
+      // accepted.
+      char* end = nullptr;
+      tok.number = std::strtod(tok.text.c_str(), &end);
+      if (end != tok.text.c_str() + tok.text.size()) {
+        return Status::InvalidArgument("malformed numeric literal '" + tok.text +
+                                       "' at offset " + std::to_string(i));
+      }
+      if (!std::isfinite(tok.number)) {
+        return Status::InvalidArgument("numeric literal '" + tok.text +
+                                       "' out of range at offset " + std::to_string(i));
+      }
       i = j;
     } else if (c == '\'') {
       size_t j = i + 1;

@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal,          // invariant violation inside the engine
   kResourceExhausted, // budget / capacity exceeded
   kInfeasible,        // optimizer: no solution satisfies the constraints
+  kDeadlineExceeded,  // a wall-clock deadline (e.g. a recv timeout) expired
+  kDataLoss,          // unrecoverable stream corruption (e.g. truncated frame)
 };
 
 // Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -59,6 +61,12 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,49 @@
+#include "src/workload/demo_db.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/workload/conviva.h"
+
+namespace blink {
+
+Status BuildConvivaDemo(BlinkDB& db, const DemoDbOptions& options) {
+  if (options.shard_count > 0 && options.shard_index >= options.shard_count) {
+    return Status::InvalidArgument("shard_index must be < shard_count");
+  }
+  ConvivaConfig data;
+  data.num_rows = options.rows;
+  data.num_cities = options.num_cities;
+  data.num_urls = options.num_urls;
+  Table sessions = GenerateConvivaTable(data);
+  // Scale from the FULL table's width: shard i then models paper_bytes/N of
+  // the paper-scale table, and the N shards together model all of it.
+  const double scale =
+      options.paper_bytes /
+      (static_cast<double>(options.rows) * sessions.EstimatedBytesPerRow());
+  if (options.shard_count > 1) {
+    std::vector<uint64_t> keep;
+    keep.reserve(static_cast<size_t>(options.rows / options.shard_count) + 1);
+    for (uint64_t row = options.shard_index; row < sessions.num_rows();
+         row += options.shard_count) {
+      keep.push_back(row);
+    }
+    sessions = sessions.SelectRows(keep);
+  }
+  BLINK_RETURN_IF_ERROR(db.RegisterTable("sessions", std::move(sessions), scale));
+  PlannerConfig planner;
+  planner.budget_fraction = 0.5;
+  planner.cap_k = 500;
+  planner.max_columns_per_set = 2;
+  planner.uniform_fraction = 0.1;
+  auto plan = db.BuildSamples("sessions", ConvivaTemplates(), planner);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  if (options.compress) {
+    BLINK_RETURN_IF_ERROR(db.CompressStorage("sessions"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace blink

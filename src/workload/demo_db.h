@@ -1,0 +1,47 @@
+// Shared builder for the demo serving state: the synthetic Conviva-like
+// sessions table plus its stratified sample families — optionally sliced to
+// one shard of a distributed deployment.
+//
+// Sharding is deterministic row striping: shard i of N keeps exactly the rows
+// whose index in the full generated table satisfies row % N == i. Every
+// shard (and the coordinator's in-process selfcheck reference) generates the
+// SAME full table from the same seed and slices it, so N workers booted with
+// BuildConvivaDemo(i, N) hold a disjoint partition of one well-defined table,
+// and each shard's sample families — built on its own slice — are valid
+// stratified samples of that slice (block prefixes of a per-shard random
+// permutation, the invariant the §4.3 estimators need).
+#ifndef BLINKDB_WORKLOAD_DEMO_DB_H_
+#define BLINKDB_WORKLOAD_DEMO_DB_H_
+
+#include <cstdint>
+
+#include "src/api/blinkdb.h"
+
+namespace blink {
+
+struct DemoDbOptions {
+  // Rows of the FULL table; a shard holds ~rows/shard_count of them.
+  uint64_t rows = 120'000;
+  // Shard role: keep rows where row % shard_count == shard_index.
+  // shard_count 0 (the default) keeps the whole table.
+  uint64_t shard_index = 0;
+  uint64_t shard_count = 0;
+  // Cardinalities the demo server has always used (tests may shrink them).
+  uint64_t num_cities = 500;
+  uint64_t num_urls = 5'000;
+  // Pretend the full stand-in is this many bytes so sampling clearly wins
+  // (the per-shard scale factor is derived from the FULL table's width, so N
+  // shards together model exactly one paper_bytes-sized table).
+  double paper_bytes = 1e12;
+  // Skip CompressStorage (tests exercising the raw path).
+  bool compress = true;
+};
+
+// Registers the (possibly sharded) "sessions" table into `db`, builds the
+// stratified sample families for the Conviva template workload, and encodes
+// compressed storage. Deterministic in `options` alone.
+Status BuildConvivaDemo(BlinkDB& db, const DemoDbOptions& options = {});
+
+}  // namespace blink
+
+#endif  // BLINKDB_WORKLOAD_DEMO_DB_H_

@@ -20,6 +20,9 @@
 //    over the wire and at the runtime layer.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -1043,6 +1046,109 @@ TEST(RuntimeCancelTest, CancelReleasesUnconsumedBlocksFromCharging) {
   // callback is synchronous, so the consumed prefix — and therefore the
   // partial answer — is deterministic.
   EXPECT_GT(answer->report.blocks_consumed, 0u);
+}
+
+// --- Transport faults --------------------------------------------------------
+
+// A peer that dies mid-frame is distinguishable from a clean close: EOF
+// between frames is an orderly end-of-stream (nullopt), EOF inside a frame's
+// header or payload is DataLoss — the coordinator relies on the distinction
+// to tell "worker finished" from "worker died".
+TEST(NetTest, MidFrameEofIsDataLossNotCleanClose) {
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  OwnedFd reader(pair[0]);
+  {
+    OwnedFd writer(pair[1]);
+    const char partial_header[2] = {0, 0};  // 2 of the 4 length bytes
+    ASSERT_EQ(::send(writer.get(), partial_header, sizeof(partial_header), 0), 2);
+  }  // close mid-header
+  auto frame = ReadFrame(reader.get());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  OwnedFd reader2(pair[0]);
+  {
+    OwnedFd writer(pair[1]);
+    const char header_then_half[6] = {0, 0, 0, 8, 'a', 'b'};  // 2 of 8 payload bytes
+    ASSERT_EQ(::send(writer.get(), header_then_half, sizeof(header_then_half), 0), 6);
+  }  // close mid-payload
+  frame = ReadFrame(reader2.get());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+
+  // Control: a close on a frame boundary is the orderly nullopt EOF.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  OwnedFd reader3(pair[0]);
+  ::close(pair[1]);
+  frame = ReadFrame(reader3.get());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(frame->has_value());
+}
+
+// --- Idle read timeout -------------------------------------------------------
+
+// A half-open client (connected, greeted, then silent forever) is reaped by
+// the idle read timeout — but only when the session has no query in flight:
+// a paced query paused awaiting grants keeps its session alive indefinitely.
+TEST(ServerIdleTest, IdleSessionsReapedButInFlightQueriesKeepSessionAlive) {
+  ServedFixture& fx = ServedFixture::Get();
+  ServerOptions options;
+  options.runtime = ServedConfig();
+  options.answer_cache_entries = 0;
+  options.idle_read_timeout_seconds = 0.3;
+  BlinkServer server(fx.db, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Busy session: a paced query that pauses on its grant is outstanding
+  // work, so the reaper must leave the session alone across idle periods
+  // far past the timeout.
+  auto busy = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(busy.ok());
+  ASSERT_TRUE(WriteFrame(busy->get(), EncodeHello(HelloFrame{})).ok());
+  auto greeting = ReadFrame(busy->get());
+  ASSERT_TRUE(greeting.ok());
+  ASSERT_TRUE(greeting->has_value());
+  QueryFrame paced;
+  paced.id = 1;
+  paced.sql = kLongSql;
+  paced.round_blocks = 4;
+  paced.grant_blocks = 4;
+  ASSERT_TRUE(WriteFrame(busy->get(), EncodeQuery(paced)).ok());
+  auto first = ReadFrame(busy->get());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+
+  // Idle session: greeted, then silent — reaped (clean EOF) once the
+  // timeout elapses with nothing running.
+  auto idle = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(idle.ok());
+  ASSERT_TRUE(WriteFrame(idle->get(), EncodeHello(HelloFrame{})).ok());
+  greeting = ReadFrame(idle->get());
+  ASSERT_TRUE(greeting.ok());
+  ASSERT_TRUE(greeting->has_value());
+  auto reaped = ReadFrame(idle->get());  // blocks until the server closes
+  ASSERT_TRUE(reaped.ok()) << reaped.status().ToString();
+  EXPECT_FALSE(reaped->has_value());
+
+  // The reaping above took > idle_read_timeout_seconds of wall time with no
+  // frames from the busy client either; its paused query must still answer.
+  ASSERT_TRUE(WriteFrame(busy->get(), EncodeCancel(CancelFrame{1})).ok());
+  bool saw_final = false;
+  for (int i = 0; i < 64 && !saw_final; ++i) {
+    auto payload = ReadFrame(busy->get());
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    ASSERT_TRUE(payload->has_value()) << "session reaped despite in-flight query";
+    auto frame = DecodeFrame(**payload);
+    ASSERT_TRUE(frame.ok());
+    if (frame->type == FrameType::kFinal) {
+      EXPECT_TRUE(std::get<FinalFrame>(frame->payload).report.cancelled);
+      saw_final = true;
+    }
+  }
+  EXPECT_TRUE(saw_final);
+  server.Stop();
 }
 
 }  // namespace

@@ -55,6 +55,25 @@ TEST(LexerTest, UnexpectedCharacterFails) {
   EXPECT_FALSE(Tokenize("SELECT @").ok());
 }
 
+TEST(LexerTest, MalformedNumericLiteralFails) {
+  // "1.2.3" scans as ONE number token; strtod would quietly parse 1.2 and
+  // leave ".3" dangling — the lexer must reject it, not mangle the query.
+  EXPECT_FALSE(Tokenize("1.2.3").ok());
+  EXPECT_FALSE(Tokenize("SELECT COUNT(*) FROM t WHERE x = 1.2.3").ok());
+}
+
+TEST(LexerTest, OutOfRangeNumericLiteralFails) {
+  // 1 followed by 400 zeros overflows double to +inf; strtod reports it via
+  // HUGE_VAL, which must surface as an error, not an infinite literal.
+  const std::string huge = "1" + std::string(400, '0');
+  EXPECT_FALSE(Tokenize(huge).ok());
+  EXPECT_FALSE(Tokenize("SELECT * FROM t WHERE x < " + huge).ok());
+  // Underflow is representable (0 or denormal) and stays accepted.
+  auto tiny = Tokenize("0.0000000001");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_DOUBLE_EQ((*tiny)[0].number, 1e-10);
+}
+
 TEST(LexerTest, NotEqualsVariants) {
   auto tokens = Tokenize("a != b <> c");
   ASSERT_TRUE(tokens.ok());

@@ -1,7 +1,7 @@
 // blinkdb_server — demo/stand-alone streaming query server.
 //
 // Boots a BlinkDB instance over the synthetic Conviva-like sessions table
-// (src/workload/conviva.h), builds stratified samples for its template
+// (src/workload/demo_db.h), builds stratified samples for its template
 // workload, and serves the wire protocol of docs/PROTOCOL.md until killed.
 // Point blinkdb_cli (or any client speaking the protocol) at it:
 //
@@ -9,11 +9,19 @@
 //   ./blinkdb_cli --port 4411 --execute "SELECT COUNT(*) FROM sessions
 //       WHERE city = 'city_9' ERROR WITHIN 2% AT CONFIDENCE 95%"
 //
+// With --shard-index/--shard-count the server boots as worker i of N of a
+// distributed deployment: it keeps only its row stripe of the SAME demo
+// table (row % N == i), builds samples on that slice, and announces the
+// shard role in its HELLO so blinkdb_coord can scatter to it.
+//
 // Flags:
 //   --host H           listen address           (default 127.0.0.1)
 //   --port P           listen port, 0=ephemeral (default 0)
 //   --port-file PATH   write the bound port here (for scripts; default off)
-//   --rows N           demo table rows          (default 120000)
+//   --rows N           demo table rows (FULL table; a shard holds ~N/count)
+//                                               (default 120000)
+//   --shard-index I    this worker's shard      (default 0)
+//   --shard-count N    shards in the deployment, 0=whole table (default 0)
 //   --threads T        exec threads per runtime (default 2)
 //   --morsel-rows M    block size in rows       (default 512)
 //   --batch-blocks B   streamed round cadence   (default 4)
@@ -23,6 +31,8 @@
 //   --deadline S       shed queries that queued longer than S seconds,
 //                      0=never (default 0)
 //   --cache N          answer-cache entries, 0=disable (default 256)
+//   --idle-timeout S   close sessions idle (no frames, no queries) for S
+//                      seconds, 0=never (default 0)
 #include <unistd.h>
 
 #include <cstdio>
@@ -32,7 +42,7 @@
 
 #include "src/api/blinkdb.h"
 #include "src/server/server.h"
-#include "src/workload/conviva.h"
+#include "src/workload/demo_db.h"
 
 namespace {
 
@@ -55,12 +65,19 @@ int main(int argc, char** argv) {
   const uint16_t port =
       static_cast<uint16_t>(std::atoi(FlagValue(argc, argv, "--port", "0")));
   const std::string port_file = FlagValue(argc, argv, "--port-file", "");
-  const uint64_t rows =
-      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--rows", "120000")));
+
+  DemoDbOptions demo;
+  demo.rows = static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--rows", "120000")));
+  demo.shard_index =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--shard-index", "0")));
+  demo.shard_count =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--shard-count", "0")));
 
   ServerOptions options;
   options.host = host;
   options.port = port;
+  options.shard_index = demo.shard_index;
+  options.shard_count = demo.shard_count;
   options.runtime.exec_threads =
       static_cast<size_t>(std::atoi(FlagValue(argc, argv, "--threads", "2")));
   options.runtime.morsel_rows =
@@ -75,39 +92,23 @@ int main(int argc, char** argv) {
       std::atof(FlagValue(argc, argv, "--deadline", "0"));
   options.answer_cache_entries =
       static_cast<size_t>(std::atoi(FlagValue(argc, argv, "--cache", "256")));
+  options.idle_read_timeout_seconds =
+      std::atof(FlagValue(argc, argv, "--idle-timeout", "0"));
 
-  // --- Demo serving state: Conviva-like sessions + its sample families. ----
-  ConvivaConfig data;
-  data.num_rows = rows;
-  data.num_cities = 500;
-  data.num_urls = 5'000;
-  Table sessions = GenerateConvivaTable(data);
-  // Pretend the stand-in is ~1 TB so sampling clearly wins (same convention
-  // as tests/api_test.cc).
-  const double scale =
-      1e12 / (static_cast<double>(rows) * sessions.EstimatedBytesPerRow());
-
+  // --- Demo serving state: Conviva-like sessions + its sample families
+  // (sliced to this worker's shard when --shard-count is set). -------------
   BlinkDB db;
-  if (Status s = db.RegisterTable("sessions", std::move(sessions), scale); !s.ok()) {
-    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+  if (Status s = BuildConvivaDemo(db, demo); !s.ok()) {
+    std::fprintf(stderr, "demo build failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  PlannerConfig planner;
-  planner.budget_fraction = 0.5;
-  planner.cap_k = 500;
-  planner.max_columns_per_set = 2;
-  planner.uniform_fraction = 0.1;
-  auto plan = db.BuildSamples("sessions", ConvivaTemplates(), planner);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "sampling failed: %s\n", plan.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("built %zu sample families over %llu rows\n", plan->families.size(),
-              static_cast<unsigned long long>(rows));
-  if (Status s = db.CompressStorage("sessions"); !s.ok()) {
-    std::fprintf(stderr, "compression failed: %s\n", s.ToString().c_str());
-    return 1;
-  }
+  std::printf("built demo db over %llu rows%s\n",
+              static_cast<unsigned long long>(demo.rows),
+              demo.shard_count > 0
+                  ? (" (shard " + std::to_string(demo.shard_index) + "/" +
+                     std::to_string(demo.shard_count) + ")")
+                        .c_str()
+                  : "");
 
   BlinkServer server(db, options);
   if (Status s = server.Start(); !s.ok()) {
