@@ -1,0 +1,171 @@
+// Streaming-ingest bench: sustained append/merge rate, and what live runs
+// cost the query path.
+//
+// Three phases over the Conviva-like demo database (src/workload/demo_db.h):
+//
+//   1. ingest_append — land `batches` APPEND-sized batches as level-0 runs
+//      with a MaintenanceTick after each (the demo server's cadence), and
+//      report the sustained rows/sec including compaction and the rebuilt
+//      sample families of merged runs.
+//   2. ingest_query — at increasing run counts (quiescent store), run the
+//      demo template query repeatedly at each error bound and report p50
+//      wall latency and p50 engine blocks consumed. The run-count sweep is
+//      the price of freshness: every pinned run adds one union pipeline.
+//   3. ingest_query_churn — the same query with an appender thread landing
+//      batches (plus ticks) the whole time: p50 under churn vs. quiescent
+//      isolates the cost of snapshot pinning and manifest turnover.
+//
+// One JSON object per line, machine-comparable across commits; the committed
+// reference numbers live in BENCH_ingest.json.
+//
+// Usage: bench_ingest [rows] (default 400,000 base-table rows)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/blinkdb.h"
+#include "src/workload/conviva.h"
+#include "src/workload/demo_db.h"
+
+namespace blink {
+namespace {
+
+constexpr uint64_t kBatchRows = 2'000;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs.empty() ? 0.0 : xs[xs.size() / 2];
+}
+
+// One timed execution of `sql`; returns false (and reports) on failure.
+bool TimedQuery(const BlinkDB& db, const std::string& sql, double* wall_ms,
+                double* blocks, size_t* pipelines) {
+  const double t0 = Now();
+  auto answer = db.Query(sql);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", answer.status().ToString().c_str());
+    return false;
+  }
+  *wall_ms = 1e3 * (Now() - t0);
+  *blocks = static_cast<double>(answer->report.blocks_consumed);
+  *pipelines = answer->report.pipeline_outcomes.size();
+  return true;
+}
+
+// p50 wall/blocks over `reps` executions of the template query at one bound.
+bool ReportQueryPoint(const BlinkDB& db, const char* bench, double error_pct,
+                      int reps, bool churn) {
+  char sql[192];
+  std::snprintf(sql, sizeof(sql),
+                "SELECT COUNT(*) FROM sessions WHERE city = 'city_9' "
+                "ERROR WITHIN %.0f%% AT CONFIDENCE 95%%",
+                error_pct);
+  std::vector<double> wall_ms(static_cast<size_t>(reps));
+  std::vector<double> blocks(static_cast<size_t>(reps));
+  size_t pipelines = 0;
+  for (int r = 0; r < reps; ++r) {
+    if (!TimedQuery(db, sql, &wall_ms[static_cast<size_t>(r)],
+                    &blocks[static_cast<size_t>(r)], &pipelines)) {
+      return false;
+    }
+  }
+  const LeveledStore* store = db.Levels("sessions");
+  std::printf(
+      "{\"bench\":\"%s\",\"runs\":%zu,\"error_pct\":%g,\"reps\":%d,"
+      "\"pipelines\":%zu,\"p50_wall_ms\":%.3f,\"p50_blocks\":%.0f,"
+      "\"churn\":%s}\n",
+      bench, store == nullptr ? 0 : store->run_count(), error_pct, reps,
+      pipelines, Median(wall_ms), Median(blocks), churn ? "true" : "false");
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const uint64_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400'000;
+
+  DemoDbOptions demo;
+  demo.rows = rows;
+  BlinkDB db;
+  if (Status s = BuildConvivaDemo(db, demo); !s.ok()) {
+    std::fprintf(stderr, "demo build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Rng arrivals_rng(7);
+  auto append_batches = [&](int batches, bool tick) -> bool {
+    for (int b = 0; b < batches; ++b) {
+      Table batch = GenerateConvivaArrivals(ConvivaConfig{}, kBatchRows, arrivals_rng);
+      if (auto v = db.Append("sessions", std::move(batch)); !v.ok()) {
+        std::fprintf(stderr, "append failed: %s\n", v.status().ToString().c_str());
+        return false;
+      }
+      if (tick) {
+        if (auto merged = db.MaintenanceTick("sessions"); !merged.ok()) {
+          std::fprintf(stderr, "tick failed: %s\n",
+                       merged.status().ToString().c_str());
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // --- Phase 1: sustained append + compact rate ------------------------------
+  constexpr int kAppendBatches = 64;
+  const double append_t0 = Now();
+  if (!append_batches(kAppendBatches, /*tick=*/true)) {
+    return 1;
+  }
+  const double append_wall = Now() - append_t0;
+  const LeveledStore* store = db.Levels("sessions");
+  std::printf(
+      "{\"bench\":\"ingest_append\",\"base_rows\":%llu,\"batches\":%d,"
+      "\"batch_rows\":%llu,\"rows_appended\":%llu,\"append_rows_per_sec\":%.0f,"
+      "\"runs_after_compaction\":%zu,\"wall_s\":%.3f}\n",
+      static_cast<unsigned long long>(rows), kAppendBatches,
+      static_cast<unsigned long long>(kBatchRows),
+      static_cast<unsigned long long>(kAppendBatches * kBatchRows),
+      static_cast<double>(kAppendBatches * kBatchRows) / append_wall,
+      store == nullptr ? 0 : store->run_count(), append_wall);
+
+  // --- Phase 2: query p50 vs. live run count (quiescent) ---------------------
+  constexpr int kReps = 21;
+  for (double error_pct : {1.0, 5.0}) {
+    if (!ReportQueryPoint(db, "ingest_query", error_pct, kReps, /*churn=*/false)) {
+      return 1;
+    }
+  }
+  // Double the live runs and re-measure: the marginal cost of freshness.
+  if (!append_batches(kAppendBatches, /*tick=*/false)) {
+    return 1;
+  }
+  for (double error_pct : {1.0, 5.0}) {
+    if (!ReportQueryPoint(db, "ingest_query", error_pct, kReps, /*churn=*/false)) {
+      return 1;
+    }
+  }
+
+  // --- Phase 3: the same point with appends landing mid-measurement ----------
+  std::thread appender([&] {
+    // Unticked appends maximize manifest turnover (every batch republishes).
+    append_batches(kAppendBatches, /*tick=*/false);
+  });
+  const bool churn_ok =
+      ReportQueryPoint(db, "ingest_query_churn", 5.0, kReps, /*churn=*/true);
+  appender.join();
+  return churn_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace blink
+
+int main(int argc, char** argv) { return blink::Main(argc, argv); }

@@ -128,6 +128,49 @@ grep -q '^selfcheck: OK' "$COORD_OUT" ||
 kill "$W0_PID" "$W1_PID" 2>/dev/null || true
 echo "coordinator smoke OK"
 
+echo "== ingest smoke: append mid-stream, repeat query sees the rows =="
+# Streaming-ingest wire contract (docs/PROTOCOL.md §3.8): boot a fresh demo
+# server, record a bounded COUNT, APPEND a batch through blinkdb_cli, and
+# require that (a) the append acks with the new manifest version, (b) a
+# repeat query finishes within its bound and runs the leveled union plan,
+# and (c) it sees exactly the appended rows on top of the cold answer.
+INGEST_PORT_FILE="$(mktemp)"
+INGEST_COLD="$(mktemp)"
+INGEST_WARM="$(mktemp)"
+"$BUILD_DIR"/blinkdb_server --rows 40000 --port-file "$INGEST_PORT_FILE" >/dev/null 2>&1 &
+INGEST_PID=$!
+trap 'kill "$SERVER_PID" "$W0_PID" "$W1_PID" "$INGEST_PID" 2>/dev/null || true;
+      rm -f "$PORT_FILE" "$SMOKE_OUT" "$SMOKE_OUT2" \
+            "$W0_PORT_FILE" "$W1_PORT_FILE" "$COORD_OUT" \
+            "$INGEST_PORT_FILE" "$INGEST_COLD" "$INGEST_WARM"' EXIT
+for _ in $(seq 1 100); do
+  [ -s "$INGEST_PORT_FILE" ] && break
+  sleep 0.2
+done
+[ -s "$INGEST_PORT_FILE" ] || { echo "ingest server never wrote its port"; exit 1; }
+INGEST_SQL="SELECT COUNT(*) FROM sessions ERROR WITHIN 0.0001% AT CONFIDENCE 95%"
+"$BUILD_DIR"/blinkdb_cli --port "$(cat "$INGEST_PORT_FILE")" \
+  --execute "$INGEST_SQL" | tee "$INGEST_COLD"
+grep -q '^FINAL ' "$INGEST_COLD" || { echo "no FINAL from the cold query"; exit 1; }
+"$BUILD_DIR"/blinkdb_cli --port "$(cat "$INGEST_PORT_FILE")" \
+  --append-rows 5000 --execute "$INGEST_SQL" | tee "$INGEST_WARM"
+grep -q '^APPENDED rows=5000 version=' "$INGEST_WARM" ||
+  { echo "APPEND did not ack"; exit 1; }
+grep -q '^FINAL ' "$INGEST_WARM" || { echo "post-append query never finished"; exit 1; }
+grep -q '^FINAL family=leveled' "$INGEST_WARM" ||
+  { echo "post-append query did not run the leveled union plan"; exit 1; }
+# Both runs are never-stop COUNT(*)s over the same pinned base, and the
+# appended level-0 run is scanned exactly (weight 1), so warm - cold is 5000
+# up to the renderer's %.4g rounding. The value row is two lines after FINAL
+# (header, then "<value> +/- <err>").
+COLD_COUNT="$(awk '/^FINAL /{mark=NR} mark && NR==mark+2 {print $1; exit}' "$INGEST_COLD")"
+WARM_COUNT="$(awk '/^FINAL /{mark=NR} mark && NR==mark+2 {print $1; exit}' "$INGEST_WARM")"
+awk -v cold="$COLD_COUNT" -v warm="$WARM_COUNT" \
+  'BEGIN { d = warm - cold; exit (d >= 4900 && d <= 5100) ? 0 : 1 }' ||
+  { echo "repeat query did not see the 5000 appended rows (cold=$COLD_COUNT warm=$WARM_COUNT)"; exit 1; }
+kill "$INGEST_PID" 2>/dev/null || true
+echo "ingest smoke OK"
+
 echo "== sanitizers: codec + exec under ASan/UBSan =="
 # The compressed scan path is the bit-twiddling hot spot; run its tests (and
 # the execution layers above it) under AddressSanitizer + UBSan. Override the
@@ -145,19 +188,20 @@ else
   echo "sanitizers clean"
 fi
 
-echo "== sanitizers: server + cache + admission under TSan =="
-# The admission queue, answer cache, and morsel executor are the concurrency
-# hot spots this layer added; run their tests under ThreadSanitizer in a
-# separate build tree. Shares the BLINK_SANITIZE=off escape hatch for
-# toolchains without libtsan.
+echo "== sanitizers: server + cache + admission + ingest under TSan =="
+# The admission queue, answer cache, morsel executor, and the streaming
+# ingest path (appends/merges racing pinned streamed queries) are the
+# concurrency hot spots; run their tests under ThreadSanitizer in a separate
+# build tree. Shares the BLINK_SANITIZE=off escape hatch for toolchains
+# without libtsan.
 if [ "$SAN" = "off" ]; then
   echo "BLINK_SANITIZE=off; skipping TSan build"
 else
   cmake -B "$BUILD_DIR-tsan" -S . -DBLINK_SANITIZE=thread >/dev/null
   cmake --build "$BUILD_DIR-tsan" -j "$JOBS" --target \
-    server_test answer_cache_test cache_resume_test parallel_exec_test
+    server_test answer_cache_test cache_resume_test parallel_exec_test ingest_test
   ctest --test-dir "$BUILD_DIR-tsan" --output-on-failure -j "$JOBS" \
-    -R '^(server_test|answer_cache_test|cache_resume_test|parallel_exec_test)$'
+    -R '^(server_test|answer_cache_test|cache_resume_test|parallel_exec_test|ingest_test)$'
   echo "tsan clean"
 fi
 

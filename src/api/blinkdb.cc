@@ -1,10 +1,12 @@
 #include "src/api/blinkdb.h"
 
+#include <utility>
 #include <vector>
 
 #include "src/sample/maintenance.h"
 #include "src/sql/parser.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace blink {
 
@@ -93,6 +95,17 @@ Result<ApproxAnswer> BlinkDB::Query(std::string_view sql, ProgressCallback progr
   if (!tables.ok()) {
     return tables.status();
   }
+  // A live table (pinned ingest runs) executes as a leveled union plan over
+  // the level set pinned here — appends landing after this point are
+  // invisible to this query. `pinned` owns the snapshot keeping the runs
+  // alive across the call.
+  const auto pinned = PinLevels(stmt->table);
+  if (pinned.has_value()) {
+    return runtime_.ExecuteLeveled(
+        *stmt, tables->fact->name, tables->fact->table, tables->fact->scale_factor,
+        pinned->levels, tables->dim != nullptr ? &tables->dim->table : nullptr,
+        std::move(progress), cancel);
+  }
   return runtime_.Execute(*stmt, tables->fact->name, tables->fact->table,
                           tables->fact->scale_factor,
                           tables->dim != nullptr ? &tables->dim->table : nullptr,
@@ -108,21 +121,139 @@ Result<ApproxAnswer> BlinkDB::QueryExact(std::string_view sql) const {
   if (!tables.ok()) {
     return tables.status();
   }
+  // Ground truth over a live table covers the pinned runs too: flatten the
+  // base table plus every run into one exact scan.
+  const Table* exact_table = &tables->fact->table;
+  Table flattened;
+  const auto pinned = PinLevels(stmt->table);
+  if (pinned.has_value()) {
+    flattened = Table(tables->fact->table.schema());
+    BLINK_RETURN_IF_ERROR(LeveledStore::AppendRows(flattened, tables->fact->table));
+    for (const auto& run : pinned->snapshot.runs) {
+      BLINK_RETURN_IF_ERROR(LeveledStore::AppendRows(flattened, *run->rows));
+    }
+    exact_table = &flattened;
+  }
   auto result = ExecuteQuery(
-      *stmt, Dataset::Exact(tables->fact->table),
+      *stmt, Dataset::Exact(*exact_table),
       tables->dim != nullptr ? &tables->dim->table : nullptr);
   if (!result.ok()) {
     return result.status();
   }
   ApproxAnswer answer{std::move(result.value()), {}};
   answer.report.family = "exact";
-  answer.report.rows_read = tables->fact->table.num_rows();
+  answer.report.rows_read = exact_table->num_rows();
   QueryWorkload workload;
   workload.input_bytes = tables->fact->logical_bytes();
   workload.want_cached = true;
   answer.report.execution_latency = cluster_.EstimateLatency(workload);
   answer.report.total_latency = answer.report.execution_latency;
   return answer;
+}
+
+Status BlinkDB::ConfigureIngest(const std::string& table_name,
+                                LeveledStoreOptions options) {
+  const TableEntry* entry = catalog_.Find(table_name);
+  if (entry == nullptr) {
+    return Status::NotFound("table '" + table_name + "' not registered");
+  }
+  if (entry->is_dimension) {
+    return Status::FailedPrecondition("dimension tables do not take appends (§2.1)");
+  }
+  std::vector<FamilyShape> shapes;
+  for (const SampleFamily* family : samples_.FamiliesFor(table_name)) {
+    shapes.push_back(FamilyShape{family->kind(), family->columns()});
+  }
+  const std::string key = AsciiToLower(table_name);
+  std::lock_guard<std::mutex> lock(levels_mu_);
+  if (levels_.count(key) != 0) {
+    return Status::FailedPrecondition("ingest already configured for '" + table_name +
+                                      "'");
+  }
+  levels_.emplace(key, std::make_unique<LeveledStore>(
+                           entry->table.schema(), std::move(shapes),
+                           std::move(options), [this, name = entry->name] {
+                             catalog_.BumpGeneration(name);
+                           }));
+  return Status::Ok();
+}
+
+Result<LeveledStore*> BlinkDB::GetOrCreateLevels(const std::string& table_name) {
+  {
+    std::lock_guard<std::mutex> lock(levels_mu_);
+    const auto it = levels_.find(AsciiToLower(table_name));
+    if (it != levels_.end()) {
+      return it->second.get();
+    }
+  }
+  // First append with no explicit ConfigureIngest: defaults, with family
+  // shapes mirroring whatever samples the table has and compression matching
+  // its CompressStorage choice.
+  const TableEntry* entry = catalog_.Find(table_name);
+  if (entry == nullptr) {
+    return Status::NotFound("table '" + table_name + "' not registered");
+  }
+  LeveledStoreOptions options;
+  if (entry->compressed) {
+    options.encode = entry->encode_options;
+  }
+  BLINK_RETURN_IF_ERROR(ConfigureIngest(table_name, std::move(options)));
+  std::lock_guard<std::mutex> lock(levels_mu_);
+  return levels_.find(AsciiToLower(table_name))->second.get();
+}
+
+Result<uint64_t> BlinkDB::Append(const std::string& table_name, Table rows) {
+  auto store = GetOrCreateLevels(table_name);
+  if (!store.ok()) {
+    return store.status();
+  }
+  return store.value()->Append(std::move(rows));
+}
+
+Result<bool> BlinkDB::MaintenanceTick(const std::string& table_name) {
+  std::unique_lock<std::mutex> lock(levels_mu_);
+  const auto it = levels_.find(AsciiToLower(table_name));
+  if (it == levels_.end()) {
+    return false;
+  }
+  LeveledStore* store = it->second.get();
+  lock.unlock();  // merges are slow; the store synchronizes itself
+  return store->MaintenanceTick();
+}
+
+const LeveledStore* BlinkDB::Levels(const std::string& table_name) const {
+  std::lock_guard<std::mutex> lock(levels_mu_);
+  const auto it = levels_.find(AsciiToLower(table_name));
+  return it == levels_.end() ? nullptr : it->second.get();
+}
+
+std::optional<BlinkDB::PinnedLevels> BlinkDB::PinLevels(
+    const std::string& table_name) const {
+  const LeveledStore* store = Levels(table_name);
+  if (store == nullptr) {
+    return std::nullopt;
+  }
+  PinnedLevels pinned;
+  pinned.snapshot = store->Pin();
+  if (pinned.snapshot.runs.empty()) {
+    return std::nullopt;
+  }
+  pinned.levels.reserve(pinned.snapshot.runs.size());
+  for (const auto& run : pinned.snapshot.runs) {
+    LevelScan scan;
+    scan.rows = run->rows.get();
+    scan.families.reserve(run->families.size());
+    for (const auto& family : run->families) {
+      scan.families.push_back(family.get());
+    }
+    scan.label = "run" + std::to_string(run->id) + "@L" + std::to_string(run->level);
+    pinned.levels.push_back(std::move(scan));
+  }
+  pinned.fingerprint = pinned.snapshot.Fingerprint();
+  if (const TableEntry* entry = catalog_.Find(table_name)) {
+    pinned.generation = entry->generation;
+  }
+  return pinned;
 }
 
 Result<int> BlinkDB::AppendAndMaintain(const std::string& table_name,

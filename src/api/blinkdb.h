@@ -15,14 +15,19 @@
 #define BLINKDB_API_BLINKDB_H_
 
 #include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/catalog/catalog.h"
 #include "src/cluster/cluster_model.h"
 #include "src/optimizer/sample_planner.h"
 #include "src/runtime/query_runtime.h"
+#include "src/sample/leveled_store.h"
 #include "src/sample/sample_store.h"
 
 namespace blink {
@@ -88,10 +93,57 @@ class BlinkDB {
   // reported for the configured engine on the full data.
   Result<ApproxAnswer> QueryExact(std::string_view sql) const;
 
+  // --- Streaming ingest (src/sample/leveled_store.h) -----------------------
+  //
+  // Append() seals each batch as an immutable level-0 run of the table's
+  // leveled store; queries union the pinned runs with the base table as
+  // extra plan pipelines. MaintenanceTick() (or the background thread, when
+  // ConfigureIngest enables one) compacts runs into leveled merged runs and
+  // rebuilds sample families over them. Every publication bumps the table's
+  // catalog generation, so cached answers over a stale level set never
+  // serve. A query pins the level set it starts with: appends and merges
+  // landing mid-query are invisible to it (snapshot isolation).
+
+  // Installs a leveled store for the table with explicit options (merge
+  // fanout, sampling threshold, seeds, background cadence). Optional:
+  // Append() creates a store with defaults — family shapes mirroring the
+  // table's built samples, compression matching CompressStorage — on first
+  // use. Fails if the table is unknown, is a dimension table, or already has
+  // a configured store.
+  Status ConfigureIngest(const std::string& table_name, LeveledStoreOptions options);
+
+  // Appends `rows` as one sealed level-0 run. Thread-safe against concurrent
+  // queries, appends, and maintenance. Returns the store's manifest version
+  // after publication.
+  Result<uint64_t> Append(const std::string& table_name, Table rows);
+
+  // Runs one merge step of the table's leveled store; returns whether a
+  // merge happened. False when the table has no store or no level is due.
+  // The deterministic test-driven alternative to the background thread.
+  Result<bool> MaintenanceTick(const std::string& table_name);
+
+  // The table's leveled store, or null if ingest was never used.
+  const LeveledStore* Levels(const std::string& table_name) const;
+
+  // A pinned level set, ready to execute against: the snapshot that keeps
+  // the runs alive, the LevelScan views QueryRuntime::ExecuteLeveled scans,
+  // the snapshot fingerprint (cache-key suffix), and the table generation
+  // observed at pin time. Keep it alive across the Execute call.
+  struct PinnedLevels {
+    LeveledStore::Snapshot snapshot;
+    std::vector<LevelScan> levels;
+    std::string fingerprint;
+    uint64_t generation = 0;
+  };
+  // Pins the table's current level set; nullopt when the table has no
+  // leveled store or no runs (queries then take the flat path).
+  std::optional<PinnedLevels> PinLevels(const std::string& table_name) const;
+
   // Ingests new data for a table and refreshes its samples when their
   // distribution drifted (§4.5 maintenance loop). Returns the number of
   // families rebuilt. Rebuilt families are re-encoded when the table is
-  // compressed, so CompressStorage survives maintenance.
+  // compressed, so CompressStorage survives maintenance. This is the legacy
+  // synchronous rebuild-the-world path; Append() is the streaming one.
   Result<int> AppendAndMaintain(const std::string& table_name, const Table& new_rows,
                                 double drift_threshold = 0.1);
 
@@ -123,6 +175,11 @@ class BlinkDB {
   Result<ResolvedTables> Resolve(const SelectStatement& stmt) const;
 
  private:
+  // Returns the table's leveled store, creating one with default options on
+  // first use (shapes mirror the table's built families; compression follows
+  // the entry's CompressStorage choice). Caller holds no locks.
+  Result<LeveledStore*> GetOrCreateLevels(const std::string& table_name);
+
   Catalog catalog_;
   SampleStore samples_;
   ClusterModel cluster_;
@@ -130,6 +187,11 @@ class BlinkDB {
   PlannerConfig last_planner_config_;
   std::vector<WorkloadTemplate> last_workload_;
   std::string last_planned_table_;
+  // Leveled ingest stores, keyed by lower-cased table name. The map only
+  // grows (stores live for the BlinkDB's lifetime), so a pointer handed out
+  // under the mutex stays valid after it is released.
+  mutable std::mutex levels_mu_;
+  std::unordered_map<std::string, std::unique_ptr<LeveledStore>> levels_;
 };
 
 }  // namespace blink

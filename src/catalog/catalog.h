@@ -6,6 +6,7 @@
 #ifndef BLINKDB_CATALOG_CATALOG_H_
 #define BLINKDB_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -32,10 +33,13 @@ struct TableEntry {
   BlockEncodeOptions encode_options;
   // Monotonic mutation counter: bumped on every change to what a query over
   // this table could observe — the table contents (ReplaceTable), its block
-  // encoding (CompressTable), and its sample families (BumpGeneration from
-  // BuildSamples / AppendAndMaintain). The answer cache keys on it, so a
-  // snapshot taken before any mutation can never be served after one.
-  uint64_t generation = 0;
+  // encoding (CompressTable), its sample families (BumpGeneration from
+  // BuildSamples / AppendAndMaintain), and every leveled-store publication
+  // (append or merge, via LeveledStore's on_publish hook). The answer cache
+  // keys on it, so a snapshot taken before any mutation can never be served
+  // after one. Atomic because ingest bumps it from append/merge threads while
+  // concurrent queries read it when forming cache keys.
+  std::atomic<uint64_t> generation{0};
 
   double logical_bytes() const {
     return static_cast<double>(table.num_rows()) * table.EstimatedBytesPerRow() *

@@ -8,7 +8,8 @@ namespace {
 // Maps a wire ERROR frame onto the Status a local call would have produced.
 Status StatusFromWire(const ErrorFrame& error) {
   const std::string what = error.code + ": " + error.message;
-  if (error.code == wire_error::kQueryFailed) {
+  if (error.code == wire_error::kQueryFailed ||
+      error.code == wire_error::kAppendFailed) {
     return Status::InvalidArgument(what);
   }
   if (error.code == wire_error::kBusy) {
@@ -116,6 +117,68 @@ Result<QueryOutcome> BlinkClient::Query(const std::string& sql,
         // HELLO/QUERY/CANCEL never travel server→client mid-query; tolerate
         // and keep waiting rather than abandoning a running query.
         continue;
+    }
+  }
+}
+
+Result<AppendOutcome> BlinkClient::Append(const std::string& table,
+                                          const Table& rows) {
+  if (!connected()) {
+    return Status::FailedPrecondition("not connected");
+  }
+  if (query_active_.load()) {
+    // Append() reads the session stream; interleaving with Query()'s reader
+    // would steal its frames.
+    return Status::FailedPrecondition("a Query() is in flight on this session");
+  }
+  AppendFrame frame;
+  frame.id = next_query_id_++;
+  frame.table = table;
+  const Schema& schema = rows.schema();
+  frame.columns.reserve(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    frame.columns.push_back(schema.column(c).name);
+  }
+  frame.rows.reserve(rows.num_rows());
+  for (uint64_t r = 0; r < rows.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(schema.num_columns());
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      row.push_back(rows.GetValue(c, r));
+    }
+    frame.rows.push_back(std::move(row));
+  }
+  const std::string payload = EncodeAppend(frame);
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "append batch exceeds the frame size limit; split it");
+  }
+  BLINK_RETURN_IF_ERROR(SendRaw(payload));
+  for (;;) {
+    auto reply = ReadOne();
+    if (!reply.ok()) {
+      return reply.status();
+    }
+    switch (reply->type) {
+      case FrameType::kAppendOk: {
+        const AppendOkFrame& ok = std::get<AppendOkFrame>(reply->payload);
+        if (ok.id != frame.id) {
+          continue;
+        }
+        AppendOutcome outcome;
+        outcome.rows_appended = ok.rows_appended;
+        outcome.version = ok.version;
+        return outcome;
+      }
+      case FrameType::kError: {
+        const ErrorFrame& error = std::get<ErrorFrame>(reply->payload);
+        if (error.has_id && error.id != frame.id) {
+          continue;
+        }
+        return StatusFromWire(error);
+      }
+      default:
+        continue;  // stale frame from an earlier query on this session
     }
   }
 }

@@ -32,6 +32,7 @@
 
 #include "src/server/net.h"
 #include "src/server/protocol.h"
+#include "src/storage/table.h"
 
 namespace blink {
 
@@ -53,6 +54,16 @@ struct QueryOutcome {
 // Invoked once per PARTIAL frame, in arrival order, on the Query() thread.
 using PartialCallback = std::function<void(const PartialFrame& partial)>;
 
+// The server-acknowledged outcome of one Append().
+struct AppendOutcome {
+  uint64_t rows_appended = 0;
+  // The leveled store's manifest version with the new run published. Any
+  // query sent on this session after Append() returns observes the rows;
+  // queries already running when the rows landed never do (the server pins
+  // each query's level set at execution start).
+  uint64_t version = 0;
+};
+
 class BlinkClient {
  public:
   BlinkClient() = default;
@@ -72,6 +83,13 @@ class BlinkClient {
   // PARTIAL to `on_partial` along the way. A server-side failure (ERROR
   // frame) comes back as a non-OK Status carrying the wire code + message.
   Result<QueryOutcome> Query(const std::string& sql, PartialCallback on_partial = {});
+
+  // Streaming ingest: sends `rows` (whose schema must match the server
+  // table's, column for column) as one APPEND frame and blocks until the
+  // server's APPEND_OK or ERROR. Not legal while a Query() is in flight on
+  // this client — Append() shares the session's single reader. Batches whose
+  // encoding exceeds the 16 MiB frame limit are rejected locally; split them.
+  Result<AppendOutcome> Append(const std::string& table, const Table& rows);
 
   // Thread-safe: requests cancellation of the Query() currently in flight.
   // No-op (Ok) when no query is active — the race against a completing

@@ -750,8 +750,10 @@ Result<ApproxAnswer> QueryRuntime::RunPlan(const SelectStatement& stmt,
         charge_blocks -= reused;
       }
       if (charge_blocks > 0) {
+        const double charge_scale =
+            p.model_scale > 0.0 ? p.model_scale : scale_factor;
         charged.push_back(
-            WorkloadForConsumed(p.dataset, scale_factor, charge_rows, charge_blocks));
+            WorkloadForConsumed(p.dataset, charge_scale, charge_rows, charge_blocks));
         exec_latency = cluster_->EstimateLatency(charged.back());
       }
     }
@@ -936,6 +938,243 @@ Result<ApproxAnswer> QueryRuntime::RunUnion(const SelectStatement& stmt,
   }
   return RunPlan(stmt, std::move(plans), scale_factor, progress, cancel, cache_req,
                  batch_blocks_override);
+}
+
+QueryRuntime::PipelinePlan QueryRuntime::PlanLevel(const SelectStatement& sub,
+                                                   const SelectStatement& stmt,
+                                                   const LevelScan& level,
+                                                   double scale_factor,
+                                                   const Table* dim) const {
+  // Family choice mirrors §4.1.1 without probing: runs are orders of
+  // magnitude smaller than the base table, so the covering-stratified /
+  // uniform / exact preference order is decided structurally. Probing every
+  // run would cost more than it saves.
+  const std::vector<std::string> phi = sub.TemplateColumns();
+  const SampleFamily* family = nullptr;
+  if (!phi.empty()) {
+    for (const SampleFamily* f : level.families) {
+      if (f == nullptr || f->kind() != SampleFamily::Kind::kStratified) {
+        continue;
+      }
+      if (std::includes(f->columns().begin(), f->columns().end(), phi.begin(),
+                        phi.end()) &&
+          (family == nullptr || f->columns().size() < family->columns().size())) {
+        family = f;
+      }
+    }
+  }
+  if (family == nullptr) {
+    for (const SampleFamily* f : level.families) {
+      if (f != nullptr && f->kind() == SampleFamily::Kind::kUniform) {
+        family = f;
+        break;
+      }
+    }
+  }
+  if (family == nullptr) {
+    // Exact scan of the run's rows: an L0 write buffer (or a merged run below
+    // the sampling threshold) is a weight-1 stratum — a valid sample prefix
+    // by construction, contributing zero variance to the union.
+    PipelinePlan plan = PlanExact(sub, *level.rows, scale_factor, dim);
+    plan.family_name = level.label + ":exact";
+    plan.model_scale = 1.0;
+    return plan;
+  }
+
+  PipelinePlan plan;
+  plan.family_name = level.label + ":" + FamilyName(*family);
+  plan.family_uniform = family->kind() == SampleFamily::Kind::kUniform;
+  plan.family_columns = family->columns();
+  plan.spec.stmt = sub;
+  plan.spec.dim = dim;
+  // Always the maximal logical sample, like the streamed-error flat path:
+  // prefix order passes through every smaller resolution, so the joint
+  // stopping rule lands the run's scan exactly where the union bound is met.
+  plan.spec.dataset = family->LogicalSample(0);
+  plan.resolution = 0;
+  plan.scan_resolution = 0;
+  plan.cap = family->resolution(0).cap;
+  plan.model_scale = 1.0;
+  switch (stmt.bounds.kind) {
+    case QueryBounds::Kind::kError:
+      plan.streamed = config_.streaming;
+      break;
+    case QueryBounds::Kind::kTime:
+      if (config_.streaming) {
+        plan.streamed = true;
+        plan.budget_blocks =
+            TimeBudgetBlocks(plan.spec.dataset, /*scale_factor=*/1.0,
+                             stmt.bounds.time_seconds, /*reused_prefix_rows=*/0);
+        plan.spec.max_blocks = plan.budget_blocks;
+      }
+      break;
+    case QueryBounds::Kind::kNone:
+      break;
+  }
+  plan.dataset = plan.spec.dataset;
+  return plan;
+}
+
+Result<ApproxAnswer> QueryRuntime::ExecuteLeveled(
+    const SelectStatement& stmt, const std::string& table_name, const Table& fact,
+    double scale_factor, const std::vector<LevelScan>& levels, const Table* dim,
+    ProgressCallback progress, const std::atomic<bool>* cancel,
+    const CacheContext& cache_ctx, uint32_t batch_blocks_override) const {
+  if (levels.empty()) {
+    return Execute(stmt, table_name, fact, scale_factor, dim, std::move(progress),
+                   cancel, cache_ctx, batch_blocks_override);
+  }
+  for (const auto& item : stmt.items) {
+    if (item.is_aggregate && item.agg.func == AggFunc::kQuantile) {
+      return Status::Unimplemented(
+          "quantiles over a leveled table are not supported: t-digests do not "
+          "recombine across level pipelines with run-local weights");
+    }
+  }
+  const double confidence = stmt.bounds.kind == QueryBounds::Kind::kError
+                                ? stmt.bounds.confidence
+                                : config_.default_confidence;
+  const bool cache_on = cache_ctx.cache != nullptr && config_.streaming &&
+                        stmt.bounds.kind != QueryBounds::Kind::kTime;
+
+  // Same terminal-callback safety net as Execute; the leveled cache outcome
+  // is settled before the first partial can fire (hit returns early, so any
+  // streamed partial is a miss).
+  bool progress_fired = false;
+  ProgressCallback wrapped;
+  if (progress) {
+    wrapped = [&progress, &progress_fired, cache_on](const QueryResult& partial,
+                                                     const StreamProgress& p) {
+      progress_fired = true;
+      if (cache_on) {
+        StreamProgress stamped = p;
+        stamped.cache = CacheOutcomeName(CacheOutcome::kMiss);
+        progress(partial, stamped);
+        return;
+      }
+      progress(partial, p);
+    };
+  }
+  auto finish = [&](Result<ApproxAnswer> answer) {
+    if (progress && answer.ok() && !progress_fired) {
+      const ApproxAnswer& a = answer.value();
+      StreamProgress p;
+      p.blocks_consumed = a.report.blocks_consumed;
+      p.blocks_total = a.report.blocks_read;
+      p.rows_consumed = a.report.rows_read;
+      p.rows_total = a.report.rows_read;
+      p.achieved_error = a.report.achieved_error;
+      p.bound_met = stmt.bounds.kind == QueryBounds::Kind::kError &&
+                    a.report.achieved_error <= stmt.bounds.error;
+      p.bytes_scanned = a.report.bytes_scanned;
+      p.bytes_decoded = a.report.bytes_decoded;
+      p.final_batch = true;
+      p.cache = a.report.cache;
+      progress(a.result, p);
+    }
+    return answer;
+  };
+
+  // --- Answer cache: hit or cold, never resume -------------------------------
+  // Run families live in the pinned snapshot, not the SampleStore, so a
+  // cached pipeline prefix cannot be re-bound later; entries are final-only.
+  // The key carries the snapshot fingerprint on top of the generation: two
+  // different pinned level sets can never share an entry.
+  std::string cache_key;
+  if (cache_on) {
+    cache_key = AnswerCacheKey(stmt, cache_ctx.table_generation,
+                               config_.morsel_rows, config_.compressed_scan,
+                               config_.filter_encoded_views) +
+                "|" + cache_ctx.key_suffix;
+    if (auto entry = cache_ctx.cache->Lookup(cache_key)) {
+      const double err = ReportedError(entry->result, stmt.bounds, confidence);
+      const bool meets = stmt.bounds.kind == QueryBounds::Kind::kError &&
+                         err <= stmt.bounds.error;
+      if (meets || entry->complete) {
+        cache_ctx.cache->RecordOutcome(CacheOutcome::kHit);
+        ApproxAnswer hit = ServeCacheHit(stmt, entry, err);
+        hit.report.rewrite_fallback = entry->rewrite_fallback;
+        return finish(std::move(hit));
+      }
+    }
+    cache_ctx.cache->RecordOutcome(CacheOutcome::kMiss);
+  }
+
+  // --- Plan: base pipeline + one pipeline per pinned run ---------------------
+  // No DNF rewrite on the leveled path: a disjunctive WHERE runs as one scan
+  // of the whole predicate per level (the pipeline set stays levels + 1), and
+  // the report says so via rewrite_fallback — same contract as the overflow
+  // fallback of the flat path.
+  const bool rewrite_fallback =
+      stmt.where.has_value() && !stmt.where->IsConjunctive();
+  const UnionCombiner combiner(stmt);
+  SelectStatement sub = stmt;
+  combiner.PrepareSubquery(sub);
+
+  std::vector<PipelinePlan> plans;
+  plans.reserve(levels.size() + 1);
+  bool base_tightenable = false;
+  auto choice = ChooseFamily(sub, table_name, fact, scale_factor, dim);
+  if (!choice.ok()) {
+    return choice.status();
+  }
+  if (choice->family == nullptr) {
+    plans.push_back(PlanExact(sub, fact, scale_factor, dim));
+  } else {
+    const SampleFamily* family = choice->family;
+    auto pipeline =
+        PlanOnFamily(sub, *family, std::move(*choice), scale_factor, dim);
+    if (!pipeline.ok()) {
+      return pipeline.status();
+    }
+    // A base scan that stopped at a coarser resolution could still be
+    // tightened by a re-execution streaming resolution 0, so such an answer
+    // must not gate the serve-regardless-of-bound cache path.
+    base_tightenable = pipeline.value().scan_resolution != 0;
+    plans.push_back(std::move(pipeline.value()));
+  }
+  for (const LevelScan& level : levels) {
+    plans.push_back(PlanLevel(sub, stmt, level, scale_factor, dim));
+  }
+
+  auto answer =
+      RunPlan(stmt, std::move(plans), scale_factor, wrapped, cancel,
+              /*cache_req=*/nullptr, batch_blocks_override);
+  if (!answer.ok()) {
+    return answer.status();
+  }
+  ExecutionReport& report = answer.value().report;
+  report.family = "leveled";
+  report.rewrite_fallback = rewrite_fallback;
+  if (cache_on) {
+    report.cache = CacheOutcomeName(CacheOutcome::kMiss);
+  }
+
+  // --- Cache insertion: final answer only ------------------------------------
+  // RunPlan's own insertion path is bypassed (it would record resumable
+  // pipeline state bound to SampleStore families — the wrong store for run
+  // families). A later query with the same statement, generation, and pinned
+  // fingerprint serves this FINAL; any other level set misses by key.
+  if (cache_on && !report.cancelled) {
+    auto entry = std::make_shared<CacheEntry>();
+    entry->result = answer.value().result;
+    entry->result_confidence = confidence;
+    entry->complete = !report.stopped_early && !base_tightenable;
+    entry->resumable = false;
+    entry->blocks_consumed = report.blocks_consumed;
+    for (const PipelineOutcome& outcome : report.pipeline_outcomes) {
+      entry->blocks_total += outcome.blocks_total;
+    }
+    entry->rows_consumed = report.rows_read;
+    entry->family = report.family;
+    entry->resolution = report.resolution;
+    entry->cap = report.cap;
+    entry->projected_error = report.projected_error;
+    entry->num_subqueries = report.num_subqueries;
+    entry->rewrite_fallback = rewrite_fallback;
+    cache_ctx.cache->Insert(cache_key, std::move(entry));
+  }
+  return finish(std::move(answer));
 }
 
 Result<ApproxAnswer> QueryRuntime::Execute(const SelectStatement& stmt,

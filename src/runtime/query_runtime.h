@@ -170,6 +170,22 @@ struct ApproxAnswer {
 struct CacheContext {
   AnswerCache* cache = nullptr;
   uint64_t table_generation = 0;
+  // Extra key material appended to the answer-cache key. The leveled path
+  // passes the pinned snapshot's fingerprint (version + run ids) so two
+  // different level sets can never share an entry, even across the window
+  // between a publication and its generation bump becoming visible.
+  std::string key_suffix;
+};
+
+// One immutable ingest run a leveled query scans in addition to the base
+// table: its row store plus whatever sample families the merge built over it
+// (empty = the run is scanned exactly — every L0 write buffer, and any merged
+// run below the sampling threshold). Pointers borrow from a pinned
+// LeveledStore::Snapshot the caller must keep alive across Execute.
+struct LevelScan {
+  const Table* rows = nullptr;
+  std::vector<const SampleFamily*> families;
+  std::string label;  // e.g. "run3@L1", for per-pipeline reporting
 };
 
 class QueryRuntime {
@@ -209,6 +225,29 @@ class QueryRuntime {
                                const CacheContext& cache_ctx = {},
                                uint32_t batch_blocks_override = 0) const;
 
+  // Execute over a live (leveled) table: the base table's chosen pipeline
+  // plus one pipeline per pinned ingest run, all driven as one union plan
+  // under the joint stopping rule — a query over a live table is just a wider
+  // physical plan. `levels` borrows from a pinned LeveledStore::Snapshot the
+  // caller keeps alive; an empty vector is exactly Execute. Differences from
+  // the flat path, by design:
+  //  - No DNF rewrite: a disjunctive WHERE runs as one scan per level
+  //    (reported rewrite_fallback), keeping the pipeline set = levels + 1.
+  //  - Quantiles are rejected (t-digests don't merge across level pipelines
+  //    with run-local weights yet).
+  //  - The answer cache serves hits and inserts final-only entries but never
+  //    resumes: run families live in the snapshot, not the SampleStore, so a
+  //    cached prefix cannot be re-bound after the snapshot is gone.
+  Result<ApproxAnswer> ExecuteLeveled(const SelectStatement& stmt,
+                                      const std::string& table_name, const Table& fact,
+                                      double scale_factor,
+                                      const std::vector<LevelScan>& levels,
+                                      const Table* dim = nullptr,
+                                      ProgressCallback progress = {},
+                                      const std::atomic<bool>* cancel = nullptr,
+                                      const CacheContext& cache_ctx = {},
+                                      uint32_t batch_blocks_override = 0) const;
+
  private:
   struct FamilyChoice {
     const SampleFamily* family = nullptr;  // null = exact execution
@@ -246,6 +285,12 @@ class QueryRuntime {
     // pipeline's static spec.max_blocks cap; under adaptive scheduling the
     // union's budgets merge into one shared pool the scheduler drains.
     uint64_t budget_blocks = 0;
+    // Scale the cluster model charges this pipeline's consumed blocks at;
+    // 0 = the query's scale_factor. Base pipelines scan samples standing in
+    // for a table scale_factor times larger, but an ingest run's rows ARE
+    // the data — PlanLevel pins their charge to 1 so the modeled latency
+    // matches the estimator's weight-1 semantics.
+    double model_scale = 0.0;
     // Cross-query resume (answer cache): the prefix the pipeline was seeded
     // with via PipelineSpec::resume. The pipeline's outcome still covers the
     // FULL consumed prefix (that is what makes resumed answers bit-identical
@@ -285,6 +330,14 @@ class QueryRuntime {
   // Exact fallback pipeline over the base table.
   PipelinePlan PlanExact(const SelectStatement& stmt, const Table& fact,
                          double scale_factor, const Table* dim) const;
+
+  // One ingest run's pipeline for ExecuteLeveled: the run's best covering
+  // family at resolution 0 (stratified covering the predicate columns,
+  // else uniform, else exact scan of the run's rows), streamed/budgeted the
+  // same way the base pipeline is. `sub` is the union-prepared statement.
+  PipelinePlan PlanLevel(const SelectStatement& sub, const SelectStatement& stmt,
+                         const LevelScan& level, double scale_factor,
+                         const Table* dim) const;
 
   // Joint stopping rule for a plan answering `stmt` (never stops when
   // streaming is off or the query is unbounded).

@@ -90,10 +90,17 @@ Result<DriftReport> CheckDrift(const SampleFamily& family, const Table& current,
 
 Result<SampleFamily> RebuildFamily(const SampleFamily& family, const Table& current,
                                    const SampleFamilyOptions& options, Rng& rng) {
-  if (family.kind() == SampleFamily::Kind::kUniform) {
+  return BuildFamilyLike(family.kind(), family.columns(), current, options, rng);
+}
+
+Result<SampleFamily> BuildFamilyLike(SampleFamily::Kind kind,
+                                     const std::vector<std::string>& columns,
+                                     const Table& current,
+                                     const SampleFamilyOptions& options, Rng& rng) {
+  if (kind == SampleFamily::Kind::kUniform) {
     return SampleFamily::BuildUniform(current, options, rng);
   }
-  return SampleFamily::BuildStratified(current, family.columns(), options, rng);
+  return SampleFamily::BuildStratified(current, columns, options, rng);
 }
 
 }  // namespace blink

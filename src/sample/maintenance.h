@@ -31,6 +31,15 @@ Result<DriftReport> CheckDrift(const SampleFamily& family, const Table& current,
 Result<SampleFamily> RebuildFamily(const SampleFamily& family, const Table& current,
                                    const SampleFamilyOptions& options, Rng& rng);
 
+// The template form of RebuildFamily, for callers that hold a family's shape
+// (kind + column set) but not the family itself: the leveled ingest store
+// mirrors the base table's families onto each merged run this way
+// (src/sample/leveled_store.h). `columns` is ignored for uniform families.
+Result<SampleFamily> BuildFamilyLike(SampleFamily::Kind kind,
+                                     const std::vector<std::string>& columns,
+                                     const Table& current,
+                                     const SampleFamilyOptions& options, Rng& rng);
+
 }  // namespace blink
 
 #endif  // BLINKDB_SAMPLE_MAINTENANCE_H_

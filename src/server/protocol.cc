@@ -174,6 +174,10 @@ const char* FrameTypeName(FrameType type) {
       return "CANCEL";
     case FrameType::kGrant:
       return "GRANT";
+    case FrameType::kAppend:
+      return "APPEND";
+    case FrameType::kAppendOk:
+      return "APPEND_OK";
   }
   return "UNKNOWN";
 }
@@ -552,6 +556,31 @@ std::string EncodeGrant(const GrantFrame& grant) {
   return out.Serialize();
 }
 
+std::string EncodeAppend(const AppendFrame& append) {
+  JsonValue out = Envelope(FrameType::kAppend);
+  out.Set("id", append.id);
+  out.Set("table", append.table);
+  out.Set("columns", EncodeStringArray(append.columns));
+  JsonValue rows = JsonValue::Array();
+  for (const auto& row : append.rows) {
+    JsonValue jrow = JsonValue::Array();
+    for (const auto& value : row) {
+      jrow.Append(EncodeValue(value));
+    }
+    rows.Append(std::move(jrow));
+  }
+  out.Set("rows", std::move(rows));
+  return out.Serialize();
+}
+
+std::string EncodeAppendOk(const AppendOkFrame& ok) {
+  JsonValue out = Envelope(FrameType::kAppendOk);
+  out.Set("id", ok.id);
+  out.Set("rows_appended", ok.rows_appended);
+  out.Set("version", ok.version);
+  return out.Serialize();
+}
+
 std::string EncodePartial(const PartialFrame& partial) {
   JsonValue out = Envelope(FrameType::kPartial);
   out.Set("id", partial.id);
@@ -659,6 +688,58 @@ Result<Frame> DecodeFrame(std::string_view payload) {
     grant.id = *id;
     grant.blocks = *blocks;
     frame.payload = grant;
+    return frame;
+  }
+  if (*type == "APPEND") {
+    frame.type = FrameType::kAppend;
+    AppendFrame append;
+    auto id = GetUint(json, "id");
+    auto table = GetString(json, "table");
+    auto columns = GetArray(json, "columns");
+    auto rows = GetArray(json, "rows");
+    if (!id.ok() || !table.ok() || !columns.ok() || !rows.ok()) {
+      return Missing("id/table/columns/rows");
+    }
+    append.id = *id;
+    append.table = std::move(table.value());
+    auto names = DecodeStringArray(**columns);
+    if (!names.ok()) {
+      return names.status();
+    }
+    append.columns = std::move(names.value());
+    append.rows.reserve((*rows)->items().size());
+    for (const auto& jrow : (*rows)->items()) {
+      if (!jrow.is_array() || jrow.items().size() != append.columns.size()) {
+        return Status::InvalidArgument(
+            "APPEND row width does not match its columns array");
+      }
+      std::vector<Value> row;
+      row.reserve(jrow.items().size());
+      for (const auto& jvalue : jrow.items()) {
+        auto value = DecodeValue(jvalue);
+        if (!value.ok()) {
+          return value.status();
+        }
+        row.push_back(std::move(value.value()));
+      }
+      append.rows.push_back(std::move(row));
+    }
+    frame.payload = std::move(append);
+    return frame;
+  }
+  if (*type == "APPEND_OK") {
+    frame.type = FrameType::kAppendOk;
+    AppendOkFrame ok;
+    auto id = GetUint(json, "id");
+    auto rows_appended = GetUint(json, "rows_appended");
+    auto version = GetUint(json, "version");
+    if (!id.ok() || !rows_appended.ok() || !version.ok()) {
+      return Missing("id/rows_appended/version");
+    }
+    ok.id = *id;
+    ok.rows_appended = *rows_appended;
+    ok.version = *version;
+    frame.payload = ok;
     return frame;
   }
   if (*type == "PARTIAL") {

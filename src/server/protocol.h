@@ -3,7 +3,8 @@
 // The normative specification lives in docs/PROTOCOL.md; this header is its
 // implementation. Every frame is one JSON object with a "type" field naming
 // one of the frame types (HELLO, QUERY, PARTIAL, FINAL, ERROR, CANCEL,
-// GRANT), carried over the length-prefixed transport of src/server/net.h.
+// GRANT, APPEND, APPEND_OK), carried over the length-prefixed transport of
+// src/server/net.h.
 //
 // Encode* functions produce the serialized JSON payload for one frame;
 // DecodeFrame parses an inbound payload into the tagged Frame union and is
@@ -22,6 +23,7 @@
 
 #include "src/exec/incremental.h"
 #include "src/runtime/query_runtime.h"
+#include "src/storage/value.h"
 #include "src/util/json.h"
 #include "src/util/status.h"
 
@@ -30,9 +32,19 @@ namespace blink {
 // Bumped on any incompatible wire change; HELLO carries it in both
 // directions and the server refuses mismatched majors (docs/PROTOCOL.md
 // "Versioning").
-constexpr int64_t kProtocolVersion = 1;
+constexpr int64_t kProtocolVersion = 2;
 
-enum class FrameType { kHello, kQuery, kPartial, kFinal, kError, kCancel, kGrant };
+enum class FrameType {
+  kHello,
+  kQuery,
+  kPartial,
+  kFinal,
+  kError,
+  kCancel,
+  kGrant,
+  kAppend,
+  kAppendOk,
+};
 
 // Wire name of a frame type ("HELLO", "QUERY", ...).
 const char* FrameTypeName(FrameType type);
@@ -60,6 +72,9 @@ inline constexpr char kDeadlineExceeded[] = "DEADLINE_EXCEEDED";
 // The engine rejected or failed the query (bad SQL, unknown table, ...);
 // `message` carries the engine status text.
 inline constexpr char kQueryFailed[] = "QUERY_FAILED";
+// The ingest layer rejected or failed an APPEND (read-only server, unknown
+// table, schema mismatch, ...); `message` carries the engine status text.
+inline constexpr char kAppendFailed[] = "APPEND_FAILED";
 }  // namespace wire_error
 
 struct HelloFrame {
@@ -129,6 +144,27 @@ struct FinalFrame {
   ExecutionReport report;
 };
 
+// Client→server: streaming ingest (docs/PROTOCOL.md "APPEND"). The rows land
+// as one sealed level-0 run of the table's leveled store; queries accepted
+// after the acknowledging APPEND_OK observe them, queries already running
+// keep their pinned level set (snapshot isolation). `columns` names the row
+// layout and must match the table's schema, in order; each row carries one
+// tagged value per column.
+struct AppendFrame {
+  uint64_t id = 0;
+  std::string table;
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+};
+
+// Server→client: acknowledges an APPEND after publication. `version` is the
+// leveled store's manifest version with the new run visible.
+struct AppendOkFrame {
+  uint64_t id = 0;
+  uint64_t rows_appended = 0;
+  uint64_t version = 0;
+};
+
 struct ErrorFrame {
   // The offending query id; absent (has_id = false) for session-level errors
   // such as malformed frames.
@@ -142,7 +178,7 @@ struct ErrorFrame {
 struct Frame {
   FrameType type = FrameType::kError;
   std::variant<HelloFrame, QueryFrame, CancelFrame, PartialFrame, FinalFrame,
-               ErrorFrame, GrantFrame>
+               ErrorFrame, GrantFrame, AppendFrame, AppendOkFrame>
       payload;
 };
 
@@ -152,6 +188,8 @@ std::string EncodeHello(const HelloFrame& hello);
 std::string EncodeQuery(const QueryFrame& query);
 std::string EncodeCancel(const CancelFrame& cancel);
 std::string EncodeGrant(const GrantFrame& grant);
+std::string EncodeAppend(const AppendFrame& append);
+std::string EncodeAppendOk(const AppendOkFrame& ok);
 std::string EncodePartial(const PartialFrame& partial);
 std::string EncodeFinal(const FinalFrame& final_frame);
 std::string EncodeError(const ErrorFrame& error);

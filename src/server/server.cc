@@ -16,6 +16,7 @@
 
 #include "src/sql/parser.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace blink {
 
@@ -138,9 +139,12 @@ class BlinkServer::Session {
       case FrameType::kGrant:
         OnGrant(std::get<GrantFrame>(frame.payload));
         return true;
+      case FrameType::kAppend:
+        return OnAppend(std::get<AppendFrame>(frame.payload));
       case FrameType::kPartial:
       case FrameType::kFinal:
-      case FrameType::kError: {
+      case FrameType::kError:
+      case FrameType::kAppendOk: {
         ErrorFrame error;
         error.code = wire_error::kUnexpectedFrame;
         error.message = std::string(FrameTypeName(frame.type)) +
@@ -268,6 +272,72 @@ class BlinkServer::Session {
     }
   }
 
+  // Runs on the reader thread — appends on a session are therefore ordered
+  // against its later QUERY frames: a query sent after the APPEND_OK always
+  // observes the appended rows, one sent before never does (the leveled
+  // store's snapshot pinning). Lands the rows as one sealed level-0 run,
+  // then runs one maintenance tick so merge debt is paid by the writer.
+  bool OnAppend(const AppendFrame& append) {
+    auto fail = [&](const std::string& message) {
+      ErrorFrame error;
+      error.has_id = true;
+      error.id = append.id;
+      error.code = wire_error::kAppendFailed;
+      error.message = message;
+      return Send(EncodeError(error));
+    };
+    if (!greeted_) {
+      ErrorFrame error;
+      error.has_id = true;
+      error.id = append.id;
+      error.code = wire_error::kHandshakeRequired;
+      error.message = "send HELLO before APPEND";
+      return Send(EncodeError(error));
+    }
+    BlinkDB* db = server_->mutable_db_;
+    if (db == nullptr) {
+      return fail("server is read-only");
+    }
+    const TableEntry* entry = db->catalog().Find(append.table);
+    if (entry == nullptr) {
+      return fail("table '" + append.table + "' not registered");
+    }
+    const Schema& schema = entry->table.schema();
+    if (append.columns.size() != schema.num_columns()) {
+      return fail("APPEND carries " + std::to_string(append.columns.size()) +
+                  " columns; table '" + entry->name + "' has " +
+                  std::to_string(schema.num_columns()));
+    }
+    for (size_t i = 0; i < append.columns.size(); ++i) {
+      if (AsciiToLower(append.columns[i]) != AsciiToLower(schema.column(i).name)) {
+        return fail("APPEND column " + std::to_string(i) + " is '" +
+                    append.columns[i] + "'; table schema has '" +
+                    schema.column(i).name + "'");
+      }
+    }
+    Table rows(schema);
+    rows.Reserve(append.rows.size());
+    for (const auto& row : append.rows) {
+      if (Status s = rows.AppendRow(row); !s.ok()) {
+        return fail(s.ToString());
+      }
+    }
+    auto version = db->Append(entry->name, std::move(rows));
+    if (!version.ok()) {
+      return fail(version.status().ToString());
+    }
+    // One synchronous merge step: the writer pays for compaction, so query
+    // latency stays flat while a client streams many small batches.
+    if (auto merged = db->MaintenanceTick(entry->name); !merged.ok()) {
+      return fail(merged.status().ToString());
+    }
+    AppendOkFrame ok;
+    ok.id = append.id;
+    ok.rows_appended = append.rows.size();
+    ok.version = version.value();
+    return Send(EncodeAppendOk(ok));
+  }
+
   // Runs on an admission worker thread: parse, resolve, apply the shed
   // decision, execute on the worker's runtime, stream frames.
   void RunQuery(const QueryFrame& query, const QueryRuntime& runtime,
@@ -354,6 +424,11 @@ class BlinkServer::Session {
           });
         }
       };
+      // A table with ingested runs executes the leveled union plan against
+      // the level set pinned HERE: appends and merges published after this
+      // point are invisible to this query (snapshot isolation), and the
+      // pinned snapshot keeps its runs alive through the scan.
+      const auto pinned = server_->db_.PinLevels(stmt->table);
       CacheContext cache_ctx;
       // Paced executions bypass the answer cache: their artificial 0-error
       // bound must neither be served from a stored FINAL (the coordinator
@@ -361,12 +436,26 @@ class BlinkServer::Session {
       // space with never-satisfiable bounds).
       if (!paced && server_->cache_ != nullptr) {
         cache_ctx.cache = server_->cache_.get();
-        cache_ctx.table_generation = tables->fact->generation;
+        cache_ctx.table_generation = pinned.has_value()
+                                         ? pinned->generation
+                                         : tables->fact->generation.load();
+        if (pinned.has_value()) {
+          // The snapshot fingerprint scopes cached answers to this exact
+          // level set; any later publication changes it.
+          cache_ctx.key_suffix = pinned->fingerprint;
+        }
       }
       const uint32_t batch_override =
           paced ? static_cast<uint32_t>(std::min<uint64_t>(
                       query.round_blocks, std::numeric_limits<uint32_t>::max()))
                 : 0;
+      if (pinned.has_value()) {
+        return runtime.ExecuteLeveled(
+            *stmt, tables->fact->name, tables->fact->table,
+            tables->fact->scale_factor, pinned->levels,
+            tables->dim != nullptr ? &tables->dim->table : nullptr,
+            std::move(progress), cancel, cache_ctx, batch_override);
+      }
       return runtime.Execute(
           *stmt, tables->fact->name, tables->fact->table, tables->fact->scale_factor,
           tables->dim != nullptr ? &tables->dim->table : nullptr, std::move(progress),
@@ -467,6 +556,9 @@ class BlinkServer::Session {
 
 BlinkServer::BlinkServer(const BlinkDB& db, ServerOptions options)
     : db_(db), options_(std::move(options)) {}
+
+BlinkServer::BlinkServer(BlinkDB& db, ServerOptions options)
+    : db_(db), mutable_db_(&db), options_(std::move(options)) {}
 
 BlinkServer::~BlinkServer() { Stop(); }
 

@@ -94,8 +94,15 @@ struct ServerOptions {
 class BlinkServer {
  public:
   // `db` is the serving state (catalog + samples + cluster model); it must
-  // outlive the server and must not be mutated while serving.
+  // outlive the server and must not be mutated while serving. APPEND frames
+  // draw APPEND_FAILED on a server built over a const db.
   explicit BlinkServer(const BlinkDB& db, ServerOptions options = {});
+
+  // Ingest-enabled server: same as above, but APPEND frames land rows in the
+  // db's leveled stores (BlinkDB::Append + one maintenance tick). The only
+  // mutation the server performs is through that thread-safe ingest API;
+  // queries running mid-append keep their pinned level set.
+  explicit BlinkServer(BlinkDB& db, ServerOptions options = {});
   ~BlinkServer();
 
   BlinkServer(const BlinkServer&) = delete;
@@ -130,6 +137,9 @@ class BlinkServer {
   void AcceptLoop();
 
   const BlinkDB& db_;
+  // Non-null only for the ingest-enabled constructor; the target of APPEND
+  // frames. Always aliases db_.
+  BlinkDB* mutable_db_ = nullptr;
   ServerOptions options_;
   // Destruction order matters: sessions_ (declared last) is destroyed first,
   // and session teardown waits on queries the admission workers are still

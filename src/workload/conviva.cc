@@ -30,6 +30,12 @@ size_t WeightedPick(Rng& rng, const double* weights, size_t n) {
 }  // namespace
 
 Table GenerateConvivaTable(const ConvivaConfig& config) {
+  Rng rng(config.rng_seed);
+  return GenerateConvivaArrivals(config, config.num_rows, rng);
+}
+
+Table GenerateConvivaArrivals(const ConvivaConfig& config, uint64_t num_rows,
+                              Rng& rng) {
   Table t(Schema({{"dt", DataType::kInt64},
                   {"city", DataType::kString},
                   {"country", DataType::kString},
@@ -45,9 +51,8 @@ Table GenerateConvivaTable(const ConvivaConfig& config) {
                   {"sessiontimems", DataType::kDouble},
                   {"bufferingms", DataType::kDouble},
                   {"bitrate", DataType::kDouble}}));
-  t.Reserve(config.num_rows);
+  t.Reserve(num_rows);
 
-  Rng rng(config.rng_seed);
   const ZipfGenerator city_gen(1.1, config.num_cities);
   const ZipfGenerator country_gen(1.4, config.num_countries);
   const ZipfGenerator customer_gen(1.3, config.num_customers);
@@ -55,7 +60,7 @@ Table GenerateConvivaTable(const ConvivaConfig& config) {
   const ZipfGenerator url_gen(1.5, config.num_urls);
   const ZipfGenerator isp_gen(1.1, config.num_isps);
 
-  for (uint64_t i = 0; i < config.num_rows; ++i) {
+  for (uint64_t i = 0; i < num_rows; ++i) {
     const uint64_t city = city_gen.Next(rng);
     t.AppendInt(0, static_cast<int64_t>(rng.NextBounded(config.num_days)));
     t.AppendString(1, "city_" + std::to_string(city));

@@ -43,6 +43,14 @@ struct ConvivaConfig {
 //   bufferingms DOUBLE, bitrate DOUBLE
 Table GenerateConvivaTable(const ConvivaConfig& config);
 
+// Generates a batch of freshly-arrived session rows — same schema and
+// per-column distributions as GenerateConvivaTable — for streaming-ingest
+// scenarios (BlinkDB::Append, the wire APPEND frame, the ingest bench).
+// Deterministic in `rng`: GenerateConvivaTable(config) is bit-identical to
+// one call with Rng(config.rng_seed) and num_rows = config.num_rows.
+Table GenerateConvivaArrivals(const ConvivaConfig& config, uint64_t num_rows,
+                              Rng& rng);
+
 // The weighted template workload (column sets of WHERE/GROUP BY clauses).
 // Shapes match Fig 2 / Fig 6(a): heavy weight on {dt, jointimems}-style
 // diagnostic templates, some weight on genre-only templates that the uniform

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/api/blinkdb.h"
 #include "src/exec/executor.h"
 #include "src/exec/incremental.h"
 #include "src/plan/query_plan.h"
@@ -304,6 +305,146 @@ TEST(CalibrationTest, AdaptiveUnionUniformSamples) {
 
 TEST(CalibrationTest, AdaptiveUnionStratifiedSamples) {
   CheckAdaptiveUnionCalibration(/*stratified=*/true);
+}
+
+// --- Coverage at stop UNDER CHURN --------------------------------------------
+//
+// The streaming-ingest regime: appends land between query rounds, so every
+// bounded query runs as a leveled union plan — the base table's sample plus
+// one pipeline per pinned run (exact L0 write buffers, sampled merged runs) —
+// and its combined §4.3 interval at the stop must still cover the EXACT
+// answer of the snapshot it pinned. Each trial drives a fresh live BlinkDB:
+// per-trial sample + per-trial leveled-store seed, three churn batches with a
+// maintenance tick between rounds (so merged, re-sampled runs join the plan
+// mid-trial). Honors BLINK_MC_TRIALS like the rest of the suite.
+
+constexpr uint64_t kChurnBase = 24'000;   // rows registered before any append
+constexpr uint64_t kChurnBatch = 2'000;   // rows landed between query rounds
+constexpr int kChurnRounds = 3;
+
+Table CopyRows(const Table& src, uint64_t begin, uint64_t end) {
+  Table t(src.schema());
+  t.Reserve(end - begin);
+  std::vector<Value> row;
+  for (uint64_t r = begin; r < end; ++r) {
+    row.clear();
+    for (size_t c = 0; c < src.num_columns(); ++c) {
+      row.push_back(src.GetValue(c, r));
+    }
+    EXPECT_TRUE(t.AppendRow(row).ok());
+  }
+  return t;
+}
+
+void RunChurnTrials(const Table& population, bool stratified, int trials,
+                    Tally (&tallies)[3], const double (&exact)[kChurnRounds][3]) {
+  const Table base = CopyRows(population, 0, kChurnBase);
+  std::vector<Table> batches;
+  for (int r = 0; r < kChurnRounds; ++r) {
+    batches.push_back(CopyRows(population, kChurnBase + r * kChurnBatch,
+                               kChurnBase + (r + 1) * kChurnBatch));
+  }
+
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng(620'000 + static_cast<uint64_t>(trial) * 104'729 + (stratified ? 1 : 0));
+    SampleFamilyOptions options;
+    options.uniform_fraction = 0.5;
+    options.largest_cap = 1'500;
+    options.max_resolutions = 5;
+    auto family = stratified
+                      ? SampleFamily::BuildStratified(base, {"g"}, options, rng)
+                      : SampleFamily::BuildUniform(base, options, rng);
+    ASSERT_TRUE(family.ok()) << family.status().ToString();
+
+    BlinkDbOptions db_options;
+    db_options.runtime.exec_threads = 1;
+    db_options.runtime.morsel_rows = 1'024;
+    db_options.runtime.stream_batch_blocks = 2;
+    BlinkDB db(db_options);
+    ASSERT_TRUE(db.RegisterTable("pop", base, /*scale_factor=*/1e4).ok());
+    db.samples().AddFamily("pop", std::move(family.value()));
+    LeveledStoreOptions ingest;
+    ingest.level_fanout = 2;
+    ingest.sample_min_rows = 1'500;  // merged runs re-sample, L0 runs are exact
+    ingest.sample.largest_cap = 700;
+    ingest.sample.max_resolutions = 3;
+    ingest.seed = 0xc0ffee ^ (static_cast<uint64_t>(trial) * 2'654'435'761ull);
+    ASSERT_TRUE(db.ConfigureIngest("pop", ingest).ok());
+
+    for (int round = 0; round < kChurnRounds; ++round) {
+      ASSERT_TRUE(db.Append("pop", batches[round]).ok());
+      ASSERT_TRUE(db.MaintenanceTick("pop").ok());
+      for (size_t c = 0; c < 3; ++c) {
+        char sql[160];
+        std::snprintf(sql, sizeof(sql), "%s ERROR WITHIN %.4f%% AT CONFIDENCE 95%%",
+                      kCases[c].sql, kCases[c].target_error * 100.0);
+        auto answer = db.Query(sql);
+        ASSERT_TRUE(answer.ok()) << sql << " -> " << answer.status().ToString();
+        ASSERT_EQ(answer->result.rows.size(), 1u);
+        const Estimate& est = answer->result.rows[0].aggregates[0];
+        const Estimate::Interval ci = est.IntervalAt(kConfidence);
+        Tally& tally = tallies[c];
+        if (ci.lo <= exact[round][c] && exact[round][c] <= ci.hi) {
+          ++tally.covered;
+        }
+        if (answer->report.stopped_early) {
+          ++tally.stopped_early;
+          if (answer->report.achieved_error >
+              kCases[c].target_error * (1.0 + 1e-12)) {
+            ++tally.bound_violations;
+          }
+        }
+      }
+    }
+  }
+}
+
+void CheckChurnCalibration(bool stratified) {
+  const Table population = MakePopulation();
+  const int trials = Trials();
+
+  // Ground truth per round: the exact answer over the snapshot each round's
+  // queries pin (base + the batches appended so far).
+  double exact[kChurnRounds][3] = {};
+  for (int round = 0; round < kChurnRounds; ++round) {
+    const Table snapshot =
+        CopyRows(population, 0, kChurnBase + (round + 1) * kChurnBatch);
+    for (size_t c = 0; c < 3; ++c) {
+      auto stmt = ParseSelect(kCases[c].sql);
+      ASSERT_TRUE(stmt.ok());
+      auto truth = ExecuteQueryScalar(*stmt, Dataset::Exact(snapshot));
+      ASSERT_TRUE(truth.ok());
+      exact[round][c] = truth->rows[0].aggregates[0].value;
+      ASSERT_GT(exact[round][c], 0.0);
+    }
+  }
+
+  Tally tallies[3];
+  RunChurnTrials(population, stratified, trials, tallies, exact);
+
+  const int samples = trials * kChurnRounds;
+  for (size_t c = 0; c < 3; ++c) {
+    const Tally& tally = tallies[c];
+    const double coverage = static_cast<double>(tally.covered) / samples;
+    const double stop_rate = static_cast<double>(tally.stopped_early) / samples;
+    std::printf(
+        "[calibration-churn] family=%s agg=%s trials=%d rounds=%d coverage=%.3f "
+        "early_stop_rate=%.3f bound_violations=%d\n",
+        stratified ? "stratified" : "uniform", kCases[c].name, trials, kChurnRounds,
+        coverage, stop_rate, tally.bound_violations);
+    EXPECT_GE(coverage, kMinCoverage)
+        << kCases[c].name << " under-covers at stop while appends churn (nominal "
+        << kConfidence << ")";
+    EXPECT_GE(stop_rate, 0.4) << kCases[c].name
+                              << ": stopping rarely fired under churn; retune";
+    EXPECT_EQ(tally.bound_violations, 0) << kCases[c].name;
+  }
+}
+
+TEST(CalibrationTest, ChurnUniformSamples) { CheckChurnCalibration(/*stratified=*/false); }
+
+TEST(CalibrationTest, ChurnStratifiedSamples) {
+  CheckChurnCalibration(/*stratified=*/true);
 }
 
 }  // namespace

@@ -27,9 +27,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/api/blinkdb.h"
 #include "src/exec/executor.h"
 #include "src/exec/morsel.h"
 #include "src/plan/scheduler.h"
@@ -384,6 +386,240 @@ TEST(FuzzDifferentialTest, TimeBoundedRunsKeepConsistentAccounting) {
     }
   }
   EXPECT_GE(partial_runs, 2) << "time budgets never truncated a scan; retune bounds";
+}
+
+// --- Ingest arm: leveled answers are replay-deterministic --------------------
+//
+// A seeded script of appends, maintenance ticks, and query checkpoints runs
+// against a live BlinkDB. Replaying the same script into a fresh instance
+// rebuilds bit-identical runs (family build seeds derive from the store seed
+// and run ids), so every replica must produce bit-identical answers at every
+// checkpoint — across threads {1, 2, 7} x morsels {64, 1024, 4096} x level
+// layouts, streamed or one-shot, uniform or adaptive. Ground truth closes
+// the loop: exact answers over the leveled store equal exact answers over a
+// flat one-shot rebuild (base + runs flattened into one table).
+
+struct ScriptOp {
+  enum Kind { kAppend, kTick, kCheckpoint };
+  Kind kind = kAppend;
+  Table batch;  // kAppend only
+};
+
+struct IngestLayout {
+  const char* name;
+  LeveledStoreOptions options;
+};
+
+std::vector<IngestLayout> IngestLayouts() {
+  std::vector<IngestLayout> layouts;
+  {
+    // Level-0 only: the fanout is never reached, every run is an exact
+    // weight-1 write buffer.
+    IngestLayout l0{"l0-only", {}};
+    l0.options.level_fanout = 64;
+    layouts.push_back(std::move(l0));
+  }
+  {
+    // Aggressive compaction with sampled merged runs: merges fire constantly
+    // and rebuilt families (seeded per run id) join the union plan.
+    IngestLayout sampled{"fanout2-sampled", {}};
+    sampled.options.level_fanout = 2;
+    sampled.options.sample_min_rows = 512;
+    sampled.options.sample.largest_cap = 300;
+    sampled.options.sample.max_resolutions = 3;
+    sampled.options.sample.uniform_fraction = 0.5;
+    layouts.push_back(std::move(sampled));
+  }
+  {
+    // Mixed: moderate fanout, higher sampling threshold — exact runs and
+    // sampled runs coexist in one manifest.
+    IngestLayout mixed{"mixed", {}};
+    mixed.options.level_fanout = 3;
+    mixed.options.sample_min_rows = 1'500;
+    mixed.options.sample.largest_cap = 400;
+    mixed.options.sample.max_resolutions = 3;
+    layouts.push_back(std::move(mixed));
+  }
+  return layouts;
+}
+
+// The shared op script: batches are generated ONCE (from the caller's rng)
+// so every replica appends bit-identical rows in the same order.
+std::vector<ScriptOp> MakeScript(Rng& rng) {
+  std::vector<ScriptOp> ops;
+  const int appends = 6;
+  for (int i = 0; i < appends; ++i) {
+    ScriptOp append;
+    append.kind = ScriptOp::kAppend;
+    append.batch = testgen::MakeArrivalBatch(rng, 200 + rng.NextBounded(600));
+    ops.push_back(std::move(append));
+    if (rng.NextBernoulli(0.6)) {
+      ops.push_back(ScriptOp{ScriptOp::kTick, {}});
+    }
+    if (i == 2 || i == appends - 1) {
+      ops.push_back(ScriptOp{ScriptOp::kCheckpoint, {}});
+    }
+  }
+  return ops;
+}
+
+// Replays the script into a fresh live BlinkDB under `config`, answering
+// every query at every checkpoint. Returns the answers in script order.
+std::vector<ApproxAnswer> ReplayScript(const LeveledStoreOptions& layout,
+                                       const RuntimeConfig& config,
+                                       const std::vector<ScriptOp>& ops,
+                                       const std::vector<std::string>& queries,
+                                       BlinkDB* keep_db = nullptr) {
+  BlinkDbOptions db_options;
+  db_options.runtime = config;
+  auto owned = keep_db == nullptr ? std::make_unique<BlinkDB>(db_options) : nullptr;
+  BlinkDB& db = keep_db != nullptr ? *keep_db : *owned;
+  const Table fact = MakeFact(8'192);
+  EXPECT_TRUE(db.RegisterTable("t", fact, /*scale_factor=*/1e4).ok());
+  Rng family_rng(17);
+  SampleFamilyOptions family_options;
+  family_options.uniform_fraction = 0.5;
+  family_options.max_resolutions = 6;
+  auto uniform = SampleFamily::BuildUniform(fact, family_options, family_rng);
+  EXPECT_TRUE(uniform.ok());
+  db.samples().AddFamily("t", std::move(uniform.value()));
+  EXPECT_TRUE(db.ConfigureIngest("t", layout).ok());
+
+  std::vector<ApproxAnswer> answers;
+  for (const ScriptOp& op : ops) {
+    switch (op.kind) {
+      case ScriptOp::kAppend: {
+        auto version = db.Append("t", op.batch);
+        EXPECT_TRUE(version.ok()) << version.status().ToString();
+        break;
+      }
+      case ScriptOp::kTick: {
+        auto tick = db.MaintenanceTick("t");
+        EXPECT_TRUE(tick.ok()) << tick.status().ToString();
+        break;
+      }
+      case ScriptOp::kCheckpoint: {
+        for (const std::string& sql : queries) {
+          auto answer = db.Query(sql);
+          EXPECT_TRUE(answer.ok()) << sql << " -> " << answer.status().ToString();
+          answers.push_back(std::move(answer.value()));
+        }
+        break;
+      }
+    }
+  }
+  return answers;
+}
+
+TEST(FuzzDifferentialTest, IngestAnswersAreReplayAndScheduleIndependent) {
+  Rng rng(777'001);
+  for (const IngestLayout& layout : IngestLayouts()) {
+    const std::vector<ScriptOp> ops = MakeScript(rng);
+    std::vector<std::string> queries;
+    for (int q = 0; q < 3; ++q) {
+      // No quantiles: ExecuteLeveled rejects them (t-digests do not merge
+      // across run-local weights).
+      queries.push_back(RandomQuery(rng, /*allow_quantile=*/false) +
+                        " ERROR WITHIN 0.0000001% AT CONFIDENCE 95%");
+    }
+    for (uint32_t morsel_rows : {64u, 1024u, 4096u}) {
+      RuntimeConfig oneshot = StreamingConfig(ScheduleMode::kUniform, 1, morsel_rows, 3);
+      oneshot.streaming = false;
+      const std::vector<ApproxAnswer> reference =
+          ReplayScript(layout.options, oneshot, ops, queries);
+      ASSERT_EQ(reference.size(), 2 * queries.size()) << layout.name;
+      for (size_t threads : {1u, 2u, 7u}) {
+        for (ScheduleMode mode : {ScheduleMode::kUniform, ScheduleMode::kAdaptive}) {
+          const std::vector<ApproxAnswer> live = ReplayScript(
+              layout.options, StreamingConfig(mode, threads, morsel_rows, 3), ops,
+              queries);
+          ASSERT_EQ(live.size(), reference.size());
+          for (size_t i = 0; i < live.size(); ++i) {
+            const std::string context =
+                std::string(layout.name) + " checkpoint answer " + std::to_string(i) +
+                " [" + ScheduleModeName(mode) + " threads=" + std::to_string(threads) +
+                " morsel=" + std::to_string(morsel_rows) + "]";
+            ExpectIdentical(live[i].result, reference[i].result, context);
+            EXPECT_FALSE(live[i].report.stopped_early) << context;
+            ExpectConsistentAccounting(live[i].report, context);
+            EXPECT_EQ(live[i].report.family, "leveled") << context;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferentialTest, IngestExactAnswersMatchFlatRebuild) {
+  Rng rng(777'002);
+  for (const IngestLayout& layout : IngestLayouts()) {
+    const std::vector<ScriptOp> ops = MakeScript(rng);
+    BlinkDB live;
+    ReplayScript(layout.options, RuntimeConfig{}, ops, /*queries=*/{}, &live);
+
+    // Flat one-shot rebuild of the final snapshot: base + every pinned run
+    // flattened into a single registered table.
+    const auto pinned = live.PinLevels("t");
+    ASSERT_TRUE(pinned.has_value()) << layout.name;
+    const Table fact = MakeFact(8'192);
+    Table flat(fact.schema());
+    ASSERT_TRUE(LeveledStore::AppendRows(flat, fact).ok());
+    for (const auto& run : pinned->snapshot.runs) {
+      ASSERT_TRUE(LeveledStore::AppendRows(flat, *run->rows).ok());
+    }
+    BlinkDB rebuilt;
+    ASSERT_TRUE(rebuilt.RegisterTable("t", std::move(flat), /*scale_factor=*/1e4).ok());
+
+    for (int q = 0; q < 4; ++q) {
+      const std::string sql = RandomQuery(rng, /*allow_quantile=*/true);
+      auto leveled = live.QueryExact(sql);
+      auto flat_answer = rebuilt.QueryExact(sql);
+      ASSERT_TRUE(leveled.ok()) << sql << " -> " << leveled.status().ToString();
+      ASSERT_TRUE(flat_answer.ok()) << sql << " -> " << flat_answer.status().ToString();
+      ExpectIdentical(leveled->result, flat_answer->result,
+                      std::string(layout.name) + " exact: " + sql);
+    }
+  }
+}
+
+TEST(FuzzDifferentialTest, IngestBoundedAnswersHonorTheBound) {
+  Rng rng(777'003);
+  const IngestLayout layout = IngestLayouts()[1];  // fanout2-sampled
+  const std::vector<ScriptOp> ops = MakeScript(rng);
+  // Small morsels: the pinned plan has enough blocks that error stops land
+  // mid-scan instead of the scan completing first.
+  BlinkDbOptions db_options;
+  db_options.runtime = StreamingConfig(ScheduleMode::kAdaptive, 2, 128, 2);
+  BlinkDB live(db_options);
+  ReplayScript(layout.options, db_options.runtime, ops, /*queries=*/{}, &live);
+  const LeveledStore* store = live.Levels("t");
+  ASSERT_NE(store, nullptr);
+  const size_t runs = store->run_count();
+  ASSERT_GT(runs, 0u);
+
+  int early_stops = 0;
+  for (int q = 0; q < 24; ++q) {
+    const double target = 0.02 + rng.NextDouble() * 0.18;
+    char bound[80];
+    std::snprintf(bound, sizeof(bound), " ERROR WITHIN %.4f%% AT CONFIDENCE 95%%",
+                  target * 100.0);
+    const std::string sql = RandomQuery(rng, /*allow_quantile=*/false) + bound;
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    auto answer = live.Query(sql);
+    ASSERT_TRUE(answer.ok()) << sql << " -> " << answer.status().ToString();
+    const std::string context = sql + " [leveled bounded]";
+    ExpectConsistentAccounting(answer->report, context);
+    // The leveled plan is base + one pipeline per pinned run, always.
+    EXPECT_EQ(answer->report.pipeline_outcomes.size(), runs + 1) << context;
+    if (answer->report.stopped_early) {
+      ++early_stops;
+      const double recomputed = ReportedError(answer->result, stmt->bounds, 0.95);
+      EXPECT_LE(recomputed, target * (1.0 + 1e-9)) << context;
+      EXPECT_DOUBLE_EQ(answer->report.achieved_error, recomputed) << context;
+    }
+  }
+  EXPECT_GE(early_stops, 5) << "joint stopping rarely fired on the leveled plan";
 }
 
 }  // namespace

@@ -34,6 +34,27 @@ inline Table MakeFact(uint64_t rows = 16'000) {
   return t;
 }
 
+// A batch of freshly-arrived rows with MakeFact()'s schema and per-column
+// distributions, drawn from the caller's Rng — the ingest suites' append
+// payloads. Same rng state + same `rows` → bit-identical batch, which is
+// what lets two BlinkDB instances replay an append sequence into identical
+// leveled stores.
+inline Table MakeArrivalBatch(Rng& rng, uint64_t rows) {
+  Table t(Schema({{"a", DataType::kInt64},
+                  {"v", DataType::kDouble},
+                  {"s", DataType::kString},
+                  {"u", DataType::kDouble}}));
+  t.Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.AppendInt(0, static_cast<int64_t>(rng.NextBounded(10)));
+    t.AppendDouble(1, rng.NextDouble() * 100.0);
+    t.AppendString(2, "s_" + std::to_string(rng.NextBounded(12)));
+    t.AppendDouble(3, rng.NextDouble());
+    t.CommitRow();
+  }
+  return t;
+}
+
 inline std::string RandomLeaf(Rng& rng) {
   static const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
   switch (rng.NextBounded(4)) {

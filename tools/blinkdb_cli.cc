@@ -11,9 +11,14 @@
 //   ... result table ...
 //
 // Flags:
-//   --host H        server address (default 127.0.0.1)
-//   --port P        server port (required)
-//   --execute SQL   run one query, print its frames, exit (for scripts/CI)
+//   --host H           server address (default 127.0.0.1)
+//   --port P           server port (required)
+//   --execute SQL      run one query, print its frames, exit (for scripts/CI)
+//   --append-rows N    generate N synthetic Conviva arrival rows client-side
+//                      and APPEND them to the sessions table before --execute
+//                      (or instead of the REPL); exercises streaming ingest
+//   --append-seed S    RNG seed for the generated arrivals (default 7)
+//   --append-table T   target table for --append-rows (default sessions)
 //
 // REPL commands: \q quits; anything else is sent as SQL.
 #include <cstdio>
@@ -24,6 +29,7 @@
 
 #include "src/client/blink_client.h"
 #include "src/util/string_util.h"
+#include "src/workload/conviva.h"
 
 namespace {
 
@@ -91,8 +97,15 @@ int main(int argc, char** argv) {
   const std::string host = FlagValue(argc, argv, "--host", "127.0.0.1");
   const int port = std::atoi(FlagValue(argc, argv, "--port", "0"));
   const std::string execute = FlagValue(argc, argv, "--execute", "");
+  const uint64_t append_rows =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--append-rows", "0")));
+  const uint64_t append_seed =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "--append-seed", "7")));
+  const std::string append_table = FlagValue(argc, argv, "--append-table", "sessions");
   if (port <= 0 || port > 65535) {
-    std::fprintf(stderr, "usage: blinkdb_cli --port P [--host H] [--execute SQL]\n");
+    std::fprintf(stderr,
+                 "usage: blinkdb_cli --port P [--host H] [--execute SQL] "
+                 "[--append-rows N [--append-seed S] [--append-table T]]\n");
     return 2;
   }
 
@@ -106,6 +119,26 @@ int main(int argc, char** argv) {
               client.server().server_name.c_str(),
               static_cast<long long>(client.server().protocol_version),
               Join(client.server().tables, ", ").c_str());
+
+  if (append_rows > 0) {
+    // Arrival rows are generated client-side (same schema and distributions
+    // as the server's demo table) and streamed over one APPEND frame.
+    Rng rng(append_seed);
+    const Table batch = GenerateConvivaArrivals(ConvivaConfig{}, append_rows, rng);
+    auto appended = client.Append(append_table, batch);
+    if (!appended.ok()) {
+      std::fprintf(stderr, "append failed: %s\n",
+                   appended.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("APPENDED rows=%llu version=%llu\n",
+                static_cast<unsigned long long>(appended->rows_appended),
+                static_cast<unsigned long long>(appended->version));
+    std::fflush(stdout);
+    if (execute.empty()) {
+      return 0;
+    }
+  }
 
   if (!execute.empty()) {
     return RunQuery(client, execute) ? 0 : 1;

@@ -9,6 +9,11 @@
 //   ./blinkdb_cli --port 4411 --execute "SELECT COUNT(*) FROM sessions
 //       WHERE city = 'city_9' ERROR WITHIN 2% AT CONFIDENCE 95%"
 //
+// The server is ingest-enabled: APPEND frames (docs/PROTOCOL.md) land rows
+// as level-0 runs of the sessions table's leveled store, and later queries
+// union them with the sampled base table. Try it with
+// `blinkdb_cli --append-rows 5000`.
+//
 // With --shard-index/--shard-count the server boots as worker i of N of a
 // distributed deployment: it keeps only its row stripe of the SAME demo
 // table (row % N == i), builds samples on that slice, and announces the
